@@ -1,0 +1,404 @@
+// Benchmarks regenerating the cost side of every experiment in
+// DESIGN.md's index: rule induction over the paper's test bed (E1),
+// extensional query processing and inference for Examples 1–3 (E2–E4),
+// Table 1 characteristic induction (E5), rule-relation encoding (E8),
+// the Nc sweep (A1), the join-strategy ablation, and the scaling studies
+// B1 (induction vs database size) and B2 (inference vs rule-base size).
+package intensional_test
+
+import (
+	"fmt"
+	"testing"
+
+	"intensional"
+	"intensional/internal/dict"
+	"intensional/internal/id3"
+	"intensional/internal/induct"
+	"intensional/internal/infer"
+	"intensional/internal/quel"
+	"intensional/internal/query"
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+	"intensional/internal/shipdb"
+	"intensional/internal/storage"
+	"intensional/internal/synth"
+)
+
+const (
+	example1SQL = `SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE
+		FROM SUBMARINE, CLASS
+		WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000`
+	example2SQL = `SELECT SUBMARINE.NAME, SUBMARINE.CLASS FROM SUBMARINE, CLASS
+		WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = "SSBN"`
+	example3SQL = `SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE
+		FROM SUBMARINE, CLASS, INSTALL
+		WHERE SUBMARINE.CLASS = CLASS.CLASS AND SUBMARINE.ID = INSTALL.SHIP
+		AND INSTALL.SONAR = "BQS-04"`
+)
+
+func shipDict(b *testing.B) *dict.Dictionary {
+	b.Helper()
+	d, err := shipdb.Dictionary(shipdb.Catalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkInduceShipDB measures full rule induction over the Appendix C
+// instance (experiment E1).
+func BenchmarkInduceShipDB(b *testing.B) {
+	d := shipDict(b)
+	in := induct.New(d, induct.Options{Nc: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.InduceAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInduceNcSweep measures induction at each pruning threshold of
+// ablation A1 (the threshold changes pruning work, not scan work).
+func BenchmarkInduceNcSweep(b *testing.B) {
+	for _, nc := range []int{1, 2, 3, 5} {
+		b.Run(fmt.Sprintf("Nc=%d", nc), func(b *testing.B) {
+			d := shipDict(b)
+			in := induct.New(d, induct.Options{Nc: nc})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.InduceAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInduceScaling is study B1: intra-object induction cost versus
+// database size, on synthetic fleets of 120 to 120k ships.
+func BenchmarkInduceScaling(b *testing.B) {
+	for _, shipsPerClass := range []int{1, 10, 100, 1000} {
+		nShips := 12 * 10 * shipsPerClass
+		b.Run(fmt.Sprintf("ships=%d", nShips), func(b *testing.B) {
+			cat := synth.Fleet(synth.FleetConfig{ClassesPerType: 10, ShipsPerClass: shipsPerClass, Seed: 1})
+			d, err := synth.FleetDictionary(cat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := induct.New(d, induct.Options{Nc: 2})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.InduceAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchInfer measures Derive alone for one example query and rule base.
+func benchInfer(b *testing.B, sql string) {
+	d := shipDict(b)
+	set, err := induct.New(d, induct.Options{Nc: 3}).InduceAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.SetRules(set)
+	_, an, err := query.New(d.Catalog()).Run(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := infer.New(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Derive(an); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInferForward measures Example 1's forward inference (E2).
+func BenchmarkInferForward(b *testing.B) { benchInfer(b, example1SQL) }
+
+// BenchmarkInferBackward measures Example 2's backward inference (E3).
+func BenchmarkInferBackward(b *testing.B) { benchInfer(b, example2SQL) }
+
+// BenchmarkInferCombined measures Example 3's combined inference (E4).
+func BenchmarkInferCombined(b *testing.B) { benchInfer(b, example3SQL) }
+
+// BenchmarkInferScaling is study B2: inference cost versus rule-base
+// size, with a point condition over synthetic rule bases.
+func BenchmarkInferScaling(b *testing.B) {
+	for _, n := range []int{10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("rules=%d", n), func(b *testing.B) {
+			cat := storage.NewCatalog()
+			r := relation.New("R", relation.MustSchema(
+				relation.Column{Name: "X", Type: relation.TInt},
+				relation.Column{Name: "Y", Type: relation.TString},
+			))
+			for i := 0; i < n; i++ {
+				r.MustInsert(relation.Int(int64(i*10+5)), relation.String(fmt.Sprintf("c%d", i)))
+			}
+			cat.Put(r)
+			d := dict.New(cat)
+			d.SetRules(synth.RuleSetOfSize(n))
+			an := &query.Analysis{
+				Conjunctive: true,
+				Tables:      []string{"R"},
+				Restrictions: []query.Restriction{{
+					Attr: rules.Attr("R", "X"), Op: "=", Val: relation.Int(int64(n/2*10 + 5)),
+					HasInterval: true, Interval: rules.Point(relation.Int(int64(n/2*10 + 5))),
+				}},
+			}
+			p := infer.New(d)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Derive(an); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchQuery measures extensional query processing alone.
+func benchQuery(b *testing.B, sql string) {
+	q := query.New(shipdb.Catalog())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := q.Run(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryExample1/2/3 measure the extensional answers of
+// Examples 1–3 (tables of Section 6).
+func BenchmarkQueryExample1(b *testing.B) { benchQuery(b, example1SQL) }
+func BenchmarkQueryExample2(b *testing.B) { benchQuery(b, example2SQL) }
+func BenchmarkQueryExample3(b *testing.B) { benchQuery(b, example3SQL) }
+
+// BenchmarkEndToEnd measures the full pipeline: parse, extensional
+// answer, inference, rendering (Example 3, combined mode).
+func BenchmarkEndToEnd(b *testing.B) {
+	cat := shipdb.Catalog()
+	d, err := shipdb.Dictionary(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := intensional.New(cat, d)
+	if _, err := sys.Induce(intensional.InduceOptions{Nc: 3}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Query(example3SQL, intensional.Combined); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Characteristics measures the per-type range induction
+// behind Table 1 (E5).
+func BenchmarkTable1Characteristics(b *testing.B) {
+	cat := synth.Fleet(synth.FleetConfig{ClassesPerType: 10, ShipsPerClass: 10, Seed: 1})
+	d, err := synth.FleetDictionary(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cls, err := cat.Get(synth.FleetClass)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := induct.New(d, induct.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.InduceCharacteristics(cls, "Type", "Displacement",
+			rules.Attr(synth.FleetClass, "Type"), rules.Attr(synth.FleetClass, "Displacement")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuleRelationRoundtrip measures the Section 5.2.2 encoding
+// and decoding of the ship rule base (E8).
+func BenchmarkRuleRelationRoundtrip(b *testing.B) {
+	d := shipDict(b)
+	set, err := induct.New(d, induct.Options{Nc: 1}).InduceAll()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := rules.Encode(set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rules.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoinStrategy is the join-strategy ablation: hash join versus
+// nested loop on the induction join sizes of study B1.
+func BenchmarkJoinStrategy(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		l := relation.New("L", relation.MustSchema(
+			relation.Column{Name: "K", Type: relation.TInt},
+			relation.Column{Name: "A", Type: relation.TInt},
+		))
+		r := relation.New("R", relation.MustSchema(
+			relation.Column{Name: "K2", Type: relation.TInt},
+			relation.Column{Name: "B", Type: relation.TInt},
+		))
+		for i := 0; i < n; i++ {
+			l.MustInsert(relation.Int(int64(i)), relation.Int(int64(i%7)))
+			r.MustInsert(relation.Int(int64(i)), relation.Int(int64(i%11)))
+		}
+		on := relation.JoinOn{Left: "K", Right: "K2"}
+		b.Run(fmt.Sprintf("hash/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Join(r, on); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if n <= 1000 { // nested loop is quadratic; cap the slow side
+			b.Run(fmt.Sprintf("nestedloop/n=%d", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := l.JoinNestedLoop(r, on); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDecisionTree measures the Quinlan-style tree inducer of
+// ablation A5 on growing employee databases.
+func BenchmarkDecisionTree(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			cat := synth.Employees(n, 1)
+			emp, err := cat.Get(synth.Employee)
+			if err != nil {
+				b.Fatal(err)
+			}
+			attrs := []rules.AttrRef{rules.Attr(synth.Employee, "Age")}
+			y := rules.Attr(synth.Employee, "Position")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := id3.Build(emp, []string{"Age"}, "Position", attrs, y,
+					id3.Options{MinLeaf: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInduceComparisons measures inter-object comparison induction
+// (experiment A4) on growing harbor databases.
+func BenchmarkInduceComparisons(b *testing.B) {
+	for _, visits := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("visits=%d", visits), func(b *testing.B) {
+			cat := synth.Harbor(synth.HarborConfig{Ships: 100, Ports: 20, Visits: visits, Seed: 1})
+			d, err := synth.HarborDictionary(cat)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := induct.New(d, induct.Options{Nc: 2})
+			rel := d.Relationships()[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.InduceComparisons(rel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAggregateQuery measures the summarised-answer path (grouped
+// aggregates over the joined ship data).
+func BenchmarkAggregateQuery(b *testing.B) {
+	q := query.New(shipdb.Catalog())
+	const sql = `SELECT CLASS.Type, COUNT(*), MIN(Displacement), MAX(Displacement)
+		FROM SUBMARINE, CLASS WHERE SUBMARINE.Class = CLASS.Class GROUP BY CLASS.Type`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := q.Run(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexedSelection measures the planner's lazy secondary index
+// against the scan fallback for point queries on a large relation.
+func BenchmarkIndexedSelection(b *testing.B) {
+	const n = 120000
+	cat := storage.NewCatalog()
+	r, err := cat.Create("BIG", relation.MustSchema(
+		relation.Column{Name: "K", Type: relation.TInt},
+	))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		r.MustInsert(relation.Int(int64(i)))
+	}
+	b.Run("indexed", func(b *testing.B) {
+		sess := quel.NewSession(cat)
+		if _, err := sess.Exec("range of r is BIG"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Exec("retrieve (r.K) where r.K = 60000"); err != nil {
+			b.Fatal(err) // warm the index outside the timer
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec("retrieve (r.K) where r.K = 60000"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		pred, err := relation.Cmp(r.Schema(), "K", "=", relation.Int(60000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := r.Select(pred); got.Len() != 1 {
+				b.Fatal("scan mismatch")
+			}
+		}
+	})
+}
+
+// BenchmarkSaveOpen measures relocation of database + knowledge (the
+// Section 5.2.2 scenario).
+func BenchmarkSaveOpen(b *testing.B) {
+	cat := shipdb.Catalog()
+	d, err := shipdb.Dictionary(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := intensional.New(cat, d)
+	if _, err := sys.Induce(intensional.InduceOptions{Nc: 3}); err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Save(dir); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := intensional.Open(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

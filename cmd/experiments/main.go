@@ -1,0 +1,53 @@
+// Command experiments regenerates the paper's tables, figures, and
+// examples (E1–E8) and the ablation studies (A1–A3). See DESIGN.md for
+// the per-experiment index.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -e E1      # run one experiment
+//	experiments -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"intensional/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("e", "", "experiment ID to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	outFile := flag.String("o", "", "write the report to this file instead of stdout")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.All() {
+			fmt.Printf("%-4s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	out := io.Writer(os.Stdout)
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	var err error
+	if *exp == "" {
+		err = experiments.RunAll(out)
+	} else {
+		err = experiments.Run(*exp, out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Command induce runs the Inductive Learning Subsystem in batch: it
+// loads a database, induces the rule base, prints it, and optionally
+// saves the database back with its rule relations.
+//
+// Usage:
+//
+//	induce                    # ship test bed, Nc=2
+//	induce -nc 3              # pruning threshold
+//	induce -fraction 0.1      # threshold as a fraction of relation size
+//	induce -db DIR -save DIR  # open / save a database directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"intensional/internal/core"
+	"intensional/internal/induct"
+	"intensional/internal/shipdb"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "open a saved database directory (default: ship test bed)")
+	nc := flag.Int("nc", 2, "absolute pruning threshold Nc")
+	fraction := flag.Float64("fraction", 0, "pruning threshold as a fraction of relation size")
+	save := flag.String("save", "", "save the database with its rule relations to this directory")
+	flag.Parse()
+
+	var sys *core.System
+	var err error
+	if *dbDir != "" {
+		sys, err = core.Open(*dbDir)
+	} else {
+		cat := shipdb.Catalog()
+		if d, derr := shipdb.Dictionary(cat); derr != nil {
+			err = derr
+		} else {
+			sys = core.New(cat, d)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "induce:", err)
+		os.Exit(1)
+	}
+
+	set, err := sys.Induce(induct.Options{Nc: *nc, NcFraction: *fraction})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "induce:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("induced %d rules (Nc=%d, fraction=%g):\n\n", set.Len(), *nc, *fraction)
+	for _, r := range set.Rules() {
+		fmt.Printf("R%-3d %-70s (support %d)\n", r.ID, r.String(), r.Support)
+	}
+	if *save != "" {
+		if err := sys.Save(*save); err != nil {
+			fmt.Fprintln(os.Stderr, "induce: save:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nsaved database, dictionary, and rule relations to %s\n", *save)
+	}
+}

@@ -1,0 +1,67 @@
+// Command iqp is the interactive intensional query processor: load a
+// database, induce rules, and run SQL queries that return both the
+// extensional and the intensional answer.
+//
+// Usage:
+//
+//	iqp             # start with the paper's ship test bed
+//	iqp -db DIR     # open a saved database directory
+//	iqp -fleet      # start with a synthetic Table 1 fleet
+//
+// Type .help inside the shell for the command list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"intensional/internal/core"
+	"intensional/internal/ker"
+	"intensional/internal/shell"
+	"intensional/internal/shipdb"
+	"intensional/internal/synth"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "open a saved database directory")
+	fleet := flag.Bool("fleet", false, "start with a synthetic Table 1 fleet")
+	flag.Parse()
+
+	sys, model, err := openSystem(*dbDir, *fleet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iqp:", err)
+		os.Exit(1)
+	}
+	fmt.Println("intensional query processor — type .help for commands")
+	if err := shell.New(sys, model, os.Stdout).Run(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "iqp:", err)
+		os.Exit(1)
+	}
+}
+
+func openSystem(dbDir string, fleet bool) (*core.System, *ker.Model, error) {
+	switch {
+	case dbDir != "":
+		sys, err := core.Open(dbDir)
+		return sys, nil, err
+	case fleet:
+		cat := synth.Fleet(synth.FleetConfig{ClassesPerType: 4, ShipsPerClass: 3, Seed: 1})
+		d, err := synth.FleetDictionary(cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.New(cat, d), nil, nil
+	default:
+		cat := shipdb.Catalog()
+		d, err := shipdb.Dictionary(cat)
+		if err != nil {
+			return nil, nil, err
+		}
+		model, err := ker.Parse(shipdb.KERSchema)
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.New(cat, d), model, nil
+	}
+}

@@ -1,0 +1,81 @@
+// Command kerc parses and validates a KER schema definition (the
+// Appendix A grammar) and renders it as the textual KER diagrams of
+// Figures 1–5.
+//
+// Usage:
+//
+//	kerc FILE            # parse and render a schema file
+//	kerc -ship           # render the built-in Appendix B ship schema
+//	kerc -hier T FILE    # render only the hierarchy rooted at type T
+//	kerc -check DIR FILE # validate a saved database against the schema
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"intensional/internal/integrity"
+	"intensional/internal/ker"
+	"intensional/internal/shipdb"
+	"intensional/internal/storage"
+)
+
+func main() {
+	ship := flag.Bool("ship", false, "use the built-in Appendix B ship schema")
+	hier := flag.String("hier", "", "render only the hierarchy rooted at this type")
+	check := flag.String("check", "", "validate the saved database in this directory against the schema")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *ship:
+		src = shipdb.KERSchema
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kerc:", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: kerc [-ship] [-hier TYPE] [FILE]")
+		os.Exit(2)
+	}
+
+	m, err := ker.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kerc:", err)
+		os.Exit(1)
+	}
+	if *check != "" {
+		cat, err := storage.Load(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kerc:", err)
+			os.Exit(1)
+		}
+		vs, err := integrity.Check(m, cat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kerc:", err)
+			os.Exit(1)
+		}
+		if len(vs) == 0 {
+			fmt.Println("database satisfies every declared constraint")
+			return
+		}
+		for _, v := range vs {
+			fmt.Println(v)
+		}
+		os.Exit(1)
+	}
+	if *hier != "" {
+		out := m.RenderHierarchy(*hier)
+		if out == "" {
+			fmt.Fprintf(os.Stderr, "kerc: no object type %q\n", *hier)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+	fmt.Print(m.RenderModel())
+}

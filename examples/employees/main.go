@@ -1,0 +1,75 @@
+// The Section 5.2.2 scenario: induce Age → Position rules from an
+// Employee database, store them as relocatable rule relations, save the
+// database to disk, reopen it elsewhere, and answer intensionally from
+// the recovered knowledge — no re-induction needed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"intensional"
+	"intensional/internal/core"
+	"intensional/internal/rules"
+	"intensional/internal/synth"
+)
+
+func main() {
+	// 1. Generate the Employee database (200 employees, deterministic).
+	cat := synth.Employees(200, 1990)
+	d, err := synth.EmployeeDictionary(cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := intensional.New(cat, d)
+
+	// 2. Induce. Positions are assigned by age band, so the ILS finds
+	// clean Age → Position range rules like the paper's
+	// "(18, Employee.Age, 65)" clauses.
+	set, err := sys.Induce(intensional.InduceOptions{Nc: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("induced rules:")
+	for _, r := range set.Rules() {
+		if r.LHS[0].Attr.Attribute == "Age" {
+			fmt.Printf("  R%-3d %s (support %d)\n", r.ID, r, r.Support)
+		}
+	}
+
+	// 3. Show the rule-relation encoding (Section 5.2.2's tables).
+	enc, err := rules.Encode(set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrule relation R' holds %d clause rows; attribute value mapping holds %d rows\n",
+		enc.Rules.Len(), enc.Map.Len())
+
+	// 4. Save and relocate: database, dictionary declarations, and rule
+	// relations travel as one directory.
+	dir, err := os.MkdirTemp("", "employees-db-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := sys.Save(dir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsaved database + knowledge to %s\n", dir)
+
+	reopened, err := core.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reopened: %d rules recovered without re-induction\n\n", reopened.Rules().Len())
+
+	// 5. Intensional answering at the new location.
+	resp, err := reopened.Query(
+		`SELECT Name FROM EMPLOYEE WHERE Age < 24`, intensional.Combined)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: employees younger than 24 (%d tuples)\n", resp.Extensional.Len())
+	fmt.Printf("intensional answer:\n  %s\n", resp.Intensional.Text())
+}

@@ -1,0 +1,86 @@
+// Inter-object knowledge (Section 3.1): ships VISIT ports, and every
+// stored visit satisfies "the draft of the ship is less than the depth
+// of the port". This example induces that constraint from the instances,
+// shows it being withdrawn when dirty data appears, and uses it to vet a
+// proposed visit before it is stored.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"intensional/internal/induct"
+	"intensional/internal/synth"
+)
+
+func main() {
+	cat := synth.Harbor(synth.HarborConfig{Ships: 25, Ports: 8, Visits: 80, Seed: 7})
+	d, err := synth.HarborDictionary(cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := induct.New(d, induct.Options{Nc: 2})
+	visit := d.Relationships()[0]
+	comparisons, err := in.InduceComparisons(visit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("induced inter-object knowledge:")
+	for _, c := range comparisons {
+		fmt.Println(" ", c)
+	}
+
+	// Use the induced constraint to vet a proposed visit: the ship with
+	// the deepest draft into the shallowest port.
+	ships, err := cat.Get(synth.HarborShip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ports, err := cat.Get(synth.HarborPort)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deepDraft, _, err := ships.Max("Draft")
+	if err != nil {
+		log.Fatal(err)
+	}
+	shallow, _, err := ports.Min("Depth")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nproposed visit: ship with draft %s into port with depth %s\n", deepDraft, shallow)
+	for _, c := range comparisons {
+		if c.L.Attribute != "Draft" || c.R.Attribute != "Depth" {
+			continue
+		}
+		cmp, err := deepDraft.Compare(shallow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := (c.Op == "<" && cmp < 0) || (c.Op == "<=" && cmp <= 0)
+		if ok {
+			fmt.Println("the proposed visit is consistent with the induced knowledge")
+		} else {
+			fmt.Printf("REJECTED: violates induced constraint %s\n", c)
+		}
+	}
+
+	// Dirty data withdraws the constraint.
+	dirty := synth.Harbor(synth.HarborConfig{Ships: 25, Ports: 8, Visits: 80, Seed: 7, Violations: 1})
+	dd, err := synth.HarborDictionary(dirty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs2, err := induct.New(dd, induct.Options{Nc: 2}).InduceComparisons(dd.Relationships()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	still := false
+	for _, c := range cs2 {
+		if c.L.Attribute == "Draft" && c.R.Attribute == "Depth" {
+			still = true
+		}
+	}
+	fmt.Printf("\nafter injecting one violating visit, Draft/Depth constraint induced: %v\n", still)
+}

@@ -1,0 +1,69 @@
+// Quickstart: build a tiny database from scratch, declare its type
+// hierarchy, induce rules, and ask a query that gets both an extensional
+// and an intensional answer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"intensional"
+	"intensional/internal/dict"
+	"intensional/internal/relation"
+)
+
+func main() {
+	// 1. A catalog with one relation: products classified into tiers by
+	// price.
+	cat := intensional.NewCatalog()
+	products := relation.New("PRODUCT", relation.MustSchema(
+		relation.Column{Name: "Sku", Type: relation.TString},
+		relation.Column{Name: "Price", Type: relation.TInt},
+		relation.Column{Name: "Tier", Type: relation.TString},
+	))
+	for _, p := range []struct {
+		sku   string
+		price int64
+		tier  string
+	}{
+		{"P01", 5, "BUDGET"}, {"P02", 9, "BUDGET"}, {"P03", 12, "BUDGET"},
+		{"P04", 25, "STANDARD"}, {"P05", 30, "STANDARD"}, {"P06", 42, "STANDARD"},
+		{"P07", 90, "PREMIUM"}, {"P08", 120, "PREMIUM"}, {"P09", 200, "PREMIUM"},
+	} {
+		products.MustInsert(relation.String(p.sku), relation.Int(p.price), relation.String(p.tier))
+	}
+	cat.Put(products)
+
+	// 2. Declare the type hierarchy: PRODUCT contains BUDGET, STANDARD,
+	// PREMIUM, classified by the Tier attribute.
+	d := intensional.NewDictionary(cat)
+	err := d.AddHierarchy(&dict.Hierarchy{
+		Object:          "PRODUCT",
+		ClassifyingAttr: "Tier",
+		Subtypes: []dict.Subtype{
+			{Name: "BUDGET", Value: relation.String("BUDGET")},
+			{Name: "STANDARD", Value: relation.String("STANDARD")},
+			{Name: "PREMIUM", Value: relation.String("PREMIUM")},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Assemble the system and induce rules from the data.
+	sys := intensional.New(cat, d)
+	set, err := sys.Induce(intensional.InduceOptions{Nc: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("induced %d rules:\n%s\n", set.Len(), set)
+
+	// 4. Ask a query. The extensional answer lists products; the
+	// intensional answer characterises them ("they are all PREMIUM").
+	resp, err := sys.Query(`SELECT Sku FROM PRODUCT WHERE Price > 100`, intensional.Combined)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("extensional answer:\n%s\n", resp.Extensional)
+	fmt.Printf("intensional answer:\n%s\n", resp.Intensional.Text())
+}

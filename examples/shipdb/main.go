@@ -1,0 +1,72 @@
+// The paper's Section 6 walk-through: load the naval ship test bed,
+// induce the knowledge base, and run Examples 1–3 — each returning the
+// extensional answer the paper prints plus the derived intensional
+// answer (A_I).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"intensional"
+)
+
+func main() {
+	cat := intensional.ShipCatalog()
+	d, err := intensional.ShipDictionary(cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := intensional.New(cat, d)
+	set, err := sys.Induce(intensional.InduceOptions{Nc: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Inductive Learning Subsystem produced %d rules from the Appendix C instance.\n\n", set.Len())
+
+	examples := []struct {
+		title string
+		sql   string
+		mode  intensional.AnswerMode
+		paper string
+	}{
+		{
+			"Example 1 — submarines with displacement greater than 8000 (forward inference)",
+			`SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE
+			 FROM SUBMARINE, CLASS
+			 WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000`,
+			intensional.ForwardOnly,
+			`"Ship type SSBN has displacement greater than 8000"`,
+		},
+		{
+			"Example 2 — names and classes of the SSBN ships (backward inference)",
+			`SELECT SUBMARINE.NAME, SUBMARINE.CLASS
+			 FROM SUBMARINE, CLASS
+			 WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = "SSBN"`,
+			intensional.BackwardOnly,
+			`"Ship Classes in the range of 0101 to 0103 are SSBN."`,
+		},
+		{
+			"Example 3 — submarines equipped with sonar BQS-04 (combined inference)",
+			`SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE
+			 FROM SUBMARINE, CLASS, INSTALL
+			 WHERE SUBMARINE.CLASS = CLASS.CLASS AND SUBMARINE.ID = INSTALL.SHIP
+			 AND INSTALL.SONAR = "BQS-04"`,
+			intensional.Combined,
+			`"Ship type SSN with class 0208 to 0215 is equipped with sonar BQS-04."`,
+		},
+	}
+
+	for _, ex := range examples {
+		fmt.Println(ex.title)
+		resp, err := sys.Query(ex.sql, ex.mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nextensional answer (%d tuples):\n%s", resp.Extensional.Len(), resp.Extensional)
+		fmt.Printf("\nintensional answer:\n  %s\n", resp.Intensional.Text())
+		fmt.Printf("\npaper's A_I: %s\n\n%s\n\n", ex.paper, divider)
+	}
+}
+
+const divider = "----------------------------------------------------------------------"

@@ -1,0 +1,3 @@
+module intensional
+
+go 1.22

@@ -1,0 +1,93 @@
+// Package intensional is a Go implementation of the intensional query
+// processing system of Chu & Lee, "Using Type Inference and Induced Rules
+// to Provide Intensional Answers" (UCLA CSD-900006 / ICDE 1991).
+//
+// An intensional answer characterises the set of tuples that satisfy a
+// query instead of enumerating them. The system induces If-then rules
+// from the database contents (the Inductive Learning Subsystem), stores
+// them in an intelligent data dictionary bound to the data, and derives
+// intensional answers by forward and backward type inference over the
+// database's type hierarchies.
+//
+// The usual flow:
+//
+//	cat := intensional.ShipCatalog()          // or your own catalog
+//	d, _ := intensional.ShipDictionary(cat)   // hierarchies + relationships
+//	sys := intensional.New(cat, d)
+//	sys.Induce(intensional.InduceOptions{Nc: 3})
+//	resp, _ := sys.Query(`SELECT ... WHERE ...`, intensional.Combined)
+//	fmt.Println(resp.Extensional)             // conventional answer
+//	fmt.Println(resp.Intensional.Text())      // intensional answer
+package intensional
+
+import (
+	"intensional/internal/answer"
+	"intensional/internal/core"
+	"intensional/internal/dict"
+	"intensional/internal/induct"
+	"intensional/internal/shipdb"
+	"intensional/internal/storage"
+	"intensional/internal/synth"
+)
+
+// System is the assembled intensional query processing system.
+type System = core.System
+
+// Response pairs the extensional answer with the derived intensional one.
+type Response = core.Response
+
+// InduceOptions configure the Inductive Learning Subsystem (the pruning
+// threshold Nc, absolute or as a fraction of the relation size).
+type InduceOptions = induct.Options
+
+// AnswerMode selects which inference direction the rendered intensional
+// answer reports.
+type AnswerMode = answer.Mode
+
+// Answer rendering modes.
+const (
+	Combined     = answer.Combined
+	ForwardOnly  = answer.ForwardOnly
+	BackwardOnly = answer.BackwardOnly
+)
+
+// Catalog is the named-relation store a System runs over.
+type Catalog = storage.Catalog
+
+// Dictionary is the intelligent data dictionary: hierarchies,
+// relationships, level links, and the induced rule base.
+type Dictionary = dict.Dictionary
+
+// New assembles a system over a catalog and its dictionary.
+func New(cat *Catalog, d *Dictionary) *System { return core.New(cat, d) }
+
+// Open loads a database directory previously written by System.Save —
+// data, dictionary declarations, and induced rules relocate together.
+func Open(dir string) (*System, error) { return core.Open(dir) }
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return storage.NewCatalog() }
+
+// NewDictionary returns an empty dictionary over the catalog.
+func NewDictionary(cat *Catalog) *Dictionary { return dict.New(cat) }
+
+// ShipCatalog returns the paper's complete naval ship test bed
+// (Appendix C).
+func ShipCatalog() *Catalog { return shipdb.Catalog() }
+
+// ShipDictionary builds the ship test bed's dictionary (Figure 4's
+// hierarchies and the INSTALL relationship).
+func ShipDictionary(cat *Catalog) (*Dictionary, error) { return shipdb.Dictionary(cat) }
+
+// FleetCatalog generates a synthetic navy fleet drawn from the paper's
+// Table 1 classification characteristics.
+func FleetCatalog(classesPerType, shipsPerClass int, seed int64) *Catalog {
+	return synth.Fleet(synth.FleetConfig{
+		ClassesPerType: classesPerType,
+		ShipsPerClass:  shipsPerClass,
+		Seed:           seed,
+	})
+}
+
+// FleetDictionary builds the dictionary for a generated fleet.
+func FleetDictionary(cat *Catalog) (*Dictionary, error) { return synth.FleetDictionary(cat) }

@@ -1,0 +1,112 @@
+package intensional_test
+
+import (
+	"strings"
+	"testing"
+
+	"intensional"
+	"intensional/internal/dict"
+	"intensional/internal/relation"
+)
+
+// TestPublicAPIShipFlow exercises the re-exported surface end to end the
+// way the README's quickstart does.
+func TestPublicAPIShipFlow(t *testing.T) {
+	cat := intensional.ShipCatalog()
+	d, err := intensional.ShipDictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := intensional.New(cat, d)
+	set, err := sys.Induce(intensional.InduceOptions{Nc: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 18 {
+		t.Fatalf("rules = %d", set.Len())
+	}
+	resp, err := sys.Query(`
+		SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE
+		FROM SUBMARINE, CLASS
+		WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000`,
+		intensional.ForwardOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Extensional.Len() != 2 {
+		t.Errorf("extensional = %d", resp.Extensional.Len())
+	}
+	if !strings.Contains(resp.Intensional.Text(), "SSBN") {
+		t.Errorf("intensional = %q", resp.Intensional.Text())
+	}
+
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := intensional.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.Rules().Len() != 18 {
+		t.Errorf("reloaded rules = %d", sys2.Rules().Len())
+	}
+}
+
+func TestPublicAPIFleet(t *testing.T) {
+	cat := intensional.FleetCatalog(3, 2, 42)
+	d, err := intensional.FleetDictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := intensional.New(cat, d)
+	if _, err := sys.Induce(intensional.InduceOptions{Nc: 2}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sys.Query(`SELECT Class FROM CLASS WHERE Displacement > 70000`, intensional.Combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Intensional.Text(), "CVN") {
+		t.Errorf("intensional = %q", resp.Intensional.Text())
+	}
+}
+
+func TestPublicAPICustomDatabase(t *testing.T) {
+	cat := intensional.NewCatalog()
+	r := relation.New("ITEM", relation.MustSchema(
+		relation.Column{Name: "Id", Type: relation.TInt},
+		relation.Column{Name: "Weight", Type: relation.TInt},
+		relation.Column{Name: "Size", Type: relation.TString},
+	))
+	for i, w := range []int64{1, 2, 3, 50, 60, 70} {
+		size := "SMALL"
+		if w > 10 {
+			size = "LARGE"
+		}
+		r.MustInsert(relation.Int(int64(i)), relation.Int(w), relation.String(size))
+	}
+	cat.Put(r)
+	d := intensional.NewDictionary(cat)
+	if err := d.AddHierarchy(&dict.Hierarchy{
+		Object:          "ITEM",
+		ClassifyingAttr: "Size",
+		Subtypes: []dict.Subtype{
+			{Name: "SMALL", Value: relation.String("SMALL")},
+			{Name: "LARGE", Value: relation.String("LARGE")},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys := intensional.New(cat, d)
+	if _, err := sys.Induce(intensional.InduceOptions{Nc: 2}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sys.Query(`SELECT Id FROM ITEM WHERE Weight > 40`, intensional.ForwardOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Intensional.Text(), "LARGE") {
+		t.Errorf("intensional = %q", resp.Intensional.Text())
+	}
+}

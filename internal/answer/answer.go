@@ -1,0 +1,166 @@
+// Package answer renders the inference processor's structured results as
+// the English intensional answers the paper prints (the A_I strings of
+// Section 6), ranked by the query's projection so the description the
+// user asked about comes first.
+package answer
+
+import (
+	"fmt"
+	"strings"
+
+	"intensional/internal/infer"
+	"intensional/internal/query"
+	"intensional/internal/rules"
+)
+
+// Mode selects which inference direction the rendered answer reports.
+type Mode int
+
+const (
+	// Combined reports forward conclusions and backward descriptions
+	// together (Example 3).
+	Combined Mode = iota
+	// ForwardOnly reports only the forward characterisation (Example 1).
+	ForwardOnly
+	// BackwardOnly reports only the backward partial descriptions
+	// (Example 2).
+	BackwardOnly
+)
+
+// Answer is a rendered intensional answer.
+type Answer struct {
+	Mode   Mode
+	Result *infer.Result
+	// Lines are the rendered sentences, most relevant first.
+	Lines []string
+}
+
+// Text joins the rendered lines.
+func (a *Answer) Text() string { return strings.Join(a.Lines, "\n") }
+
+// Render builds the English answer for a query analysis and its inference
+// result. The projection ranks backward descriptions: clauses on selected
+// attributes come first.
+func Render(an *query.Analysis, res *infer.Result, mode Mode) *Answer {
+	a := &Answer{Mode: mode, Result: res}
+	if !res.Conjunctive {
+		a.Lines = append(a.Lines, "No intensional answer: the query condition is not a pure conjunction.")
+		return a
+	}
+	if res.Empty {
+		for _, r := range res.EmptyBecause {
+			a.Lines = append(a.Lines,
+				fmt.Sprintf("The answer is empty: no stored instance satisfies %s.", r))
+		}
+		return a
+	}
+
+	condText := conditionText(an)
+
+	if mode == ForwardOnly || mode == Combined {
+		for _, f := range res.Forward() {
+			a.Lines = append(a.Lines, forwardLine(f, condText))
+		}
+	}
+	if mode == BackwardOnly || mode == Combined {
+		ranked := rankDescriptions(an, res.Descriptions)
+		for _, d := range ranked {
+			a.Lines = append(a.Lines, backwardLine(d))
+		}
+	}
+	if len(a.Lines) == 0 {
+		a.Lines = append(a.Lines, "No intensional answer could be derived for this query.")
+	}
+	return a
+}
+
+// conditionText restates the query restrictions.
+func conditionText(an *query.Analysis) string {
+	var parts []string
+	for _, r := range an.Restrictions {
+		parts = append(parts, fmt.Sprintf("%s %s %s", r.Attr.Attribute, r.Op, r.Val))
+	}
+	return strings.Join(parts, " and ")
+}
+
+// forwardLine renders one derived fact, e.g. the paper's
+// "Ship type SSBN has displacement greater than 8000" becomes
+// "All answers are of type SSBN (CLASS.Type = SSBN): type SSBN has
+// Displacement > 8000."
+func forwardLine(f infer.Fact, cond string) string {
+	subject := fmt.Sprintf("%s in %s", f.Attr, f.Interval)
+	if f.Interval.IsPoint() {
+		subject = fmt.Sprintf("%s = %s", f.Attr, f.Interval.Lo.Value)
+	}
+	if f.Subtype != "" {
+		if cond != "" {
+			return fmt.Sprintf("All answers are of type %s: type %s has %s.", f.Subtype, f.Subtype, cond)
+		}
+		return fmt.Sprintf("All answers are of type %s (%s).", f.Subtype, subject)
+	}
+	if cond != "" {
+		return fmt.Sprintf("All answers satisfy %s (given %s).", subject, cond)
+	}
+	return fmt.Sprintf("All answers satisfy %s.", subject)
+}
+
+// backwardLine renders one partial description, e.g. the paper's
+// "Ship Classes in the range of 0101 to 0103 are SSBN."
+func backwardLine(d infer.Description) string {
+	what := d.Consequence.String()
+	if d.Subtype != "" {
+		what = d.Subtype
+	}
+	c := d.Clause
+	if c.IsPoint() {
+		return fmt.Sprintf("Instances with %s = %s are %s (partial answer, via R%d).",
+			c.Attr.Attribute, c.Lo, what, d.Via)
+	}
+	return fmt.Sprintf("%s in the range of %s to %s are %s (partial answer, via R%d).",
+		pluralize(c.Attr.Attribute), c.Lo, c.Hi, what, d.Via)
+}
+
+// pluralize forms a simple English plural for an attribute name.
+func pluralize(s string) string {
+	switch {
+	case strings.HasSuffix(s, "s"), strings.HasSuffix(s, "x"), strings.HasSuffix(s, "ch"):
+		return s + "es"
+	case strings.HasSuffix(s, "y"):
+		return s[:len(s)-1] + "ies"
+	default:
+		return s + "s"
+	}
+}
+
+// rankDescriptions orders backward descriptions so that clauses over
+// projected attributes come first, preserving rule order within ranks.
+func rankDescriptions(an *query.Analysis, ds []infer.Description) []infer.Description {
+	projected := func(a rules.AttrRef) bool {
+		for _, p := range an.Projection {
+			if p.EqualFold(a) {
+				return true
+			}
+		}
+		return false
+	}
+	descProjected := func(d infer.Description) bool {
+		if projected(d.Clause.Attr) {
+			return true
+		}
+		for _, a := range d.Aliases {
+			if projected(a) {
+				return true
+			}
+		}
+		return false
+	}
+	var first, rest []infer.Description
+	for _, d := range ds {
+		if descProjected(d) {
+			first = append(first, d)
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	return append(first, rest...)
+}

@@ -1,0 +1,188 @@
+package answer
+
+import (
+	"strings"
+	"testing"
+
+	"intensional/internal/infer"
+	"intensional/internal/query"
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+)
+
+func sampleResult() *infer.Result {
+	return &infer.Result{
+		Conjunctive: true,
+		Facts: []infer.Fact{
+			{
+				Attr:     rules.Attr("CLASS", "Displacement"),
+				Interval: rules.Interval{Lo: rules.Opened(relation.Int(8000)), Hi: rules.Closed(relation.Int(30000))},
+			},
+			{
+				Attr:     rules.Attr("CLASS", "Type"),
+				Interval: rules.Point(relation.String("SSBN")),
+				Derived:  true,
+				Via:      []int{9},
+				Subtype:  "SSBN",
+			},
+		},
+		Descriptions: []infer.Description{
+			{
+				Clause:      rules.RangeClause(rules.Attr("CLASS", "Class"), relation.String("0101"), relation.String("0103")),
+				Consequence: rules.PointClause(rules.Attr("CLASS", "Type"), relation.String("SSBN")),
+				Via:         5,
+				Subtype:     "SSBN",
+			},
+			{
+				Clause:      rules.RangeClause(rules.Attr("CLASS", "Displacement"), relation.Int(7250), relation.Int(30000)),
+				Consequence: rules.PointClause(rules.Attr("CLASS", "Type"), relation.String("SSBN")),
+				Via:         9,
+				Subtype:     "SSBN",
+			},
+		},
+	}
+}
+
+func sampleAnalysis() *query.Analysis {
+	return &query.Analysis{
+		Conjunctive: true,
+		Tables:      []string{"CLASS"},
+		Restrictions: []query.Restriction{{
+			Attr: rules.Attr("CLASS", "Displacement"), Op: ">", Val: relation.Int(8000),
+		}},
+		Projection: []rules.AttrRef{rules.Attr("CLASS", "Class")},
+	}
+}
+
+func TestForwardOnly(t *testing.T) {
+	a := Render(sampleAnalysis(), sampleResult(), ForwardOnly)
+	if len(a.Lines) != 1 {
+		t.Fatalf("lines = %v", a.Lines)
+	}
+	if !strings.Contains(a.Lines[0], "type SSBN has Displacement > 8000") {
+		t.Errorf("forward line = %q", a.Lines[0])
+	}
+}
+
+func TestBackwardOnlyRanking(t *testing.T) {
+	a := Render(sampleAnalysis(), sampleResult(), BackwardOnly)
+	if len(a.Lines) != 2 {
+		t.Fatalf("lines = %v", a.Lines)
+	}
+	// Class is projected, so its description must come first.
+	if !strings.Contains(a.Lines[0], "Classes in the range of 0101 to 0103 are SSBN") {
+		t.Errorf("line 0 = %q", a.Lines[0])
+	}
+	if !strings.Contains(a.Lines[1], "Displacements in the range of 7250 to 30000") {
+		t.Errorf("line 1 = %q", a.Lines[1])
+	}
+}
+
+func TestCombinedHasBoth(t *testing.T) {
+	a := Render(sampleAnalysis(), sampleResult(), Combined)
+	if len(a.Lines) != 3 {
+		t.Fatalf("lines = %v", a.Lines)
+	}
+	if a.Text() != strings.Join(a.Lines, "\n") {
+		t.Error("Text should join lines")
+	}
+}
+
+func TestAliasRanking(t *testing.T) {
+	res := sampleResult()
+	// The Class description now references SUBMARINE.Class via an alias;
+	// projection selects SUBMARINE.Class.
+	res.Descriptions[0].Clause = rules.RangeClause(rules.Attr("CLASS", "Class"),
+		relation.String("0101"), relation.String("0103"))
+	res.Descriptions[0].Aliases = []rules.AttrRef{rules.Attr("SUBMARINE", "Class")}
+	an := sampleAnalysis()
+	an.Projection = []rules.AttrRef{rules.Attr("SUBMARINE", "Class")}
+	a := Render(an, res, BackwardOnly)
+	if !strings.Contains(a.Lines[0], "0101") {
+		t.Errorf("alias-ranked line 0 = %q", a.Lines[0])
+	}
+}
+
+func TestNonConjunctive(t *testing.T) {
+	res := &infer.Result{Conjunctive: false}
+	a := Render(&query.Analysis{}, res, Combined)
+	if !strings.Contains(a.Text(), "not a pure conjunction") {
+		t.Errorf("text = %q", a.Text())
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	res := &infer.Result{
+		Conjunctive: true,
+		Empty:       true,
+		EmptyBecause: []query.Restriction{{
+			Attr: rules.Attr("CLASS", "Displacement"), Op: "<", Val: relation.Int(2000),
+		}},
+	}
+	a := Render(sampleAnalysis(), res, Combined)
+	if !strings.Contains(a.Text(), "The answer is empty") ||
+		!strings.Contains(a.Text(), "CLASS.Displacement < 2000") {
+		t.Errorf("text = %q", a.Text())
+	}
+}
+
+func TestNothingDerived(t *testing.T) {
+	res := &infer.Result{Conjunctive: true}
+	a := Render(sampleAnalysis(), res, Combined)
+	if !strings.Contains(a.Text(), "No intensional answer could be derived") {
+		t.Errorf("text = %q", a.Text())
+	}
+}
+
+func TestPointDescriptionLine(t *testing.T) {
+	res := &infer.Result{
+		Conjunctive: true,
+		Descriptions: []infer.Description{{
+			Clause:      rules.PointClause(rules.Attr("CLASS", "Class"), relation.String("1301")),
+			Consequence: rules.PointClause(rules.Attr("CLASS", "Type"), relation.String("SSBN")),
+			Via:         18,
+			Subtype:     "SSBN",
+		}},
+	}
+	a := Render(sampleAnalysis(), res, BackwardOnly)
+	if !strings.Contains(a.Lines[0], "Instances with Class = 1301 are SSBN") {
+		t.Errorf("point line = %q", a.Lines[0])
+	}
+}
+
+func TestForwardNonSubtypeFact(t *testing.T) {
+	res := &infer.Result{
+		Conjunctive: true,
+		Facts: []infer.Fact{{
+			Attr:     rules.Attr("CLASS", "Displacement"),
+			Interval: rules.Range(relation.Int(7250), relation.Int(30000)),
+			Derived:  true,
+		}},
+	}
+	an := sampleAnalysis()
+	a := Render(an, res, ForwardOnly)
+	if !strings.Contains(a.Lines[0], "All answers satisfy") {
+		t.Errorf("line = %q", a.Lines[0])
+	}
+	// Without restrictions the condition clause is omitted.
+	an2 := &query.Analysis{Conjunctive: true}
+	a2 := Render(an2, res, ForwardOnly)
+	if strings.Contains(a2.Lines[0], "given") {
+		t.Errorf("line = %q", a2.Lines[0])
+	}
+}
+
+func TestPluralize(t *testing.T) {
+	cases := map[string]string{
+		"Class":    "Classes",
+		"Box":      "Boxes",
+		"Branch":   "Branches",
+		"Category": "Categories",
+		"Sonar":    "Sonars",
+	}
+	for in, want := range cases {
+		if got := pluralize(in); got != want {
+			t.Errorf("pluralize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package baseline implements the comparator the paper's conclusion
+// references: intensional answering from schema integrity constraints
+// alone (in the style of Motro's VLDB'89 system), with no induced
+// knowledge. The KER schema's declared constraint rules and structure
+// rules are converted into the same rule representation the inference
+// processor consumes, so the two knowledge sources can be compared on
+// identical queries (experiment A3).
+package baseline
+
+import (
+	"fmt"
+	"strings"
+
+	"intensional/internal/dict"
+	"intensional/internal/ker"
+	"intensional/internal/rules"
+)
+
+// Options select which declared knowledge enters the baseline rule set.
+type Options struct {
+	// IncludeStructureRules also converts "if x isa T and ... then y isa
+	// S" structure rules. These often restate what induction would find
+	// (Appendix B embeds the displacement ranges as structure rules), so
+	// the strict integrity-constraint baseline excludes them.
+	IncludeStructureRules bool
+}
+
+// FromModel converts the declared with-constraints of a KER model into a
+// rule set. The dictionary resolves "isa SUBTYPE" conclusions to
+// classifying-attribute clauses; object types are matched to relations by
+// name.
+func FromModel(m *ker.Model, d *dict.Dictionary, opts Options) (*rules.Set, error) {
+	set := rules.NewSet()
+	for _, o := range m.Types() {
+		for _, c := range o.Constraints {
+			switch c := c.(type) {
+			case ker.ConstraintRule:
+				r, err := convertConstraintRule(o, c)
+				if err != nil {
+					return nil, err
+				}
+				set.Add(r)
+			case ker.StructureRule:
+				if !opts.IncludeStructureRules {
+					continue
+				}
+				r, err := convertStructureRule(o, d, c)
+				if err != nil {
+					return nil, err
+				}
+				set.Add(r)
+			case ker.DomainRangeConstraint:
+				// Domain ranges restrict storable values; they carry no
+				// implication between attributes, so no rule results.
+			}
+		}
+	}
+	return set, nil
+}
+
+// convertConstraintRule grounds a constraint rule's conditions on the
+// owning object type's relation.
+func convertConstraintRule(o *ker.ObjectType, c ker.ConstraintRule) (*rules.Rule, error) {
+	lhs := make([]rules.Clause, len(c.LHS))
+	for i, cond := range c.LHS {
+		cl, err := groundCond(o.Name, nil, cond)
+		if err != nil {
+			return nil, err
+		}
+		lhs[i] = cl
+	}
+	rhs, err := groundCond(o.Name, nil, c.RHS)
+	if err != nil {
+		return nil, err
+	}
+	return &rules.Rule{LHS: lhs, RHS: rhs}, nil
+}
+
+// convertStructureRule grounds a structure rule: role variables map to
+// their declared object types, and the "isa SUBTYPE" conclusion becomes a
+// point clause on the subtype's classifying attribute.
+func convertStructureRule(o *ker.ObjectType, d *dict.Dictionary, c ker.StructureRule) (*rules.Rule, error) {
+	roleType := map[string]string{}
+	for _, role := range c.Roles {
+		roleType[strings.ToLower(role.Var)] = role.Type
+	}
+	lhs := make([]rules.Clause, len(c.LHS))
+	for i, cond := range c.LHS {
+		cl, err := groundCond(o.Name, roleType, cond)
+		if err != nil {
+			return nil, err
+		}
+		lhs[i] = cl
+	}
+	h, sub, ok := d.HierarchyOfSubtype(c.ConclIsa)
+	if !ok {
+		return nil, fmt.Errorf("baseline: structure rule of %s concludes unknown subtype %q",
+			o.Name, c.ConclIsa)
+	}
+	rhs := rules.PointClause(h.Attr(), sub.Value)
+	return &rules.Rule{LHS: lhs, RHS: rhs}, nil
+}
+
+// groundCond resolves a condition's attribute reference to a concrete
+// relation: role-qualified conditions use the role's object type, bare
+// conditions the owning object type.
+func groundCond(owner string, roleType map[string]string, c ker.Cond) (rules.Clause, error) {
+	rel := owner
+	if c.Var != "" {
+		if roleType == nil {
+			return rules.Clause{}, fmt.Errorf("baseline: condition %s uses a role variable outside a structure rule", c)
+		}
+		t, ok := roleType[strings.ToLower(c.Var)]
+		if !ok {
+			return rules.Clause{}, fmt.Errorf("baseline: condition %s references undeclared role %q", c, c.Var)
+		}
+		rel = t
+	}
+	return rules.RangeClause(rules.Attr(rel, c.Attr), c.Lo, c.Hi), nil
+}

@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"intensional/internal/answer"
+	"intensional/internal/core"
+	"intensional/internal/induct"
+	"intensional/internal/shipdb"
+)
+
+// The paper's Example 1 end to end: induce the knowledge base, run the
+// query, and read the intensional answer next to the extensional one.
+func Example() {
+	cat := shipdb.Catalog()
+	d, err := shipdb.Dictionary(cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := core.New(cat, d)
+	if _, err := sys.Induce(induct.Options{Nc: 3}); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := sys.Query(`
+		SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE
+		FROM SUBMARINE, CLASS
+		WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000`,
+		answer.ForwardOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d ships\n", resp.Extensional.Len())
+	fmt.Println(resp.Intensional.Text())
+	// Output:
+	// 2 ships
+	// All answers are of type SSBN: type SSBN has Displacement > 8000.
+}

@@ -1,0 +1,138 @@
+// Package core assembles the intensional query processing system of
+// Figure 6: the traditional query processor, the intelligent data
+// dictionary, the inductive learning subsystem, and the inference
+// processor, behind one public API. This is the entry point examples and
+// tools use.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"intensional/internal/answer"
+	"intensional/internal/dict"
+	"intensional/internal/induct"
+	"intensional/internal/infer"
+	"intensional/internal/query"
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+	"intensional/internal/storage"
+)
+
+// System is one intensional query processing instance bound to a
+// database.
+type System struct {
+	cat *storage.Catalog
+	d   *dict.Dictionary
+	q   *query.Processor
+	inf *infer.Processor
+}
+
+// New assembles a system over a catalog and its dictionary.
+func New(cat *storage.Catalog, d *dict.Dictionary) *System {
+	return &System{cat: cat, d: d, q: query.New(cat), inf: infer.New(d)}
+}
+
+// Catalog returns the underlying catalog.
+func (s *System) Catalog() *storage.Catalog { return s.cat }
+
+// Dictionary returns the intelligent data dictionary.
+func (s *System) Dictionary() *dict.Dictionary { return s.d }
+
+// Rules returns the current rule base.
+func (s *System) Rules() *rules.Set { return s.d.Rules() }
+
+// Induce runs the Inductive Learning Subsystem over the database,
+// installs the resulting rule base in the dictionary, and stores it as
+// rule relations in the catalog so it relocates with the data.
+func (s *System) Induce(opts induct.Options) (*rules.Set, error) {
+	set, err := induct.New(s.d, opts).InduceAll()
+	if err != nil {
+		return nil, err
+	}
+	s.d.SetRules(set)
+	if err := s.d.StoreRules(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// Response is the result of one query: the conventional extensional
+// answer plus the derived intensional answer.
+type Response struct {
+	Extensional *relation.Relation
+	Analysis    *query.Analysis
+	Inference   *infer.Result
+	Intensional *answer.Answer
+}
+
+// Query executes a SQL query, returning both answer forms. mode selects
+// which inference direction the rendered intensional answer reports.
+func (s *System) Query(sql string, mode answer.Mode) (*Response, error) {
+	ext, an, err := s.q.Run(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.inf.Derive(an)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Extensional: ext,
+		Analysis:    an,
+		Inference:   res,
+		Intensional: answer.Render(an, res, mode),
+	}, nil
+}
+
+// declsFile is the database directory entry holding the dictionary
+// declarations.
+const declsFile = "dictionary.json"
+
+// Save writes the database, its rule relations, and the dictionary
+// declarations to a directory — the complete relocatable unit of
+// Section 5.2.2.
+func (s *System) Save(dir string) error {
+	if s.d.Rules().Len() > 0 {
+		if err := s.d.StoreRules(); err != nil {
+			return err
+		}
+	}
+	if err := s.cat.Save(dir); err != nil {
+		return err
+	}
+	data, err := dict.MarshalDecls(s.d.Decls())
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, declsFile), data, 0o644); err != nil {
+		return fmt.Errorf("core: save declarations: %w", err)
+	}
+	return nil
+}
+
+// Open loads a database directory written by Save: catalog, dictionary
+// declarations, and (when present) the induced rule base.
+func Open(dir string) (*System, error) {
+	cat, err := storage.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	d := dict.New(cat)
+	if data, err := os.ReadFile(filepath.Join(dir, declsFile)); err == nil {
+		decls, err := dict.UnmarshalDecls(data)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Apply(decls); err != nil {
+			return nil, err
+		}
+	}
+	if cat.Has(rules.RuleRelName) {
+		if err := d.LoadRules(); err != nil {
+			return nil, err
+		}
+	}
+	return New(cat, d), nil
+}

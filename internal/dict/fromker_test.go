@@ -1,0 +1,160 @@
+package dict_test
+
+import (
+	"strings"
+	"testing"
+
+	"intensional/internal/answer"
+	"intensional/internal/core"
+	"intensional/internal/dict"
+	"intensional/internal/induct"
+	"intensional/internal/ker"
+	"intensional/internal/relation"
+	"intensional/internal/shipdb"
+	"intensional/internal/storage"
+)
+
+// TestFromKERDerivesShipDictionary checks that the Appendix B schema plus
+// the Appendix C data yield the same dictionary shipdb hand-declares.
+func TestFromKERDerivesShipDictionary(t *testing.T) {
+	m, err := ker.Parse(shipdb.KERSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := shipdb.Catalog()
+	d, err := dict.FromKER(m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hierarchies: CLASS by Type, SUBMARINE by Class, SONAR by SonarType.
+	cases := []struct {
+		object, attr string
+		subtypes     int
+	}{
+		{"CLASS", "Type", 2},
+		{"SUBMARINE", "Class", 13},
+		{"SONAR", "SonarType", 3},
+	}
+	for _, c := range cases {
+		h, ok := d.Hierarchy(c.object)
+		if !ok {
+			t.Errorf("%s hierarchy missing", c.object)
+			continue
+		}
+		if !strings.EqualFold(h.ClassifyingAttr, c.attr) {
+			t.Errorf("%s classified by %s, want %s", c.object, h.ClassifyingAttr, c.attr)
+		}
+		if len(h.Subtypes) != c.subtypes {
+			t.Errorf("%s subtypes = %d, want %d", c.object, len(h.Subtypes), c.subtypes)
+		}
+	}
+	// C0101 maps to the value "0101" via the suffix convention.
+	h, _ := d.Hierarchy("SUBMARINE")
+	if name, ok := h.SubtypeFor(relation.String("0101")); !ok || name != "C0101" {
+		t.Errorf("SubtypeFor(0101) = %q, %v", name, ok)
+	}
+
+	// INSTALL (two object-domain attributes) becomes a relationship.
+	rels := d.Relationships()
+	if len(rels) != 1 || rels[0].Name != "INSTALL" || len(rels[0].Links) != 2 {
+		t.Fatalf("relationships = %v", rels)
+	}
+	if rels[0].Links[0].String() != "INSTALL.Ship = SUBMARINE.Id" {
+		t.Errorf("link 0 = %s", rels[0].Links[0])
+	}
+	// SUBMARINE.Class (one object-domain attribute) becomes a level link.
+	link, ok := d.LevelAbove("SUBMARINE")
+	if !ok || link.To.String() != "CLASS.Class" {
+		t.Errorf("level link = %v, %v", link, ok)
+	}
+}
+
+// TestFromKERPipelineReproducesExamples runs the full pipeline with the
+// derived dictionary: induction and Example 1 inference must match the
+// hand-declared dictionary's behaviour.
+func TestFromKERPipelineReproducesExamples(t *testing.T) {
+	m, err := ker.Parse(shipdb.KERSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := shipdb.Catalog()
+	d, err := dict.FromKER(m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.New(cat, d)
+	set, err := sys.Induce(induct.Options{Nc: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 18 {
+		t.Errorf("induced %d rules with the derived dictionary, want 18:\n%s", set.Len(), set)
+	}
+	resp, err := sys.Query(`SELECT SUBMARINE.ID FROM SUBMARINE, CLASS
+		WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000`, answer.ForwardOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Intensional.Text(), "SSBN") {
+		t.Errorf("intensional = %q", resp.Intensional.Text())
+	}
+}
+
+// tCatalog builds a catalog with relation T(Id, Kind) holding the given
+// Kind values.
+func tCatalog(t *testing.T, kinds ...string) *storage.Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+	r, err := cat.Create("T", relation.MustSchema(
+		relation.Column{Name: "Id", Type: relation.TInt},
+		relation.Column{Name: "Kind", Type: relation.TString},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range kinds {
+		r.MustInsert(relation.Int(int64(i)), relation.String(k))
+	}
+	return cat
+}
+
+// TestFromKERPartialCoverage: an attribute naming only some of the
+// declared subtypes is coincidental and must be rejected.
+func TestFromKERPartialCoverage(t *testing.T) {
+	m, err := ker.Parse(`
+object type T
+  has key: Id domain: integer
+  has: Kind domain: char[8]
+T contains ALPHA, BETA, GAMMA
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := tCatalog(t, "ALPHA", "BETA", "OTHER") // GAMMA never appears
+	if _, err := dict.FromKER(m, cat); err == nil {
+		t.Error("partial subtype coverage should error")
+	}
+}
+
+// TestFromKERNominalHierarchySkipped: subtypes never named in the data
+// produce no hierarchy (and no error when NO attribute matches at all).
+func TestFromKERNominalHierarchySkipped(t *testing.T) {
+	m, err := ker.Parse(`
+object type T
+  has key: Id domain: integer
+  has: Kind domain: char[8]
+T contains X1, X2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := tCatalog(t, "foo", "bar")
+	d, err := dict.FromKER(m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Hierarchy("T"); ok {
+		t.Error("nominal hierarchy should be skipped")
+	}
+}

@@ -1,0 +1,135 @@
+package dict_test
+
+import (
+	"strings"
+	"testing"
+
+	"intensional/internal/dict"
+	"intensional/internal/relation"
+	"intensional/internal/shipdb"
+	"intensional/internal/storage"
+)
+
+func TestDeclsRoundtrip(t *testing.T) {
+	d := shipDict(t)
+	data, err := dict.MarshalDecls(d.Decls())
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls, err := dict.UnmarshalDecls(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := dict.New(shipdb.Catalog())
+	if err := d2.Apply(decls); err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Hierarchies()) != 3 || len(d2.Relationships()) != 1 || len(d2.LevelLinks()) != 1 {
+		t.Fatalf("recovered: %d hierarchies, %d relationships, %d levels",
+			len(d2.Hierarchies()), len(d2.Relationships()), len(d2.LevelLinks()))
+	}
+	h, ok := d2.Hierarchy("SUBMARINE")
+	if !ok || len(h.Subtypes) != 13 {
+		t.Errorf("SUBMARINE hierarchy = %+v", h)
+	}
+	// Insertion order survives (drives induction ordering).
+	if d2.Hierarchies()[0].Object != "SUBMARINE" {
+		t.Errorf("first hierarchy = %s", d2.Hierarchies()[0].Object)
+	}
+}
+
+func TestDeclsValueKinds(t *testing.T) {
+	cat := shipdb.Catalog()
+	cls, _ := cat.Get("CLASS")
+	_ = cls
+	d := dict.New(cat)
+	if err := d.AddHierarchy(&dict.Hierarchy{
+		Object:          "CLASS",
+		ClassifyingAttr: "Displacement",
+		Subtypes: []dict.Subtype{
+			{Name: "LIGHT", Value: relation.Int(2145)},
+			{Name: "FLOATY", Value: relation.Float(1.5)},
+			{Name: "NONE", Value: relation.Null()},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := dict.MarshalDecls(d.Decls())
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls, err := dict.UnmarshalDecls(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := dict.New(shipdb.Catalog())
+	if err := d2.Apply(decls); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := d2.Hierarchy("CLASS")
+	if !h.Subtypes[0].Value.Equal(relation.Int(2145)) {
+		t.Errorf("int value = %#v", h.Subtypes[0].Value)
+	}
+	if !h.Subtypes[1].Value.Equal(relation.Float(1.5)) {
+		t.Errorf("float value = %#v", h.Subtypes[1].Value)
+	}
+	if !h.Subtypes[2].Value.IsNull() {
+		t.Errorf("null value = %#v", h.Subtypes[2].Value)
+	}
+}
+
+func TestUnmarshalDeclsErrors(t *testing.T) {
+	if _, err := dict.UnmarshalDecls([]byte("{not json")); err == nil {
+		t.Error("bad JSON should error")
+	}
+	// Unknown value kind surfaces at Apply time.
+	decls, err := dict.UnmarshalDecls([]byte(`{
+		"hierarchies": [{"object": "CLASS", "classifyingAttr": "Type",
+			"subtypes": [{"name": "X", "value": {"kind": "blob", "value": "1"}}]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dict.New(shipdb.Catalog())
+	if err := d.Apply(decls); err == nil || !strings.Contains(err.Error(), "unknown value kind") {
+		t.Errorf("Apply error = %v", err)
+	}
+}
+
+func TestApplyValidatesAgainstCatalog(t *testing.T) {
+	d := shipDict(t)
+	data, err := dict.MarshalDecls(d.Decls())
+	if err != nil {
+		t.Fatal(err)
+	}
+	decls, err := dict.UnmarshalDecls(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An empty catalog cannot satisfy the declarations.
+	if err := dict.New(storage.NewCatalog()).Apply(decls); err == nil {
+		t.Error("Apply against empty catalog should error")
+	}
+	// Bad attribute references in links error too.
+	badLink, err := dict.UnmarshalDecls([]byte(`{"levelLinks":[{"from":"nodot","to":"CLASS.Class"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dict.New(shipdb.Catalog()).Apply(badLink); err == nil {
+		t.Error("unparseable link reference should error")
+	}
+}
+
+func TestRenderTreeErrors(t *testing.T) {
+	d := shipDict(t)
+	if _, err := d.RenderTree("NOPE"); err == nil {
+		t.Error("unknown object should error")
+	}
+	out, err := d.RenderTree("SONAR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "TACTAS (SonarType = TACTAS, 1 instances)") {
+		t.Errorf("tree = %q", out)
+	}
+}

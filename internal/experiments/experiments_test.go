@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunAll executes every registered experiment and checks each report
+// carries its key artifact.
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wants := []string{
+		// E1: the rule set and the fidelity notes.
+		"Induced rule set over the Appendix C instance",
+		"entailed: 16/17",
+		// E2: Example 1's answers.
+		"Rhode Island",
+		"type SSBN has Displacement > 8000",
+		// E3: Example 2's incompleteness and its resolution.
+		"Classes in the range of 0101 to 0103 are SSBN",
+		"With R_new maintained the intensional answer is complete",
+		// E4: Example 3 combined.
+		"0208",
+		// E5: Table 1 reproduction.
+		"All 12 type ranges match Table 1 exactly.",
+		// E6: Figure 5.
+		"if 7250 <= CLASS.Displacement <= 30000 then x isa SSBN",
+		// E7: the KER schema rendering.
+		"object type SUBMARINE",
+		// E8: the Section 5.2.2 tables.
+		"Attribute value mapping relation",
+		// A1-A3.
+		"Example 2 backward answer complete?",
+		"superset + subset (combined)",
+		"subset of answer (backward)",
+		"constraints only (Motro-style)",
+		// A4-A5.
+		"VISIT: SHIP.Draft < PORT.Depth",
+		"correctly withdrawn",
+		"split on CLASS.Displacement <= 6955",
+		// A6.
+		"empty: no stored value satisfies",
+		"redundant restriction #0",
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "MISSING:") {
+		t.Error("E1 reports missing paper rules")
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Error("E5 reports a Table 1 mismatch")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("E99", &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestAllAndTitle(t *testing.T) {
+	ids := All()
+	if len(ids) != 14 {
+		t.Errorf("experiments = %d, want 14", len(ids))
+	}
+	if Title("E1") == "" || Title("nope") != "" {
+		t.Error("Title lookup broken")
+	}
+}

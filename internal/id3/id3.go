@@ -1,0 +1,382 @@
+// Package id3 implements the inductive learning technique Section 3.2
+// describes (citing Quinlan): recursively select the descriptor that
+// best separates the training examples, partition on it, and recurse
+// until every partition is pure. It serves as an alternative strategy
+// for the Inductive Learning Subsystem: trees over ordered attributes
+// with binary threshold splits, convertible to the same Horn-rule form
+// the inference processor consumes (one rule per leaf, conjunctive
+// premise).
+package id3
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+)
+
+// Options bound tree growth.
+type Options struct {
+	// MinLeaf is the minimum number of examples a leaf must cover
+	// (plays the role the pruning threshold Nc plays for range rules).
+	MinLeaf int
+	// MaxDepth caps the tree height; 0 means unbounded.
+	MaxDepth int
+}
+
+// Node is one tree node: a leaf predicting a class, or a binary split
+// "value <= Threshold".
+type Node struct {
+	Leaf      bool
+	Class     relation.Value // leaf: majority class
+	Support   int            // examples reaching the node
+	Purity    float64        // fraction of Support in the majority class
+	Attr      rules.AttrRef  // split attribute
+	Col       int            // split column in the source schema
+	Threshold relation.Value // go Left when value <= Threshold
+	Left      *Node
+	Right     *Node
+}
+
+// Tree is a trained decision tree over one relation.
+type Tree struct {
+	Root  *Node
+	xCols []int
+	attrs []rules.AttrRef
+	yAttr rules.AttrRef
+}
+
+// Build grows a tree classifying yCol from xCols over the relation.
+// attrs names the X columns for rule extraction; yAttr names the class.
+func Build(rel *relation.Relation, xCols []string, yCol string,
+	attrs []rules.AttrRef, yAttr rules.AttrRef, opts Options) (*Tree, error) {
+	if len(xCols) == 0 {
+		return nil, fmt.Errorf("id3: no descriptor columns")
+	}
+	if len(attrs) != len(xCols) {
+		return nil, fmt.Errorf("id3: %d attribute names for %d columns", len(attrs), len(xCols))
+	}
+	if opts.MinLeaf < 1 {
+		opts.MinLeaf = 1
+	}
+	yi, ok := rel.Schema().Index(yCol)
+	if !ok {
+		return nil, fmt.Errorf("id3: no class column %q", yCol)
+	}
+	xis := make([]int, len(xCols))
+	for i, c := range xCols {
+		ci, ok := rel.Schema().Index(c)
+		if !ok {
+			return nil, fmt.Errorf("id3: no descriptor column %q", c)
+		}
+		xis[i] = ci
+	}
+	var examples []relation.Tuple
+	for _, t := range rel.Rows() {
+		if t[yi].IsNull() {
+			continue
+		}
+		skip := false
+		for _, ci := range xis {
+			if t[ci].IsNull() {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			examples = append(examples, t)
+		}
+	}
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("id3: no usable examples")
+	}
+	tr := &Tree{xCols: xis, attrs: attrs, yAttr: yAttr}
+	tr.Root = tr.grow(examples, yi, opts, 0)
+	return tr, nil
+}
+
+// entropy of the class distribution.
+func entropy(examples []relation.Tuple, yi int) float64 {
+	counts := map[string]int{}
+	for _, t := range examples {
+		counts[t[yi].Key()]++
+	}
+	h := 0.0
+	n := float64(len(examples))
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// majority returns the most frequent class and its count.
+func majority(examples []relation.Tuple, yi int) (relation.Value, int) {
+	counts := map[string]int{}
+	vals := map[string]relation.Value{}
+	for _, t := range examples {
+		k := t[yi].Key()
+		counts[k]++
+		vals[k] = t[yi]
+	}
+	bestK, bestN := "", -1
+	for k, n := range counts {
+		if n > bestN || (n == bestN && k < bestK) {
+			bestK, bestN = k, n
+		}
+	}
+	return vals[bestK], bestN
+}
+
+// grow recursively builds the tree (the "recursively determines a set of
+// descriptors" loop of Section 3.2).
+func (tr *Tree) grow(examples []relation.Tuple, yi int, opts Options, depth int) *Node {
+	class, n := majority(examples, yi)
+	node := &Node{
+		Leaf: true, Class: class, Support: len(examples),
+		Purity: float64(n) / float64(len(examples)),
+	}
+	if n == len(examples) || (opts.MaxDepth > 0 && depth >= opts.MaxDepth) ||
+		len(examples) < 2*opts.MinLeaf {
+		return node
+	}
+	baseH := entropy(examples, yi)
+	bestGain := 1e-12
+	bestCol := -1
+	bestAttr := -1
+	var bestThreshold relation.Value
+	var bestLeft, bestRight []relation.Tuple
+
+	for ai, ci := range tr.xCols {
+		sorted := append([]relation.Tuple(nil), examples...)
+		sort.SliceStable(sorted, func(a, b int) bool {
+			return sorted[a][ci].Less(sorted[b][ci])
+		})
+		// Candidate thresholds: each boundary between distinct values.
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i][ci].Equal(sorted[i-1][ci]) {
+				continue
+			}
+			if i < opts.MinLeaf || len(sorted)-i < opts.MinLeaf {
+				continue
+			}
+			left, right := sorted[:i], sorted[i:]
+			nL, nR := float64(len(left)), float64(len(right))
+			gain := baseH - (nL*entropy(left, yi)+nR*entropy(right, yi))/float64(len(sorted))
+			if gain > bestGain {
+				bestGain = gain
+				bestCol = ci
+				bestAttr = ai
+				bestThreshold = sorted[i-1][ci]
+				bestLeft = append([]relation.Tuple(nil), left...)
+				bestRight = append([]relation.Tuple(nil), right...)
+			}
+		}
+	}
+	if bestCol < 0 {
+		return node
+	}
+	node.Leaf = false
+	node.Attr = tr.attrs[bestAttr]
+	node.Col = bestCol
+	node.Threshold = bestThreshold
+	node.Left = tr.grow(bestLeft, yi, opts, depth+1)
+	node.Right = tr.grow(bestRight, yi, opts, depth+1)
+	return node
+}
+
+// Classify predicts the class for a tuple of the source relation.
+func (tr *Tree) Classify(t relation.Tuple) relation.Value {
+	n := tr.Root
+	for !n.Leaf {
+		v := t[n.Col]
+		c, err := v.Compare(n.Threshold)
+		if err != nil || c > 0 {
+			n = n.Right
+		} else {
+			n = n.Left
+		}
+	}
+	return n.Class
+}
+
+// Accuracy reports the fraction of the relation's rows the tree
+// classifies correctly.
+func (tr *Tree) Accuracy(rel *relation.Relation, yCol string) (float64, error) {
+	yi, ok := rel.Schema().Index(yCol)
+	if !ok {
+		return 0, fmt.Errorf("id3: no class column %q", yCol)
+	}
+	if rel.Len() == 0 {
+		return 0, nil
+	}
+	correct := 0
+	for _, t := range rel.Rows() {
+		if tr.Classify(t).Equal(t[yi]) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(rel.Len()), nil
+}
+
+// Leaves returns the number of leaves.
+func (tr *Tree) Leaves() int {
+	var count func(*Node) int
+	count = func(n *Node) int {
+		if n.Leaf {
+			return 1
+		}
+		return count(n.Left) + count(n.Right)
+	}
+	return count(tr.Root)
+}
+
+// Depth returns the tree height (a single leaf has depth 0).
+func (tr *Tree) Depth() int {
+	var depth func(*Node) int
+	depth = func(n *Node) int {
+		if n.Leaf {
+			return 0
+		}
+		l, r := depth(n.Left), depth(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return depth(tr.Root)
+}
+
+// bound tracks the value interval a path constrains an attribute to.
+type bound struct {
+	lo, hi       relation.Value
+	hasLo, hasHi bool
+}
+
+// ToRules converts every leaf into a Horn rule: the conjunction of the
+// path's interval constraints implies the leaf's class. Open path bounds
+// are closed to the leaf's observed extrema so the rules use the same
+// closed (lvalue, attribute, uvalue) clause form as the range ILS.
+func (tr *Tree) ToRules(rel *relation.Relation) []*rules.Rule {
+	var out []*rules.Rule
+	var walk func(n *Node, bounds map[string]*bound)
+	walk = func(n *Node, bounds map[string]*bound) {
+		if n.Leaf {
+			r := tr.leafRule(rel, n, bounds)
+			if r != nil {
+				out = append(out, r)
+			}
+			return
+		}
+		// Left: attr <= threshold.
+		lb := cloneBounds(bounds)
+		b := lb[n.Attr.Key()]
+		if b == nil {
+			b = &bound{}
+			lb[n.Attr.Key()] = b
+		}
+		if !b.hasHi || n.Threshold.Less(b.hi) {
+			b.hi, b.hasHi = n.Threshold, true
+		}
+		walk(n.Left, lb)
+		// Right: attr > threshold.
+		rb := cloneBounds(bounds)
+		b = rb[n.Attr.Key()]
+		if b == nil {
+			b = &bound{}
+			rb[n.Attr.Key()] = b
+		}
+		if !b.hasLo || b.lo.Less(n.Threshold) {
+			b.lo, b.hasLo = n.Threshold, true
+		}
+		walk(n.Right, rb)
+	}
+	walk(tr.Root, map[string]*bound{})
+	return out
+}
+
+func cloneBounds(in map[string]*bound) map[string]*bound {
+	out := make(map[string]*bound, len(in))
+	for k, v := range in {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// leafRule materialises one leaf's path as a rule, closing open bounds
+// to the covered examples' observed extrema.
+func (tr *Tree) leafRule(rel *relation.Relation, leaf *Node, bounds map[string]*bound) *rules.Rule {
+	// Collect the examples reaching this leaf to close open bounds.
+	var covered []relation.Tuple
+	for _, t := range rel.Rows() {
+		if tr.Classify(t).Equal(leaf.Class) && tr.reaches(t, leaf) {
+			covered = append(covered, t)
+		}
+	}
+	if len(covered) == 0 {
+		return nil
+	}
+	var lhs []rules.Clause
+	for ai, ci := range tr.xCols {
+		attr := tr.attrs[ai]
+		b := bounds[attr.Key()]
+		if b == nil {
+			continue // attribute unconstrained on this path
+		}
+		lo, hi := covered[0][ci], covered[0][ci]
+		for _, t := range covered[1:] {
+			if t[ci].Less(lo) {
+				lo = t[ci]
+			}
+			if hi.Less(t[ci]) {
+				hi = t[ci]
+			}
+		}
+		lhs = append(lhs, rules.RangeClause(attr, lo, hi))
+	}
+	if len(lhs) == 0 {
+		return nil
+	}
+	return &rules.Rule{
+		LHS:     lhs,
+		RHS:     rules.PointClause(tr.yAttr, leaf.Class),
+		Support: leaf.Support,
+	}
+}
+
+// reaches reports whether classification of t ends at the given leaf.
+func (tr *Tree) reaches(t relation.Tuple, leaf *Node) bool {
+	n := tr.Root
+	for !n.Leaf {
+		v := t[n.Col]
+		c, err := v.Compare(n.Threshold)
+		if err != nil || c > 0 {
+			n = n.Right
+		} else {
+			n = n.Left
+		}
+	}
+	return n == leaf
+}
+
+// String renders the tree as an indented outline.
+func (tr *Tree) String() string {
+	var b strings.Builder
+	var walk func(n *Node, prefix string, label string)
+	walk = func(n *Node, prefix, label string) {
+		if n.Leaf {
+			fmt.Fprintf(&b, "%s%s→ %s (support %d, purity %.2f)\n",
+				prefix, label, n.Class, n.Support, n.Purity)
+			return
+		}
+		fmt.Fprintf(&b, "%s%ssplit on %s <= %s\n", prefix, label, n.Attr, n.Threshold)
+		walk(n.Left, prefix+"  ", "yes ")
+		walk(n.Right, prefix+"  ", "no  ")
+	}
+	walk(tr.Root, "", "")
+	return b.String()
+}

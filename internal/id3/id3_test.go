@@ -1,0 +1,292 @@
+package id3_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"intensional/internal/id3"
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+	"intensional/internal/shipdb"
+	"intensional/internal/synth"
+)
+
+// TestShipDisplacementTree grows a tree classifying CLASS.Type from
+// Displacement: the data is separable at the 6955/7250 boundary, so the
+// tree must be a single split with two pure leaves — the decision-tree
+// counterpart of rules R8/R9.
+func TestShipDisplacementTree(t *testing.T) {
+	cat := shipdb.Catalog()
+	cls, err := cat.Get(shipdb.Class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := id3.Build(cls, []string{"Displacement"}, "Type",
+		[]rules.AttrRef{rules.Attr("CLASS", "Displacement")},
+		rules.Attr("CLASS", "Type"), id3.Options{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() != 2 || tr.Depth() != 1 {
+		t.Fatalf("tree shape: %d leaves, depth %d\n%s", tr.Leaves(), tr.Depth(), tr)
+	}
+	if !tr.Root.Threshold.Equal(relation.Int(6955)) {
+		t.Errorf("split threshold = %s, want 6955", tr.Root.Threshold)
+	}
+	acc, err := tr.Accuracy(cls, "Type")
+	if err != nil || acc != 1.0 {
+		t.Errorf("accuracy = %v %v", acc, err)
+	}
+	rs := tr.ToRules(cls)
+	if len(rs) != 2 {
+		t.Fatalf("rules = %v", rs)
+	}
+	want := map[string]bool{
+		"if 2145 <= CLASS.Displacement <= 6955 then CLASS.Type = SSN":   false,
+		"if 7250 <= CLASS.Displacement <= 30000 then CLASS.Type = SSBN": false,
+	}
+	for _, r := range rs {
+		if _, ok := want[r.String()]; ok {
+			want[r.String()] = true
+		} else {
+			t.Errorf("unexpected rule %s", r)
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("missing rule %s", k)
+		}
+	}
+}
+
+// TestEmployeeTree: the four age bands produce a four-leaf tree with
+// perfect training accuracy.
+func TestEmployeeTree(t *testing.T) {
+	cat := synth.Employees(300, 5)
+	emp, err := cat.Get(synth.Employee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := id3.Build(emp, []string{"Age"}, "Position",
+		[]rules.AttrRef{rules.Attr("EMPLOYEE", "Age")},
+		rules.Attr("EMPLOYEE", "Position"), id3.Options{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() != 4 {
+		t.Errorf("leaves = %d, want 4\n%s", tr.Leaves(), tr)
+	}
+	acc, err := tr.Accuracy(emp, "Position")
+	if err != nil || acc != 1.0 {
+		t.Errorf("accuracy = %v %v", acc, err)
+	}
+	rs := tr.ToRules(emp)
+	if len(rs) != 4 {
+		t.Errorf("rules = %d, want 4", len(rs))
+	}
+}
+
+// TestMultiAttributeTree uses two descriptors where neither alone
+// separates the classes.
+func TestMultiAttributeTree(t *testing.T) {
+	rel := relation.New("R", relation.MustSchema(
+		relation.Column{Name: "A", Type: relation.TInt},
+		relation.Column{Name: "B", Type: relation.TInt},
+		relation.Column{Name: "C", Type: relation.TString},
+	))
+	// C = hi iff A > 5 and B > 5 (an AND concept).
+	for a := int64(0); a < 10; a++ {
+		for b := int64(0); b < 10; b++ {
+			c := "lo"
+			if a > 5 && b > 5 {
+				c = "hi"
+			}
+			rel.MustInsert(relation.Int(a), relation.Int(b), relation.String(c))
+		}
+	}
+	tr, err := id3.Build(rel, []string{"A", "B"}, "C",
+		[]rules.AttrRef{rules.Attr("R", "A"), rules.Attr("R", "B")},
+		rules.Attr("R", "C"), id3.Options{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := tr.Accuracy(rel, "C")
+	if err != nil || acc != 1.0 {
+		t.Fatalf("accuracy = %v %v\n%s", acc, err, tr)
+	}
+	// The "hi" leaf's rule must constrain both attributes.
+	found := false
+	for _, r := range tr.ToRules(rel) {
+		if r.RHS.Lo.Str() == "hi" {
+			if len(r.LHS) != 2 {
+				t.Errorf("hi rule premise = %v", r.LHS)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no rule concludes hi")
+	}
+}
+
+func TestMinLeafPruning(t *testing.T) {
+	cat := shipdb.Catalog()
+	cls, _ := cat.Get(shipdb.Class)
+	// MinLeaf larger than the SSBN class count forbids any split.
+	tr, err := id3.Build(cls, []string{"Displacement"}, "Type",
+		[]rules.AttrRef{rules.Attr("CLASS", "Displacement")},
+		rules.Attr("CLASS", "Type"), id3.Options{MinLeaf: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() != 1 {
+		t.Errorf("leaves = %d, want 1 (split forbidden)\n%s", tr.Leaves(), tr)
+	}
+	if !tr.Root.Class.Equal(relation.String("SSN")) {
+		t.Errorf("majority class = %s", tr.Root.Class)
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	cat := synth.Employees(200, 7)
+	emp, _ := cat.Get(synth.Employee)
+	tr, err := id3.Build(emp, []string{"Age"}, "Position",
+		[]rules.AttrRef{rules.Attr("EMPLOYEE", "Age")},
+		rules.Attr("EMPLOYEE", "Position"), id3.Options{MinLeaf: 1, MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 1 {
+		t.Errorf("depth = %d, want <= 1", tr.Depth())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	rel := relation.New("R", relation.MustSchema(
+		relation.Column{Name: "A", Type: relation.TInt},
+		relation.Column{Name: "B", Type: relation.TString},
+	))
+	a := []rules.AttrRef{rules.Attr("R", "A")}
+	y := rules.Attr("R", "B")
+	if _, err := id3.Build(rel, nil, "B", nil, y, id3.Options{}); err == nil {
+		t.Error("no descriptors should error")
+	}
+	if _, err := id3.Build(rel, []string{"A"}, "B", nil, y, id3.Options{}); err == nil {
+		t.Error("attr/column count mismatch should error")
+	}
+	if _, err := id3.Build(rel, []string{"nope"}, "B", a, y, id3.Options{}); err == nil {
+		t.Error("unknown descriptor should error")
+	}
+	if _, err := id3.Build(rel, []string{"A"}, "nope", a, y, id3.Options{}); err == nil {
+		t.Error("unknown class column should error")
+	}
+	if _, err := id3.Build(rel, []string{"A"}, "B", a, y, id3.Options{}); err == nil {
+		t.Error("empty relation should error")
+	}
+	rel.MustInsert(relation.Null(), relation.String("x"))
+	if _, err := id3.Build(rel, []string{"A"}, "B", a, y, id3.Options{}); err == nil {
+		t.Error("all-null examples should error")
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	cat := shipdb.Catalog()
+	cls, _ := cat.Get(shipdb.Class)
+	tr, err := id3.Build(cls, []string{"Displacement"}, "Type",
+		[]rules.AttrRef{rules.Attr("CLASS", "Displacement")},
+		rules.Attr("CLASS", "Type"), id3.Options{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.String()
+	for _, want := range []string{"split on CLASS.Displacement <= 6955", "SSN", "SSBN", "purity 1.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: with MinLeaf=1 and deterministic labels derived from the
+// descriptors, the fully grown tree reaches training accuracy 1.
+func TestConsistentDataPerfectAccuracyProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		rel := relation.New("R", relation.MustSchema(
+			relation.Column{Name: "A", Type: relation.TInt},
+			relation.Column{Name: "B", Type: relation.TInt},
+			relation.Column{Name: "Y", Type: relation.TString},
+		))
+		// Deterministic concept with random thresholds.
+		t1 := int64(rr.Intn(20))
+		t2 := int64(rr.Intn(20))
+		n := 5 + rr.Intn(60)
+		for i := 0; i < n; i++ {
+			a := int64(rr.Intn(20))
+			b := int64(rr.Intn(20))
+			y := "n"
+			if a <= t1 || b > t2 {
+				y = "p"
+			}
+			rel.MustInsert(relation.Int(a), relation.Int(b), relation.String(y))
+		}
+		tr, err := id3.Build(rel, []string{"A", "B"}, "Y",
+			[]rules.AttrRef{rules.Attr("R", "A"), rules.Attr("R", "B")},
+			rules.Attr("R", "Y"), id3.Options{MinLeaf: 1})
+		if err != nil {
+			return false
+		}
+		acc, err := tr.Accuracy(rel, "Y")
+		return err == nil && acc == 1.0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every extracted rule is sound on the training data (no
+// covered tuple contradicts the consequence).
+func TestExtractedRulesSoundProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		rel := relation.New("R", relation.MustSchema(
+			relation.Column{Name: "A", Type: relation.TInt},
+			relation.Column{Name: "Y", Type: relation.TString},
+		))
+		thr := int64(rr.Intn(15))
+		n := 4 + rr.Intn(40)
+		for i := 0; i < n; i++ {
+			a := int64(rr.Intn(20))
+			y := "lo"
+			if a > thr {
+				y = "hi"
+			}
+			rel.MustInsert(relation.Int(a), relation.String(y))
+		}
+		tr, err := id3.Build(rel, []string{"A"}, "Y",
+			[]rules.AttrRef{rules.Attr("R", "A")}, rules.Attr("R", "Y"),
+			id3.Options{MinLeaf: 1})
+		if err != nil {
+			return false
+		}
+		for _, r := range tr.ToRules(rel) {
+			for _, tup := range rel.Rows() {
+				match := true
+				for _, c := range r.LHS {
+					if !c.Contains(tup[0]) {
+						match = false
+						break
+					}
+				}
+				if match && !r.RHS.Contains(tup[1]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

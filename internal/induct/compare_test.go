@@ -1,0 +1,165 @@
+package induct_test
+
+import (
+	"strings"
+	"testing"
+
+	"intensional/internal/dict"
+	"intensional/internal/induct"
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+	"intensional/internal/storage"
+	"intensional/internal/synth"
+)
+
+// TestVisitDraftConstraint reproduces the Section 3.1 example: the
+// relationship VISIT satisfies the constraint that the draft of the ship
+// is less than the depth of the port, induced from the instances.
+func TestVisitDraftConstraint(t *testing.T) {
+	cat := synth.Harbor(synth.HarborConfig{Ships: 30, Ports: 10, Visits: 120, Seed: 11})
+	d, err := synth.HarborDictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := induct.New(d, induct.Options{Nc: 2})
+	rels := d.Relationships()
+	cs, err := in.InduceComparisons(rels[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range cs {
+		if c.L.EqualFold(rules.Attr("SHIP", "Draft")) &&
+			c.R.EqualFold(rules.Attr("PORT", "Depth")) {
+			if c.Op != "<" {
+				t.Errorf("Draft vs Depth op = %q, want <", c.Op)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Draft < Depth not induced: %v", cs)
+	}
+	out := induct.RenderComparisons(cs)
+	if !strings.Contains(out, "VISIT: SHIP.Draft < PORT.Depth") {
+		t.Errorf("rendering = %q", out)
+	}
+}
+
+// TestVisitConstraintRejectedWhenDirty: an injected violating visit must
+// prevent the "<" constraint from being induced.
+func TestVisitConstraintRejectedWhenDirty(t *testing.T) {
+	cat := synth.Harbor(synth.HarborConfig{Ships: 30, Ports: 10, Visits: 120, Seed: 11, Violations: 1})
+	d, err := synth.HarborDictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := induct.New(d, induct.Options{Nc: 2})
+	cs, err := in.InduceComparisons(d.Relationships()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		if c.L.EqualFold(rules.Attr("SHIP", "Draft")) &&
+			c.R.EqualFold(rules.Attr("PORT", "Depth")) &&
+			(c.Op == "<" || c.Op == "<=") {
+			t.Errorf("dirty data should break the draft constraint, got %s", c)
+		}
+	}
+}
+
+// TestStrongestOperatorSelection checks each operator case on a
+// hand-built relationship.
+func TestStrongestOperatorSelection(t *testing.T) {
+	build := func(pairs [][2]int64) (*dict.Dictionary, *dict.Relationship) {
+		cat := storage.NewCatalog()
+		a := relation.New("A", relation.MustSchema(
+			relation.Column{Name: "Id", Type: relation.TInt},
+			relation.Column{Name: "X", Type: relation.TInt},
+		))
+		b := relation.New("B", relation.MustSchema(
+			relation.Column{Name: "Id", Type: relation.TInt},
+			relation.Column{Name: "Y", Type: relation.TInt},
+		))
+		l := relation.New("L", relation.MustSchema(
+			relation.Column{Name: "A", Type: relation.TInt},
+			relation.Column{Name: "B", Type: relation.TInt},
+		))
+		for i, p := range pairs {
+			id := int64(i)
+			a.MustInsert(relation.Int(id), relation.Int(p[0]))
+			b.MustInsert(relation.Int(id), relation.Int(p[1]))
+			l.MustInsert(relation.Int(id), relation.Int(id))
+		}
+		cat.Put(a)
+		cat.Put(b)
+		cat.Put(l)
+		d := dict.New(cat)
+		rel := &dict.Relationship{
+			Name: "L",
+			Links: []dict.Link{
+				{From: rules.Attr("L", "A"), To: rules.Attr("A", "Id")},
+				{From: rules.Attr("L", "B"), To: rules.Attr("B", "Id")},
+			},
+		}
+		if err := d.AddRelationship(rel); err != nil {
+			t.Fatal(err)
+		}
+		return d, rel
+	}
+	cases := []struct {
+		pairs  [][2]int64
+		wantOp string // operator for A.X vs B.Y ("" = none)
+	}{
+		{[][2]int64{{1, 2}, {3, 9}}, "<"},
+		{[][2]int64{{1, 1}, {3, 9}}, "<="},
+		{[][2]int64{{2, 2}, {9, 9}}, "="},
+		{[][2]int64{{2, 1}, {9, 9}}, ">="},
+		{[][2]int64{{2, 1}, {9, 3}}, ">"},
+		{[][2]int64{{1, 2}, {9, 3}}, ""},
+	}
+	for _, c := range cases {
+		d, rel := build(c.pairs)
+		in := induct.New(d, induct.Options{})
+		cs, err := in.InduceComparisons(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ""
+		for _, cmp := range cs {
+			if cmp.L.EqualFold(rules.Attr("A", "X")) && cmp.R.EqualFold(rules.Attr("B", "Y")) {
+				got = cmp.Op
+			}
+		}
+		if got != c.wantOp {
+			t.Errorf("pairs %v: op = %q, want %q (all: %v)", c.pairs, got, c.wantOp, cs)
+		}
+	}
+}
+
+func TestHarborGenerator(t *testing.T) {
+	cat := synth.Harbor(synth.HarborConfig{Ships: 20, Ports: 5, Visits: 50, Seed: 3})
+	visit, err := cat.Get(synth.HarborVisit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visit.Len() == 0 {
+		t.Fatal("no visits generated")
+	}
+	// Every clean visit satisfies the constraint by construction.
+	ship, _ := cat.Get(synth.HarborShip)
+	port, _ := cat.Get(synth.HarborPort)
+	draft := map[string]int64{}
+	for _, r := range ship.Rows() {
+		draft[r[0].Str()] = r[2].Int64()
+	}
+	depth := map[string]int64{}
+	for _, r := range port.Rows() {
+		depth[r[0].Str()] = r[2].Int64()
+	}
+	for _, r := range visit.Rows() {
+		if draft[r[0].Str()] >= depth[r[1].Str()] {
+			t.Errorf("visit %v violates the draft constraint", r)
+		}
+	}
+}

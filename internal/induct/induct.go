@@ -1,0 +1,452 @@
+// Package induct implements the paper's Inductive Learning Subsystem
+// (Section 5.2): model-based rule induction over the database, driven by
+// the schema knowledge in the intelligent data dictionary. For every
+// candidate attribute pair X→Y it executes the four-step Rule Induction
+// Algorithm of Section 5.2.1 — using the same QUEL statements the paper
+// gives — and prunes the result with the Nc support threshold.
+package induct
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"intensional/internal/dict"
+	"intensional/internal/quel"
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+	"intensional/internal/storage"
+)
+
+// Options configure induction.
+type Options struct {
+	// Nc is the absolute pruning threshold: rules satisfied by fewer than
+	// Nc database instances are dropped (Section 5.2.1 step 4). Zero or
+	// one keeps every rule.
+	Nc int
+	// NcFraction, when positive, sets the threshold as a fraction of the
+	// source relation's size; the effective threshold is
+	// max(Nc, ceil(NcFraction·|relation|)).
+	NcFraction float64
+}
+
+func (o Options) effectiveNc(sourceSize int) int {
+	nc := o.Nc
+	if o.NcFraction > 0 {
+		f := int(math.Ceil(o.NcFraction * float64(sourceSize)))
+		if f > nc {
+			nc = f
+		}
+	}
+	return nc
+}
+
+// Pair is one candidate rule scheme X→Y together with the relation (base
+// table or materialised join) it is induced from. XCol/YCol name the
+// columns of Source; X/Y identify the attributes in induced clauses.
+type Pair struct {
+	Source *relation.Relation
+	XCol   string
+	YCol   string
+	X, Y   rules.AttrRef
+}
+
+// Scheme returns the pair's rule scheme.
+func (p Pair) Scheme() rules.Scheme { return rules.Scheme{X: p.X, Y: p.Y} }
+
+// Inducer runs rule induction against a dictionary's catalog.
+type Inducer struct {
+	d    *dict.Dictionary
+	opts Options
+}
+
+// New creates an inducer.
+func New(d *dict.Dictionary, opts Options) *Inducer {
+	return &Inducer{d: d, opts: opts}
+}
+
+// InducePair runs the four-step Rule Induction Algorithm for one
+// attribute pair and returns the surviving rules (unnumbered).
+func (in *Inducer) InducePair(p Pair) ([]*rules.Rule, error) {
+	xi, ok := p.Source.Schema().Index(p.XCol)
+	if !ok {
+		return nil, fmt.Errorf("induct: source %s has no column %q", p.Source.Name(), p.XCol)
+	}
+	yi, ok := p.Source.Schema().Index(p.YCol)
+	if !ok {
+		return nil, fmt.Errorf("induct: source %s has no column %q", p.Source.Name(), p.YCol)
+	}
+
+	// Materialise the (X, Y) projection under canonical column names so
+	// the paper's QUEL statements apply verbatim.
+	base := relation.New("BASE", relation.MustSchema(
+		relation.Column{Name: "X", Type: p.Source.Schema().Col(xi).Type},
+		relation.Column{Name: "Y", Type: p.Source.Schema().Col(yi).Type},
+	))
+	for _, t := range p.Source.Rows() {
+		if t[xi].IsNull() || t[yi].IsNull() {
+			continue // null values carry no classification evidence
+		}
+		if err := base.Insert(relation.Tuple{t[xi], t[yi]}); err != nil {
+			return nil, err
+		}
+	}
+
+	scratch := storage.NewCatalog()
+	scratch.Put(base)
+	sess := quel.NewSession(scratch)
+	steps := []string{
+		// Step 1: retrieve the (X, Y) value pairs.
+		"range of r is BASE",
+		"retrieve into S unique (r.Y, r.X) sort by r.Y",
+		// Step 2: remove inconsistent (X, Y) value pairs.
+		"range of s is S",
+		"retrieve into T unique (s.Y, s.X) where (r.X = s.X and r.Y != s.Y)",
+		"range of t is T",
+		"delete s where (s.X = t.X and s.Y = t.Y)",
+	}
+	for _, stmt := range steps {
+		if _, err := sess.Exec(stmt); err != nil {
+			return nil, fmt.Errorf("induct: %s → %s: %w", p.X, p.Y, err)
+		}
+	}
+	surviving, err := scratch.Get("S")
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: construct rules. A value range is a consecutive sequence of
+	// X values occurring in the database; an X value removed as
+	// inconsistent breaks the run (it occurs but has no single Y).
+	yFor := make(map[string]relation.Value, surviving.Len())
+	for _, t := range surviving.Rows() {
+		yFor[t[1].Key()] = t[0] // S columns are (Y, X)
+	}
+	xs, err := distinctSorted(base, "X")
+	if err != nil {
+		return nil, err
+	}
+	// Occurrences per X value, so run support accumulates in one pass.
+	occurs := make(map[string]int, len(xs))
+	for _, t := range base.Rows() {
+		occurs[t[0].Key()]++
+	}
+
+	type run struct {
+		y       relation.Value
+		lo, hi  relation.Value
+		support int
+	}
+	var runs []run
+	var cur *run
+	for _, x := range xs {
+		y, consistent := yFor[x.Key()]
+		if !consistent {
+			cur = nil
+			continue
+		}
+		if cur != nil && cur.y.Equal(y) {
+			cur.hi = x
+			cur.support += occurs[x.Key()]
+			continue
+		}
+		runs = append(runs, run{y: y, lo: x, hi: x, support: occurs[x.Key()]})
+		cur = &runs[len(runs)-1]
+	}
+
+	// Step 4: prune by support, counted as the number of source instances
+	// the rule is satisfied by.
+	nc := in.opts.effectiveNc(base.Len())
+	var out []*rules.Rule
+	for _, r := range runs {
+		if r.support < nc {
+			continue
+		}
+		out = append(out, &rules.Rule{
+			LHS:     []rules.Clause{rules.RangeClause(p.X, r.lo, r.hi)},
+			RHS:     rules.PointClause(p.Y, r.y),
+			Support: r.support,
+		})
+	}
+	return out, nil
+}
+
+// InduceCharacteristics derives the per-class classification
+// characteristics of Section 3.1 — for every distinct value y of the
+// class column, the observed value range of another attribute:
+//
+//	if classAttr = y then lo <= valueAttr <= hi
+//
+// This is the rule form behind Table 1 ("the displacement of an Attack
+// Aircraft Carrier is in the range 75,700–81,600 tons") and behind
+// backward inference from a subtype to its attribute ranges. Support is
+// the number of instances of the class; classes below the Nc threshold
+// are pruned.
+func (in *Inducer) InduceCharacteristics(src *relation.Relation, classCol, valueCol string, classAttr, valueAttr rules.AttrRef) ([]*rules.Rule, error) {
+	ci, ok := src.Schema().Index(classCol)
+	if !ok {
+		return nil, fmt.Errorf("induct: source %s has no column %q", src.Name(), classCol)
+	}
+	vi, ok := src.Schema().Index(valueCol)
+	if !ok {
+		return nil, fmt.Errorf("induct: source %s has no column %q", src.Name(), valueCol)
+	}
+	type agg struct {
+		class   relation.Value
+		lo, hi  relation.Value
+		support int
+	}
+	groups := map[string]*agg{}
+	var order []string
+	for _, t := range src.Rows() {
+		c, v := t[ci], t[vi]
+		if c.IsNull() || v.IsNull() {
+			continue
+		}
+		k := c.Key()
+		g, ok := groups[k]
+		if !ok {
+			groups[k] = &agg{class: c, lo: v, hi: v, support: 1}
+			order = append(order, k)
+			continue
+		}
+		g.support++
+		if cmp, err := v.Compare(g.lo); err == nil && cmp < 0 {
+			g.lo = v
+		}
+		if cmp, err := v.Compare(g.hi); err == nil && cmp > 0 {
+			g.hi = v
+		}
+	}
+	nc := in.opts.effectiveNc(src.Len())
+	var out []*rules.Rule
+	for _, k := range order {
+		g := groups[k]
+		if g.support < nc {
+			continue
+		}
+		out = append(out, &rules.Rule{
+			LHS:     []rules.Clause{rules.PointClause(classAttr, g.class)},
+			RHS:     rules.RangeClause(valueAttr, g.lo, g.hi),
+			Support: g.support,
+		})
+	}
+	return out, nil
+}
+
+// distinctSorted returns the distinct values of a column in ascending
+// order.
+func distinctSorted(r *relation.Relation, col string) ([]relation.Value, error) {
+	vals, err := r.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{}, len(vals))
+	out := make([]relation.Value, 0, len(vals))
+	for _, v := range vals {
+		if _, dup := seen[v.Key()]; dup {
+			continue
+		}
+		seen[v.Key()] = struct{}{}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out, nil
+}
+
+// CandidatePairs generates the schema-guided candidate attribute pairs of
+// Section 3.2:
+//
+//   - Intra-object pairs: for every declared hierarchy, each attribute of
+//     the object (except the classifying attribute itself) against the
+//     classifying attribute.
+//   - Inter-object pairs: for every relationship, the participants'
+//     identifying attributes (the join attribute and the classifying
+//     attribute) against the other participant's classifying attribute —
+//     including classifying attributes lifted through hierarchy-level
+//     links (e.g. SONAR.Sonar → CLASS.Type through SUBMARINE).
+func (in *Inducer) CandidatePairs() ([]Pair, error) {
+	var out []Pair
+	cat := in.d.Catalog()
+
+	for _, h := range in.d.Hierarchies() {
+		rel, err := cat.Get(h.Object)
+		if err != nil {
+			return nil, err
+		}
+		for _, col := range rel.Schema().Columns() {
+			if strings.EqualFold(col.Name, h.ClassifyingAttr) {
+				continue
+			}
+			out = append(out, Pair{
+				Source: rel,
+				XCol:   col.Name,
+				YCol:   h.ClassifyingAttr,
+				X:      rules.Attr(rel.Name(), col.Name),
+				Y:      h.Attr(),
+			})
+		}
+	}
+
+	for _, r := range in.d.Relationships() {
+		joined, colFor, err := in.materialise(r)
+		if err != nil {
+			return nil, err
+		}
+		parts := r.Participants()
+		for _, a := range parts {
+			xAttrs := in.identifyingAttrs(a, r)
+			for _, b := range parts {
+				if strings.EqualFold(a, b) {
+					continue
+				}
+				for _, y := range in.classifyingChain(b) {
+					yCol, ok := colFor[y.Key()]
+					if !ok {
+						continue
+					}
+					for _, x := range xAttrs {
+						xCol, ok := colFor[x.Key()]
+						if !ok {
+							continue
+						}
+						out = append(out, Pair{
+							Source: joined,
+							XCol:   xCol,
+							YCol:   yCol,
+							X:      x,
+							Y:      y,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// identifyingAttrs returns the attributes of a participant that serve as
+// rule premises: its join attribute in the relationship and its
+// classifying attribute.
+func (in *Inducer) identifyingAttrs(object string, r *dict.Relationship) []rules.AttrRef {
+	var out []rules.AttrRef
+	add := func(a rules.AttrRef) {
+		for _, x := range out {
+			if x.EqualFold(a) {
+				return
+			}
+		}
+		out = append(out, a)
+	}
+	for _, l := range r.Links {
+		if strings.EqualFold(l.To.Relation, object) {
+			add(l.To)
+		}
+	}
+	if h, ok := in.d.Hierarchy(object); ok {
+		add(h.Attr())
+	}
+	return out
+}
+
+// classifyingChain returns the classifying attribute of the object and of
+// every hierarchy level above it.
+func (in *Inducer) classifyingChain(object string) []rules.AttrRef {
+	var out []rules.AttrRef
+	cur := object
+	for depth := 0; depth < 8; depth++ { // bounded against accidental cycles
+		if h, ok := in.d.Hierarchy(cur); ok {
+			out = append(out, h.Attr())
+		}
+		link, ok := in.d.LevelAbove(cur)
+		if !ok {
+			break
+		}
+		cur = link.To.Relation
+	}
+	return out
+}
+
+// materialise joins the relationship relation with all participants (and
+// the hierarchy levels above them) into one wide relation whose columns
+// are qualified "Relation.Attribute". colFor maps attribute keys to the
+// joined column names.
+func (in *Inducer) materialise(r *dict.Relationship) (*relation.Relation, map[string]string, error) {
+	cat := in.d.Catalog()
+	qualify := func(name string) (*relation.Relation, error) {
+		rel, err := cat.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		return rel.RenameColumns(func(c string) string { return rel.Name() + "." + c })
+	}
+
+	joined, err := qualify(r.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	colFor := map[string]string{}
+	record := func(relName string, schemaOf *relation.Relation) {
+		for _, c := range schemaOf.Schema().Columns() {
+			attr := strings.TrimPrefix(c.Name, relName+".")
+			colFor[rules.Attr(relName, attr).Key()] = c.Name
+		}
+	}
+	record(r.Name, joined)
+
+	joinedRels := map[string]bool{strings.ToLower(r.Name): true}
+	var attach func(link dict.Link) error
+	attach = func(link dict.Link) error {
+		target := link.To.Relation
+		if joinedRels[strings.ToLower(target)] {
+			return nil
+		}
+		q, err := qualify(target)
+		if err != nil {
+			return err
+		}
+		j, err := joined.Join(q,
+			relation.JoinOn{
+				Left:  link.From.Relation + "." + link.From.Attribute,
+				Right: target + "." + link.To.Attribute,
+			})
+		if err != nil {
+			return err
+		}
+		joined = j
+		joinedRels[strings.ToLower(target)] = true
+		record(target, q)
+		// Climb hierarchy levels above the newly attached entity.
+		if up, ok := in.d.LevelAbove(target); ok {
+			return attach(up)
+		}
+		return nil
+	}
+	for _, link := range r.Links {
+		if err := attach(link); err != nil {
+			return nil, nil, err
+		}
+	}
+	return joined, colFor, nil
+}
+
+// InduceAll generates candidates, induces every pair, prunes, and returns
+// the numbered rule set — the knowledge base contents.
+func (in *Inducer) InduceAll() (*rules.Set, error) {
+	pairs, err := in.CandidatePairs()
+	if err != nil {
+		return nil, err
+	}
+	set := rules.NewSet()
+	for _, p := range pairs {
+		rs, err := in.InducePair(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			set.Add(r)
+		}
+	}
+	return set, nil
+}

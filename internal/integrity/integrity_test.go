@@ -1,0 +1,315 @@
+package integrity_test
+
+import (
+	"strings"
+	"testing"
+
+	"intensional/internal/integrity"
+	"intensional/internal/ker"
+	"intensional/internal/relation"
+	"intensional/internal/shipdb"
+	"intensional/internal/storage"
+)
+
+const figure1Schema = `
+object type SUBMARINE
+  has key: ShipId domain: char[10]
+  has: ShipName domain: char[20]
+  has: ShipType domain: char[4]
+  has: ShipClass domain: char[4]
+  has: Displacement domain: integer
+  with Displacement in [2000..30000]
+`
+
+func TestBuildCatalogFromFigure1(t *testing.T) {
+	m, err := ker.Parse(figure1Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := integrity.BuildCatalog(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := cat.Get("SUBMARINE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Schema().Len() != 5 {
+		t.Fatalf("schema = %s", rel.Schema())
+	}
+	i := rel.Schema().MustIndex("Displacement")
+	if rel.Schema().Col(i).Type != relation.TInt {
+		t.Errorf("Displacement type = %v", rel.Schema().Col(i).Type)
+	}
+	i = rel.Schema().MustIndex("ShipId")
+	if rel.Schema().Col(i).Type != relation.TString {
+		t.Errorf("ShipId type = %v", rel.Schema().Col(i).Type)
+	}
+}
+
+func TestBuildCatalogObjectDomain(t *testing.T) {
+	m, err := ker.Parse(shipdb.KERSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := integrity.BuildCatalog(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SUBMARINE.Class has object domain CLASS, whose key is char[4]:
+	// the generated column must store strings.
+	sub, err := cat.Get("SUBMARINE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := sub.Schema().MustIndex("Class")
+	if sub.Schema().Col(i).Type != relation.TString {
+		t.Errorf("object-domain column type = %v", sub.Schema().Col(i).Type)
+	}
+	// Skeletal subtypes (SSBN, C0101, ...) generate no relations.
+	if cat.Has("SSBN") || cat.Has("C0101") {
+		t.Error("skeletal subtypes must not generate relations")
+	}
+}
+
+// TestShipDataSatisfiesSchema checks the Appendix C instance against the
+// Appendix B declarations: no violations.
+func TestShipDataSatisfiesSchema(t *testing.T) {
+	m, err := ker.Parse(shipdb.KERSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := integrity.Check(m, shipdb.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("unexpected violation: %s", v)
+	}
+}
+
+// TestDomainRangeViolation injects a displacement outside the Figure 1
+// with-constraint.
+func TestDomainRangeViolation(t *testing.T) {
+	m, err := ker.Parse(figure1Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := integrity.BuildCatalog(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := cat.Get("SUBMARINE")
+	rel.MustInsert(relation.String("S1"), relation.String("Ok Ship"),
+		relation.String("SSN"), relation.String("0201"), relation.Int(5000))
+	rel.MustInsert(relation.String("S2"), relation.String("Too Light"),
+		relation.String("SSN"), relation.String("0201"), relation.Int(500))
+	vs, err := integrity.Check(m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].Row != 1 || !strings.Contains(vs[0].String(), "Displacement in [2000..30000]") {
+		t.Errorf("violation = %s", vs[0])
+	}
+}
+
+// TestConstraintRuleViolation injects a class whose type contradicts the
+// declared Class-range rule.
+func TestConstraintRuleViolation(t *testing.T) {
+	m, err := ker.Parse(shipdb.KERSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := shipdb.Catalog()
+	cls, _ := cat.Get("CLASS")
+	cls.MustInsert(relation.String("0104"), relation.String("Bogus"),
+		relation.String("SSN"), relation.Int(9000)) // 0101..0103->SSBN rule: 0104 outside, fine
+	cls.MustInsert(relation.String("0102"), relation.String("Contradiction"),
+		relation.String("SSN"), relation.Int(9000)) // inside 0101..0103 but typed SSN
+	vs, err := integrity.Check(m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if !strings.Contains(vs[0].Constraint, `then Type = "SSBN"`) {
+		t.Errorf("violation = %s", vs[0])
+	}
+}
+
+// TestCharLengthAndSetViolations exercises char[n] limits and set
+// specifications through a derived-domain chain.
+func TestCharLengthAndSetViolations(t *testing.T) {
+	m, err := ker.Parse(`
+domain CODE isa char[4]
+domain GRADE isa integer set of {1, 2, 3}
+object type T
+  has key: Id domain: integer
+  has: Code domain: CODE
+  has: Grade domain: GRADE
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := integrity.BuildCatalog(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := cat.Get("T")
+	rel.MustInsert(relation.Int(1), relation.String("ABCD"), relation.Int(2))
+	rel.MustInsert(relation.Int(2), relation.String("TOOLONG"), relation.Int(2))
+	rel.MustInsert(relation.Int(3), relation.String("OK"), relation.Int(9))
+	rel.MustInsert(relation.Int(4), relation.Null(), relation.Null()) // nulls pass
+	vs, err := integrity.Check(m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if !strings.Contains(vs[0].Constraint, "char[4]") {
+		t.Errorf("violation 0 = %s", vs[0])
+	}
+	if !strings.Contains(vs[1].Constraint, "set") {
+		t.Errorf("violation 1 = %s", vs[1])
+	}
+}
+
+// TestHasInstanceLoading: the KER classification construct puts the
+// extension into the schema file; BuildCatalog materialises it.
+func TestHasInstanceLoading(t *testing.T) {
+	m, err := ker.Parse(`
+object type SUBMARINE
+  has key: Id domain: char[10]
+  has: Name domain: char[20]
+  has: Displacement domain: integer
+  with Displacement in [2000..30000]
+
+instance of SUBMARINE (Id = "SSBN730", Name = "Rhode Island", Displacement = 16600)
+instance of SUBMARINE (Id = "SSBN130", Name = "Typhoon", Displacement = "30000")
+instance of SUBMARINE (Id = "SSX999")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := integrity.BuildCatalog(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := cat.Get("SUBMARINE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("instances = %d:\n%s", rel.Len(), rel)
+	}
+	if rel.Row(0)[1].Str() != "Rhode Island" || rel.Row(0)[2].Int64() != 16600 {
+		t.Errorf("row 0 = %v", rel.Row(0))
+	}
+	// The quoted "30000" coerces into the integer column.
+	if rel.Row(1)[2].Int64() != 30000 {
+		t.Errorf("row 1 = %v", rel.Row(1))
+	}
+	// Unassigned attributes are null.
+	if !rel.Row(2)[1].IsNull() || !rel.Row(2)[2].IsNull() {
+		t.Errorf("row 2 = %v", rel.Row(2))
+	}
+	// The loaded data passes its own constraints.
+	vs, err := integrity.Check(m, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("violations = %v", vs)
+	}
+}
+
+func TestHasInstanceErrors(t *testing.T) {
+	if _, err := ker.Parse(`instance of NOPE (Id = 1)`); err == nil {
+		t.Error("instance of unknown type should error")
+	}
+	if _, err := ker.Parse(`
+object type T
+  has key: Id domain: integer
+instance of T (Nope = 1)
+`); err == nil {
+		t.Error("instance with unknown attribute should error")
+	}
+	if _, err := ker.Parse(`
+object type T
+  has key: Id domain: integer
+instance of T (Id = 1, Id = 2)
+`); err == nil {
+		t.Error("duplicate attribute assignment should error")
+	}
+	if _, err := ker.Parse(`
+object type T
+  has key: Id domain: integer
+instance of T (Id = 1
+`); err == nil {
+		t.Error("unterminated instance should error")
+	}
+	// A value that cannot coerce fails at catalog build time.
+	m, err := ker.Parse(`
+object type T
+  has key: Id domain: integer
+instance of T (Id = "xyz")
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := integrity.BuildCatalog(m); err == nil {
+		t.Error("uncoercible instance value should fail BuildCatalog")
+	}
+}
+
+func TestCheckSkipsMissingRelations(t *testing.T) {
+	m, err := ker.Parse(figure1Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := integrity.Check(m, storage.NewCatalog())
+	if err != nil || len(vs) != 0 {
+		t.Errorf("missing relations should be skipped: %v %v", vs, err)
+	}
+}
+
+func TestCheckUnknownAttribute(t *testing.T) {
+	m, err := ker.Parse(figure1Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := storage.NewCatalog()
+	// A SUBMARINE relation lacking the declared attributes.
+	if _, err := cat.Create("SUBMARINE", relation.MustSchema(
+		relation.Column{Name: "X", Type: relation.TInt})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := integrity.Check(m, cat); err == nil {
+		t.Error("relation missing declared attributes should error")
+	}
+}
+
+func TestBuildCatalogErrors(t *testing.T) {
+	// Object domain without a key.
+	m := ker.NewModel()
+	if err := m.AddObjectType(&ker.ObjectType{
+		Name:  "NOKEY",
+		Attrs: []ker.Attribute{{Name: "A", Domain: "integer"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddObjectType(&ker.ObjectType{
+		Name:  "REF",
+		Attrs: []ker.Attribute{{Name: "B", Domain: "NOKEY"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := integrity.BuildCatalog(m); err == nil {
+		t.Error("object domain without key should error")
+	}
+}

@@ -1,0 +1,124 @@
+package ker
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderType prints one object type in the Figure 1 box format:
+//
+//	object type SUBMARINE
+//	  has key: ShipId        domain: char[10]
+//	  has:     ShipName      domain: char[20]
+//	  with Displacement in [2000..30000]
+func RenderType(o *ObjectType) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "object type %s\n", o.Name)
+	width := 0
+	for _, a := range o.Attrs {
+		if len(a.Name) > width {
+			width = len(a.Name)
+		}
+	}
+	for _, a := range o.Attrs {
+		label := "has:    "
+		if a.Key {
+			label = "has key:"
+		}
+		fmt.Fprintf(&b, "  %s %-*s domain: %s\n", label, width, a.Name, a.Domain)
+	}
+	for i, c := range o.Constraints {
+		if i == 0 {
+			b.WriteString("  with ")
+		} else {
+			b.WriteString("       ")
+		}
+		b.WriteString(c.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderHierarchy prints the type hierarchy rooted at the named type as an
+// indented tree (the Figure 2 picture), including derivation
+// specifications:
+//
+//	SUBMARINE
+//	├── SSBN  with ShipType = "SSBN"
+//	│   ├── CLASS-0101
+//	...
+func (m *Model) RenderHierarchy(root string) string {
+	var b strings.Builder
+	o, ok := m.Type(root)
+	if !ok {
+		return ""
+	}
+	b.WriteString(o.Name)
+	b.WriteString("\n")
+	var walk func(t *ObjectType, prefix string)
+	walk = func(t *ObjectType, prefix string) {
+		for i, subName := range t.Subtypes {
+			sub, ok := m.Type(subName)
+			if !ok {
+				continue
+			}
+			connector, childPrefix := "├── ", prefix+"│   "
+			if i == len(t.Subtypes)-1 {
+				connector, childPrefix = "└── ", prefix+"    "
+			}
+			b.WriteString(prefix + connector + sub.Name)
+			if len(sub.Derivation) > 0 {
+				conds := make([]string, len(sub.Derivation))
+				for j, c := range sub.Derivation {
+					conds[j] = c.String()
+				}
+				b.WriteString("  with " + strings.Join(conds, " and "))
+			}
+			b.WriteString("\n")
+			walk(sub, childPrefix)
+		}
+	}
+	walk(o, "")
+	return b.String()
+}
+
+// RenderModel prints the whole schema: domains, object types, and the
+// hierarchies from each root — the textual equivalent of the Figure 4 KER
+// diagram.
+func (m *Model) RenderModel() string {
+	var b strings.Builder
+	doms := m.Domains()
+	if len(doms) > 0 {
+		b.WriteString("domains:\n")
+		for _, d := range doms {
+			fmt.Fprintf(&b, "  domain %s isa %s", d.Name, d.Base)
+			if d.HasRange {
+				fmt.Fprintf(&b, " range %s", d.Range)
+			}
+			if len(d.Set) > 0 {
+				parts := make([]string, len(d.Set))
+				for i, v := range d.Set {
+					parts[i] = v.String()
+				}
+				fmt.Fprintf(&b, " set of {%s}", strings.Join(parts, ", "))
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	for _, o := range m.Types() {
+		if len(o.Attrs) == 0 {
+			continue // skeletal subtypes render inside hierarchies
+		}
+		b.WriteString(RenderType(o))
+		b.WriteString("\n")
+	}
+	for _, root := range m.RootTypes() {
+		if len(root.Subtypes) == 0 {
+			continue
+		}
+		b.WriteString(m.RenderHierarchy(root.Name))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package ker_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"intensional/internal/ker"
+)
+
+// TestKERParseNeverPanicsProperty feeds random token soup to the KER
+// parser: rejection is fine, panicking is not.
+func TestKERParseNeverPanicsProperty(t *testing.T) {
+	words := []string{
+		"domain", "isa", "object", "type", "has", "key", "domain:", "with",
+		"contains", "if", "then", "and", "in", "range", "set", "of",
+		"char", "[", "]", "{", "}", "(", ")", ",", ":", "..", ".",
+		"=", "<=", ">=", "T", "X", "x", "integer", `"v"`, "1", "2.5", "/*", "*/",
+	}
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rr := rand.New(rand.NewSource(seed))
+		n := rr.Intn(30)
+		src := ""
+		for i := 0; i < n; i++ {
+			src += words[rr.Intn(len(words))] + " "
+		}
+		_, _ = ker.Parse(src)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKERParseNeverPanicsOnBytes drives the lexer with raw random bytes.
+func TestKERParseNeverPanicsOnBytes(t *testing.T) {
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rr := rand.New(rand.NewSource(seed))
+		n := rr.Intn(80)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rr.Intn(128))
+		}
+		_, _ = ker.Parse(string(b))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,329 @@
+package ker_test
+
+import (
+	"strings"
+	"testing"
+
+	"intensional/internal/ker"
+	"intensional/internal/relation"
+	"intensional/internal/shipdb"
+)
+
+func parseShipSchema(t *testing.T) *ker.Model {
+	t.Helper()
+	m, err := ker.Parse(shipdb.KERSchema)
+	if err != nil {
+		t.Fatalf("parsing Appendix B schema: %v", err)
+	}
+	return m
+}
+
+func TestParseShipSchemaDomains(t *testing.T) {
+	m := parseShipSchema(t)
+	d, ok := m.Domain("CLASS_NAME")
+	if !ok {
+		t.Fatal("domain CLASS_NAME missing")
+	}
+	if d.Base != "NAME" || d.Storage != relation.TString {
+		t.Errorf("CLASS_NAME = %+v", d)
+	}
+	// char[20] resolves through the derived chain.
+	name, ok := m.Domain("NAME")
+	if !ok || name.CharLen != 20 {
+		t.Errorf("NAME domain = %+v", name)
+	}
+	if got := len(m.Domains()); got != 5 {
+		t.Errorf("non-standard domains = %d, want 5", got)
+	}
+}
+
+func TestParseShipSchemaTypes(t *testing.T) {
+	m := parseShipSchema(t)
+	cls, ok := m.Type("CLASS")
+	if !ok {
+		t.Fatal("CLASS missing")
+	}
+	if len(cls.Attrs) != 4 {
+		t.Fatalf("CLASS attrs = %v", cls.Attrs)
+	}
+	if key := cls.KeyAttrs(); len(key) != 1 || key[0].Name != "Class" {
+		t.Errorf("CLASS key = %v", key)
+	}
+	if a, ok := cls.Attr("displacement"); !ok || a.Domain != "integer" {
+		t.Errorf("Displacement attr = %v %v", a, ok)
+	}
+	// Two constraint rules plus two structure rules from "CLASS contains".
+	if len(cls.Constraints) != 4 {
+		t.Errorf("CLASS constraints = %d:\n", len(cls.Constraints))
+		for _, c := range cls.Constraints {
+			t.Logf("  %s", c)
+		}
+	}
+	inst, ok := m.Type("INSTALL")
+	if !ok {
+		t.Fatal("INSTALL missing")
+	}
+	if len(inst.Constraints) != 4 {
+		t.Errorf("INSTALL constraints = %d", len(inst.Constraints))
+	}
+	sr, ok := inst.Constraints[3].(ker.StructureRule)
+	if !ok {
+		t.Fatalf("INSTALL constraint 3 is %T", inst.Constraints[3])
+	}
+	if len(sr.Roles) != 2 || sr.ConclVar != "x" || sr.ConclIsa != "SSN" {
+		t.Errorf("structure rule = %+v", sr)
+	}
+	if len(sr.LHS) != 1 || sr.LHS[0].Ref() != "y.Sonar" || !sr.LHS[0].IsPoint() {
+		t.Errorf("structure rule LHS = %v", sr.LHS)
+	}
+}
+
+func TestParseShipSchemaHierarchy(t *testing.T) {
+	m := parseShipSchema(t)
+	cls, _ := m.Type("CLASS")
+	if len(cls.Subtypes) != 2 {
+		t.Fatalf("CLASS subtypes = %v", cls.Subtypes)
+	}
+	if !m.IsSubtypeOf("SSBN", "CLASS") {
+		t.Error("SSBN should be a subtype of CLASS")
+	}
+	if m.IsSubtypeOf("CLASS", "SSBN") {
+		t.Error("CLASS is not a subtype of SSBN")
+	}
+	sub, _ := m.Type("SUBMARINE")
+	if len(sub.Subtypes) != 13 {
+		t.Errorf("SUBMARINE subtypes = %d, want 13", len(sub.Subtypes))
+	}
+	sonar, _ := m.Type("SONAR")
+	if len(sonar.Subtypes) != 3 {
+		t.Errorf("SONAR subtypes = %v", sonar.Subtypes)
+	}
+	roots := m.RootTypes()
+	names := make([]string, len(roots))
+	for i, r := range roots {
+		names[i] = r.Name
+	}
+	for _, want := range []string{"CLASS", "SUBMARINE", "TYPE", "SONAR", "INSTALL"} {
+		if !containsAnyFold(names, want) {
+			t.Errorf("roots %v missing %s", names, want)
+		}
+	}
+}
+
+func TestInheritance(t *testing.T) {
+	m, err := ker.Parse(`
+object type PERSON
+  has key: Id domain: integer
+  has: Name domain: char[20]
+
+PERSON contains PROFESSOR, STUDENT
+
+object type PROFESSOR
+  has: Name domain: char[40]
+  has: Rank domain: char[10]
+`)
+	// PROFESSOR is declared both as a subtype (skeletal) and with its own
+	// attributes — the standalone definition must be rejected as duplicate
+	// only if declared twice as a full type. Here the contains statement
+	// precedes, so the full definition collides.
+	if err == nil {
+		prof, ok := m.Type("PROFESSOR")
+		if !ok {
+			t.Fatal("PROFESSOR missing")
+		}
+		_ = prof
+	}
+	// Declare full type first, then hierarchy: inheritance must work.
+	m, err = ker.Parse(`
+object type PERSON
+  has key: Id domain: integer
+  has: Name domain: char[20]
+
+object type PROFESSOR
+  has: Name domain: char[40]
+  has: Rank domain: char[10]
+
+PERSON contains PROFESSOR, STUDENT
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := m.InheritedAttrs("PROFESSOR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 3 {
+		t.Fatalf("inherited attrs = %v", attrs)
+	}
+	// Redefined Name shadows the supertype's char[20] version.
+	for _, a := range attrs {
+		if a.Name == "Name" && a.Domain != "char[40]" {
+			t.Errorf("Name domain = %s, want subtype's char[40]", a.Domain)
+		}
+	}
+	attrs, err = m.InheritedAttrs("STUDENT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 2 {
+		t.Errorf("STUDENT inherits %d attrs, want 2", len(attrs))
+	}
+	if _, err := m.InheritedAttrs("NOPE"); err == nil {
+		t.Error("InheritedAttrs of unknown type should error")
+	}
+}
+
+func TestDomainSpecs(t *testing.T) {
+	m, err := ker.Parse(`
+domain AGE isa integer range [0..200]
+domain GRADE isa integer set of {1, 2, 3}
+object type EMP
+  has key: Id domain: integer
+  has: Age domain: AGE
+  has: Grade domain: GRADE
+  with Age in [18..65]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	age, ok := m.Domain("AGE")
+	if !ok || !age.HasRange {
+		t.Fatalf("AGE = %+v", age)
+	}
+	if !age.Range.Contains(relation.Int(100)) || age.Range.Contains(relation.Int(201)) {
+		t.Errorf("AGE range = %s", age.Range)
+	}
+	grade, ok := m.Domain("GRADE")
+	if !ok || len(grade.Set) != 3 {
+		t.Fatalf("GRADE = %+v", grade)
+	}
+	emp, _ := m.Type("EMP")
+	drc, ok := emp.Constraints[0].(ker.DomainRangeConstraint)
+	if !ok || drc.Attr != "Age" {
+		t.Errorf("constraint = %v", emp.Constraints[0])
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := ker.Parse(`
+object type A
+  has key: X domain: NOPE
+`); err == nil {
+		t.Error("unknown attribute domain should fail validation")
+	}
+	if _, err := ker.Parse(`
+object type A
+  has key: X domain: integer
+object type B
+  has key: Y domain: integer
+A contains B
+B contains A
+`); err == nil {
+		t.Error("hierarchy cycle should fail validation")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"object type",                       // missing name
+		"object type T",                     // no attributes
+		"object type T has",                 // incomplete attribute
+		"object type T has key: X",          // missing domain
+		"domain D",                          // missing isa
+		"domain D isa NOPE",                 // unknown base
+		"domain D isa integer range [1..",   // unterminated range
+		"domain D isa integer set of {1, 2", // unterminated set
+		"bogus",                             // unknown statement
+		"/* unterminated",                   // unterminated comment
+		`object type T has key: X domain: integer with if X = 1 then 2 <= Y <= 3`,       // non-point consequence
+		`object type T has key: X domain: integer with if x isa T and X = 1 then Y = 2`, // roles in constraint rule
+	}
+	for _, src := range bad {
+		if _, err := ker.Parse(src); err == nil {
+			t.Errorf("ker.Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestDuplicateDefinitions(t *testing.T) {
+	if _, err := ker.Parse("domain D isa integer\ndomain D isa integer"); err == nil {
+		t.Error("duplicate domain should error")
+	}
+	if _, err := ker.Parse(`
+object type T
+  has key: X domain: integer
+object type T
+  has key: X domain: integer
+`); err == nil {
+		t.Error("duplicate object type should error")
+	}
+}
+
+func TestRenderType(t *testing.T) {
+	m := parseShipSchema(t)
+	cls, _ := m.Type("CLASS")
+	out := ker.RenderType(cls)
+	for _, want := range []string{"object type CLASS", "has key: Class", "domain: integer", "with if"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderType missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderHierarchy(t *testing.T) {
+	m := parseShipSchema(t)
+	out := m.RenderHierarchy("SONAR")
+	for _, want := range []string{"SONAR", "BQQ", "BQS", "TACTAS", "└──"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderHierarchy missing %q:\n%s", want, out)
+		}
+	}
+	if m.RenderHierarchy("NOPE") != "" {
+		t.Error("unknown root should render empty")
+	}
+}
+
+func TestRenderModel(t *testing.T) {
+	m := parseShipSchema(t)
+	out := m.RenderModel()
+	for _, want := range []string{"domains:", "object type SUBMARINE", "object type INSTALL", "C1301"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderModel missing %q", want)
+		}
+	}
+}
+
+func TestDerivationSpec(t *testing.T) {
+	m, err := ker.Parse(`
+object type SUBMARINE
+  has key: Id domain: char[7]
+  has: ShipType domain: char[4]
+SSBN isa SUBMARINE with ShipType = "SSBN"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssbn, ok := m.Type("SSBN")
+	if !ok {
+		t.Fatal("SSBN missing")
+	}
+	if len(ssbn.Derivation) != 1 || ssbn.Derivation[0].String() != `ShipType = "SSBN"` {
+		t.Errorf("derivation = %v", ssbn.Derivation)
+	}
+	if !m.IsSubtypeOf("SSBN", "SUBMARINE") {
+		t.Error("SSBN should be a subtype of SUBMARINE")
+	}
+	out := m.RenderHierarchy("SUBMARINE")
+	if !strings.Contains(out, `with ShipType = "SSBN"`) {
+		t.Errorf("hierarchy should show derivation:\n%s", out)
+	}
+}
+
+func containsAnyFold(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}

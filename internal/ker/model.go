@@ -1,0 +1,442 @@
+// Package ker implements the Knowledge-based Entity-Relationship data
+// model of Section 2: domains (standard, derived, object), object types
+// with has/has-key attributes and with-constraints, type hierarchies via
+// isa/contains with derivation specifications, and the three constraint
+// forms of the Appendix A BNF (domain range constraints, constraint
+// rules, structure rules). A recursive-descent parser reads the DDL and a
+// renderer prints the textual KER diagrams of Figures 1–5.
+package ker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+)
+
+// DomainKind discriminates domain definitions.
+type DomainKind uint8
+
+const (
+	// DomainStandard is one of the built-in domains (string, integer,
+	// real, date, char[n]).
+	DomainStandard DomainKind = iota
+	// DomainDerived is defined on another domain, optionally restricted
+	// by a range or set specification.
+	DomainDerived
+	// DomainObject is an attribute domain that is itself an object type
+	// (e.g. SUBMARINE has Class domain CLASS).
+	DomainObject
+)
+
+// Domain is a value domain.
+type Domain struct {
+	Name    string
+	Kind    DomainKind
+	Base    string        // for derived domains: the parent domain's name
+	Storage relation.Type // resolved base storage type
+	CharLen int           // for char[n]; 0 when unbounded
+
+	// Optional domain specification.
+	HasRange bool
+	Range    rules.Interval
+	Set      []relation.Value
+}
+
+// Attribute is one has/has-key property of an object type.
+type Attribute struct {
+	Name   string
+	Domain string // domain name (standard, derived, or an object type)
+	Key    bool
+}
+
+// Cond is an attribute condition inside a constraint rule: Lo <= attr <=
+// Hi, with point conditions for equality.
+type Cond struct {
+	Var  string // optional role variable ("x.Displacement"); empty for bare attributes
+	Attr string
+	Lo   relation.Value
+	Hi   relation.Value
+}
+
+// IsPoint reports whether the condition pins a single value.
+func (c Cond) IsPoint() bool { return c.Lo.Equal(c.Hi) }
+
+// Ref renders the attribute reference ("x.Displacement" or "Displacement").
+func (c Cond) Ref() string {
+	if c.Var == "" {
+		return c.Attr
+	}
+	return c.Var + "." + c.Attr
+}
+
+// String renders the condition the way the paper writes clauses.
+func (c Cond) String() string {
+	if c.IsPoint() {
+		return fmt.Sprintf("%s = %s", c.Ref(), c.Lo.GoString())
+	}
+	return fmt.Sprintf("%s <= %s <= %s", c.Lo.GoString(), c.Ref(), c.Hi.GoString())
+}
+
+// Constraint is a with-clause item.
+type Constraint interface {
+	constraint()
+	String() string
+}
+
+// DomainRangeConstraint is "Attr in [lo..hi]".
+type DomainRangeConstraint struct {
+	Attr  string
+	Range rules.Interval
+}
+
+// ConstraintRule is "if conds then Attr = value" over the attributes of a
+// single object type.
+type ConstraintRule struct {
+	LHS []Cond
+	RHS Cond
+}
+
+// Role is a variable declaration in a structure rule ("x isa SUBMARINE").
+type Role struct {
+	Var  string
+	Type string
+}
+
+// StructureRule is "if roles and conds then var isa Type" — the form that
+// classifies instances into subtypes, possibly across a relationship.
+type StructureRule struct {
+	Roles    []Role
+	LHS      []Cond
+	ConclVar string
+	ConclIsa string
+}
+
+func (DomainRangeConstraint) constraint() {}
+func (ConstraintRule) constraint()        {}
+func (StructureRule) constraint()         {}
+
+func (d DomainRangeConstraint) String() string {
+	return fmt.Sprintf("%s in %s", d.Attr, d.Range)
+}
+
+func (r ConstraintRule) String() string {
+	parts := make([]string, len(r.LHS))
+	for i, c := range r.LHS {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("if %s then %s", strings.Join(parts, " and "), r.RHS)
+}
+
+func (r StructureRule) String() string {
+	var parts []string
+	for _, role := range r.Roles {
+		parts = append(parts, role.Var+" isa "+role.Type)
+	}
+	for _, c := range r.LHS {
+		parts = append(parts, c.String())
+	}
+	return fmt.Sprintf("if %s then %s isa %s", strings.Join(parts, " and "), r.ConclVar, r.ConclIsa)
+}
+
+// ObjectType is an entity or relationship type (both are object types in
+// KER, modelled with the has/with construct).
+type ObjectType struct {
+	Name        string
+	Attrs       []Attribute
+	Constraints []Constraint
+
+	// Hierarchy links (generalisation/specialisation).
+	Supertypes []string
+	Subtypes   []string
+
+	// Derivation specification for a derived subtype ("SSBN isa SUBMARINE
+	// with ShipType = SSBN").
+	Derivation []Cond
+}
+
+// Attr returns the named attribute.
+func (o *ObjectType) Attr(name string) (Attribute, bool) {
+	for _, a := range o.Attrs {
+		if strings.EqualFold(a.Name, name) {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// KeyAttrs returns the primary-key attributes.
+func (o *ObjectType) KeyAttrs() []Attribute {
+	var out []Attribute
+	for _, a := range o.Attrs {
+		if a.Key {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Instance is one has-instance (classification) declaration: a named
+// tuple of attribute values belonging to an object type.
+type Instance struct {
+	Type   string
+	Values map[string]relation.Value // lower(attribute) → value
+}
+
+// Model is a parsed KER schema: the domains, object types, the type
+// hierarchy they form, and any instances declared with the has-instance
+// construct.
+type Model struct {
+	domains   map[string]*Domain
+	types     map[string]*ObjectType
+	order     []string // object type declaration order
+	instances []Instance
+}
+
+// NewModel returns an empty model pre-populated with the standard domains.
+func NewModel() *Model {
+	m := &Model{
+		domains: make(map[string]*Domain),
+		types:   make(map[string]*ObjectType),
+	}
+	for _, d := range []*Domain{
+		{Name: "string", Kind: DomainStandard, Storage: relation.TString},
+		{Name: "integer", Kind: DomainStandard, Storage: relation.TInt},
+		{Name: "real", Kind: DomainStandard, Storage: relation.TFloat},
+		{Name: "date", Kind: DomainStandard, Storage: relation.TString},
+	} {
+		m.domains[d.Name] = d
+	}
+	return m
+}
+
+func lower(s string) string { return strings.ToLower(s) }
+
+// AddDomain registers a domain definition.
+func (m *Model) AddDomain(d *Domain) error {
+	key := lower(d.Name)
+	if _, dup := m.domains[key]; dup {
+		return fmt.Errorf("ker: duplicate domain %q", d.Name)
+	}
+	m.domains[key] = d
+	return nil
+}
+
+// Domain resolves a domain by name. char[n] domains are synthesised on
+// demand.
+func (m *Model) Domain(name string) (*Domain, bool) {
+	key := lower(name)
+	if d, ok := m.domains[key]; ok {
+		return d, true
+	}
+	var n int
+	if _, err := fmt.Sscanf(key, "char[%d]", &n); err == nil {
+		d := &Domain{Name: key, Kind: DomainStandard, Storage: relation.TString, CharLen: n}
+		m.domains[key] = d
+		return d, true
+	}
+	return nil, false
+}
+
+// AddObjectType registers an object type. Creating a type twice merges
+// attribute-less hierarchy declarations into the existing definition.
+func (m *Model) AddObjectType(o *ObjectType) error {
+	key := lower(o.Name)
+	if _, dup := m.types[key]; dup {
+		return fmt.Errorf("ker: duplicate object type %q", o.Name)
+	}
+	m.types[key] = o
+	m.order = append(m.order, o.Name)
+	return nil
+}
+
+// Type resolves an object type by name.
+func (m *Model) Type(name string) (*ObjectType, bool) {
+	o, ok := m.types[lower(name)]
+	return o, ok
+}
+
+// ensureType returns the named type, creating a skeletal one if needed —
+// used by hierarchy declarations whose subtypes have no standalone
+// definition (e.g. "SONAR contains BQQ, BQS, TACTAS").
+func (m *Model) ensureType(name string) *ObjectType {
+	if o, ok := m.Type(name); ok {
+		return o
+	}
+	o := &ObjectType{Name: name}
+	m.types[lower(name)] = o
+	m.order = append(m.order, name)
+	return o
+}
+
+// Types returns the object types in declaration order.
+func (m *Model) Types() []*ObjectType {
+	out := make([]*ObjectType, len(m.order))
+	for i, n := range m.order {
+		out[i] = m.types[lower(n)]
+	}
+	return out
+}
+
+// Domains returns the non-standard domains sorted by name.
+func (m *Model) Domains() []*Domain {
+	var out []*Domain
+	for _, d := range m.domains {
+		if d.Kind != DomainStandard {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LinkSubtype records "sub isa super" in both directions.
+func (m *Model) LinkSubtype(super, sub string) {
+	sup := m.ensureType(super)
+	s := m.ensureType(sub)
+	if !containsFold(sup.Subtypes, sub) {
+		sup.Subtypes = append(sup.Subtypes, sub)
+	}
+	if !containsFold(s.Supertypes, super) {
+		s.Supertypes = append(s.Supertypes, super)
+	}
+}
+
+func containsFold(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSubtypeOf reports whether sub is a (transitive) subtype of super.
+func (m *Model) IsSubtypeOf(sub, super string) bool {
+	if strings.EqualFold(sub, super) {
+		return true
+	}
+	o, ok := m.Type(sub)
+	if !ok {
+		return false
+	}
+	for _, p := range o.Supertypes {
+		if m.IsSubtypeOf(p, super) {
+			return true
+		}
+	}
+	return false
+}
+
+// InheritedAttrs returns the type's attributes including those inherited
+// from all supertypes. An attribute redefined in the subtype shadows the
+// supertype's definition, as Section 2 requires.
+func (m *Model) InheritedAttrs(name string) ([]Attribute, error) {
+	o, ok := m.Type(name)
+	if !ok {
+		return nil, fmt.Errorf("ker: no object type %q", name)
+	}
+	seen := map[string]bool{}
+	var out []Attribute
+	var visit func(t *ObjectType)
+	visit = func(t *ObjectType) {
+		for _, a := range t.Attrs {
+			if !seen[lower(a.Name)] {
+				seen[lower(a.Name)] = true
+				out = append(out, a)
+			}
+		}
+		for _, p := range t.Supertypes {
+			if pt, ok := m.Type(p); ok {
+				visit(pt)
+			}
+		}
+	}
+	visit(o)
+	return out, nil
+}
+
+// AddInstance records a has-instance declaration.
+func (m *Model) AddInstance(inst Instance) error {
+	o, ok := m.Type(inst.Type)
+	if !ok {
+		return fmt.Errorf("ker: instance of unknown object type %q", inst.Type)
+	}
+	for attr := range inst.Values {
+		if _, ok := o.Attr(attr); !ok {
+			return fmt.Errorf("ker: instance of %s assigns unknown attribute %q", inst.Type, attr)
+		}
+	}
+	m.instances = append(m.instances, inst)
+	return nil
+}
+
+// Instances returns the declared instances of the named object type in
+// declaration order.
+func (m *Model) Instances(typeName string) []Instance {
+	var out []Instance
+	for _, inst := range m.instances {
+		if strings.EqualFold(inst.Type, typeName) {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// RootTypes returns the object types with no supertype, in declaration
+// order — the roots of the type hierarchies.
+func (m *Model) RootTypes() []*ObjectType {
+	var out []*ObjectType
+	for _, o := range m.Types() {
+		if len(o.Supertypes) == 0 {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Validate checks referential integrity: every attribute domain resolves,
+// every constraint names declared attributes, and the hierarchy is
+// acyclic.
+func (m *Model) Validate() error {
+	for _, o := range m.Types() {
+		for _, a := range o.Attrs {
+			if _, ok := m.Domain(a.Domain); ok {
+				continue
+			}
+			if _, ok := m.Type(a.Domain); ok {
+				continue // object domain
+			}
+			return fmt.Errorf("ker: %s.%s: unknown domain %q", o.Name, a.Name, a.Domain)
+		}
+	}
+	// Cycle check via DFS colouring.
+	state := map[string]int{} // 0 unvisited, 1 in-progress, 2 done
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch state[lower(name)] {
+		case 1:
+			return fmt.Errorf("ker: type hierarchy cycle through %q", name)
+		case 2:
+			return nil
+		}
+		state[lower(name)] = 1
+		if o, ok := m.Type(name); ok {
+			for _, sub := range o.Subtypes {
+				if err := visit(sub); err != nil {
+					return err
+				}
+			}
+		}
+		state[lower(name)] = 2
+		return nil
+	}
+	for _, o := range m.Types() {
+		if err := visit(o.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,743 @@
+package ker
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+)
+
+// The DDL accepted here is the Appendix A grammar in the concrete spelling
+// Appendix B uses:
+//
+//	domain CLASS_NAME isa NAME
+//	domain AGE isa integer range [0..200]
+//	domain GRADE isa integer set of {1, 2, 3}
+//
+//	object type CLASS
+//	  has key: Class domain: char[4]
+//	  has: Type domain: TYPE
+//	  has: Displacement domain: integer
+//	  with Displacement in [2000..30000],
+//	       if "0101" <= Class <= "0103" then Type = "SSBN"
+//
+//	CLASS contains SSBN, SSN
+//	  with if x isa CLASS and 2145 <= x.Displacement <= 6955 then x isa SSN
+//
+//	SSBN isa SUBMARINE with ShipType = "SSBN"
+//
+// Colons after has/key/domain are optional; /* ... */ comments are
+// ignored; with-constraints are comma-separated per the BNF.
+
+type kTokKind uint8
+
+const (
+	kEOF kTokKind = iota
+	kIdent
+	kNumber
+	kString
+	kOp     // = <= >= < >
+	kLBrack // [
+	kRBrack // ]
+	kLBrace // {
+	kRBrace // }
+	kLParen // (
+	kRParen // )
+	kComma
+	kColon
+	kDot
+	kDotDot
+)
+
+type kTok struct {
+	kind kTokKind
+	text string
+	line int
+}
+
+func (t kTok) String() string {
+	if t.kind == kEOF {
+		return "end of schema"
+	}
+	return strconv.Quote(t.text)
+}
+
+func lexKER(src string) ([]kTok, error) {
+	var out []kTok
+	line := 1
+	i := 0
+	peek := func(n int) byte {
+		if i+n < len(src) {
+			return src[i+n]
+		}
+		return 0
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && peek(1) == '*':
+			j := i + 2
+			for j+1 < len(src) && !(src[j] == '*' && src[j+1] == '/') {
+				if src[j] == '\n' {
+					line++
+				}
+				j++
+			}
+			if j+1 >= len(src) {
+				return nil, fmt.Errorf("ker: line %d: unterminated comment", line)
+			}
+			i = j + 2
+		case c == '[':
+			out = append(out, kTok{kLBrack, "[", line})
+			i++
+		case c == ']':
+			out = append(out, kTok{kRBrack, "]", line})
+			i++
+		case c == '{':
+			out = append(out, kTok{kLBrace, "{", line})
+			i++
+		case c == '}':
+			out = append(out, kTok{kRBrace, "}", line})
+			i++
+		case c == '(':
+			out = append(out, kTok{kLParen, "(", line})
+			i++
+		case c == ')':
+			out = append(out, kTok{kRParen, ")", line})
+			i++
+		case c == ',':
+			out = append(out, kTok{kComma, ",", line})
+			i++
+		case c == ':':
+			out = append(out, kTok{kColon, ":", line})
+			i++
+		case c == '.':
+			if peek(1) == '.' {
+				out = append(out, kTok{kDotDot, "..", line})
+				i += 2
+			} else {
+				out = append(out, kTok{kDot, ".", line})
+				i++
+			}
+		case c == '=':
+			out = append(out, kTok{kOp, "=", line})
+			i++
+		case c == '<':
+			if peek(1) == '=' {
+				out = append(out, kTok{kOp, "<=", line})
+				i += 2
+			} else {
+				out = append(out, kTok{kOp, "<", line})
+				i++
+			}
+		case c == '>':
+			if peek(1) == '=' {
+				out = append(out, kTok{kOp, ">=", line})
+				i += 2
+			} else {
+				out = append(out, kTok{kOp, ">", line})
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var b strings.Builder
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("ker: line %d: newline in string", line)
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("ker: line %d: unterminated string", line)
+			}
+			out = append(out, kTok{kString, b.String(), line})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && peek(1) >= '0' && peek(1) <= '9'):
+			j := i
+			if src[j] == '-' {
+				j++
+			}
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			// Fractional part, but not a ".." range separator.
+			if j+1 < len(src) && src[j] == '.' && src[j+1] >= '0' && src[j+1] <= '9' {
+				j++
+				for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+					j++
+				}
+			}
+			out = append(out, kTok{kNumber, src[i:j], line})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '-') {
+				j++
+			}
+			out = append(out, kTok{kIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("ker: line %d: unexpected character %q", line, c)
+		}
+	}
+	out = append(out, kTok{kind: kEOF, line: line})
+	return out, nil
+}
+
+type kParser struct {
+	toks  []kTok
+	i     int
+	model *Model
+}
+
+// Parse parses a KER schema definition into a validated model.
+func Parse(src string) (*Model, error) {
+	toks, err := lexKER(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &kParser{toks: toks, model: NewModel()}
+	for p.cur().kind != kEOF {
+		if err := p.parseDefinition(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.model.Validate(); err != nil {
+		return nil, err
+	}
+	return p.model, nil
+}
+
+func (p *kParser) cur() kTok  { return p.toks[p.i] }
+func (p *kParser) next() kTok { t := p.toks[p.i]; p.i++; return t }
+
+func (p *kParser) keyword(kw string) bool {
+	t := p.cur()
+	if t.kind == kIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *kParser) peekKeyword(n int, kw string) bool {
+	if p.i+n >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.i+n]
+	return t.kind == kIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *kParser) expectIdent(what string) (string, error) {
+	t := p.cur()
+	if t.kind != kIdent {
+		return "", fmt.Errorf("ker: line %d: expected %s, got %s", t.line, what, t)
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *kParser) errf(format string, args ...any) error {
+	return fmt.Errorf("ker: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *kParser) parseDefinition() error {
+	switch {
+	case p.keyword("domain"):
+		return p.parseDomain()
+	case p.keyword("instance"):
+		return p.parseInstance()
+	case p.peekKeyword(0, "object") && p.peekKeyword(1, "type"):
+		p.i += 2
+		return p.parseObjectType()
+	case p.cur().kind == kIdent && p.peekKeyword(1, "contains"):
+		return p.parseContains()
+	case p.cur().kind == kIdent && p.peekKeyword(1, "isa"):
+		return p.parseIsa()
+	default:
+		return p.errf("expected a domain, object type, or hierarchy definition; got %s", p.cur())
+	}
+}
+
+// parseDomainName reads a domain name, folding char[n] into one name.
+func (p *kParser) parseDomainName() (string, error) {
+	name, err := p.expectIdent("domain name")
+	if err != nil {
+		return "", err
+	}
+	if strings.EqualFold(name, "char") && p.cur().kind == kLBrack {
+		p.i++
+		t := p.cur()
+		if t.kind != kNumber {
+			return "", p.errf("expected length in char[...], got %s", t)
+		}
+		p.i++
+		if p.cur().kind != kRBrack {
+			return "", p.errf("expected ] after char length, got %s", p.cur())
+		}
+		p.i++
+		return "char[" + t.text + "]", nil
+	}
+	return name, nil
+}
+
+func (p *kParser) parseDomain() error {
+	if p.cur().kind == kColon { // tolerate "domain:" as in Appendix B
+		p.i++
+	}
+	name, err := p.expectIdent("domain name")
+	if err != nil {
+		return err
+	}
+	if !p.keyword("isa") {
+		return p.errf("expected isa in domain definition, got %s", p.cur())
+	}
+	base, err := p.parseDomainName()
+	if err != nil {
+		return err
+	}
+	baseDom, ok := p.model.Domain(base)
+	if !ok {
+		return p.errf("domain %s: unknown base domain %q", name, base)
+	}
+	d := &Domain{
+		Name:    name,
+		Kind:    DomainDerived,
+		Base:    base,
+		Storage: baseDom.Storage,
+		CharLen: baseDom.CharLen,
+	}
+	switch {
+	case p.keyword("range"):
+		iv, err := p.parseRangeSpec()
+		if err != nil {
+			return err
+		}
+		d.HasRange, d.Range = true, iv
+	case p.keyword("set"):
+		if !p.keyword("of") {
+			return p.errf("expected of after set, got %s", p.cur())
+		}
+		vals, err := p.parseSetSpec()
+		if err != nil {
+			return err
+		}
+		d.Set = vals
+	}
+	return p.model.AddDomain(d)
+}
+
+// parseRangeSpec parses "[lo..hi]" or "(lo..hi)" with mixed brackets.
+func (p *kParser) parseRangeSpec() (rules.Interval, error) {
+	openLo := false
+	switch p.cur().kind {
+	case kLBrack:
+	default:
+		return rules.Interval{}, p.errf("expected [ to open range, got %s", p.cur())
+	}
+	p.i++
+	lo, err := p.parseValue()
+	if err != nil {
+		return rules.Interval{}, err
+	}
+	if p.cur().kind != kDotDot {
+		return rules.Interval{}, p.errf("expected .. in range, got %s", p.cur())
+	}
+	p.i++
+	hi, err := p.parseValue()
+	if err != nil {
+		return rules.Interval{}, err
+	}
+	if p.cur().kind != kRBrack {
+		return rules.Interval{}, p.errf("expected ] to close range, got %s", p.cur())
+	}
+	p.i++
+	iv := rules.Range(lo, hi)
+	if openLo {
+		iv.Lo.Open = true
+	}
+	return iv, nil
+}
+
+func (p *kParser) parseSetSpec() ([]relation.Value, error) {
+	if p.cur().kind != kLBrace {
+		return nil, p.errf("expected { to open set, got %s", p.cur())
+	}
+	p.i++
+	var vals []relation.Value
+	for {
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if p.cur().kind == kComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.cur().kind != kRBrace {
+		return nil, p.errf("expected } to close set, got %s", p.cur())
+	}
+	p.i++
+	return vals, nil
+}
+
+// parseValue parses a constant: quoted string, number, or bare identifier
+// (treated as a string, as the paper writes SSBN unquoted).
+func (p *kParser) parseValue() (relation.Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case kString:
+		p.i++
+		return relation.String(t.text), nil
+	case kIdent:
+		p.i++
+		return relation.String(t.text), nil
+	case kNumber:
+		p.i++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return relation.Value{}, p.errf("bad number %q", t.text)
+			}
+			return relation.Float(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return relation.Value{}, p.errf("bad number %q", t.text)
+		}
+		return relation.Int(n), nil
+	default:
+		return relation.Value{}, p.errf("expected a constant, got %s", t)
+	}
+}
+
+// parseInstance parses the has-instance (classification) construct:
+//
+//	instance of SUBMARINE (Id = "SSBN730", Name = "Rhode Island", Class = "0101")
+//
+// The object type must be declared before its instances.
+func (p *kParser) parseInstance() error {
+	if !p.keyword("of") {
+		return p.errf("expected of after instance, got %s", p.cur())
+	}
+	typeName, err := p.expectIdent("object type name")
+	if err != nil {
+		return err
+	}
+	if p.cur().kind != kLParen {
+		return p.errf("expected ( to open instance values, got %s", p.cur())
+	}
+	p.i++
+	inst := Instance{Type: typeName, Values: map[string]relation.Value{}}
+	for {
+		attr, err := p.expectIdent("attribute name")
+		if err != nil {
+			return err
+		}
+		if !(p.cur().kind == kOp && p.cur().text == "=") {
+			return p.errf("expected = after %s, got %s", attr, p.cur())
+		}
+		p.i++
+		v, err := p.parseValue()
+		if err != nil {
+			return err
+		}
+		key := strings.ToLower(attr)
+		if _, dup := inst.Values[key]; dup {
+			return p.errf("instance of %s assigns %s twice", typeName, attr)
+		}
+		inst.Values[key] = v
+		if p.cur().kind == kComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.cur().kind != kRParen {
+		return p.errf("expected ) to close instance values, got %s", p.cur())
+	}
+	p.i++
+	return p.model.AddInstance(inst)
+}
+
+func (p *kParser) parseObjectType() error {
+	name, err := p.expectIdent("object type name")
+	if err != nil {
+		return err
+	}
+	o := &ObjectType{Name: name}
+	for {
+		if p.keyword("has") {
+			a := Attribute{}
+			if p.keyword("key") {
+				a.Key = true
+			}
+			if p.cur().kind == kColon {
+				p.i++
+			}
+			attrName, err := p.expectIdent("attribute name")
+			if err != nil {
+				return err
+			}
+			a.Name = attrName
+			if !p.keyword("domain") {
+				return p.errf("expected domain after attribute %s, got %s", attrName, p.cur())
+			}
+			if p.cur().kind == kColon {
+				p.i++
+			}
+			dom, err := p.parseDomainName()
+			if err != nil {
+				return err
+			}
+			a.Domain = dom
+			o.Attrs = append(o.Attrs, a)
+			continue
+		}
+		break
+	}
+	if len(o.Attrs) == 0 {
+		return p.errf("object type %s has no attributes", name)
+	}
+	if p.keyword("with") {
+		cs, err := p.parseConstraints()
+		if err != nil {
+			return err
+		}
+		o.Constraints = cs
+	}
+	return p.model.AddObjectType(o)
+}
+
+func (p *kParser) parseConstraints() ([]Constraint, error) {
+	var out []Constraint
+	for {
+		c, err := p.parseConstraint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		if p.cur().kind == kComma {
+			p.i++
+			continue
+		}
+		// Per the paper's Appendix B, consecutive "if ... then ..." rules
+		// may also follow each other without commas.
+		if p.peekKeyword(0, "if") {
+			continue
+		}
+		break
+	}
+	return out, nil
+}
+
+func (p *kParser) parseConstraint() (Constraint, error) {
+	if p.keyword("if") {
+		return p.parseRuleConstraint()
+	}
+	// Domain range constraint: Attr in [lo..hi].
+	attr, err := p.expectIdent("attribute name")
+	if err != nil {
+		return nil, err
+	}
+	if !p.keyword("in") {
+		return nil, p.errf("expected in after %s, got %s", attr, p.cur())
+	}
+	iv, err := p.parseRangeSpec()
+	if err != nil {
+		return nil, err
+	}
+	return DomainRangeConstraint{Attr: attr, Range: iv}, nil
+}
+
+// parseRuleConstraint parses the body after "if": either a constraint
+// rule (conds then attr = const) or a structure rule (roles and conds
+// then var isa Type).
+func (p *kParser) parseRuleConstraint() (Constraint, error) {
+	var roles []Role
+	var conds []Cond
+	for {
+		// Role definition: ident isa Type.
+		if p.cur().kind == kIdent && p.peekKeyword(1, "isa") {
+			v := p.next().text
+			p.i++ // isa
+			typ, err := p.expectIdent("object type name")
+			if err != nil {
+				return nil, err
+			}
+			roles = append(roles, Role{Var: v, Type: typ})
+		} else {
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, c)
+		}
+		if p.keyword("and") {
+			continue
+		}
+		break
+	}
+	if !p.keyword("then") {
+		return nil, p.errf("expected then, got %s", p.cur())
+	}
+	// Conclusion: "var isa Type" (structure rule) or "Attr = const".
+	if p.cur().kind == kIdent && p.peekKeyword(1, "isa") {
+		v := p.next().text
+		p.i++ // isa
+		typ, err := p.expectIdent("object type name")
+		if err != nil {
+			return nil, err
+		}
+		return StructureRule{Roles: roles, LHS: conds, ConclVar: v, ConclIsa: typ}, nil
+	}
+	rhs, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if !rhs.IsPoint() {
+		return nil, p.errf("rule consequence must be an equality, got %s", rhs)
+	}
+	if len(roles) != 0 {
+		return nil, p.errf("constraint rule must not declare roles")
+	}
+	return ConstraintRule{LHS: conds, RHS: rhs}, nil
+}
+
+// parseCond parses "lo <= ref <= hi" or "ref = const" (also accepting the
+// reversed "const = ref" spelling).
+func (p *kParser) parseCond() (Cond, error) {
+	// Between form starts with a constant: value <= ref <= value.
+	if p.cur().kind == kNumber || p.cur().kind == kString ||
+		(p.cur().kind == kIdent && p.i+1 < len(p.toks) && p.toks[p.i+1].kind == kOp && p.toks[p.i+1].text == "<=") {
+		lo, err := p.parseValue()
+		if err != nil {
+			return Cond{}, err
+		}
+		if !(p.cur().kind == kOp && p.cur().text == "<=") {
+			return Cond{}, p.errf("expected <= after range lower bound, got %s", p.cur())
+		}
+		p.i++
+		varName, attr, err := p.parseRef()
+		if err != nil {
+			return Cond{}, err
+		}
+		if !(p.cur().kind == kOp && p.cur().text == "<=") {
+			return Cond{}, p.errf("expected <= after %s, got %s", attr, p.cur())
+		}
+		p.i++
+		hi, err := p.parseValue()
+		if err != nil {
+			return Cond{}, err
+		}
+		return Cond{Var: varName, Attr: attr, Lo: lo, Hi: hi}, nil
+	}
+	// Equality form: ref = const.
+	varName, attr, err := p.parseRef()
+	if err != nil {
+		return Cond{}, err
+	}
+	if !(p.cur().kind == kOp && p.cur().text == "=") {
+		return Cond{}, p.errf("expected = after %s, got %s", attr, p.cur())
+	}
+	p.i++
+	v, err := p.parseValue()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Var: varName, Attr: attr, Lo: v, Hi: v}, nil
+}
+
+// parseRef parses "attr" or "var.attr".
+func (p *kParser) parseRef() (varName, attr string, err error) {
+	first, err := p.expectIdent("attribute reference")
+	if err != nil {
+		return "", "", err
+	}
+	if p.cur().kind == kDot {
+		p.i++
+		second, err := p.expectIdent("attribute name")
+		if err != nil {
+			return "", "", err
+		}
+		return first, second, nil
+	}
+	return "", first, nil
+}
+
+func (p *kParser) parseContains() error {
+	super, err := p.expectIdent("object type name")
+	if err != nil {
+		return err
+	}
+	p.i++ // contains
+	var subs []string
+	for {
+		sub, err := p.expectIdent("subtype name")
+		if err != nil {
+			return err
+		}
+		subs = append(subs, sub)
+		if p.cur().kind == kComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	p.model.ensureType(super)
+	for _, sub := range subs {
+		p.model.LinkSubtype(super, sub)
+	}
+	if p.keyword("with") {
+		cs, err := p.parseConstraints()
+		if err != nil {
+			return err
+		}
+		o, _ := p.model.Type(super)
+		o.Constraints = append(o.Constraints, cs...)
+	}
+	return nil
+}
+
+func (p *kParser) parseIsa() error {
+	sub, err := p.expectIdent("subtype name")
+	if err != nil {
+		return err
+	}
+	p.i++ // isa
+	super, err := p.expectIdent("supertype name")
+	if err != nil {
+		return err
+	}
+	p.model.LinkSubtype(super, sub)
+	if p.keyword("with") {
+		var conds []Cond
+		for {
+			c, err := p.parseCond()
+			if err != nil {
+				return err
+			}
+			conds = append(conds, c)
+			if p.keyword("and") {
+				continue
+			}
+			break
+		}
+		o, _ := p.model.Type(sub)
+		o.Derivation = append(o.Derivation, conds...)
+	}
+	return nil
+}

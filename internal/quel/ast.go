@@ -1,0 +1,145 @@
+package quel
+
+import (
+	"fmt"
+	"strings"
+
+	"intensional/internal/relation"
+)
+
+// Stmt is a parsed QUEL statement.
+type Stmt interface{ stmt() }
+
+// RangeStmt is "range of <var> is <relation>".
+type RangeStmt struct {
+	Var string
+	Rel string
+}
+
+// RetrieveStmt is "retrieve [into <name>] [unique] (targets) [where qual]
+// [sort by cols]".
+type RetrieveStmt struct {
+	Into   string
+	Unique bool
+	Target []Target
+	Where  Expr
+	SortBy []SortItem
+}
+
+// SortItem is one "sort by" key with optional descending order.
+type SortItem struct {
+	Col  ColRef
+	Desc bool
+}
+
+// DeleteStmt is "delete <var> [where qual]". Extra range variables in the
+// qualification have existential semantics, as in QUEL.
+type DeleteStmt struct {
+	Var   string
+	Where Expr
+}
+
+// AppendStmt is "append to <relation> (attr = value, ...)": inserts one
+// tuple built from constant assignments; unassigned attributes are null.
+type AppendStmt struct {
+	Rel    string
+	Assign []Assign
+}
+
+// ReplaceStmt is "replace <var> (attr = value, ...) [where qual]":
+// updates the assigned attributes of every qualifying tuple of the
+// variable's relation. Extra range variables have existential semantics,
+// as in delete.
+type ReplaceStmt struct {
+	Var    string
+	Assign []Assign
+	Where  Expr
+}
+
+// Assign is one "attr = operand" assignment. The operand may be a
+// constant or a column reference over a declared range variable.
+type Assign struct {
+	Attr string
+	Val  Operand
+}
+
+func (*RangeStmt) stmt()    {}
+func (*RetrieveStmt) stmt() {}
+func (*DeleteStmt) stmt()   {}
+func (*AppendStmt) stmt()   {}
+func (*ReplaceStmt) stmt()  {}
+
+// Target is one projection item, optionally renamed ("name = r.attr").
+type Target struct {
+	As  string
+	Col ColRef
+}
+
+// ColRef references an attribute of a range variable.
+type ColRef struct {
+	Var  string
+	Attr string
+}
+
+// String renders the reference as "var.attr".
+func (c ColRef) String() string { return c.Var + "." + c.Attr }
+
+// Expr is a qualification expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// BinExpr is a comparison between two operands.
+type BinExpr struct {
+	Op   string // = != < <= > >=
+	L, R Operand
+}
+
+// AndExpr is a conjunction.
+type AndExpr struct{ Terms []Expr }
+
+// OrExpr is a disjunction.
+type OrExpr struct{ Terms []Expr }
+
+// NotExpr is a negation.
+type NotExpr struct{ Term Expr }
+
+func (*BinExpr) expr() {}
+func (*AndExpr) expr() {}
+func (*OrExpr) expr()  {}
+func (*NotExpr) expr() {}
+
+func (e *BinExpr) String() string { return fmt.Sprintf("%s %s %s", e.L, e.Op, e.R) }
+
+func (e *AndExpr) String() string { return joinExprs(e.Terms, " and ") }
+
+func (e *OrExpr) String() string { return "(" + joinExprs(e.Terms, " or ") + ")" }
+
+func (e *NotExpr) String() string { return "not (" + e.Term.String() + ")" }
+
+func joinExprs(terms []Expr, sep string) string {
+	parts := make([]string, len(terms))
+	for i, t := range terms {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// Operand is a comparison operand: a column reference or a constant.
+type Operand interface {
+	operand()
+	String() string
+}
+
+// ColOperand wraps a ColRef as an operand.
+type ColOperand struct{ Col ColRef }
+
+// ConstOperand wraps a literal value.
+type ConstOperand struct{ Val relation.Value }
+
+func (ColOperand) operand()   {}
+func (ConstOperand) operand() {}
+
+func (o ColOperand) String() string   { return o.Col.String() }
+func (o ConstOperand) String() string { return o.Val.GoString() }

@@ -1,0 +1,177 @@
+package quel
+
+import (
+	"testing"
+
+	"intensional/internal/relation"
+	"intensional/internal/storage"
+)
+
+func dmlCatalog(t *testing.T) *storage.Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+	r, err := cat.Create("EMP", relation.MustSchema(
+		relation.Column{Name: "Id", Type: relation.TInt},
+		relation.Column{Name: "Name", Type: relation.TString},
+		relation.Column{Name: "Age", Type: relation.TInt},
+		relation.Column{Name: "Dept", Type: relation.TString},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.MustInsert(relation.Int(1), relation.String("Ann"), relation.Int(30), relation.String("eng"))
+	r.MustInsert(relation.Int(2), relation.String("Bob"), relation.Int(45), relation.String("ops"))
+	return cat
+}
+
+func TestAppend(t *testing.T) {
+	cat := dmlCatalog(t)
+	s := NewSession(cat)
+	res := mustExec(t, s, `append to EMP (Id = 3, Name = "Carol", Age = 28, Dept = eng)`)
+	if res.Appended != 1 {
+		t.Fatalf("appended = %d", res.Appended)
+	}
+	r, _ := cat.Get("EMP")
+	if r.Len() != 3 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	row := r.Row(2)
+	if row[1].Str() != "Carol" || row[2].Int64() != 28 || row[3].Str() != "eng" {
+		t.Errorf("appended row = %v", row)
+	}
+}
+
+func TestAppendPartialAssignsNull(t *testing.T) {
+	cat := dmlCatalog(t)
+	s := NewSession(cat)
+	mustExec(t, s, `append to EMP (Id = 9)`)
+	r, _ := cat.Get("EMP")
+	row := r.Row(2)
+	if !row[1].IsNull() || !row[2].IsNull() {
+		t.Errorf("unassigned columns should be null: %v", row)
+	}
+}
+
+func TestAppendCoercesBareNumbers(t *testing.T) {
+	cat := dmlCatalog(t)
+	s := NewSession(cat)
+	// A quoted number still coerces into an int column.
+	mustExec(t, s, `append to EMP (Id = "7", Age = 50)`)
+	r, _ := cat.Get("EMP")
+	if r.Row(2)[0].Int64() != 7 {
+		t.Errorf("coerced id = %v", r.Row(2)[0])
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	s := NewSession(dmlCatalog(t))
+	bad := []string{
+		`append to NOPE (Id = 1)`,
+		`append to EMP (Nope = 1)`,
+		`append to EMP (Id = xyz)`,  // unparseable for int column
+		`append to EMP (Id = e.Id)`, // column operand without context
+		`append to EMP Id = 1`,      // missing parens
+		`append EMP (Id = 1)`,       // missing "to"
+		`append to EMP (Id 1)`,      // missing =
+	}
+	for _, src := range bad {
+		if _, err := s.Exec(src); err == nil {
+			t.Errorf("Exec(%q): expected error", src)
+		}
+	}
+}
+
+func TestReplaceQualified(t *testing.T) {
+	cat := dmlCatalog(t)
+	s := NewSession(cat)
+	mustExec(t, s, "range of e is EMP")
+	res := mustExec(t, s, `replace e (Dept = "platform") where e.Dept = "eng"`)
+	if res.Replaced != 1 {
+		t.Fatalf("replaced = %d", res.Replaced)
+	}
+	r, _ := cat.Get("EMP")
+	if r.Row(0)[3].Str() != "platform" || r.Row(1)[3].Str() != "ops" {
+		t.Errorf("rows = %v / %v", r.Row(0), r.Row(1))
+	}
+}
+
+func TestReplaceUnqualifiedTouchesAll(t *testing.T) {
+	cat := dmlCatalog(t)
+	s := NewSession(cat)
+	mustExec(t, s, "range of e is EMP")
+	res := mustExec(t, s, `replace e (Age = 21)`)
+	if res.Replaced != 2 {
+		t.Fatalf("replaced = %d", res.Replaced)
+	}
+	r, _ := cat.Get("EMP")
+	for _, row := range r.Rows() {
+		if row[2].Int64() != 21 {
+			t.Errorf("row = %v", row)
+		}
+	}
+}
+
+func TestReplaceFromOtherVariable(t *testing.T) {
+	cat := dmlCatalog(t)
+	grades, err := cat.Create("GRADES", relation.MustSchema(
+		relation.Column{Name: "Dept", Type: relation.TString},
+		relation.Column{Name: "Level", Type: relation.TInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grades.MustInsert(relation.String("eng"), relation.Int(5))
+	grades.MustInsert(relation.String("ops"), relation.Int(3))
+
+	s := NewSession(cat)
+	mustExec(t, s, "range of e is EMP")
+	mustExec(t, s, "range of g is GRADES")
+	// Copy each employee's department level into Age (a contrived but
+	// structural cross-variable update).
+	res := mustExec(t, s, `replace e (Age = g.Level) where e.Dept = g.Dept`)
+	if res.Replaced != 2 {
+		t.Fatalf("replaced = %d", res.Replaced)
+	}
+	r, _ := cat.Get("EMP")
+	if r.Row(0)[2].Int64() != 5 || r.Row(1)[2].Int64() != 3 {
+		t.Errorf("rows = %v / %v", r.Row(0), r.Row(1))
+	}
+}
+
+func TestReplaceErrors(t *testing.T) {
+	s := NewSession(dmlCatalog(t))
+	mustExec(t, s, "range of e is EMP")
+	bad := []string{
+		`replace x (Age = 1)`,            // undeclared variable
+		`replace e (Nope = 1)`,           // unknown attribute
+		`replace e (Age = "notanumber")`, // uncoercible
+		`replace e Age = 1`,              // missing parens
+	}
+	for _, src := range bad {
+		if _, err := s.Exec(src); err == nil {
+			t.Errorf("Exec(%q): expected error", src)
+		}
+	}
+}
+
+func TestRelationSet(t *testing.T) {
+	r := relation.New("R", relation.MustSchema(
+		relation.Column{Name: "A", Type: relation.TInt},
+	))
+	r.MustInsert(relation.Int(1))
+	if err := r.Set(0, 0, relation.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Row(0)[0].Int64() != 2 {
+		t.Errorf("row = %v", r.Row(0))
+	}
+	if err := r.Set(5, 0, relation.Int(1)); err == nil {
+		t.Error("row out of range should error")
+	}
+	if err := r.Set(0, 5, relation.Int(1)); err == nil {
+		t.Error("column out of range should error")
+	}
+	if err := r.Set(0, 0, relation.String("x")); err == nil {
+		t.Error("kind mismatch should error")
+	}
+}

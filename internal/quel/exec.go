@@ -1,0 +1,836 @@
+package quel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"intensional/internal/relation"
+	"intensional/internal/storage"
+)
+
+// Session executes QUEL statements against a catalog. Range declarations
+// persist for the life of the session, as in INGRES, and so do the
+// secondary indexes the planner builds lazily for selective conditions
+// on large relations (rebuilt automatically when the data changes).
+type Session struct {
+	cat     *storage.Catalog
+	ranges  map[string]string // lower(var) → relation name
+	indexes map[string]*relation.Index
+}
+
+// indexMinRows is the relation size below which a scan beats building an
+// index.
+const indexMinRows = 64
+
+// NewSession creates a session over the given catalog.
+func NewSession(cat *storage.Catalog) *Session {
+	return &Session{
+		cat:     cat,
+		ranges:  make(map[string]string),
+		indexes: make(map[string]*relation.Index),
+	}
+}
+
+// indexFor returns a fresh index on the relation's column, building or
+// rebuilding as needed; nil when indexing is not worthwhile.
+func (s *Session) indexFor(rel *relation.Relation, col int) *relation.Index {
+	if rel.Len() < indexMinRows {
+		return nil
+	}
+	key := strings.ToLower(rel.Name()) + "\x00" + rel.Schema().Col(col).Name
+	if ix, ok := s.indexes[key]; ok && ix.Fresh() {
+		return ix
+	}
+	ix, err := rel.BuildIndex(rel.Schema().Col(col).Name)
+	if err != nil {
+		return nil
+	}
+	s.indexes[key] = ix
+	return ix
+}
+
+// Result reports the effect of one statement: the retrieved relation
+// (for retrieve) and the tuple counts mutated by delete, append, and
+// replace.
+type Result struct {
+	Rel      *relation.Relation
+	Deleted  int
+	Appended int
+	Replaced int
+}
+
+// Exec parses and executes one QUEL statement.
+func (s *Session) Exec(src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(st)
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(st Stmt) (*Result, error) {
+	switch st := st.(type) {
+	case *RangeStmt:
+		if !s.cat.Has(st.Rel) {
+			return nil, fmt.Errorf("quel: range of %s: no relation %q", st.Var, st.Rel)
+		}
+		s.ranges[strings.ToLower(st.Var)] = st.Rel
+		return &Result{}, nil
+	case *RetrieveStmt:
+		return s.execRetrieve(st)
+	case *DeleteStmt:
+		return s.execDelete(st)
+	case *AppendStmt:
+		return s.execAppend(st)
+	case *ReplaceStmt:
+		return s.execReplace(st)
+	default:
+		return nil, fmt.Errorf("quel: unknown statement %T", st)
+	}
+}
+
+// flipCmp mirrors a comparison operator when its operands swap sides.
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// coerce adapts a constant to a column type, parsing bare-identifier
+// strings into numbers where the column demands it.
+func coerce(v relation.Value, t relation.Type) (relation.Value, error) {
+	if v.Conforms(t) {
+		return v, nil
+	}
+	if v.Kind() == relation.KindString {
+		return relation.ParseValue(v.Str(), t)
+	}
+	return relation.Value{}, fmt.Errorf("quel: value %#v does not fit column type %s", v, t)
+}
+
+func (s *Session) execAppend(st *AppendStmt) (*Result, error) {
+	rel, err := s.cat.Get(st.Rel)
+	if err != nil {
+		return nil, err
+	}
+	row := make(relation.Tuple, rel.Schema().Len())
+	for i := range row {
+		row[i] = relation.Null()
+	}
+	for _, a := range st.Assign {
+		ci, ok := rel.Schema().Index(a.Attr)
+		if !ok {
+			return nil, fmt.Errorf("quel: append: relation %s has no attribute %q", rel.Name(), a.Attr)
+		}
+		c, ok := a.Val.(ConstOperand)
+		if !ok {
+			return nil, fmt.Errorf("quel: append: %s must be assigned a constant", a.Attr)
+		}
+		v, err := coerce(c.Val, rel.Schema().Col(ci).Type)
+		if err != nil {
+			return nil, fmt.Errorf("quel: append %s.%s: %w", rel.Name(), a.Attr, err)
+		}
+		row[ci] = v
+	}
+	if err := rel.Insert(row); err != nil {
+		return nil, err
+	}
+	return &Result{Appended: 1}, nil
+}
+
+func (s *Session) execReplace(st *ReplaceStmt) (*Result, error) {
+	p := newPlanner(s)
+	slot, err := p.addVar(st.Var)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.collectVars(st.Where); err != nil {
+		return nil, err
+	}
+	// Assignment operands may reference range variables too.
+	type setter struct {
+		col int
+		fn  valueFn
+	}
+	rel := p.rels[slot]
+	var setters []setter
+	for _, a := range st.Assign {
+		ci, ok := rel.Schema().Index(a.Attr)
+		if !ok {
+			return nil, fmt.Errorf("quel: replace: relation %s has no attribute %q", rel.Name(), a.Attr)
+		}
+		if col, ok := a.Val.(ColOperand); ok {
+			if _, err := p.addVar(col.Col.Var); err != nil {
+				return nil, err
+			}
+		}
+		fn, err := p.compileOperand(a.Val)
+		if err != nil {
+			return nil, err
+		}
+		setters = append(setters, setter{col: ci, fn: fn})
+	}
+
+	var bindings []binding
+	if st.Where == nil && len(p.vars) == 1 {
+		for i := 0; i < rel.Len(); i++ {
+			b := make(binding, 1)
+			b[0] = i
+			bindings = append(bindings, b)
+		}
+	} else {
+		bindings, err = p.assemble(st.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	touched := map[int]bool{}
+	for _, b := range bindings {
+		for _, set := range setters {
+			v, err := coerce(set.fn(b), rel.Schema().Col(set.col).Type)
+			if err != nil {
+				return nil, fmt.Errorf("quel: replace %s.%s: %w",
+					rel.Name(), rel.Schema().Col(set.col).Name, err)
+			}
+			if err := rel.Set(b[slot], set.col, v); err != nil {
+				return nil, err
+			}
+		}
+		touched[b[slot]] = true
+	}
+	return &Result{Replaced: len(touched)}, nil
+}
+
+// binding assigns one row index per plan variable; -1 marks unbound slots.
+type binding []int
+
+// planner resolves variables, compiles predicates, and assembles bindings
+// with hash joins where equality conjuncts allow.
+type planner struct {
+	sess   *Session
+	vars   []string
+	varIdx map[string]int
+	rels   []*relation.Relation
+}
+
+func newPlanner(s *Session) *planner {
+	return &planner{sess: s, varIdx: make(map[string]int)}
+}
+
+// addVar registers a range variable, resolving its relation.
+func (p *planner) addVar(v string) (int, error) {
+	key := strings.ToLower(v)
+	if i, ok := p.varIdx[key]; ok {
+		return i, nil
+	}
+	relName, ok := p.sess.ranges[key]
+	if !ok {
+		return 0, fmt.Errorf("quel: variable %q has no range declaration", v)
+	}
+	r, err := p.sess.cat.Get(relName)
+	if err != nil {
+		return 0, err
+	}
+	i := len(p.vars)
+	p.vars = append(p.vars, v)
+	p.varIdx[key] = i
+	p.rels = append(p.rels, r)
+	return i, nil
+}
+
+// collectVars registers every variable appearing in the expression.
+func (p *planner) collectVars(e Expr) error {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *BinExpr:
+		for _, o := range []Operand{e.L, e.R} {
+			if c, ok := o.(ColOperand); ok {
+				if _, err := p.addVar(c.Col.Var); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	case *AndExpr:
+		for _, t := range e.Terms {
+			if err := p.collectVars(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *OrExpr:
+		for _, t := range e.Terms {
+			if err := p.collectVars(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *NotExpr:
+		return p.collectVars(e.Term)
+	default:
+		return fmt.Errorf("quel: unknown expression %T", e)
+	}
+}
+
+// colSlot resolves a column reference to (variable slot, attribute index).
+func (p *planner) colSlot(c ColRef) (int, int, error) {
+	slot, ok := p.varIdx[strings.ToLower(c.Var)]
+	if !ok {
+		return 0, 0, fmt.Errorf("quel: variable %q has no range declaration", c.Var)
+	}
+	ai, ok := p.rels[slot].Schema().Index(c.Attr)
+	if !ok {
+		return 0, 0, fmt.Errorf("quel: relation %s has no attribute %q", p.rels[slot].Name(), c.Attr)
+	}
+	return slot, ai, nil
+}
+
+// compiled evaluates a predicate over a binding.
+type compiled func(binding) bool
+
+// compile turns an expression into an executable predicate. All slots the
+// expression touches must be bound when it runs.
+func (p *planner) compile(e Expr) (compiled, error) {
+	switch e := e.(type) {
+	case *BinExpr:
+		l, err := p.compileOperand(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.compileOperand(e.R)
+		if err != nil {
+			return nil, err
+		}
+		op := e.Op
+		return func(b binding) bool {
+			c, err := l(b).Compare(r(b))
+			if err != nil {
+				return false
+			}
+			switch op {
+			case "=":
+				return c == 0
+			case "!=":
+				return c != 0
+			case "<":
+				return c < 0
+			case "<=":
+				return c <= 0
+			case ">":
+				return c > 0
+			case ">=":
+				return c >= 0
+			}
+			return false
+		}, nil
+	case *AndExpr:
+		terms := make([]compiled, len(e.Terms))
+		for i, t := range e.Terms {
+			c, err := p.compile(t)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = c
+		}
+		return func(b binding) bool {
+			for _, t := range terms {
+				if !t(b) {
+					return false
+				}
+			}
+			return true
+		}, nil
+	case *OrExpr:
+		terms := make([]compiled, len(e.Terms))
+		for i, t := range e.Terms {
+			c, err := p.compile(t)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = c
+		}
+		return func(b binding) bool {
+			for _, t := range terms {
+				if t(b) {
+					return true
+				}
+			}
+			return false
+		}, nil
+	case *NotExpr:
+		c, err := p.compile(e.Term)
+		if err != nil {
+			return nil, err
+		}
+		return func(b binding) bool { return !c(b) }, nil
+	default:
+		return nil, fmt.Errorf("quel: unknown expression %T", e)
+	}
+}
+
+type valueFn func(binding) relation.Value
+
+func (p *planner) compileOperand(o Operand) (valueFn, error) {
+	switch o := o.(type) {
+	case ColOperand:
+		slot, ai, err := p.colSlot(o.Col)
+		if err != nil {
+			return nil, err
+		}
+		rel := p.rels[slot]
+		return func(b binding) relation.Value { return rel.Row(b[slot])[ai] }, nil
+	case ConstOperand:
+		v := o.Val
+		return func(binding) relation.Value { return v }, nil
+	default:
+		return nil, fmt.Errorf("quel: unknown operand %T", o)
+	}
+}
+
+// conjunct classification for planning.
+type conjunct struct {
+	expr Expr
+	// For a BinExpr between two columns or a column and a constant:
+	isEq     bool
+	lSlot    int // -1 when constant
+	lAttr    int
+	rSlot    int
+	rAttr    int
+	slotsIn  map[int]bool // all slots the conjunct touches
+	compiled compiled
+	// Single-variable "column op constant" selections are index-usable:
+	isSel   bool
+	selSlot int
+	selAttr int
+	selOp   string
+	selVal  relation.Value
+}
+
+// splitConjuncts flattens the top-level conjunction of e.
+func splitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(*AndExpr); ok {
+		var out []Expr
+		for _, t := range a.Terms {
+			out = append(out, splitConjuncts(t)...)
+		}
+		return out
+	}
+	return []Expr{e}
+}
+
+func (p *planner) analyse(e Expr) (*conjunct, error) {
+	c := &conjunct{expr: e, lSlot: -1, rSlot: -1, slotsIn: map[int]bool{}}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case *BinExpr:
+			for _, o := range []Operand{e.L, e.R} {
+				if col, ok := o.(ColOperand); ok {
+					slot, _, _ := p.colSlot(col.Col)
+					c.slotsIn[slot] = true
+				}
+			}
+		case *AndExpr:
+			for _, t := range e.Terms {
+				walk(t)
+			}
+		case *OrExpr:
+			for _, t := range e.Terms {
+				walk(t)
+			}
+		case *NotExpr:
+			walk(e.Term)
+		}
+	}
+	walk(e)
+	if b, ok := e.(*BinExpr); ok {
+		lc, lok := b.L.(ColOperand)
+		rc, rok := b.R.(ColOperand)
+		lv, lIsConst := b.L.(ConstOperand)
+		rv, rIsConst := b.R.(ConstOperand)
+		switch {
+		case b.Op == "=" && lok && rok:
+			ls, la, err := p.colSlot(lc.Col)
+			if err != nil {
+				return nil, err
+			}
+			rs, ra, err := p.colSlot(rc.Col)
+			if err != nil {
+				return nil, err
+			}
+			if ls != rs {
+				c.isEq = true
+				c.lSlot, c.lAttr, c.rSlot, c.rAttr = ls, la, rs, ra
+			}
+		case lok && rIsConst:
+			slot, attr, err := p.colSlot(lc.Col)
+			if err != nil {
+				return nil, err
+			}
+			c.isSel, c.selSlot, c.selAttr, c.selOp, c.selVal = true, slot, attr, b.Op, rv.Val
+		case rok && lIsConst:
+			slot, attr, err := p.colSlot(rc.Col)
+			if err != nil {
+				return nil, err
+			}
+			c.isSel, c.selSlot, c.selAttr, c.selOp, c.selVal = true, slot, attr, flipCmp(b.Op), lv.Val
+		}
+	}
+	comp, err := p.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	c.compiled = comp
+	return c, nil
+}
+
+// assemble produces all bindings of the plan variables satisfying the
+// qualification. Single-variable conjuncts are pushed down as selections,
+// cross-variable equalities drive hash joins, and everything else runs as
+// a residual filter.
+func (p *planner) assemble(where Expr) ([]binding, error) {
+	n := len(p.vars)
+	if n == 0 {
+		return []binding{{}}, nil
+	}
+	var conjs []*conjunct
+	for _, e := range splitConjuncts(where) {
+		c, err := p.analyse(e)
+		if err != nil {
+			return nil, err
+		}
+		conjs = append(conjs, c)
+	}
+	used := make([]bool, len(conjs))
+
+	// Per-variable candidate row lists after pushing down single-variable
+	// conjuncts. When one of them is an index-usable selection on a large
+	// relation, the session's lazy secondary index supplies the initial
+	// candidates and the remaining predicates filter them.
+	cand := make([][]int, n)
+	for slot := 0; slot < n; slot++ {
+		var preds []compiled
+		var sel *conjunct
+		for ci, c := range conjs {
+			if len(c.slotsIn) == 1 && c.slotsIn[slot] && !c.isEq {
+				preds = append(preds, c.compiled)
+				used[ci] = true
+				if sel == nil && c.isSel && c.selSlot == slot {
+					sel = c
+				}
+			}
+		}
+		probe := make(binding, n)
+		for i := range probe {
+			probe[i] = -1
+		}
+		passes := func(i int) bool {
+			probe[slot] = i
+			for _, pr := range preds {
+				if !pr(probe) {
+					return false
+				}
+			}
+			return true
+		}
+		if sel != nil {
+			if ix := p.sess.indexFor(p.rels[slot], sel.selAttr); ix != nil {
+				if rows, err := ix.Lookup(sel.selOp, sel.selVal); err == nil {
+					sort.Ints(rows) // restore row order for stable results
+					for _, i := range rows {
+						if passes(i) {
+							cand[slot] = append(cand[slot], i)
+						}
+					}
+					continue
+				}
+			}
+		}
+		for i := 0; i < p.rels[slot].Len(); i++ {
+			if passes(i) {
+				cand[slot] = append(cand[slot], i)
+			}
+		}
+	}
+
+	bound := make([]bool, n)
+	// Seed with variable 0.
+	bindings := make([]binding, 0, len(cand[0]))
+	for _, i := range cand[0] {
+		b := make(binding, n)
+		for j := range b {
+			b[j] = -1
+		}
+		b[0] = i
+		bindings = append(bindings, b)
+	}
+	bound[0] = true
+	nBound := 1
+
+	for nBound < n {
+		// Prefer a variable joined to the bound set by equality conjuncts.
+		next := -1
+		for slot := 0; slot < n && next == -1; slot++ {
+			if bound[slot] {
+				continue
+			}
+			for ci, c := range conjs {
+				if used[ci] || !c.isEq {
+					continue
+				}
+				a, b := c.lSlot, c.rSlot
+				if (a == slot && bound[b]) || (b == slot && bound[a]) {
+					next = slot
+					break
+				}
+			}
+		}
+		if next == -1 {
+			// No join edge: cross product with the first unbound variable.
+			for slot := 0; slot < n; slot++ {
+				if !bound[slot] {
+					next = slot
+					break
+				}
+			}
+			var out []binding
+			for _, b := range bindings {
+				for _, i := range cand[next] {
+					nb := append(binding(nil), b...)
+					nb[next] = i
+					out = append(out, nb)
+				}
+			}
+			bindings = out
+			bound[next] = true
+			nBound++
+			continue
+		}
+		// Gather every equality edge between next and the bound set.
+		type edge struct{ boundAttr, nextAttr, boundSlot int }
+		var es []edge
+		for ci, c := range conjs {
+			if used[ci] || !c.isEq {
+				continue
+			}
+			switch {
+			case c.lSlot == next && bound[c.rSlot]:
+				es = append(es, edge{boundAttr: c.rAttr, nextAttr: c.lAttr, boundSlot: c.rSlot})
+				used[ci] = true
+			case c.rSlot == next && bound[c.lSlot]:
+				es = append(es, edge{boundAttr: c.lAttr, nextAttr: c.rAttr, boundSlot: c.lSlot})
+				used[ci] = true
+			}
+		}
+		// Hash next's candidate rows on its side of the edges.
+		rel := p.rels[next]
+		table := make(map[string][]int, len(cand[next]))
+		for _, i := range cand[next] {
+			var key strings.Builder
+			for _, e := range es {
+				key.WriteString(rel.Row(i)[e.nextAttr].Key())
+				key.WriteByte('\x1f')
+			}
+			table[key.String()] = append(table[key.String()], i)
+		}
+		var out []binding
+		for _, b := range bindings {
+			var key strings.Builder
+			for _, e := range es {
+				key.WriteString(p.rels[e.boundSlot].Row(b[e.boundSlot])[e.boundAttr].Key())
+				key.WriteByte('\x1f')
+			}
+			for _, i := range table[key.String()] {
+				nb := append(binding(nil), b...)
+				nb[next] = i
+				out = append(out, nb)
+			}
+		}
+		bindings = out
+		bound[next] = true
+		nBound++
+	}
+
+	// Residual filter: every conjunct not yet consumed.
+	var residual []compiled
+	for ci, c := range conjs {
+		if !used[ci] {
+			residual = append(residual, c.compiled)
+		}
+	}
+	if len(residual) > 0 {
+		kept := bindings[:0]
+		for _, b := range bindings {
+			ok := true
+			for _, r := range residual {
+				if !r(b) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, b)
+			}
+		}
+		bindings = kept
+	}
+	return bindings, nil
+}
+
+func (s *Session) execRetrieve(st *RetrieveStmt) (*Result, error) {
+	p := newPlanner(s)
+	for _, t := range st.Target {
+		if _, err := p.addVar(t.Col.Var); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.collectVars(st.Where); err != nil {
+		return nil, err
+	}
+	for _, c := range st.SortBy {
+		if _, err := p.addVar(c.Col.Var); err != nil {
+			return nil, err
+		}
+	}
+
+	// Resolve targets and build the output schema.
+	type targetInfo struct {
+		slot, attr int
+		name       string
+	}
+	infos := make([]targetInfo, len(st.Target))
+	usedNames := map[string]bool{}
+	for i, t := range st.Target {
+		slot, ai, err := p.colSlot(t.Col)
+		if err != nil {
+			return nil, err
+		}
+		name := t.As
+		if name == "" {
+			name = p.rels[slot].Schema().Col(ai).Name
+		}
+		if usedNames[strings.ToLower(name)] {
+			name = t.Col.Var + "." + name
+		}
+		for usedNames[strings.ToLower(name)] {
+			name += "_"
+		}
+		usedNames[strings.ToLower(name)] = true
+		infos[i] = targetInfo{slot: slot, attr: ai, name: name}
+	}
+	cols := make([]relation.Column, len(infos))
+	for i, info := range infos {
+		cols[i] = relation.Column{
+			Name: info.name,
+			Type: p.rels[info.slot].Schema().Col(info.attr).Type,
+		}
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+
+	bindings, err := p.assemble(st.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	name := st.Into
+	if name == "" {
+		name = "result"
+	}
+	out := relation.New(name, schema)
+	for _, b := range bindings {
+		row := make(relation.Tuple, len(infos))
+		for i, info := range infos {
+			row[i] = p.rels[info.slot].Row(b[info.slot])[info.attr]
+		}
+		if err := out.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	if st.Unique {
+		out = out.Unique()
+	}
+	if len(st.SortBy) > 0 {
+		keys := make([]relation.SortKey, len(st.SortBy))
+		for i, item := range st.SortBy {
+			// Map the sort column to an output column: prefer a target on
+			// the same variable+attribute.
+			found := ""
+			slot, ai, err := p.colSlot(item.Col)
+			if err != nil {
+				return nil, err
+			}
+			for j, info := range infos {
+				if info.slot == slot && info.attr == ai {
+					found = infos[j].name
+					break
+				}
+			}
+			if found == "" {
+				return nil, fmt.Errorf("quel: sort by %s: column is not retrieved", item.Col)
+			}
+			keys[i] = relation.SortKey{Column: found, Desc: item.Desc}
+		}
+		out, err = out.Sort(keys...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if st.Into != "" {
+		if s.cat.Has(st.Into) {
+			return nil, fmt.Errorf("quel: retrieve into %s: relation already exists", st.Into)
+		}
+		s.cat.Put(out)
+	}
+	return &Result{Rel: out}, nil
+}
+
+func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {
+	p := newPlanner(s)
+	slot, err := p.addVar(st.Var)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.collectVars(st.Where); err != nil {
+		return nil, err
+	}
+	if st.Where == nil {
+		rel := p.rels[slot]
+		n := rel.Delete(func(relation.Tuple) bool { return true })
+		return &Result{Deleted: n}, nil
+	}
+	bindings, err := p.assemble(st.Where)
+	if err != nil {
+		return nil, err
+	}
+	// Existential semantics: a target tuple dies if any binding includes it.
+	doomed := make(map[int]bool, len(bindings))
+	for _, b := range bindings {
+		doomed[b[slot]] = true
+	}
+	rel := p.rels[slot]
+	idx := 0
+	n := rel.Delete(func(relation.Tuple) bool {
+		dead := doomed[idx]
+		idx++
+		return dead
+	})
+	return &Result{Deleted: n}, nil
+}

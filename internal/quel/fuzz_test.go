@@ -1,0 +1,50 @@
+package quel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"intensional/internal/relation"
+	"intensional/internal/storage"
+)
+
+// TestExecNeverPanicsProperty feeds random statement soup to the full
+// session (parse + plan + execute): errors are fine, panics are not.
+func TestExecNeverPanicsProperty(t *testing.T) {
+	words := []string{
+		"range", "of", "is", "retrieve", "into", "unique", "where", "sort", "by",
+		"delete", "append", "to", "replace", "and", "or", "not",
+		"r", "s", "REL", "X", "Y", "(", ")", ",", ".", "=", "!=", "<", "<=",
+		">", ">=", "1", "2.5", `"v"`, "S",
+	}
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rr := rand.New(rand.NewSource(seed))
+		cat := storage.NewCatalog()
+		rel := relation.New("REL", relation.MustSchema(
+			relation.Column{Name: "X", Type: relation.TInt},
+			relation.Column{Name: "Y", Type: relation.TString},
+		))
+		rel.MustInsert(relation.Int(1), relation.String("a"))
+		cat.Put(rel)
+		sess := NewSession(cat)
+		_, _ = sess.Exec("range of r is REL")
+		for stmt := 0; stmt < 3; stmt++ {
+			n := rr.Intn(20)
+			src := ""
+			for i := 0; i < n; i++ {
+				src += words[rr.Intn(len(words))] + " "
+			}
+			_, _ = sess.Exec(src)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}

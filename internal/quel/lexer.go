@@ -1,0 +1,168 @@
+// Package quel implements the QUEL subset the paper's Inductive Learning
+// Subsystem issues against the database: persistent range declarations,
+// retrieve [into] [unique] with qualifications and sort by, and qualified
+// delete. Multi-variable qualifications are planned with hash joins so the
+// induction algorithm's self-joins stay linear in the relation size.
+package quel
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // = != < <= > >=
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of statement"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenises a QUEL statement.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+		case c == ')':
+			l.emit(tokRParen, ")")
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '.':
+			l.emit(tokDot, ".")
+		case c == '=':
+			l.emit(tokOp, "=")
+		case c == '!':
+			if l.peek(1) != '=' {
+				return nil, fmt.Errorf("quel: position %d: expected != after !", l.pos)
+			}
+			l.emit2(tokOp, "!=")
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, "<=")
+			} else if l.peek(1) == '>' {
+				l.emit2(tokOp, "!=")
+			} else {
+				l.emit(tokOp, "<")
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emit2(tokOp, ">=")
+			} else {
+				l.emit(tokOp, ">")
+			}
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case c >= '0' && c <= '9' || c == '-' && l.peekDigit(1):
+			l.lexNumber()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("quel: position %d: unexpected character %q", l.pos, c)
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+	return l.tokens, nil
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) peekDigit(n int) bool {
+	c := l.peek(n)
+	return c >= '0' && c <= '9'
+}
+
+func (l *lexer) emit(k tokenKind, s string) {
+	l.tokens = append(l.tokens, token{kind: k, text: s, pos: l.pos})
+	l.pos++
+}
+
+func (l *lexer) emit2(k tokenKind, s string) {
+	l.tokens = append(l.tokens, token{kind: k, text: s, pos: l.pos})
+	l.pos += 2
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), pos: start})
+			l.pos++
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("quel: position %d: unterminated string", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+		// A dot followed by a non-digit belongs to the next token.
+		if l.src[l.pos] == '.' && !l.peekDigit(1) {
+			break
+		}
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}

@@ -1,0 +1,400 @@
+package quel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"intensional/internal/relation"
+)
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses a single QUEL statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("quel: unexpected %s after statement", p.cur())
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) keyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("quel: expected %q, got %s", kw, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("quel: expected identifier, got %s", t)
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *parser) expect(k tokenKind, what string) error {
+	if p.cur().kind != k {
+		return fmt.Errorf("quel: expected %s, got %s", what, p.cur())
+	}
+	p.i++
+	return nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.keyword("range"):
+		return p.parseRange()
+	case p.keyword("retrieve"):
+		return p.parseRetrieve()
+	case p.keyword("delete"):
+		return p.parseDelete()
+	case p.keyword("append"):
+		return p.parseAppend()
+	case p.keyword("replace"):
+		return p.parseReplace()
+	default:
+		return nil, fmt.Errorf("quel: expected range, retrieve, append, replace, or delete; got %s", p.cur())
+	}
+}
+
+func (p *parser) parseAssignList() ([]Assign, error) {
+	if err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	var out []Assign
+	for {
+		attr, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !(p.cur().kind == tokOp && p.cur().text == "=") {
+			return nil, fmt.Errorf("quel: expected = after %s, got %s", attr, p.cur())
+		}
+		p.i++
+		val, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Assign{Attr: attr, Val: val})
+		if p.cur().kind == tokComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseAppend() (Stmt, error) {
+	if err := p.expectKeyword("to"); err != nil {
+		return nil, err
+	}
+	rel, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	assigns, err := p.parseAssignList()
+	if err != nil {
+		return nil, err
+	}
+	return &AppendStmt{Rel: rel, Assign: assigns}, nil
+}
+
+func (p *parser) parseReplace() (Stmt, error) {
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	assigns, err := p.parseAssignList()
+	if err != nil {
+		return nil, err
+	}
+	st := &ReplaceStmt{Var: v, Assign: assigns}
+	if p.keyword("where") {
+		e, err := p.parseQual()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) parseRange() (Stmt, error) {
+	if err := p.expectKeyword("of"); err != nil {
+		return nil, err
+	}
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("is"); err != nil {
+		return nil, err
+	}
+	rel, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &RangeStmt{Var: v, Rel: rel}, nil
+}
+
+func (p *parser) parseRetrieve() (Stmt, error) {
+	st := &RetrieveStmt{}
+	if p.keyword("into") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.Into = name
+	}
+	if p.keyword("unique") {
+		st.Unique = true
+	}
+	if err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.parseTarget()
+		if err != nil {
+			return nil, err
+		}
+		st.Target = append(st.Target, t)
+		if p.cur().kind == tokComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	if p.keyword("where") {
+		e, err := p.parseQual()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.keyword("sort") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			item := SortItem{Col: c}
+			if p.keyword("desc") {
+				item.Desc = true
+			} else {
+				p.keyword("asc")
+			}
+			st.SortBy = append(st.SortBy, item)
+			if p.cur().kind == tokComma {
+				p.i++
+				continue
+			}
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Var: v}
+	if p.keyword("where") {
+		e, err := p.parseQual()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+// parseTarget parses "r.attr" or "name = r.attr".
+func (p *parser) parseTarget() (Target, error) {
+	// Lookahead: ident '=' means a rename; ident '.' means a column ref.
+	if p.cur().kind == tokIdent && p.toks[p.i+1].kind == tokOp && p.toks[p.i+1].text == "=" {
+		name := p.next().text
+		p.i++ // consume '='
+		c, err := p.parseColRef()
+		if err != nil {
+			return Target{}, err
+		}
+		return Target{As: name, Col: c}, nil
+	}
+	c, err := p.parseColRef()
+	if err != nil {
+		return Target{}, err
+	}
+	return Target{Col: c}, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	v, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if err := p.expect(tokDot, "."); err != nil {
+		return ColRef{}, err
+	}
+	a, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	return ColRef{Var: v, Attr: a}, nil
+}
+
+// parseQual parses a qualification with precedence not > and > or.
+func (p *parser) parseQual() (Expr, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{first}
+	for p.keyword("or") {
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return first, nil
+	}
+	return &OrExpr{Terms: terms}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{first}
+	for p.keyword("and") {
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return first, nil
+	}
+	return &AndExpr{Terms: terms}, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.keyword("not") {
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Term: t}, nil
+	}
+	if p.cur().kind == tokLParen {
+		p.i++
+		e, err := p.parseQual()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind != tokOp {
+		return nil, fmt.Errorf("quel: expected comparison operator, got %s", t)
+	}
+	p.i++
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &BinExpr{Op: t.text, L: l, R: r}, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		if p.toks[p.i+1].kind == tokDot {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			return ColOperand{Col: c}, nil
+		}
+		// A bare identifier is a string constant (the paper writes
+		// unquoted constants such as BQS-04 in qualifications).
+		p.i++
+		return ConstOperand{Val: relation.String(t.text)}, nil
+	case tokString:
+		p.i++
+		return ConstOperand{Val: relation.String(t.text)}, nil
+	case tokNumber:
+		p.i++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("quel: bad number %q: %w", t.text, err)
+			}
+			return ConstOperand{Val: relation.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("quel: bad number %q: %w", t.text, err)
+		}
+		return ConstOperand{Val: relation.Int(n)}, nil
+	default:
+		return nil, fmt.Errorf("quel: expected operand, got %s", t)
+	}
+}

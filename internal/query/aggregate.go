@@ -1,0 +1,271 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"intensional/internal/quel"
+	"intensional/internal/relation"
+	"intensional/internal/sqlparse"
+)
+
+// runAggregate executes a SELECT containing aggregates and/or GROUP BY:
+// the paper's introduction motivates summarised answers alongside
+// intensional ones, and grouped aggregates are the classic summarised
+// form. The base rows are produced by the QUEL executor; grouping and
+// accumulation happen here.
+func (p *Processor) runAggregate(b *binder, sel *sqlparse.Select) (*relation.Relation, error) {
+	if sel.Star {
+		return nil, fmt.Errorf("query: SELECT * cannot be combined with aggregates")
+	}
+	if sel.Distinct {
+		return nil, fmt.Errorf("query: SELECT DISTINCT cannot be combined with aggregates")
+	}
+
+	// Every plain select item must appear in GROUP BY.
+	groupKey := map[string]bool{}
+	type colRef struct {
+		binding, col string
+	}
+	var groupCols []colRef
+	for _, g := range sel.GroupBy {
+		binding, col, _, err := b.resolve(g.Table, g.Column)
+		if err != nil {
+			return nil, err
+		}
+		groupCols = append(groupCols, colRef{binding, col})
+		groupKey[strings.ToLower(binding+"."+col)] = true
+	}
+	for _, it := range sel.Items {
+		if it.Agg != "" {
+			continue
+		}
+		binding, col, _, err := b.resolve(it.Col.Table, it.Col.Column)
+		if err != nil {
+			return nil, err
+		}
+		if !groupKey[strings.ToLower(binding+"."+col)] {
+			return nil, fmt.Errorf("query: column %s must appear in GROUP BY", it.Col)
+		}
+	}
+
+	// Fetch the base rows: group columns first, then aggregate arguments.
+	st := &quel.RetrieveStmt{}
+	type argRef struct {
+		pos int // column position in the base result; -1 for COUNT(*)
+	}
+	baseCols := 0
+	addTarget := func(binding, col string) int {
+		st.Target = append(st.Target, quel.Target{
+			As:  fmt.Sprintf("c%d", baseCols),
+			Col: quel.ColRef{Var: binding, Attr: col},
+		})
+		baseCols++
+		return baseCols - 1
+	}
+	groupPos := make([]int, len(groupCols))
+	for i, g := range groupCols {
+		groupPos[i] = addTarget(g.binding, g.col)
+	}
+	args := make([]argRef, len(sel.Items))
+	itemGroupPos := make([]int, len(sel.Items)) // for plain items: base position
+	for i, it := range sel.Items {
+		if it.Agg == "" {
+			binding, col, _, err := b.resolve(it.Col.Table, it.Col.Column)
+			if err != nil {
+				return nil, err
+			}
+			for gi, g := range groupCols {
+				if strings.EqualFold(g.binding, binding) && strings.EqualFold(g.col, col) {
+					itemGroupPos[i] = groupPos[gi]
+				}
+			}
+			continue
+		}
+		if it.Star {
+			args[i] = argRef{pos: -1}
+			continue
+		}
+		binding, col, _, err := b.resolve(it.Col.Table, it.Col.Column)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = argRef{pos: addTarget(binding, col)}
+	}
+	if baseCols == 0 {
+		// COUNT(*) alone with no GROUP BY: fetch any column to count rows.
+		name := b.bindings[0]
+		schema := b.schemas[strings.ToLower(name)]
+		addTarget(name, schema.Col(0).Name)
+	}
+	if sel.Where != nil {
+		e, err := lowerExpr(b, sel.Where)
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	sess := quel.NewSession(p.cat)
+	for _, name := range b.bindings {
+		if _, err := sess.ExecStmt(&quel.RangeStmt{Var: name, Rel: b.tables[strings.ToLower(name)]}); err != nil {
+			return nil, err
+		}
+	}
+	res, err := sess.ExecStmt(st)
+	if err != nil {
+		return nil, err
+	}
+	base := res.Rel
+
+	// Group and accumulate.
+	type acc struct {
+		key      []relation.Value // group column values
+		count    []int64          // per item
+		sumI     []int64
+		sumF     []float64
+		isFloat  []bool
+		min, max []relation.Value
+		rows     int64
+	}
+	newAcc := func(key []relation.Value) *acc {
+		n := len(sel.Items)
+		return &acc{
+			key:   key,
+			count: make([]int64, n), sumI: make([]int64, n), sumF: make([]float64, n),
+			isFloat: make([]bool, n),
+			min:     make([]relation.Value, n), max: make([]relation.Value, n),
+		}
+	}
+	groups := map[string]*acc{}
+	var order []string
+	for _, row := range base.Rows() {
+		var kb strings.Builder
+		key := make([]relation.Value, len(groupPos))
+		for i, gp := range groupPos {
+			key[i] = row[gp]
+			kb.WriteString(row[gp].Key())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = newAcc(key)
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows++
+		for i, it := range sel.Items {
+			if it.Agg == "" {
+				continue
+			}
+			if it.Star {
+				g.count[i]++
+				continue
+			}
+			v := row[args[i].pos]
+			if v.IsNull() {
+				continue
+			}
+			g.count[i]++
+			switch v.Kind() {
+			case relation.KindInt:
+				g.sumI[i] += v.Int64()
+				g.sumF[i] += v.Float64()
+			case relation.KindFloat:
+				g.isFloat[i] = true
+				g.sumF[i] += v.Float64()
+			}
+			if g.min[i].IsNull() || v.Less(g.min[i]) {
+				g.min[i] = v
+			}
+			if g.max[i].IsNull() || g.max[i].Less(v) {
+				g.max[i] = v
+			}
+		}
+	}
+	// Aggregates with no GROUP BY produce exactly one row, even when the
+	// input is empty.
+	if len(sel.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = newAcc(nil)
+		order = append(order, "")
+	}
+
+	// Output schema.
+	cols := make([]relation.Column, len(sel.Items))
+	for i, it := range sel.Items {
+		t := relation.TInt // COUNT
+		switch {
+		case it.Agg == "":
+			// type of the underlying group column
+			t = base.Schema().Col(itemGroupPos[i]).Type
+		case it.Agg == "AVG":
+			t = relation.TFloat
+		case it.Agg == "SUM", it.Agg == "MIN", it.Agg == "MAX":
+			if !it.Star {
+				t = base.Schema().Col(args[i].pos).Type
+			}
+		}
+		cols[i] = relation.Column{Name: it.Label(), Type: t}
+	}
+	schema, err := relation.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New("result", schema)
+	for _, k := range order {
+		g := groups[k]
+		row := make(relation.Tuple, len(sel.Items))
+		for i, it := range sel.Items {
+			switch {
+			case it.Agg == "":
+				// Find the group column index matching this item.
+				for gi, gp := range groupPos {
+					if gp == itemGroupPos[i] {
+						row[i] = g.key[gi]
+					}
+				}
+			case it.Agg == "COUNT":
+				row[i] = relation.Int(g.count[i])
+			case it.Agg == "SUM":
+				if g.count[i] == 0 {
+					row[i] = relation.Null()
+				} else if g.isFloat[i] {
+					row[i] = relation.Float(g.sumF[i])
+				} else {
+					row[i] = relation.Int(g.sumI[i])
+				}
+			case it.Agg == "AVG":
+				if g.count[i] == 0 {
+					row[i] = relation.Null()
+				} else {
+					row[i] = relation.Float(g.sumF[i] / float64(g.count[i]))
+				}
+			case it.Agg == "MIN":
+				row[i] = g.min[i]
+			case it.Agg == "MAX":
+				row[i] = g.max[i]
+			}
+		}
+		if err := out.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+
+	// ORDER BY over the output columns (by label).
+	if len(sel.OrderBy) > 0 {
+		keys := make([]relation.SortKey, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			name := o.Col.Column
+			if _, ok := out.Schema().Index(name); !ok {
+				return nil, fmt.Errorf("query: ORDER BY %s: not an output column of the grouped query", name)
+			}
+			keys[i] = relation.SortKey{Column: name, Desc: o.Desc}
+		}
+		sorted, err := out.Sort(keys...)
+		if err != nil {
+			return nil, err
+		}
+		out = sorted
+	}
+	return out, nil
+}

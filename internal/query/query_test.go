@@ -1,0 +1,264 @@
+package query
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"intensional/internal/relation"
+	"intensional/internal/shipdb"
+	"intensional/internal/storage"
+)
+
+// Example1SQL..Example3SQL are the paper's Section 6 queries.
+const (
+	Example1SQL = `
+		SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE
+		FROM SUBMARINE, CLASS
+		WHERE SUBMARINE.CLASS = CLASS.CLASS
+		AND CLASS.DISPLACEMENT > 8000`
+	Example2SQL = `
+		SELECT SUBMARINE.NAME, SUBMARINE.CLASS
+		FROM SUBMARINE, CLASS
+		WHERE SUBMARINE.CLASS = CLASS.CLASS
+		AND CLASS.TYPE = "SSBN"`
+	Example3SQL = `
+		SELECT SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE
+		FROM SUBMARINE, CLASS, INSTALL
+		WHERE SUBMARINE.CLASS = CLASS.CLASS
+		AND SUBMARINE.ID = INSTALL.SHIP
+		AND INSTALL.SONAR = "BQS-04"`
+)
+
+func rowsAsStrings(r *relation.Relation) []string {
+	out := make([]string, r.Len())
+	for i, t := range r.Rows() {
+		parts := make([]string, len(t))
+		for j, v := range t {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func expectRows(t *testing.T, got *relation.Relation, want []string) {
+	t.Helper()
+	sort.Strings(want)
+	gotRows := rowsAsStrings(got)
+	if len(gotRows) != len(want) {
+		t.Fatalf("got %d rows, want %d:\n%s", len(gotRows), len(want), got)
+	}
+	for i := range want {
+		if gotRows[i] != want[i] {
+			t.Errorf("row %d = %q, want %q", i, gotRows[i], want[i])
+		}
+	}
+}
+
+// TestExample1Extensional reproduces the paper's Example 1 extensional
+// answer exactly.
+func TestExample1Extensional(t *testing.T) {
+	p := New(shipdb.Catalog())
+	rel, an, err := p.Run(Example1SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, rel, []string{
+		"SSBN730|Rhode Island|0101|SSBN",
+		"SSBN130|Typhoon|1301|SSBN",
+	})
+	if !an.Conjunctive {
+		t.Error("Example 1 is conjunctive")
+	}
+	if len(an.Joins) != 1 || an.Joins[0].String() != "SUBMARINE.Class = CLASS.Class" {
+		t.Errorf("joins = %v", an.Joins)
+	}
+	if len(an.Restrictions) != 1 {
+		t.Fatalf("restrictions = %v", an.Restrictions)
+	}
+	r := an.Restrictions[0]
+	if r.Attr.String() != "CLASS.Displacement" || r.Op != ">" || !r.Val.Equal(relation.Int(8000)) {
+		t.Errorf("restriction = %+v", r)
+	}
+	if !r.HasInterval {
+		t.Error("restriction should have an interval form")
+	}
+}
+
+// TestExample2Extensional reproduces Example 2's seven SSBN ships.
+func TestExample2Extensional(t *testing.T) {
+	p := New(shipdb.Catalog())
+	rel, an, err := p.Run(Example2SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, rel, []string{
+		"Nathaniel Hale|0103",
+		"Daniel Boone|0103",
+		"Sam Rayburn|0103",
+		"Lewis and Clark|0102",
+		"Mariano G. Vallejo|0102",
+		"Rhode Island|0101",
+		"Typhoon|1301",
+	})
+	if len(an.Restrictions) != 1 || an.Restrictions[0].Op != "=" {
+		t.Errorf("restrictions = %v", an.Restrictions)
+	}
+}
+
+// TestExample3Extensional reproduces Example 3's four BQS-04 ships.
+func TestExample3Extensional(t *testing.T) {
+	p := New(shipdb.Catalog())
+	rel, an, err := p.Run(Example3SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, rel, []string{
+		"Bonefish|0215|SSN",
+		"Seadragon|0212|SSN",
+		"Snook|0209|SSN",
+		"Robert E. Lee|0208|SSN",
+	})
+	if len(an.Joins) != 2 {
+		t.Errorf("joins = %v", an.Joins)
+	}
+	if len(an.Tables) != 3 {
+		t.Errorf("tables = %v", an.Tables)
+	}
+}
+
+func TestSelectStarAndDistinct(t *testing.T) {
+	p := New(shipdb.Catalog())
+	rel, _, err := p.Run("SELECT * FROM TYPE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 || rel.Schema().Len() != 2 {
+		t.Errorf("SELECT * FROM TYPE: %d rows, %d cols", rel.Len(), rel.Schema().Len())
+	}
+	rel, _, err = p.Run("SELECT DISTINCT TYPE FROM CLASS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Errorf("DISTINCT gave %d rows", rel.Len())
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	p := New(shipdb.Catalog())
+	rel, _, err := p.Run("SELECT Class, Displacement FROM CLASS ORDER BY Displacement DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Row(0)[0].Str() != "1301" {
+		t.Errorf("first row %v, want class 1301 (30000 tons)", rel.Row(0))
+	}
+	rel, _, err = p.Run("SELECT Class FROM CLASS ORDER BY Class ASC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Row(0)[0].Str() != "0101" {
+		t.Errorf("first row %v, want 0101", rel.Row(0))
+	}
+}
+
+func TestAliasesAndUnqualified(t *testing.T) {
+	p := New(shipdb.Catalog())
+	rel, an, err := p.Run(`SELECT s.Name, c.Type FROM SUBMARINE s, CLASS c
+		WHERE s.Class = c.Class AND Displacement > 8000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Errorf("aliased query: %d rows", rel.Len())
+	}
+	// Analysis must resolve aliases back to real relation names.
+	if an.Restrictions[0].Attr.Relation != "CLASS" {
+		t.Errorf("restriction relation = %q", an.Restrictions[0].Attr.Relation)
+	}
+	if an.Joins[0].L.Relation != "SUBMARINE" {
+		t.Errorf("join left relation = %q", an.Joins[0].L.Relation)
+	}
+}
+
+func TestColumnAlias(t *testing.T) {
+	p := New(shipdb.Catalog())
+	rel, _, err := p.Run("SELECT Class AS ShipClass FROM CLASS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Schema().Names()[0] != "ShipClass" {
+		t.Errorf("aliased column = %v", rel.Schema().Names())
+	}
+}
+
+func TestAmbiguousAndUnknownColumns(t *testing.T) {
+	p := New(shipdb.Catalog())
+	if _, _, err := p.Run("SELECT Class FROM SUBMARINE, CLASS WHERE SUBMARINE.Class = CLASS.Class"); err == nil {
+		t.Error("ambiguous unqualified column should error")
+	}
+	if _, _, err := p.Run("SELECT Nope FROM CLASS"); err == nil {
+		t.Error("unknown column should error")
+	}
+	if _, _, err := p.Run("SELECT X.Class FROM CLASS"); err == nil {
+		t.Error("unknown table qualifier should error")
+	}
+	if _, _, err := p.Run("SELECT Class FROM NOPE"); err == nil {
+		t.Error("unknown table should error")
+	}
+	if _, _, err := p.Run("SELECT Class FROM CLASS, CLASS"); err == nil {
+		t.Error("duplicate binding should error")
+	}
+}
+
+func TestNonConjunctiveAnalysis(t *testing.T) {
+	p := New(shipdb.Catalog())
+	_, an, err := p.Run(`SELECT Class FROM CLASS WHERE Type = "SSBN" OR Displacement > 8000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Conjunctive {
+		t.Error("disjunctive WHERE must be flagged non-conjunctive")
+	}
+}
+
+func TestFlippedLiteralComparison(t *testing.T) {
+	p := New(shipdb.Catalog())
+	rel, an, err := p.Run("SELECT Class FROM CLASS WHERE 8000 < Displacement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Errorf("flipped comparison: %d rows", rel.Len())
+	}
+	if an.Restrictions[0].Op != ">" {
+		t.Errorf("flipped op = %q, want >", an.Restrictions[0].Op)
+	}
+}
+
+func TestNotEqualRestrictionHasNoInterval(t *testing.T) {
+	p := New(shipdb.Catalog())
+	_, an, err := p.Run(`SELECT Class FROM CLASS WHERE Type != "SSN"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Restrictions) != 1 || an.Restrictions[0].HasInterval {
+		t.Errorf("!= restriction should have no interval: %+v", an.Restrictions)
+	}
+	if !an.Conjunctive {
+		t.Error("a != conjunct is still conjunctive")
+	}
+}
+
+func TestEmptyCatalogProcessor(t *testing.T) {
+	p := New(storage.NewCatalog())
+	if _, _, err := p.Run("SELECT a FROM b"); err == nil {
+		t.Error("query on empty catalog should error")
+	}
+	if _, _, err := p.Run("garbage"); err == nil {
+		t.Error("unparseable query should error")
+	}
+}

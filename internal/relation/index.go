@@ -1,0 +1,88 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Index is a sorted secondary index over one column: row positions
+// ordered by the column's value, supporting binary-search lookups for
+// the comparison operators. An index is a snapshot — it is valid only
+// for the relation version it was built against (see Relation.Version).
+type Index struct {
+	rel     *Relation
+	col     int
+	order   []int // row indices sorted ascending by column value
+	version uint64
+}
+
+// BuildIndex sorts the relation's rows by the named column. Null values
+// are excluded from the index (no comparison matches them).
+func (r *Relation) BuildIndex(column string) (*Index, error) {
+	ci, ok := r.schema.Index(column)
+	if !ok {
+		return nil, fmt.Errorf("relation %s: no column %q", r.name, column)
+	}
+	ix := &Index{rel: r, col: ci, version: r.version}
+	for i, row := range r.rows {
+		if !row[ci].IsNull() {
+			ix.order = append(ix.order, i)
+		}
+	}
+	sort.SliceStable(ix.order, func(a, b int) bool {
+		return r.rows[ix.order[a]][ci].Less(r.rows[ix.order[b]][ci])
+	})
+	return ix, nil
+}
+
+// Fresh reports whether the index still matches the relation's contents.
+func (ix *Index) Fresh() bool { return ix.version == ix.rel.version }
+
+// Len returns the number of indexed rows.
+func (ix *Index) Len() int { return len(ix.order) }
+
+// value returns the indexed column value at sorted position p.
+func (ix *Index) value(p int) Value { return ix.rel.rows[ix.order[p]][ix.col] }
+
+// Lookup returns the row positions whose column value satisfies "value
+// op v", in index (ascending value) order. Supported operators: =, !=,
+// <, <=, >, >=. A stale index returns an error.
+func (ix *Index) Lookup(op string, v Value) ([]int, error) {
+	if !ix.Fresh() {
+		return nil, fmt.Errorf("relation %s: index is stale", ix.rel.name)
+	}
+	n := len(ix.order)
+	// lowerBound: first position with value >= v; upperBound: first
+	// position with value > v. Incomparable values sort arbitrarily, so
+	// reject them up front.
+	if n > 0 && !ix.value(0).Comparable(v) {
+		return nil, fmt.Errorf("relation %s: cannot compare %s column with %s",
+			ix.rel.name, ix.rel.schema.Col(ix.col).Type, v.Kind())
+	}
+	lower := sort.Search(n, func(p int) bool { return ix.value(p).MustCompare(v) >= 0 })
+	upper := sort.Search(n, func(p int) bool { return ix.value(p).MustCompare(v) > 0 })
+	slice := func(lo, hi int) []int {
+		out := make([]int, hi-lo)
+		copy(out, ix.order[lo:hi])
+		return out
+	}
+	switch op {
+	case "=":
+		return slice(lower, upper), nil
+	case "<":
+		return slice(0, lower), nil
+	case "<=":
+		return slice(0, upper), nil
+	case ">":
+		return slice(upper, n), nil
+	case ">=":
+		return slice(lower, n), nil
+	case "!=", "<>":
+		out := make([]int, 0, n-(upper-lower))
+		out = append(out, ix.order[:lower]...)
+		out = append(out, ix.order[upper:]...)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("relation: index lookup: unsupported operator %q", op)
+	}
+}

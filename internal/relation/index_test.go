@@ -1,0 +1,160 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func indexedRelation(t *testing.T) *Relation {
+	t.Helper()
+	r := New("R", MustSchema(
+		Column{Name: "K", Type: TInt},
+		Column{Name: "S", Type: TString},
+	))
+	for _, k := range []int64{5, 1, 9, 3, 5, 7} {
+		r.MustInsert(Int(k), String("x"))
+	}
+	r.MustInsert(Null(), String("n")) // nulls are not indexed
+	return r
+}
+
+func TestIndexLookupOperators(t *testing.T) {
+	r := indexedRelation(t)
+	ix, err := r.BuildIndex("K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 6 {
+		t.Fatalf("indexed rows = %d, want 6 (null excluded)", ix.Len())
+	}
+	cases := []struct {
+		op   string
+		v    int64
+		want int
+	}{
+		{"=", 5, 2}, {"=", 4, 0},
+		{"<", 5, 2}, {"<=", 5, 4},
+		{">", 5, 2}, {">=", 5, 4},
+		{"!=", 5, 4},
+	}
+	for _, c := range cases {
+		rows, err := ix.Lookup(c.op, Int(c.v))
+		if err != nil {
+			t.Fatalf("Lookup(%s %d): %v", c.op, c.v, err)
+		}
+		if len(rows) != c.want {
+			t.Errorf("Lookup(%s %d) = %d rows, want %d", c.op, c.v, len(rows), c.want)
+		}
+		for _, pos := range rows {
+			if r.Row(pos)[0].IsNull() {
+				t.Errorf("Lookup(%s %d) returned a null row", c.op, c.v)
+			}
+		}
+	}
+	if _, err := ix.Lookup("~", Int(1)); err == nil {
+		t.Error("unsupported operator should error")
+	}
+	if _, err := ix.Lookup("=", String("x")); err == nil {
+		t.Error("incomparable value should error")
+	}
+}
+
+func TestIndexStaleness(t *testing.T) {
+	r := indexedRelation(t)
+	ix, err := r.BuildIndex("K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Fresh() {
+		t.Fatal("fresh index reported stale")
+	}
+	r.MustInsert(Int(2), String("y"))
+	if ix.Fresh() {
+		t.Error("index should be stale after insert")
+	}
+	if _, err := ix.Lookup("=", Int(2)); err == nil {
+		t.Error("stale lookup should error")
+	}
+	// Every mutation path bumps the version.
+	v := r.Version()
+	if err := r.Set(0, 1, String("z")); err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() == v {
+		t.Error("Set must bump version")
+	}
+	v = r.Version()
+	r.Delete(func(t Tuple) bool { return false })
+	if r.Version() != v {
+		t.Error("no-op delete must not bump version")
+	}
+	r.Delete(func(t Tuple) bool { return true })
+	if r.Version() == v {
+		t.Error("delete must bump version")
+	}
+	v = r.Version()
+	if err := r.InsertStrings("4", "w"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Version() == v {
+		t.Error("InsertStrings must bump version")
+	}
+}
+
+func TestBuildIndexErrors(t *testing.T) {
+	r := indexedRelation(t)
+	if _, err := r.BuildIndex("nope"); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+// Property: index lookups agree with a full scan for every operator.
+func TestIndexAgreesWithScanProperty(t *testing.T) {
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		r := New("R", MustSchema(Column{Name: "K", Type: TInt}))
+		n := rr.Intn(60)
+		for i := 0; i < n; i++ {
+			r.MustInsert(Int(int64(rr.Intn(20))))
+		}
+		ix, err := r.BuildIndex("K")
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			op := ops[rr.Intn(len(ops))]
+			v := Int(int64(rr.Intn(20)))
+			got, err := ix.Lookup(op, v)
+			if err != nil {
+				return false
+			}
+			pred, err := Cmp(r.Schema(), "K", op, v)
+			if err != nil {
+				return false
+			}
+			want := 0
+			for _, row := range r.Rows() {
+				if pred(row) {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Logf("seed %d: op %s %s: index %d, scan %d", seed, op, v, len(got), want)
+				return false
+			}
+			seen := map[int]bool{}
+			for _, pos := range got {
+				if seen[pos] || !pred(r.Row(pos)) {
+					return false
+				}
+				seen[pos] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

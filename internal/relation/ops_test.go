@@ -1,0 +1,305 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func classRelation(t *testing.T) *Relation {
+	t.Helper()
+	s := MustSchema(
+		Column{Name: "Class", Type: TString},
+		Column{Name: "Type", Type: TString},
+		Column{Name: "Displacement", Type: TInt},
+	)
+	r := New("CLASS", s)
+	r.MustInsert(String("0101"), String("SSBN"), Int(16600))
+	r.MustInsert(String("0102"), String("SSBN"), Int(7250))
+	r.MustInsert(String("0201"), String("SSN"), Int(6000))
+	r.MustInsert(String("0204"), String("SSN"), Int(3640))
+	r.MustInsert(String("1301"), String("SSBN"), Int(30000))
+	return r
+}
+
+func TestSelectAndPredicates(t *testing.T) {
+	r := classRelation(t)
+	p, err := Cmp(r.Schema(), "Displacement", ">", Int(8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Select(p)
+	if got.Len() != 2 {
+		t.Fatalf("Select(>8000) = %d rows, want 2", got.Len())
+	}
+	eq, err := Eq(r.Schema(), "Type", String("SSN"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Select(eq).Len(); n != 2 {
+		t.Errorf("Select(Type=SSN) = %d rows, want 2", n)
+	}
+	if n := r.Select(And(p, eq)).Len(); n != 0 {
+		t.Errorf("And: %d rows, want 0", n)
+	}
+	if n := r.Select(Or(p, eq)).Len(); n != 4 {
+		t.Errorf("Or: %d rows, want 4", n)
+	}
+	if n := r.Select(Not(eq)).Len(); n != 3 {
+		t.Errorf("Not: %d rows, want 3", n)
+	}
+}
+
+func TestCmpOperators(t *testing.T) {
+	r := classRelation(t)
+	for _, c := range []struct {
+		op   string
+		want int
+	}{
+		{"=", 1}, {"!=", 4}, {"<>", 4}, {"<", 2}, {"<=", 3}, {">", 2}, {">=", 3},
+	} {
+		p, err := Cmp(r.Schema(), "Displacement", c.op, Int(7250))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := r.Select(p).Len(); n != c.want {
+			t.Errorf("op %q: %d rows, want %d", c.op, n, c.want)
+		}
+	}
+	if _, err := Cmp(r.Schema(), "missing", "=", Int(0)); err == nil {
+		t.Error("Cmp on missing column should error")
+	}
+}
+
+func TestProjectUnique(t *testing.T) {
+	r := classRelation(t)
+	p, err := r.Project("Type")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5 {
+		t.Fatalf("Project keeps duplicates: %d", p.Len())
+	}
+	u := p.Unique()
+	if u.Len() != 2 {
+		t.Fatalf("Unique = %d rows, want 2", u.Len())
+	}
+}
+
+func TestSort(t *testing.T) {
+	r := classRelation(t)
+	s, err := r.Sort(SortKey{Column: "Displacement"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	for _, row := range s.Rows() {
+		d := row[2].Int64()
+		if d < prev {
+			t.Fatalf("not sorted: %d after %d", d, prev)
+		}
+		prev = d
+	}
+	desc, err := r.Sort(SortKey{Column: "Type"}, SortKey{Column: "Displacement", Desc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Row(0)[0].Str() != "1301" {
+		t.Errorf("multi-key sort: first row %v", desc.Row(0))
+	}
+	if _, err := r.Sort(SortKey{Column: "missing"}); err == nil {
+		t.Error("sort on missing column should error")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := classRelation(t)
+	eq, _ := Eq(r.Schema(), "Type", String("SSN"))
+	if n := r.Delete(eq); n != 2 {
+		t.Fatalf("Delete removed %d, want 2", n)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len after delete = %d, want 3", r.Len())
+	}
+}
+
+func TestUnionDiff(t *testing.T) {
+	r := classRelation(t)
+	ssn := r.Select(func(t Tuple) bool { return t[1].Str() == "SSN" })
+	ssbn := r.Select(func(t Tuple) bool { return t[1].Str() == "SSBN" })
+	u, err := ssn.Union(ssbn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != r.Len() {
+		t.Errorf("union = %d rows, want %d", u.Len(), r.Len())
+	}
+	d, err := r.Diff(ssn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != ssbn.Len() {
+		t.Errorf("diff = %d rows, want %d", d.Len(), ssbn.Len())
+	}
+	other := New("X", MustSchema(Column{Name: "A", Type: TInt}))
+	if _, err := r.Union(other); err == nil {
+		t.Error("union with mismatched schema should error")
+	}
+	if _, err := r.Diff(other); err == nil {
+		t.Error("diff with mismatched schema should error")
+	}
+}
+
+func submarineRelation(t *testing.T) *Relation {
+	t.Helper()
+	s := MustSchema(
+		Column{Name: "Id", Type: TString},
+		Column{Name: "Name", Type: TString},
+		Column{Name: "Class", Type: TString},
+	)
+	r := New("SUBMARINE", s)
+	r.MustInsert(String("SSBN730"), String("Rhode Island"), String("0101"))
+	r.MustInsert(String("SSBN130"), String("Typhoon"), String("1301"))
+	r.MustInsert(String("SSN692"), String("Omaha"), String("0201"))
+	return r
+}
+
+func TestJoin(t *testing.T) {
+	sub := submarineRelation(t)
+	cls := classRelation(t)
+	j, err := sub.Join(cls, JoinOn{Left: "Class", Right: "Class"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("join = %d rows, want 3", j.Len())
+	}
+	// Colliding "Class" must be qualified on both sides.
+	if _, ok := j.Schema().Index("SUBMARINE.Class"); !ok {
+		t.Errorf("join schema missing SUBMARINE.Class: %s", j.Schema())
+	}
+	if _, ok := j.Schema().Index("CLASS.Class"); !ok {
+		t.Errorf("join schema missing CLASS.Class: %s", j.Schema())
+	}
+	nl, err := sub.JoinNestedLoop(cls, JoinOn{Left: "Class", Right: "Class"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Len() != j.Len() {
+		t.Errorf("nested-loop join = %d rows, hash join = %d", nl.Len(), j.Len())
+	}
+	if _, err := sub.Join(cls); err == nil {
+		t.Error("join with no conditions should error")
+	}
+	if _, err := sub.Join(cls, JoinOn{Left: "nope", Right: "Class"}); err == nil {
+		t.Error("join on missing left column should error")
+	}
+	if _, err := sub.Join(cls, JoinOn{Left: "Class", Right: "nope"}); err == nil {
+		t.Error("join on missing right column should error")
+	}
+}
+
+func TestMinMaxCountDistinct(t *testing.T) {
+	r := classRelation(t)
+	min, ok, err := r.Min("Displacement")
+	if err != nil || !ok || !min.Equal(Int(3640)) {
+		t.Errorf("Min = %v %v %v", min, ok, err)
+	}
+	max, ok, err := r.Max("Displacement")
+	if err != nil || !ok || !max.Equal(Int(30000)) {
+		t.Errorf("Max = %v %v %v", max, ok, err)
+	}
+	n, err := r.CountDistinct("Type")
+	if err != nil || n != 2 {
+		t.Errorf("CountDistinct = %d %v", n, err)
+	}
+	empty := New("E", r.Schema())
+	if _, ok, _ := empty.Min("Displacement"); ok {
+		t.Error("Min of empty relation should report !ok")
+	}
+	if _, _, err := r.Min("missing"); err == nil {
+		t.Error("Min on missing column should error")
+	}
+}
+
+// Property: hash join and nested-loop join agree on random data.
+func TestJoinStrategiesAgreeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		ls := MustSchema(Column{Name: "K", Type: TInt}, Column{Name: "A", Type: TInt})
+		rs := MustSchema(Column{Name: "K2", Type: TInt}, Column{Name: "B", Type: TInt})
+		l := New("L", ls)
+		r := New("R", rs)
+		for i := 0; i < rr.Intn(30); i++ {
+			l.MustInsert(Int(int64(rr.Intn(8))), Int(int64(rr.Intn(100))))
+		}
+		for i := 0; i < rr.Intn(30); i++ {
+			r.MustInsert(Int(int64(rr.Intn(8))), Int(int64(rr.Intn(100))))
+		}
+		h, err1 := l.Join(r, JoinOn{Left: "K", Right: "K2"})
+		n, err2 := l.JoinNestedLoop(r, JoinOn{Left: "K", Right: "K2"})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if h.Len() != n.Len() {
+			return false
+		}
+		// Same multiset of tuples.
+		count := map[string]int{}
+		for _, t := range h.Rows() {
+			count[t.Key()]++
+		}
+		for _, t := range n.Rows() {
+			count[t.Key()]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unique is idempotent and never grows the relation.
+func TestUniqueIdempotentProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		s := MustSchema(Column{Name: "A", Type: TInt}, Column{Name: "B", Type: TString})
+		r := New("R", s)
+		for i := 0; i < rr.Intn(50); i++ {
+			r.MustInsert(Int(int64(rr.Intn(5))), String(string(rune('a'+rr.Intn(3)))))
+		}
+		u := r.Unique()
+		if u.Len() > r.Len() {
+			return false
+		}
+		return u.Unique().Len() == u.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Select(p) ∪ Select(not p) is a permutation of the input.
+func TestSelectPartitionProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		s := MustSchema(Column{Name: "A", Type: TInt})
+		r := New("R", s)
+		for i := 0; i < rr.Intn(50); i++ {
+			r.MustInsert(Int(int64(rr.Intn(100))))
+		}
+		p, err := Cmp(s, "A", "<", Int(50))
+		if err != nil {
+			return false
+		}
+		return r.Select(p).Len()+r.Select(Not(p)).Len() == r.Len()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

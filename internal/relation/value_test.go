@@ -1,0 +1,203 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "NULL"},
+		{String("SSBN"), KindString, "SSBN"},
+		{Int(7250), KindInt, "7250"},
+		{Float(2.5), KindFloat, "2.5"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%#v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("%#v: String() = %q, want %q", c.v, got, c.str)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misclassifies")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Int(2), -1},
+		{Int(2), Float(1.5), 1},
+		{Float(2), Int(2), 0},
+		{String("BQQ-2"), String("BQQ-8"), -1},
+		{String("SSN623"), String("SSN635"), -1},
+		{String("a"), String("a"), 0},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil {
+			t.Errorf("Compare(%#v, %#v): %v", c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Compare(%#v, %#v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareIncomparable(t *testing.T) {
+	pairs := [][2]Value{
+		{String("x"), Int(1)},
+		{Int(1), String("x")},
+		{Null(), Int(1)},
+		{String("x"), Null()},
+		{Float(1), String("x")},
+	}
+	for _, p := range pairs {
+		if _, err := p[0].Compare(p[1]); err == nil {
+			t.Errorf("Compare(%#v, %#v): want error", p[0], p[1])
+		}
+		if p[0].Equal(p[1]) {
+			t.Errorf("Equal(%#v, %#v): want false", p[0], p[1])
+		}
+		if p[0].Less(p[1]) {
+			t.Errorf("Less(%#v, %#v): want false", p[0], p[1])
+		}
+	}
+}
+
+func TestMustComparePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompare on incomparable kinds should panic")
+		}
+	}()
+	String("x").MustCompare(Int(1))
+}
+
+func TestValueKeyEquality(t *testing.T) {
+	if Int(3).Key() != Float(3).Key() {
+		t.Error("Int(3) and Float(3) should share a key")
+	}
+	if Int(3).Key() == String("3").Key() {
+		t.Error("Int(3) and String(\"3\") must not share a key")
+	}
+	if Null().Key() == String("").Key() {
+		t.Error("Null and empty string must not share a key")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue("7250", TInt)
+	if err != nil || !v.Equal(Int(7250)) {
+		t.Errorf("ParseValue int: %v %v", v, err)
+	}
+	v, err = ParseValue(" 2.5 ", TFloat)
+	if err != nil || !v.Equal(Float(2.5)) {
+		t.Errorf("ParseValue float: %v %v", v, err)
+	}
+	v, err = ParseValue("Ohio", TString)
+	if err != nil || !v.Equal(String("Ohio")) {
+		t.Errorf("ParseValue string: %v %v", v, err)
+	}
+	if _, err = ParseValue("xyz", TInt); err == nil {
+		t.Error("ParseValue bad int: want error")
+	}
+	if _, err = ParseValue("1.2.3", TFloat); err == nil {
+		t.Error("ParseValue bad float: want error")
+	}
+}
+
+func TestConforms(t *testing.T) {
+	cases := []struct {
+		v    Value
+		t    Type
+		want bool
+	}{
+		{Null(), TString, true},
+		{Null(), TInt, true},
+		{String("x"), TString, true},
+		{String("x"), TInt, false},
+		{Int(1), TInt, true},
+		{Int(1), TFloat, true},
+		{Int(1), TString, false},
+		{Float(1), TFloat, true},
+		{Float(1), TInt, false},
+	}
+	for _, c := range cases {
+		if got := c.v.Conforms(c.t); got != c.want {
+			t.Errorf("Conforms(%#v, %v) = %v, want %v", c.v, c.t, got, c.want)
+		}
+	}
+}
+
+// genValue produces a random comparable value for property tests; all
+// values drawn from the same call share a kind class (numeric or string).
+func genValue(r *rand.Rand, stringKind bool) Value {
+	if stringKind {
+		const letters = "ABCDEFGHIJ"
+		n := r.Intn(6)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return String(string(b))
+	}
+	if r.Intn(2) == 0 {
+		return Int(int64(r.Intn(2001) - 1000))
+	}
+	return Float(float64(r.Intn(2001)-1000) / 4)
+}
+
+// Property: Compare is a total order on comparable values — antisymmetric
+// and transitive, and consistent with Equal and Less.
+func TestCompareTotalOrderProperty(t *testing.T) {
+	prop := func(seed int64, stringKind bool) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b, c := genValue(rr, stringKind), genValue(rr, stringKind), genValue(rr, stringKind)
+		ab := a.MustCompare(b)
+		ba := b.MustCompare(a)
+		if ab != -ba {
+			return false
+		}
+		if (ab == 0) != a.Equal(b) {
+			return false
+		}
+		if (ab < 0) != a.Less(b) {
+			return false
+		}
+		// transitivity: a<=b and b<=c implies a<=c
+		if ab <= 0 && b.MustCompare(c) <= 0 && a.MustCompare(c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Key agrees with Equal.
+func TestKeyAgreesWithEqualProperty(t *testing.T) {
+	prop := func(seed int64, stringKind bool) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := genValue(rr, stringKind), genValue(rr, stringKind)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package rules_test
+
+import (
+	"fmt"
+
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+)
+
+// The forward-inference applicability test: a rule fires when its premise
+// subsumes the (closed-world) query condition.
+func ExampleInterval_Subsumes() {
+	premise := rules.Range(relation.Int(7250), relation.Int(30000)) // R9's premise
+	condition := rules.Range(relation.Int(16600), relation.Int(30000))
+	fmt.Println(premise.Subsumes(condition))
+	fmt.Println(condition.Subsumes(premise))
+	// Output:
+	// true
+	// false
+}
+
+// Rules render in the paper's If-then form.
+func ExampleRule_String() {
+	r := &rules.Rule{
+		LHS: []rules.Clause{rules.RangeClause(
+			rules.Attr("CLASS", "Displacement"), relation.Int(7250), relation.Int(30000))},
+		RHS: rules.PointClause(rules.Attr("CLASS", "Type"), relation.String("SSBN")),
+	}
+	fmt.Println(r)
+	// Output:
+	// if 7250 <= CLASS.Displacement <= 30000 then CLASS.Type = SSBN
+}
+
+// Encode produces the relocatable rule relations of Section 5.2.2.
+func ExampleEncode() {
+	set := rules.NewSet()
+	set.Add(&rules.Rule{
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr("R", "A"),
+			relation.String("a1"), relation.String("a2"))},
+		RHS: rules.PointClause(rules.Attr("R", "B"), relation.String("b1")),
+	})
+	enc, _ := rules.Encode(set)
+	for _, row := range enc.Rules.Rows() {
+		fmt.Println(row)
+	}
+	// Output:
+	// (1, L, 1, 0, 2)
+	// (1, R, 1, 1, 1)
+}

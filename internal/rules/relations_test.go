@@ -1,0 +1,261 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"intensional/internal/relation"
+)
+
+// TestRuleRelationPaperExample reproduces the Section 5.2.2 example:
+// the rule "if a1 <= R.A <= a2 then R.B = b1" encodes as
+//
+//	| RuleNo | Role | Lvalue | Att_no | Uvalue |
+//	|   1    |  L   |  1.00  |   0    |  2.00  |
+//	|   1    |  R   |  1.00  |   1    |  1.00  |
+//
+// with the attribute value mapping relation
+//
+//	| Att_no | Value | RealValue |
+//	|   0    | 1.00  |    a1     |
+//	|   0    | 2.00  |    a2     |
+//	|   1    | 1.00  |    b1     |
+func TestRuleRelationPaperExample(t *testing.T) {
+	s := NewSet()
+	s.Add(&Rule{
+		LHS: []Clause{RangeClause(Attr("R", "A"), relation.String("a1"), relation.String("a2"))},
+		RHS: PointClause(Attr("R", "B"), relation.String("b1")),
+	})
+	rel, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRules := [][5]string{
+		{"1", "L", "1", "0", "2"},
+		{"1", "R", "1", "1", "1"},
+	}
+	if rel.Rules.Len() != len(wantRules) {
+		t.Fatalf("rule relation has %d rows, want %d:\n%s", rel.Rules.Len(), len(wantRules), rel.Rules)
+	}
+	for i, want := range wantRules {
+		row := rel.Rules.Row(i)
+		for j, w := range want {
+			if got := row[j].String(); got != w {
+				t.Errorf("rule relation row %d col %d = %q, want %q", i, j, got, w)
+			}
+		}
+	}
+	wantMap := [][3]string{
+		{"0", "1", "a1"},
+		{"0", "2", "a2"},
+		{"1", "1", "b1"},
+	}
+	if rel.Map.Len() != len(wantMap) {
+		t.Fatalf("mapping relation has %d rows, want %d:\n%s", rel.Map.Len(), len(wantMap), rel.Map)
+	}
+	for i, want := range wantMap {
+		row := rel.Map.Row(i)
+		for j, w := range want {
+			if got := row[j].String(); got != w {
+				t.Errorf("mapping row %d col %d = %q, want %q", i, j, got, w)
+			}
+		}
+	}
+}
+
+func sampleSet() *Set {
+	s := NewSet()
+	s.Add(&Rule{
+		LHS:     []Clause{RangeClause(Attr("CLASS", "Displacement"), relation.Int(7250), relation.Int(30000))},
+		RHS:     PointClause(Attr("CLASS", "Type"), relation.String("SSBN")),
+		Support: 4,
+	})
+	s.Add(&Rule{
+		LHS:     []Clause{RangeClause(Attr("CLASS", "Class"), relation.String("0201"), relation.String("0215"))},
+		RHS:     PointClause(Attr("CLASS", "Type"), relation.String("SSN")),
+		Support: 9,
+	})
+	s.Add(&Rule{
+		LHS: []Clause{
+			PointClause(Attr("SUBMARINE", "Class"), relation.String("0203")),
+			RangeClause(Attr("SONAR", "Sonar"), relation.String("BQQ-2"), relation.String("BQQ-8")),
+		},
+		RHS:     PointClause(Attr("SONAR", "SonarType"), relation.String("BQQ")),
+		Support: 2,
+	})
+	s.Add(&Rule{
+		LHS:     []Clause{RangeClause(Attr("EMP", "Ratio"), relation.Float(0.5), relation.Float(1.5))},
+		RHS:     PointClause(Attr("EMP", "Grade"), relation.Int(3)),
+		Support: 7,
+	})
+	return s
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	s := sampleSet()
+	rel, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("decoded %d rules, want %d", got.Len(), s.Len())
+	}
+	for i, orig := range s.Rules() {
+		dec := got.Rules()[i]
+		if !dec.Equal(orig) {
+			t.Errorf("rule %d mismatch:\n got %s\nwant %s", i, dec, orig)
+		}
+		if dec.ID != orig.ID || dec.Support != orig.Support {
+			t.Errorf("rule %d id/support = %d/%d, want %d/%d",
+				i, dec.ID, dec.Support, orig.ID, orig.Support)
+		}
+	}
+}
+
+func TestDecodeWithoutMeta(t *testing.T) {
+	rel, err := Encode(sampleSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel.Meta = nil
+	got, err := Decode(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got.Rules() {
+		if r.Support != 0 {
+			t.Errorf("rule R%d support = %d, want 0 without meta", r.ID, r.Support)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) should error")
+	}
+	rel, err := Encode(sampleSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown attribute number in rule relation.
+	bad := &Relations{Rules: rel.Rules.Clone(), Map: rel.Map, Attrs: rel.Attrs, Meta: rel.Meta}
+	bad.Rules.Row(0)[3] = relation.Int(99)
+	if _, err := Decode(bad); err == nil {
+		t.Error("unknown attribute number should error")
+	}
+	// Unknown role.
+	bad2 := &Relations{Rules: rel.Rules.Clone(), Map: rel.Map, Attrs: rel.Attrs, Meta: rel.Meta}
+	bad2.Rules.Row(0)[1] = relation.String("X")
+	if _, err := Decode(bad2); err == nil {
+		t.Error("unknown role should error")
+	}
+	// Missing RHS: drop the R row of rule 1.
+	bad3 := &Relations{Rules: rel.Rules.Clone(), Map: rel.Map, Attrs: rel.Attrs, Meta: rel.Meta}
+	bad3.Rules.Delete(func(tp relation.Tuple) bool {
+		return tp[0].Int64() == 1 && tp[1].Str() == "R"
+	})
+	if _, err := Decode(bad3); err == nil {
+		t.Error("rule without RHS should error")
+	}
+	// Duplicate RHS: not a Horn clause.
+	bad4 := &Relations{Rules: rel.Rules.Clone(), Map: rel.Map, Attrs: rel.Attrs, Meta: rel.Meta}
+	row := bad4.Rules.Row(1).Clone()
+	if err := bad4.Rules.Insert(row); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bad4); err == nil {
+		t.Error("two RHS clauses should error")
+	}
+}
+
+func TestEncodeMixedKindClause(t *testing.T) {
+	s := NewSet()
+	s.Add(&Rule{
+		LHS: []Clause{{Attr: Attr("R", "A"), Lo: relation.Int(1), Hi: relation.String("x")}},
+		RHS: PointClause(Attr("R", "B"), relation.Int(1)),
+	})
+	if _, err := Encode(s); err == nil {
+		t.Error("clause mixing value kinds should fail to encode")
+	}
+}
+
+func TestEncodeConflictingAttrKinds(t *testing.T) {
+	s := NewSet()
+	s.Add(&Rule{
+		LHS: []Clause{PointClause(Attr("R", "A"), relation.Int(1))},
+		RHS: PointClause(Attr("R", "B"), relation.Int(1)),
+	})
+	s.Add(&Rule{
+		LHS: []Clause{PointClause(Attr("R", "A"), relation.String("x"))},
+		RHS: PointClause(Attr("R", "B"), relation.Int(2)),
+	})
+	if _, err := Encode(s); err == nil {
+		t.Error("one attribute used with two kinds should fail to encode")
+	}
+}
+
+// Property: encode/decode roundtrips random rule sets.
+func TestRoundtripProperty(t *testing.T) {
+	attrs := []AttrRef{Attr("R", "A"), Attr("R", "B"), Attr("S", "C")}
+	prop := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		s := NewSet()
+		n := 1 + rr.Intn(12)
+		for i := 0; i < n; i++ {
+			mk := func(a AttrRef) Clause {
+				lo := int64(rr.Intn(50))
+				hi := lo + int64(rr.Intn(20))
+				return RangeClause(a, relation.Int(lo), relation.Int(hi))
+			}
+			lhs := []Clause{mk(attrs[0])}
+			if rr.Intn(3) == 0 {
+				lhs = append(lhs, mk(attrs[2]))
+			}
+			s.Add(&Rule{LHS: lhs, RHS: mk(attrs[1]), Support: rr.Intn(10)})
+		}
+		rel, err := Encode(s)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(rel)
+		if err != nil || got.Len() != s.Len() {
+			return false
+		}
+		for i := range s.Rules() {
+			a, b := s.Rules()[i], got.Rules()[i]
+			if !a.Equal(b) || a.ID != b.ID || a.Support != b.Support {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClipToActiveDomain(t *testing.T) {
+	cond, err := FromOp(">", relation.Int(8000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	domain := Range(relation.Int(2145), relation.Int(30000))
+	clipped := cond.Clip(domain)
+	want := "(8000..30000]"
+	if got := clipped.String(); got != want {
+		t.Errorf("Clip = %s, want %s", got, want)
+	}
+	premise := Range(relation.Int(7250), relation.Int(30000))
+	if !premise.Subsumes(clipped) {
+		t.Error("after clipping, R9's premise must subsume the Example 1 condition")
+	}
+	// Clipping with a looser domain is a no-op.
+	if got := Point(relation.Int(5)).Clip(Everything()); got.String() != "[5..5]" {
+		t.Errorf("Clip by everything = %s", got)
+	}
+}

@@ -1,0 +1,118 @@
+// Package semopt implements semantic query optimization over the induced
+// knowledge — the companion technique the paper cites as [CHU90]
+// ("Semantic Query Optimization via Database Restructuring") and [KING81]
+// (QUIST). The same rule base that produces intensional answers also
+// improves query processing:
+//
+//   - Empty proof: a restriction no stored value satisfies proves the
+//     answer empty without scanning.
+//   - Implied restrictions: forward-derived facts are additional filters
+//     a processor may push into the plan (e.g. "Displacement > 8000"
+//     implies "Type = SSBN", letting a type-partitioned store skip the
+//     SSN partition).
+//   - Redundant restrictions: a restriction whose interval is implied by
+//     another restriction on the same attribute can be dropped from the
+//     filter.
+package semopt
+
+import (
+	"fmt"
+	"strings"
+
+	"intensional/internal/dict"
+	"intensional/internal/infer"
+	"intensional/internal/query"
+	"intensional/internal/rules"
+)
+
+// Report is the optimizer's advice for one query.
+type Report struct {
+	// Empty reports the answer is provably empty; Because names the
+	// restrictions that prove it.
+	Empty   bool
+	Because []query.Restriction
+	// Implied lists additional restrictions every answer tuple satisfies
+	// (derived by forward inference), usable as extra plan filters.
+	Implied []query.Restriction
+	// Redundant lists indices into the analysis' Restrictions whose
+	// condition is implied by another restriction and can be dropped.
+	Redundant []int
+}
+
+// String renders the advice.
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.Empty {
+		for _, why := range r.Because {
+			fmt.Fprintf(&b, "empty: no stored value satisfies %s\n", why)
+		}
+		return b.String()
+	}
+	for _, imp := range r.Implied {
+		fmt.Fprintf(&b, "implied filter: %s\n", imp)
+	}
+	for _, i := range r.Redundant {
+		fmt.Fprintf(&b, "redundant restriction #%d\n", i)
+	}
+	if b.Len() == 0 {
+		b.WriteString("no semantic optimization applies\n")
+	}
+	return b.String()
+}
+
+// Analyze derives the optimizer's advice for a query analysis using the
+// dictionary's rule base and active domains.
+func Analyze(an *query.Analysis, d *dict.Dictionary) (*Report, error) {
+	rep := &Report{}
+	if !an.Conjunctive {
+		return rep, nil // only conjunctive conditions are analysed
+	}
+	res, err := infer.New(d).Derive(an)
+	if err != nil {
+		return nil, err
+	}
+	if res.Empty {
+		rep.Empty = true
+		rep.Because = res.EmptyBecause
+		return rep, nil
+	}
+
+	// Forward facts become implied restrictions.
+	for _, f := range res.Forward() {
+		r := query.Restriction{Attr: f.Attr, HasInterval: true, Interval: f.Interval}
+		switch {
+		case f.Interval.IsPoint():
+			r.Op = "="
+			r.Val = f.Interval.Lo.Value
+		case !f.Interval.Lo.Unbounded && !f.Interval.Hi.Unbounded:
+			// Render a closed range as the pair of comparisons; keep the
+			// interval for programmatic consumers and describe with >=.
+			r.Op = ">="
+			r.Val = f.Interval.Lo.Value
+		}
+		rep.Implied = append(rep.Implied, r)
+	}
+
+	// Redundancy: restriction i is implied by restriction j (i != j) on
+	// the same attribute when j's interval lies within i's.
+	for i, ri := range an.Restrictions {
+		if !ri.HasInterval {
+			continue
+		}
+		for j, rj := range an.Restrictions {
+			if i == j || !rj.HasInterval {
+				continue
+			}
+			if !sameAttr(ri.Attr, rj.Attr) {
+				continue
+			}
+			if rj.Interval.Within(ri.Interval) && !ri.Interval.Within(rj.Interval) {
+				rep.Redundant = append(rep.Redundant, i)
+				break
+			}
+		}
+	}
+	return rep, nil
+}
+
+func sameAttr(a, b rules.AttrRef) bool { return a.EqualFold(b) }

@@ -1,0 +1,340 @@
+// Package shell implements the interactive intensional query processor
+// behind cmd/iqp: SQL queries answered extensionally and intensionally,
+// plus dot-commands for induction, rule inspection, integrity checking,
+// decision trees, and database relocation. It reads from an io.Reader
+// and writes to an io.Writer so the whole loop is testable.
+package shell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"intensional/internal/answer"
+	"intensional/internal/core"
+	"intensional/internal/id3"
+	"intensional/internal/induct"
+	"intensional/internal/integrity"
+	"intensional/internal/ker"
+	"intensional/internal/query"
+	"intensional/internal/rules"
+	"intensional/internal/semopt"
+)
+
+// Shell is one interactive session.
+type Shell struct {
+	sys     *core.System
+	model   *ker.Model // optional, enables .check
+	mode    answer.Mode
+	explain bool
+	out     io.Writer
+}
+
+// New creates a shell over a system. model may be nil (disables .check).
+func New(sys *core.System, model *ker.Model, out io.Writer) *Shell {
+	return &Shell{sys: sys, model: model, mode: answer.Combined, out: out}
+}
+
+// Run processes lines until EOF or .quit.
+func (s *Shell) Run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	fmt.Fprint(s.out, "iqp> ")
+	for sc.Scan() {
+		if !s.Exec(strings.TrimSpace(sc.Text())) {
+			return nil
+		}
+		fmt.Fprint(s.out, "iqp> ")
+	}
+	return sc.Err()
+}
+
+// Exec handles one line; it returns false when the session should end.
+func (s *Shell) Exec(line string) bool {
+	switch {
+	case line == "":
+	case line == ".quit" || line == ".exit":
+		return false
+	case line == ".help":
+		fmt.Fprintln(s.out, helpText)
+	case line == ".rules":
+		s.cmdRules()
+	case line == ".schema":
+		s.cmdSchema()
+	case line == ".hierarchies":
+		s.cmdHierarchies()
+	case strings.HasPrefix(line, ".hierarchy"):
+		s.cmdHierarchy(arg(line, ".hierarchy"))
+	case line == ".comparisons":
+		s.cmdComparisons()
+	case line == ".check":
+		s.cmdCheck()
+	case strings.HasPrefix(line, ".show"):
+		s.cmdShow(arg(line, ".show"))
+	case strings.HasPrefix(line, ".tree"):
+		s.cmdTree(arg(line, ".tree"))
+	case strings.HasPrefix(line, ".optimize"):
+		s.cmdOptimize(arg(line, ".optimize"))
+	case strings.HasPrefix(line, ".explain"):
+		s.cmdExplain(arg(line, ".explain"))
+	case strings.HasPrefix(line, ".mode"):
+		s.cmdMode(arg(line, ".mode"))
+	case strings.HasPrefix(line, ".induce"):
+		s.cmdInduce(arg(line, ".induce"))
+	case strings.HasPrefix(line, ".save"):
+		s.cmdSave(arg(line, ".save"))
+	case strings.HasPrefix(line, "."):
+		fmt.Fprintln(s.out, "unknown command; .help lists commands")
+	default:
+		s.cmdQuery(line)
+	}
+	return true
+}
+
+func arg(line, cmd string) string {
+	return strings.TrimSpace(strings.TrimPrefix(line, cmd))
+}
+
+func (s *Shell) cmdRules() {
+	if s.sys.Rules().Len() == 0 {
+		fmt.Fprintln(s.out, "rule base empty — run .induce first")
+		return
+	}
+	for _, r := range s.sys.Rules().Rules() {
+		fmt.Fprintf(s.out, "R%-3d %-70s (support %d)\n", r.ID, r.String(), r.Support)
+	}
+}
+
+func (s *Shell) cmdSchema() {
+	for _, name := range s.sys.Catalog().Names() {
+		r, err := s.sys.Catalog().Get(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(s.out, "%-12s %s  (%d tuples)\n", name, r.Schema(), r.Len())
+	}
+}
+
+func (s *Shell) cmdHierarchies() {
+	hs := s.sys.Dictionary().Hierarchies()
+	if len(hs) == 0 {
+		fmt.Fprintln(s.out, "no hierarchies declared")
+		return
+	}
+	for _, h := range hs {
+		names := make([]string, len(h.Subtypes))
+		for i, sub := range h.Subtypes {
+			names[i] = sub.Name
+		}
+		fmt.Fprintf(s.out, "%s contains %s (classified by %s)\n",
+			h.Object, strings.Join(names, ", "), h.ClassifyingAttr)
+	}
+}
+
+func (s *Shell) cmdHierarchy(object string) {
+	if object == "" {
+		fmt.Fprintln(s.out, "usage: .hierarchy OBJECT")
+		return
+	}
+	out, err := s.sys.Dictionary().RenderTree(object)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	fmt.Fprint(s.out, out)
+}
+
+func (s *Shell) cmdComparisons() {
+	rels := s.sys.Dictionary().Relationships()
+	if len(rels) == 0 {
+		fmt.Fprintln(s.out, "no relationships declared")
+		return
+	}
+	in := induct.New(s.sys.Dictionary(), induct.Options{Nc: 2})
+	total := 0
+	for _, r := range rels {
+		cs, err := in.InduceComparisons(r)
+		if err != nil {
+			fmt.Fprintln(s.out, "error:", err)
+			return
+		}
+		for _, c := range cs {
+			fmt.Fprintln(s.out, c)
+			total++
+		}
+	}
+	if total == 0 {
+		fmt.Fprintln(s.out, "no inter-object comparisons hold uniformly")
+	}
+}
+
+func (s *Shell) cmdCheck() {
+	if s.model == nil {
+		fmt.Fprintln(s.out, "no KER schema loaded; integrity checking unavailable")
+		return
+	}
+	vs, err := integrity.Check(s.model, s.sys.Catalog())
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	if len(vs) == 0 {
+		fmt.Fprintln(s.out, "database satisfies every declared constraint")
+		return
+	}
+	for _, v := range vs {
+		fmt.Fprintln(s.out, v)
+	}
+}
+
+func (s *Shell) cmdShow(name string) {
+	if name == "" {
+		fmt.Fprintln(s.out, "usage: .show RELATION")
+		return
+	}
+	r, err := s.sys.Catalog().Get(name)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	fmt.Fprint(s.out, r)
+}
+
+// cmdTree grows a decision tree: ".tree RELATION CLASSCOL XCOL [XCOL...]".
+func (s *Shell) cmdTree(args string) {
+	fields := strings.Fields(args)
+	if len(fields) < 3 {
+		fmt.Fprintln(s.out, "usage: .tree RELATION CLASSCOL XCOL [XCOL...]")
+		return
+	}
+	rel, err := s.sys.Catalog().Get(fields[0])
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	xCols := fields[2:]
+	attrs := make([]rules.AttrRef, len(xCols))
+	for i, c := range xCols {
+		attrs[i] = rules.Attr(rel.Name(), c)
+	}
+	tr, err := id3.Build(rel, xCols, fields[1], attrs, rules.Attr(rel.Name(), fields[1]),
+		id3.Options{MinLeaf: 1})
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	fmt.Fprint(s.out, tr)
+	acc, err := tr.Accuracy(rel, fields[1])
+	if err == nil {
+		fmt.Fprintf(s.out, "training accuracy %.2f, %d leaves\n", acc, tr.Leaves())
+	}
+}
+
+func (s *Shell) cmdOptimize(sql string) {
+	if sql == "" {
+		fmt.Fprintln(s.out, "usage: .optimize SELECT ...")
+		return
+	}
+	_, an, err := query.New(s.sys.Catalog()).Run(sql)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	rep, err := semopt.Analyze(an, s.sys.Dictionary())
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	fmt.Fprint(s.out, rep)
+}
+
+func (s *Shell) cmdExplain(arg string) {
+	switch arg {
+	case "on":
+		s.explain = true
+	case "off":
+		s.explain = false
+	default:
+		fmt.Fprintln(s.out, "usage: .explain on|off")
+		return
+	}
+	fmt.Fprintf(s.out, "explain %s\n", arg)
+}
+
+func (s *Shell) cmdMode(m string) {
+	switch m {
+	case "forward":
+		s.mode = answer.ForwardOnly
+	case "backward":
+		s.mode = answer.BackwardOnly
+	case "combined":
+		s.mode = answer.Combined
+	default:
+		fmt.Fprintln(s.out, "usage: .mode forward|backward|combined")
+		return
+	}
+	fmt.Fprintf(s.out, "mode set to %s\n", m)
+}
+
+func (s *Shell) cmdInduce(ncArg string) {
+	nc := 2
+	if ncArg != "" {
+		n, err := strconv.Atoi(ncArg)
+		if err != nil {
+			fmt.Fprintln(s.out, "usage: .induce [Nc]")
+			return
+		}
+		nc = n
+	}
+	set, err := s.sys.Induce(induct.Options{Nc: nc})
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	fmt.Fprintf(s.out, "induced %d rules (Nc = %d)\n", set.Len(), nc)
+}
+
+func (s *Shell) cmdSave(dir string) {
+	if dir == "" {
+		fmt.Fprintln(s.out, "usage: .save DIR")
+		return
+	}
+	if err := s.sys.Save(dir); err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	fmt.Fprintln(s.out, "saved to", dir)
+}
+
+func (s *Shell) cmdQuery(sql string) {
+	resp, err := s.sys.Query(sql, s.mode)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	fmt.Fprintf(s.out, "extensional answer (%d tuples):\n%s", resp.Extensional.Len(), resp.Extensional)
+	fmt.Fprintf(s.out, "intensional answer:\n  %s\n",
+		strings.ReplaceAll(resp.Intensional.Text(), "\n", "\n  "))
+	if s.explain {
+		fmt.Fprintf(s.out, "derivation:\n  %s\n",
+			strings.ReplaceAll(strings.TrimRight(resp.Inference.Explain(s.sys.Rules()), "\n"), "\n", "\n  "))
+	}
+}
+
+const helpText = `  SELECT ...          run a query (both answer forms; aggregates + GROUP BY supported)
+  .induce [Nc]        run the Inductive Learning Subsystem (default Nc=2)
+  .rules              show the rule base
+  .schema             list relations
+  .show REL           print a relation
+  .hierarchies        list declared type hierarchies
+  .hierarchy OBJ      render one hierarchy chain with instance counts
+  .comparisons        induce inter-object comparison knowledge
+  .check              validate data against the KER schema constraints
+  .tree REL Y X...    grow a decision tree classifying Y from X columns
+  .explain on|off     print derivation traces after each query
+  .optimize SQL       semantic-optimization advice for a query
+  .mode MODE          forward | backward | combined
+  .save DIR           save database + dictionary + rules
+  .quit               exit`

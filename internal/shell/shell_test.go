@@ -1,0 +1,224 @@
+package shell_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"intensional/internal/core"
+	"intensional/internal/ker"
+	"intensional/internal/shell"
+	"intensional/internal/shipdb"
+)
+
+func newShell(t *testing.T) (*shell.Shell, *bytes.Buffer) {
+	t.Helper()
+	cat := shipdb.Catalog()
+	d, err := shipdb.Dictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ker.Parse(shipdb.KERSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	return shell.New(core.New(cat, d), m, &out), &out
+}
+
+func run(t *testing.T, lines ...string) string {
+	t.Helper()
+	sh, out := newShell(t)
+	for _, l := range lines {
+		if !sh.Exec(l) {
+			break
+		}
+	}
+	return out.String()
+}
+
+func TestHelpAndUnknown(t *testing.T) {
+	out := run(t, ".help", ".bogus")
+	if !strings.Contains(out, ".induce [Nc]") {
+		t.Errorf("help missing: %q", out)
+	}
+	if !strings.Contains(out, "unknown command") {
+		t.Errorf("unknown command not reported: %q", out)
+	}
+}
+
+func TestInduceRulesAndQuery(t *testing.T) {
+	out := run(t,
+		".induce 3",
+		".rules",
+		".mode backward",
+		`SELECT SUBMARINE.NAME, SUBMARINE.CLASS FROM SUBMARINE, CLASS
+		 WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.TYPE = "SSBN"`,
+	)
+	for _, want := range []string{
+		"induced 18 rules (Nc = 3)",
+		"SSBN623 <= SUBMARINE.Id <= SSBN635",
+		"mode set to backward",
+		"extensional answer (7 tuples)",
+		"Classes in the range of 0101 to 0103 are SSBN",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRulesBeforeInduce(t *testing.T) {
+	out := run(t, ".rules")
+	if !strings.Contains(out, "rule base empty") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSchemaAndShow(t *testing.T) {
+	out := run(t, ".schema", ".show TYPE", ".show NOPE", ".show")
+	for _, want := range []string{"SUBMARINE", "(24 tuples)", "ballistic nuclear missile sub", "error:", "usage: .show"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestHierarchiesAndComparisons(t *testing.T) {
+	out := run(t, ".hierarchies", ".comparisons")
+	if !strings.Contains(out, "CLASS contains SSBN, SSN (classified by Type)") {
+		t.Errorf("hierarchies output = %q", out)
+	}
+	tree := run(t, ".hierarchy SUBMARINE", ".hierarchy", ".hierarchy NOPE")
+	for _, want := range []string{
+		"SUBMARINE (24 instances)",
+		"C0103 (Class = 0103, 3 instances)",
+		"level above via SUBMARINE.Class = CLASS.Class",
+		"SSBN (Type = SSBN, 4 instances)",
+		"usage: .hierarchy",
+		"error:",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("hierarchy output missing %q:\n%s", want, tree)
+		}
+	}
+	// The ship test bed has no numeric cross-object comparison that holds.
+	if !strings.Contains(out, "no inter-object comparisons hold uniformly") {
+		t.Errorf("comparisons output = %q", out)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	out := run(t, ".check")
+	if !strings.Contains(out, "satisfies every declared constraint") {
+		t.Errorf("check output = %q", out)
+	}
+}
+
+func TestTree(t *testing.T) {
+	out := run(t, ".tree CLASS Type Displacement", ".tree", ".tree NOPE a b")
+	for _, want := range []string{"split on CLASS.Displacement <= 6955", "training accuracy 1.00", "usage: .tree", "error:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptimize(t *testing.T) {
+	out := run(t,
+		".induce 3",
+		`.optimize SELECT Class FROM CLASS WHERE Displacement > 3000 AND Displacement > 8000`,
+		".optimize",
+		".optimize garbage",
+	)
+	for _, want := range []string{
+		"implied filter: CLASS.Type = \"SSBN\"",
+		"redundant restriction #0",
+		"usage: .optimize",
+		"error:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	out := run(t,
+		".induce 3",
+		".explain on",
+		".mode forward",
+		`SELECT SUBMARINE.ID FROM SUBMARINE, CLASS
+		 WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000`,
+		".explain off",
+		".explain sideways",
+	)
+	for _, want := range []string{
+		"derivation:",
+		"condition: CLASS.Displacement in [16600..30000]",
+		"derived:   CLASS.Type in [SSBN..SSBN] (isa SSBN)",
+		"by R9: if 7250 <= CLASS.Displacement <= 30000 then CLASS.Type = SSBN",
+		"usage: .explain",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestModeErrors(t *testing.T) {
+	out := run(t, ".mode sideways", ".induce xyz")
+	if !strings.Contains(out, "usage: .mode") || !strings.Contains(out, "usage: .induce") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestSaveAndQuit(t *testing.T) {
+	dir := t.TempDir()
+	sh, out := newShell(t)
+	sh.Exec(".induce 3")
+	sh.Exec(".save " + dir)
+	sh.Exec(".save")
+	if !strings.Contains(out.String(), "saved to "+dir) {
+		t.Errorf("save output = %q", out.String())
+	}
+	if !strings.Contains(out.String(), "usage: .save") {
+		t.Errorf("save usage missing: %q", out.String())
+	}
+	if sh.Exec(".quit") {
+		t.Error(".quit should end the session")
+	}
+	// The saved directory must reopen.
+	if _, err := core.Open(dir); err != nil {
+		t.Errorf("reopen: %v", err)
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	sh, out := newShell(t)
+	in := strings.NewReader(".schema\n.quit\n.rules\n")
+	if err := sh.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "SUBMARINE") {
+		t.Errorf("run loop output = %q", s)
+	}
+	if strings.Contains(s, "rule base empty") {
+		t.Error(".quit should stop processing")
+	}
+}
+
+func TestQueryError(t *testing.T) {
+	out := run(t, "SELECT nope FROM nothing")
+	if !strings.Contains(out, "error:") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestAggregateQueryInShell(t *testing.T) {
+	out := run(t, "SELECT Type, COUNT(*) FROM CLASS GROUP BY Type")
+	if !strings.Contains(out, "extensional answer (2 tuples)") {
+		t.Errorf("output = %q", out)
+	}
+}

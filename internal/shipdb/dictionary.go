@@ -1,0 +1,69 @@
+package shipdb
+
+import (
+	"fmt"
+
+	"intensional/internal/dict"
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+	"intensional/internal/storage"
+)
+
+// Dictionary builds the intelligent data dictionary for the ship test
+// bed: the three type hierarchies of Figure 4 (ships by class, classes by
+// type, sonars by sonar type), the INSTALL relationship, and the
+// hierarchy-level link from SUBMARINE instances up to CLASS.
+func Dictionary(cat *storage.Catalog) (*dict.Dictionary, error) {
+	d := dict.New(cat)
+
+	classHier := &dict.Hierarchy{
+		Object:          Class,
+		ClassifyingAttr: "Type",
+		Subtypes: []dict.Subtype{
+			{Name: "SSBN", Value: relation.String("SSBN")},
+			{Name: "SSN", Value: relation.String("SSN")},
+		},
+	}
+	subHier := &dict.Hierarchy{Object: Submarine, ClassifyingAttr: "Class"}
+	for _, r := range classRows {
+		subHier.Subtypes = append(subHier.Subtypes, dict.Subtype{
+			Name:  "C" + r.Class,
+			Value: relation.String(r.Class),
+		})
+	}
+	sonarHier := &dict.Hierarchy{
+		Object:          Sonar,
+		ClassifyingAttr: "SonarType",
+		Subtypes: []dict.Subtype{
+			{Name: "BQQ", Value: relation.String("BQQ")},
+			{Name: "BQS", Value: relation.String("BQS")},
+			{Name: "TACTAS", Value: relation.String("TACTAS")},
+		},
+	}
+	// Registration order follows the paper's rule grouping: SUBMARINE
+	// rules first (R1–R4), then CLASS (R5–R9), then SONAR (R10–R11).
+	for _, h := range []*dict.Hierarchy{subHier, classHier, sonarHier} {
+		if err := d.AddHierarchy(h); err != nil {
+			return nil, fmt.Errorf("shipdb: %w", err)
+		}
+	}
+
+	install := &dict.Relationship{
+		Name: Install,
+		Links: []dict.Link{
+			{From: rules.Attr(Install, "Ship"), To: rules.Attr(Submarine, "Id")},
+			{From: rules.Attr(Install, "Sonar"), To: rules.Attr(Sonar, "Sonar")},
+		},
+	}
+	if err := d.AddRelationship(install); err != nil {
+		return nil, fmt.Errorf("shipdb: %w", err)
+	}
+
+	if err := d.AddLevelLink(dict.Link{
+		From: rules.Attr(Submarine, "Class"),
+		To:   rules.Attr(Class, "Class"),
+	}); err != nil {
+		return nil, fmt.Errorf("shipdb: %w", err)
+	}
+	return d, nil
+}

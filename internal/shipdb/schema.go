@@ -1,0 +1,60 @@
+package shipdb
+
+// KERSchema is the Appendix B naval ship database schema in the KER DDL
+// accepted by internal/ker. Structure-rule role declarations, which
+// Appendix B leaves in comments ("/* x isa SUBMARINE */"), are written
+// explicitly as the Appendix A BNF requires.
+const KERSchema = `
+/* B.1 Domain Definitions */
+domain NAME isa char[20]
+domain CLASS_NAME isa NAME
+domain SHIP_NAME isa NAME
+domain TYPE_NAME isa char[30]
+domain SONAR_NAME isa char[8]
+
+/* B.2 Object Type Definitions */
+object type CLASS
+  has key: Class domain: char[4]
+  has: ClassName domain: CLASS_NAME
+  has: Type domain: TYPE
+  has: Displacement domain: integer
+  with /* constraint rules */
+    if "0101" <= Class <= "0103" then Type = "SSBN",
+    if "0201" <= Class <= "0216" then Type = "SSN"
+
+CLASS contains SSBN, SSN
+  with /* x isa CLASS */
+    if x isa CLASS and 2145 <= x.Displacement <= 6955 then x isa SSN,
+    if x isa CLASS and 7250 <= x.Displacement <= 30000 then x isa SSBN
+
+object type SUBMARINE
+  has key: Id domain: char[7]
+  has: Name domain: SHIP_NAME
+  has: Class domain: CLASS
+
+SUBMARINE contains C0101, C0102, C0103, C0201, C0203, C0204,
+  C0205, C0207, C0208, C0209, C0212, C0215, C1301
+
+object type TYPE
+  has key: Type domain: char[4]
+  has: TypeName domain: TYPE_NAME
+
+object type SONAR
+  has key: Sonar domain: char[8]
+  has: SonarType domain: SONAR_NAME
+
+SONAR contains BQQ, BQS, TACTAS
+  with /* x isa SONAR */
+    if x isa SONAR and BQQ-2 <= x.Sonar <= BQQ-8 then x isa BQQ,
+    if x isa SONAR and BQS-04 <= x.Sonar <= BQS-15 then x isa BQS,
+    if x isa SONAR and x.Sonar = "TACTAS" then x isa TACTAS
+
+object type INSTALL
+  has key: Ship domain: SUBMARINE
+  has: Sonar domain: SONAR
+  with /* x isa SUBMARINE and y isa SONAR */
+    if x isa SUBMARINE and y isa SONAR and x.Class = "0203" then y isa BQQ,
+    if x isa SUBMARINE and y isa SONAR and "0205" <= x.Class <= "0207" then y isa BQQ,
+    if x isa SUBMARINE and y isa SONAR and "0208" <= x.Class <= "0215" then y isa BQS,
+    if x isa SUBMARINE and y isa SONAR and y.Sonar = "BQS-04" then x isa SSN
+`

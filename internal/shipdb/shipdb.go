@@ -1,0 +1,266 @@
+// Package shipdb embeds the paper's naval ship test bed: the Appendix C
+// database instance (SUBMARINE, CLASS, TYPE, SONAR, INSTALL), the
+// Appendix B KER schema as DDL text, and the seventeen induced rules of
+// Section 6 for comparison against the Inductive Learning Subsystem's
+// output.
+package shipdb
+
+import (
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+	"intensional/internal/storage"
+)
+
+// Relation names of the test bed.
+const (
+	Submarine = "SUBMARINE"
+	Class     = "CLASS"
+	TypeRel   = "TYPE"
+	Sonar     = "SONAR"
+	Install   = "INSTALL"
+)
+
+// submarineRows is the Relation SUBMARINE of Appendix C.
+var submarineRows = [][3]string{
+	{"SSBN130", "Typhoon", "1301"},
+	{"SSBN623", "Nathaniel Hale", "0103"},
+	{"SSBN629", "Daniel Boone", "0103"},
+	{"SSBN635", "Sam Rayburn", "0103"},
+	{"SSBN644", "Lewis and Clark", "0102"},
+	{"SSBN658", "Mariano G. Vallejo", "0102"},
+	{"SSBN730", "Rhode Island", "0101"},
+	{"SSN582", "Bonefish", "0215"},
+	{"SSN584", "Seadragon", "0212"},
+	{"SSN592", "Snook", "0209"},
+	{"SSN601", "Robert E. Lee", "0208"},
+	{"SSN604", "Haddo", "0205"},
+	{"SSN610", "Thomas A. Edison", "0207"},
+	{"SSN614", "Greenling", "0205"},
+	{"SSN648", "Aspro", "0204"},
+	{"SSN660", "Sand Lance", "0204"},
+	{"SSN666", "Hawkbill", "0204"},
+	{"SSN671", "Narwhal", "0203"},
+	{"SSN673", "Flying Fish", "0204"},
+	{"SSN679", "Silversides", "0204"},
+	{"SSN686", "L. Mendel Rivers", "0204"},
+	{"SSN692", "Omaha", "0201"},
+	{"SSN698", "Bremerton", "0201"},
+	{"SSN704", "Baltimore", "0201"},
+}
+
+// classRows is the Relation CLASS of Appendix C.
+var classRows = []struct {
+	Class, ClassName, Type string
+	Displacement           int64
+}{
+	{"0101", "Ohio", "SSBN", 16600},
+	{"0102", "Benjamin Franklin", "SSBN", 7250},
+	{"0103", "Lafayette", "SSBN", 7250},
+	{"0201", "LosAngeles", "SSN", 6000},
+	{"0203", "Narwhal", "SSN", 4450},
+	{"0204", "Sturgeon", "SSN", 3640},
+	{"0205", "Thresher", "SSN", 3750},
+	{"0207", "Ethan Allen", "SSN", 6955},
+	{"0208", "George Washington", "SSN", 6019},
+	{"0209", "Skipjack", "SSN", 3075},
+	{"0212", "Skate", "SSN", 2360},
+	{"0215", "Barbel", "SSN", 2145},
+	{"1301", "Typhoon", "SSBN", 30000},
+}
+
+// typeRows is the Relation TYPE of Appendix C.
+var typeRows = [][2]string{
+	{"SSBN", "ballistic nuclear missile sub"},
+	{"SSN", "nuclear submarine"},
+}
+
+// sonarRows is the Relation SONAR of Appendix C.
+var sonarRows = [][2]string{
+	{"BQQ-2", "BQQ"},
+	{"BQQ-5", "BQQ"},
+	{"BQQ-8", "BQQ"},
+	{"BQS-04", "BQS"},
+	{"BQS-12", "BQS"},
+	{"BQS-13", "BQS"},
+	{"BQS-15", "BQS"},
+	{"TACTAS", "TACTAS"},
+}
+
+// installRows is the Relation INSTALL of Appendix C.
+var installRows = [][2]string{
+	{"SSBN130", "BQQ-2"},
+	{"SSBN623", "BQQ-5"},
+	{"SSBN629", "BQQ-5"},
+	{"SSBN635", "BQS-12"},
+	{"SSBN644", "BQQ-5"},
+	{"SSBN658", "BQS-12"},
+	{"SSBN730", "BQQ-5"},
+	{"SSN582", "BQS-04"},
+	{"SSN584", "BQS-04"},
+	{"SSN592", "BQS-04"},
+	{"SSN601", "BQS-04"},
+	{"SSN604", "BQQ-2"},
+	{"SSN610", "BQQ-5"},
+	{"SSN614", "BQQ-2"},
+	{"SSN648", "BQQ-2"},
+	{"SSN660", "BQQ-5"},
+	{"SSN666", "BQQ-8"},
+	{"SSN671", "BQQ-2"},
+	{"SSN673", "BQS-12"},
+	{"SSN679", "BQS-13"},
+	{"SSN686", "BQQ-2"},
+	{"SSN692", "BQS-15"},
+	{"SSN698", "TACTAS"},
+	{"SSN704", "BQQ-5"},
+}
+
+// Catalog builds a fresh catalog holding the complete Appendix C
+// instance.
+func Catalog() *storage.Catalog {
+	cat := storage.NewCatalog()
+
+	sub := relation.New(Submarine, relation.MustSchema(
+		relation.Column{Name: "Id", Type: relation.TString},
+		relation.Column{Name: "Name", Type: relation.TString},
+		relation.Column{Name: "Class", Type: relation.TString},
+	))
+	for _, r := range submarineRows {
+		sub.MustInsert(relation.String(r[0]), relation.String(r[1]), relation.String(r[2]))
+	}
+	cat.Put(sub)
+
+	cls := relation.New(Class, relation.MustSchema(
+		relation.Column{Name: "Class", Type: relation.TString},
+		relation.Column{Name: "ClassName", Type: relation.TString},
+		relation.Column{Name: "Type", Type: relation.TString},
+		relation.Column{Name: "Displacement", Type: relation.TInt},
+	))
+	for _, r := range classRows {
+		cls.MustInsert(relation.String(r.Class), relation.String(r.ClassName),
+			relation.String(r.Type), relation.Int(r.Displacement))
+	}
+	cat.Put(cls)
+
+	typ := relation.New(TypeRel, relation.MustSchema(
+		relation.Column{Name: "Type", Type: relation.TString},
+		relation.Column{Name: "TypeName", Type: relation.TString},
+	))
+	for _, r := range typeRows {
+		typ.MustInsert(relation.String(r[0]), relation.String(r[1]))
+	}
+	cat.Put(typ)
+
+	son := relation.New(Sonar, relation.MustSchema(
+		relation.Column{Name: "Sonar", Type: relation.TString},
+		relation.Column{Name: "SonarType", Type: relation.TString},
+	))
+	for _, r := range sonarRows {
+		son.MustInsert(relation.String(r[0]), relation.String(r[1]))
+	}
+	cat.Put(son)
+
+	inst := relation.New(Install, relation.MustSchema(
+		relation.Column{Name: "Ship", Type: relation.TString},
+		relation.Column{Name: "Sonar", Type: relation.TString},
+	))
+	for _, r := range installRows {
+		inst.MustInsert(relation.String(r[0]), relation.String(r[1]))
+	}
+	cat.Put(inst)
+
+	return cat
+}
+
+// PaperRules returns the seventeen rules of Section 6 (R1–R17) in the
+// representation the ILS induces: "isa" consequences are expressed on the
+// classifying attribute of the hierarchy (Class for ships, Type for ship
+// types, SonarType for sonars).
+func PaperRules() *rules.Set {
+	s := rules.NewSet()
+	str := relation.String
+	num := relation.Int
+
+	// (1) SUBMARINE — Id ranges classify ships into classes.
+	//
+	// The paper prints R1 as "SSN623 <= Id <= SSN635", but the Appendix C
+	// instance has Ids SSBN623/SSBN629/SSBN635 for class 0103 (the ships
+	// R1 is meant to cover), so the premise is stated here in the
+	// data-consistent form the algorithm actually induces.
+	s.Add(&rules.Rule{ // R1
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Submarine, "Id"), str("SSBN623"), str("SSBN635"))},
+		RHS: rules.PointClause(rules.Attr(Submarine, "Class"), str("0103")),
+	})
+	s.Add(&rules.Rule{ // R2
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Submarine, "Id"), str("SSN648"), str("SSN666"))},
+		RHS: rules.PointClause(rules.Attr(Submarine, "Class"), str("0204")),
+	})
+	s.Add(&rules.Rule{ // R3
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Submarine, "Id"), str("SSN673"), str("SSN686"))},
+		RHS: rules.PointClause(rules.Attr(Submarine, "Class"), str("0204")),
+	})
+	s.Add(&rules.Rule{ // R4
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Submarine, "Id"), str("SSN692"), str("SSN704"))},
+		RHS: rules.PointClause(rules.Attr(Submarine, "Class"), str("0201")),
+	})
+
+	// (2) CLASS — class ranges, class-name ranges, and displacement
+	// ranges classify classes into ship types.
+	s.Add(&rules.Rule{ // R5
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Class, "Class"), str("0101"), str("0103"))},
+		RHS: rules.PointClause(rules.Attr(Class, "Type"), str("SSBN")),
+	})
+	s.Add(&rules.Rule{ // R6
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Class, "Class"), str("0201"), str("0215"))},
+		RHS: rules.PointClause(rules.Attr(Class, "Type"), str("SSN")),
+	})
+	s.Add(&rules.Rule{ // R7
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Class, "ClassName"), str("Skate"), str("Thresher"))},
+		RHS: rules.PointClause(rules.Attr(Class, "Type"), str("SSN")),
+	})
+	s.Add(&rules.Rule{ // R8
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Class, "Displacement"), num(2145), num(6955))},
+		RHS: rules.PointClause(rules.Attr(Class, "Type"), str("SSN")),
+	})
+	s.Add(&rules.Rule{ // R9
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Class, "Displacement"), num(7250), num(30000))},
+		RHS: rules.PointClause(rules.Attr(Class, "Type"), str("SSBN")),
+	})
+
+	// (3) SONAR — sonar-name ranges classify sonars into sonar types.
+	s.Add(&rules.Rule{ // R10
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Sonar, "Sonar"), str("BQQ-2"), str("BQQ-8"))},
+		RHS: rules.PointClause(rules.Attr(Sonar, "SonarType"), str("BQQ")),
+	})
+	s.Add(&rules.Rule{ // R11
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Sonar, "Sonar"), str("BQS-04"), str("BQS-15"))},
+		RHS: rules.PointClause(rules.Attr(Sonar, "SonarType"), str("BQS")),
+	})
+
+	// (4) INSTALL — inter-object rules across the INSTALL relationship
+	// (x isa SUBMARINE, y isa SONAR).
+	s.Add(&rules.Rule{ // R12
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Submarine, "Id"), str("SSN582"), str("SSN601"))},
+		RHS: rules.PointClause(rules.Attr(Sonar, "SonarType"), str("BQS")),
+	})
+	s.Add(&rules.Rule{ // R13
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Submarine, "Id"), str("SSN604"), str("SSN671"))},
+		RHS: rules.PointClause(rules.Attr(Sonar, "SonarType"), str("BQQ")),
+	})
+	s.Add(&rules.Rule{ // R14
+		LHS: []rules.Clause{rules.PointClause(rules.Attr(Submarine, "Class"), str("0203"))},
+		RHS: rules.PointClause(rules.Attr(Sonar, "SonarType"), str("BQQ")),
+	})
+	s.Add(&rules.Rule{ // R15
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Submarine, "Class"), str("0205"), str("0207"))},
+		RHS: rules.PointClause(rules.Attr(Sonar, "SonarType"), str("BQQ")),
+	})
+	s.Add(&rules.Rule{ // R16
+		LHS: []rules.Clause{rules.RangeClause(rules.Attr(Submarine, "Class"), str("0208"), str("0215"))},
+		RHS: rules.PointClause(rules.Attr(Sonar, "SonarType"), str("BQS")),
+	})
+	s.Add(&rules.Rule{ // R17
+		LHS: []rules.Clause{rules.PointClause(rules.Attr(Sonar, "Sonar"), str("BQS-04"))},
+		RHS: rules.PointClause(rules.Attr(Class, "Type"), str("SSN")),
+	})
+	return s
+}

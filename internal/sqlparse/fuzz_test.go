@@ -1,0 +1,58 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsProperty feeds random token soup to the parser: it
+// may reject, but must never panic.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	words := []string{
+		"SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "GROUP", "ORDER", "BY",
+		"DISTINCT", "AS", "COUNT", "SUM", "MIN", "(", ")", "*", ",", ".",
+		"=", "!=", "<", "<=", ">", ">=", "a", "b", "T", "'str'", `"str"`,
+		"1", "2.5", "-3", ";", "@", "..",
+	}
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rr := rand.New(rand.NewSource(seed))
+		n := rr.Intn(25)
+		src := ""
+		for i := 0; i < n; i++ {
+			src += words[rr.Intn(len(words))] + " "
+		}
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnBytes drives the lexer with raw random bytes.
+func TestParseNeverPanicsOnBytes(t *testing.T) {
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rr := rand.New(rand.NewSource(seed))
+		n := rr.Intn(60)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rr.Intn(128))
+		}
+		_, _ = Parse(string(b))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,659 @@
+// Package sqlparse parses the SQL subset the paper's examples are written
+// in: SELECT [DISTINCT] columns FROM tables [aliases] WHERE a boolean
+// combination of comparisons, with optional ORDER BY. The query package
+// lowers the AST onto the QUEL executor.
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"intensional/internal/relation"
+)
+
+// Select is a parsed SELECT statement.
+type Select struct {
+	Distinct bool
+	Star     bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []ColExpr
+	OrderBy  []OrderItem
+}
+
+// Columns returns the plain (non-aggregate) projected columns.
+func (s *Select) Columns() []ColExpr {
+	var out []ColExpr
+	for _, it := range s.Items {
+		if it.Agg == "" {
+			out = append(out, it.Col)
+		}
+	}
+	return out
+}
+
+// HasAggregates reports whether any select item is an aggregate.
+func (s *Select) HasAggregates() bool {
+	for _, it := range s.Items {
+		if it.Agg != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectItem is one projection item: a plain column or an aggregate
+// (COUNT/SUM/AVG/MIN/MAX). COUNT(*) sets Star.
+type SelectItem struct {
+	Agg  string // upper-case function name; empty for a plain column
+	Star bool   // COUNT(*)
+	Col  ColExpr
+	As   string
+}
+
+// Label returns the output column name for the item.
+func (it SelectItem) Label() string {
+	if it.As != "" {
+		return it.As
+	}
+	if it.Agg == "" {
+		if it.Col.As != "" {
+			return it.Col.As
+		}
+		return it.Col.Column
+	}
+	if it.Star {
+		return strings.ToLower(it.Agg)
+	}
+	return strings.ToLower(it.Agg) + "_" + it.Col.Column
+}
+
+// ColExpr is one projected column, optionally qualified and aliased.
+type ColExpr struct {
+	Table  string // empty when unqualified
+	Column string
+	As     string
+}
+
+// String renders the column reference.
+func (c ColExpr) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// TableRef is a FROM item with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Binding returns the name the table is referenced by in the query.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ColExpr
+	Desc bool
+}
+
+// Expr is a WHERE expression node.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// Compare is "operand op operand".
+type Compare struct {
+	Op   string
+	L, R Operand
+}
+
+// And is a conjunction, Or a disjunction, Not a negation.
+type And struct{ Terms []Expr }
+type Or struct{ Terms []Expr }
+type Not struct{ Term Expr }
+
+func (*Compare) expr() {}
+func (*And) expr()     {}
+func (*Or) expr()      {}
+func (*Not) expr()     {}
+
+func (e *Compare) String() string { return fmt.Sprintf("%s %s %s", e.L, e.Op, e.R) }
+func (e *And) String() string     { return joinStr(e.Terms, " AND ") }
+func (e *Or) String() string      { return "(" + joinStr(e.Terms, " OR ") + ")" }
+func (e *Not) String() string     { return "NOT (" + e.Term.String() + ")" }
+
+func joinStr(terms []Expr, sep string) string {
+	parts := make([]string, len(terms))
+	for i, t := range terms {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// Operand is a comparison operand.
+type Operand interface {
+	operand()
+	String() string
+}
+
+// Col references a column.
+type Col struct {
+	Table  string
+	Column string
+}
+
+// Lit is a literal value.
+type Lit struct{ Val relation.Value }
+
+func (Col) operand() {}
+func (Lit) operand() {}
+
+func (c Col) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+func (l Lit) String() string { return l.Val.GoString() }
+
+// --- lexer ---
+
+type tkind uint8
+
+const (
+	tEOF tkind = iota
+	tIdent
+	tNumber
+	tString
+	tOp
+	tLParen
+	tRParen
+	tComma
+	tDot
+	tStar
+)
+
+type tok struct {
+	kind tkind
+	text string
+	pos  int
+}
+
+func (t tok) String() string {
+	if t.kind == tEOF {
+		return "end of query"
+	}
+	return strconv.Quote(t.text)
+}
+
+func lexSQL(src string) ([]tok, error) {
+	var out []tok
+	i := 0
+	peek := func(n int) byte {
+		if i+n < len(src) {
+			return src[i+n]
+		}
+		return 0
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';':
+			i++
+		case c == '(':
+			out = append(out, tok{tLParen, "(", i})
+			i++
+		case c == ')':
+			out = append(out, tok{tRParen, ")", i})
+			i++
+		case c == ',':
+			out = append(out, tok{tComma, ",", i})
+			i++
+		case c == '.':
+			out = append(out, tok{tDot, ".", i})
+			i++
+		case c == '*':
+			out = append(out, tok{tStar, "*", i})
+			i++
+		case c == '=':
+			out = append(out, tok{tOp, "=", i})
+			i++
+		case c == '!':
+			if peek(1) != '=' {
+				return nil, fmt.Errorf("sql: position %d: expected != after !", i)
+			}
+			out = append(out, tok{tOp, "!=", i})
+			i += 2
+		case c == '<':
+			switch peek(1) {
+			case '=':
+				out = append(out, tok{tOp, "<=", i})
+				i += 2
+			case '>':
+				out = append(out, tok{tOp, "!=", i})
+				i += 2
+			default:
+				out = append(out, tok{tOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if peek(1) == '=' {
+				out = append(out, tok{tOp, ">=", i})
+				i += 2
+			} else {
+				out = append(out, tok{tOp, ">", i})
+				i++
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var b strings.Builder
+			for j < len(src) && src[j] != quote {
+				b.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("sql: position %d: unterminated string", i)
+			}
+			out = append(out, tok{tString, b.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '-' && peek(1) >= '0' && peek(1) <= '9'):
+			j := i
+			if src[j] == '-' {
+				j++
+			}
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				// trailing dot belongs to a qualified name, not a number
+				if src[j] == '.' && !(j+1 < len(src) && src[j+1] >= '0' && src[j+1] <= '9') {
+					break
+				}
+				j++
+			}
+			out = append(out, tok{tNumber, src[i:j], i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '-') {
+				j++
+			}
+			out = append(out, tok{tIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("sql: position %d: unexpected character %q", i, c)
+		}
+	}
+	out = append(out, tok{kind: tEOF, pos: i})
+	return out, nil
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []tok
+	i    int
+}
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*Select, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF {
+		return nil, fmt.Errorf("sql: unexpected %s after query", p.cur())
+	}
+	return sel, nil
+}
+
+func (p *parser) cur() tok  { return p.toks[p.i] }
+func (p *parser) next() tok { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) keyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// isKeyword reports whether the current token is one of the reserved words
+// that terminates a clause.
+func (p *parser) isClauseKeyword() bool {
+	t := p.cur()
+	if t.kind != tIdent {
+		return false
+	}
+	switch strings.ToUpper(t.text) {
+	case "FROM", "WHERE", "ORDER", "GROUP", "AND", "OR", "NOT", "BY", "ASC", "DESC", "AS", "DISTINCT":
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectIdent(what string) (string, error) {
+	t := p.cur()
+	if t.kind != tIdent || p.isClauseKeyword() {
+		return "", fmt.Errorf("sql: expected %s, got %s", what, t)
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if !p.keyword("select") {
+		return nil, fmt.Errorf("sql: expected SELECT, got %s", p.cur())
+	}
+	sel := &Select{}
+	if p.keyword("distinct") {
+		sel.Distinct = true
+	}
+	if p.cur().kind == tStar {
+		p.i++
+		sel.Star = true
+	} else {
+		for {
+			it, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.Items = append(sel.Items, it)
+			if p.cur().kind == tComma {
+				p.i++
+				continue
+			}
+			break
+		}
+	}
+	if !p.keyword("from") {
+		return nil, fmt.Errorf("sql: expected FROM, got %s", p.cur())
+	}
+	for {
+		name, err := p.expectIdent("table name")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: name}
+		p.keyword("as")
+		if p.cur().kind == tIdent && !p.isClauseKeyword() {
+			ref.Alias = p.next().text
+		}
+		sel.From = append(sel.From, ref)
+		if p.cur().kind == tComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.keyword("where") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.keyword("group") {
+		if !p.keyword("by") {
+			return nil, fmt.Errorf("sql: expected BY after GROUP, got %s", p.cur())
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, c)
+			if p.cur().kind == tComma {
+				p.i++
+				continue
+			}
+			break
+		}
+	}
+	if p.keyword("order") {
+		if !p.keyword("by") {
+			return nil, fmt.Errorf("sql: expected BY after ORDER, got %s", p.cur())
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: c}
+			if p.keyword("desc") {
+				item.Desc = true
+			} else {
+				p.keyword("asc")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.cur().kind == tComma {
+				p.i++
+				continue
+			}
+			break
+		}
+	}
+	return sel, nil
+}
+
+// aggNames are the supported aggregate functions.
+func isAggName(s string) bool {
+	switch strings.ToUpper(s) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// parseSelectItem parses a plain column or an aggregate call.
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.cur()
+	if t.kind == tIdent && isAggName(t.text) && p.toks[p.i+1].kind == tLParen {
+		it := SelectItem{Agg: strings.ToUpper(t.text)}
+		p.i += 2
+		if p.cur().kind == tStar {
+			if it.Agg != "COUNT" {
+				return SelectItem{}, fmt.Errorf("sql: %s(*) is not supported (only COUNT)", it.Agg)
+			}
+			it.Star = true
+			p.i++
+		} else {
+			c, err := p.parseColRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			it.Col = c
+		}
+		if p.cur().kind != tRParen {
+			return SelectItem{}, fmt.Errorf("sql: expected ) after aggregate argument, got %s", p.cur())
+		}
+		p.i++
+		if p.keyword("as") {
+			as, err := p.expectIdent("column alias")
+			if err != nil {
+				return SelectItem{}, err
+			}
+			it.As = as
+		}
+		return it, nil
+	}
+	c, err := p.parseColExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: c}, nil
+}
+
+// parseColRef parses a possibly-qualified column without an alias.
+func (p *parser) parseColRef() (ColExpr, error) {
+	first, err := p.expectIdent("column name")
+	if err != nil {
+		return ColExpr{}, err
+	}
+	c := ColExpr{Column: first}
+	if p.cur().kind == tDot {
+		p.i++
+		col, err := p.expectIdent("column name")
+		if err != nil {
+			return ColExpr{}, err
+		}
+		c.Table, c.Column = first, col
+	}
+	return c, nil
+}
+
+func (p *parser) parseColExpr() (ColExpr, error) {
+	first, err := p.expectIdent("column name")
+	if err != nil {
+		return ColExpr{}, err
+	}
+	c := ColExpr{Column: first}
+	if p.cur().kind == tDot {
+		p.i++
+		col, err := p.expectIdent("column name")
+		if err != nil {
+			return ColExpr{}, err
+		}
+		c.Table, c.Column = first, col
+	}
+	if p.keyword("as") {
+		as, err := p.expectIdent("column alias")
+		if err != nil {
+			return ColExpr{}, err
+		}
+		c.As = as
+	}
+	return c, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{first}
+	for p.keyword("or") {
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return first, nil
+	}
+	return &Or{Terms: terms}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{first}
+	for p.keyword("and") {
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return first, nil
+	}
+	return &And{Terms: terms}, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.keyword("not") {
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Term: t}, nil
+	}
+	if p.cur().kind == tLParen {
+		p.i++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tRParen {
+			return nil, fmt.Errorf("sql: expected ), got %s", p.cur())
+		}
+		p.i++
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind != tOp {
+		return nil, fmt.Errorf("sql: expected comparison operator, got %s", t)
+	}
+	p.i++
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &Compare{Op: t.text, L: l, R: r}, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tIdent:
+		if p.isClauseKeyword() {
+			return nil, fmt.Errorf("sql: expected operand, got %s", t)
+		}
+		p.i++
+		if p.cur().kind == tDot {
+			p.i++
+			col, err := p.expectIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			return Col{Table: t.text, Column: col}, nil
+		}
+		return Col{Column: t.text}, nil
+	case tString:
+		p.i++
+		return Lit{Val: relation.String(t.text)}, nil
+	case tNumber:
+		p.i++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q: %w", t.text, err)
+			}
+			return Lit{Val: relation.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q: %w", t.text, err)
+		}
+		return Lit{Val: relation.Int(n)}, nil
+	default:
+		return nil, fmt.Errorf("sql: expected operand, got %s", t)
+	}
+}

@@ -1,0 +1,192 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"intensional/internal/relation"
+)
+
+func TestParseExample1(t *testing.T) {
+	sel, err := Parse(`
+		SELECT SUBMARINE.ID, SUBMARINE.NAME, SUBMARINE.CLASS, CLASS.TYPE
+		FROM SUBMARINE, CLASS
+		WHERE SUBMARINE.CLASS = CLASS.CLASS
+		AND CLASS.DISPLACEMENT > 8000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := sel.Columns()
+	if len(cols) != 4 || cols[0].Table != "SUBMARINE" || cols[0].Column != "ID" {
+		t.Errorf("columns = %v", cols)
+	}
+	if len(sel.From) != 2 || sel.From[1].Table != "CLASS" {
+		t.Errorf("from = %v", sel.From)
+	}
+	and, ok := sel.Where.(*And)
+	if !ok || len(and.Terms) != 2 {
+		t.Fatalf("where = %v", sel.Where)
+	}
+	cmp := and.Terms[1].(*Compare)
+	if cmp.Op != ">" {
+		t.Errorf("op = %q", cmp.Op)
+	}
+	lit, ok := cmp.R.(Lit)
+	if !ok || !lit.Val.Equal(relation.Int(8000)) {
+		t.Errorf("literal = %v", cmp.R)
+	}
+}
+
+func TestParseDistinctStarOrder(t *testing.T) {
+	sel, err := Parse("SELECT DISTINCT * FROM T ORDER BY A DESC, B ASC, C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.Distinct || !sel.Star {
+		t.Errorf("distinct=%v star=%v", sel.Distinct, sel.Star)
+	}
+	if len(sel.OrderBy) != 3 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc || sel.OrderBy[2].Desc {
+		t.Errorf("order by = %v", sel.OrderBy)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	sel, err := Parse("SELECT s.Name AS ShipName FROM SUBMARINE AS s, CLASS c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Columns()[0].As != "ShipName" {
+		t.Errorf("column alias = %q", sel.Columns()[0].As)
+	}
+	if sel.From[0].Alias != "s" || sel.From[1].Alias != "c" {
+		t.Errorf("table aliases = %v", sel.From)
+	}
+	if sel.From[0].Binding() != "s" {
+		t.Errorf("binding = %q", sel.From[0].Binding())
+	}
+	noAlias := TableRef{Table: "X"}
+	if noAlias.Binding() != "X" {
+		t.Errorf("default binding = %q", noAlias.Binding())
+	}
+}
+
+func TestParseStringsAndNumbers(t *testing.T) {
+	sel, err := Parse(`SELECT a FROM t WHERE b = 'single' AND c = "double" AND d = -3 AND e >= 2.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := sel.Where.(*And)
+	if len(and.Terms) != 4 {
+		t.Fatalf("terms = %d", len(and.Terms))
+	}
+	vals := []relation.Value{
+		relation.String("single"), relation.String("double"),
+		relation.Int(-3), relation.Float(2.5),
+	}
+	for i, want := range vals {
+		lit := and.Terms[i].(*Compare).R.(Lit)
+		if !lit.Val.Equal(want) {
+			t.Errorf("term %d literal = %#v, want %#v", i, lit.Val, want)
+		}
+	}
+}
+
+func TestParseBooleanStructure(t *testing.T) {
+	sel, err := Parse(`SELECT a FROM t WHERE (x = 1 OR y = 2) AND NOT z = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := sel.Where.(*And)
+	if !ok {
+		t.Fatalf("top = %T", sel.Where)
+	}
+	if _, ok := and.Terms[0].(*Or); !ok {
+		t.Errorf("first term = %T", and.Terms[0])
+	}
+	if _, ok := and.Terms[1].(*Not); !ok {
+		t.Errorf("second term = %T", and.Terms[1])
+	}
+	s := sel.Where.String()
+	for _, want := range []string{"OR", "AND", "NOT"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	for _, op := range []string{"=", "!=", "<>", "<", "<=", ">", ">="} {
+		sel, err := Parse("SELECT a FROM t WHERE a " + op + " 1")
+		if err != nil {
+			t.Fatalf("op %q: %v", op, err)
+		}
+		cmp := sel.Where.(*Compare)
+		want := op
+		if op == "<>" {
+			want = "!="
+		}
+		if cmp.Op != want {
+			t.Errorf("op %q parsed as %q", op, cmp.Op)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROM t",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a =",
+		"SELECT a FROM t WHERE a ! 1",
+		"SELECT a FROM t WHERE (a = 1",
+		"SELECT a FROM t ORDER a",
+		"SELECT a FROM t alias extra", // a second bare word cannot follow an alias
+		`SELECT a FROM t WHERE a = "unterminated`,
+		"SELECT a FROM t WHERE a = 1 @",
+		"SELECT a. FROM t",
+		"SELECT a FROM t WHERE WHERE",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestColExprString(t *testing.T) {
+	if (ColExpr{Table: "T", Column: "C"}).String() != "T.C" {
+		t.Error("qualified ColExpr string")
+	}
+	if (ColExpr{Column: "C"}).String() != "C" {
+		t.Error("bare ColExpr string")
+	}
+	if (Col{Table: "T", Column: "C"}).String() != "T.C" {
+		t.Error("qualified Col string")
+	}
+	if (Col{Column: "C"}).String() != "C" {
+		t.Error("bare Col string")
+	}
+}
+
+func TestSemicolonTolerated(t *testing.T) {
+	if _, err := Parse("SELECT a FROM t;"); err != nil {
+		t.Errorf("trailing semicolon: %v", err)
+	}
+}
+
+func TestQualifiedNameVsDecimal(t *testing.T) {
+	sel, err := Parse("SELECT a FROM t WHERE t.a = 1.5 AND t.b = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := sel.Where.(*And)
+	if col := and.Terms[0].(*Compare).L.(Col); col.Table != "t" || col.Column != "a" {
+		t.Errorf("qualified col = %v", col)
+	}
+	if lit := and.Terms[0].(*Compare).R.(Lit); !lit.Val.Equal(relation.Float(1.5)) {
+		t.Errorf("decimal literal = %v", lit.Val)
+	}
+}

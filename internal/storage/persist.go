@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"intensional/internal/relation"
+)
+
+// manifest is the on-disk index of a saved database directory.
+type manifest struct {
+	Relations []relationMeta `json:"relations"`
+}
+
+type relationMeta struct {
+	Name    string       `json:"name"`
+	File    string       `json:"file"`
+	Columns []columnMeta `json:"columns"`
+}
+
+type columnMeta struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+const manifestFile = "manifest.json"
+
+func typeName(t relation.Type) string {
+	return t.String()
+}
+
+func typeFromName(s string) (relation.Type, error) {
+	switch s {
+	case "string":
+		return relation.TString, nil
+	case "int":
+		return relation.TInt, nil
+	case "float":
+		return relation.TFloat, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown column type %q", s)
+	}
+}
+
+// fileFor maps a relation name to a stable, filesystem-safe CSV filename.
+func fileFor(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String() + ".csv"
+}
+
+// Save writes every relation in the catalog to dir as CSV files plus a
+// manifest recording schemas. dir is created if needed. Because rule
+// relations live in the same catalog as the data, a single Save relocates
+// the database together with its induced knowledge.
+func (c *Catalog) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: save: %w", err)
+	}
+	var m manifest
+	for _, name := range c.Names() {
+		r, err := c.Get(name)
+		if err != nil {
+			return err
+		}
+		meta := relationMeta{Name: r.Name(), File: fileFor(r.Name())}
+		for _, col := range r.Schema().Columns() {
+			meta.Columns = append(meta.Columns, columnMeta{Name: col.Name, Type: typeName(col.Type)})
+		}
+		if err := saveCSV(filepath.Join(dir, meta.File), r); err != nil {
+			return err
+		}
+		m.Relations = append(m.Relations, meta)
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: save manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), data, 0o644); err != nil {
+		return fmt.Errorf("storage: save manifest: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database directory written by Save into a new catalog.
+func Load(dir string) (*Catalog, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("storage: load: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("storage: load manifest: %w", err)
+	}
+	c := NewCatalog()
+	for _, meta := range m.Relations {
+		cols := make([]relation.Column, len(meta.Columns))
+		for i, cm := range meta.Columns {
+			t, err := typeFromName(cm.Type)
+			if err != nil {
+				return nil, fmt.Errorf("storage: relation %s: %w", meta.Name, err)
+			}
+			cols[i] = relation.Column{Name: cm.Name, Type: t}
+		}
+		schema, err := relation.NewSchema(cols...)
+		if err != nil {
+			return nil, fmt.Errorf("storage: relation %s: %w", meta.Name, err)
+		}
+		r, err := loadCSV(filepath.Join(dir, meta.File), meta.Name, schema)
+		if err != nil {
+			return nil, err
+		}
+		c.Put(r)
+	}
+	return c, nil
+}
+
+// nullSentinel marks SQL NULL in CSV cells; a literal string of this form
+// is escaped by prefixing a backslash.
+const nullSentinel = `\N`
+
+func saveCSV(path string, r *relation.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: save %s: %w", r.Name(), err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(r.Schema().Names()); err != nil {
+		return fmt.Errorf("storage: save %s: %w", r.Name(), err)
+	}
+	rec := make([]string, r.Schema().Len())
+	for _, t := range r.Rows() {
+		for i, v := range t {
+			switch {
+			case v.IsNull():
+				rec[i] = nullSentinel
+			case v.Kind() == relation.KindString && strings.HasPrefix(v.Str(), `\`):
+				rec[i] = `\` + v.Str()
+			default:
+				rec[i] = v.String()
+			}
+		}
+		if err := w.Write(rec); err != nil {
+			return fmt.Errorf("storage: save %s: %w", r.Name(), err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("storage: save %s: %w", r.Name(), err)
+	}
+	return f.Close()
+}
+
+func loadCSV(path, name string, schema *relation.Schema) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: load %s: %w", name, err)
+	}
+	defer f.Close()
+	rd := csv.NewReader(f)
+	records, err := rd.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("storage: load %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("storage: load %s: missing header", name)
+	}
+	header := records[0]
+	if len(header) != schema.Len() {
+		return nil, fmt.Errorf("storage: load %s: header has %d columns, manifest %d",
+			name, len(header), schema.Len())
+	}
+	r := relation.New(name, schema)
+	for rowNo, rec := range records[1:] {
+		t := make(relation.Tuple, len(rec))
+		for i, cell := range rec {
+			switch {
+			case cell == nullSentinel:
+				t[i] = relation.Null()
+			case strings.HasPrefix(cell, `\`) && schema.Col(i).Type == relation.TString:
+				t[i] = relation.String(cell[1:])
+			default:
+				v, err := relation.ParseValue(cell, schema.Col(i).Type)
+				if err != nil {
+					return nil, fmt.Errorf("storage: load %s row %d: %w", name, rowNo+1, err)
+				}
+				t[i] = v
+			}
+		}
+		if err := r.Insert(t); err != nil {
+			return nil, fmt.Errorf("storage: load %s row %d: %w", name, rowNo+1, err)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,123 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"intensional/internal/dict"
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+	"intensional/internal/storage"
+)
+
+// Harbor relation names — the Section 3.1 inter-object knowledge
+// example: ships VISIT ports, and a visit requires the ship's draft to
+// be less than the port's depth.
+const (
+	HarborShip  = "SHIP"
+	HarborPort  = "PORT"
+	HarborVisit = "VISIT"
+)
+
+// HarborConfig parameterises the generated harbor database.
+type HarborConfig struct {
+	Ships  int
+	Ports  int
+	Visits int
+	Seed   int64
+	// Violations, when positive, injects that many visits whose ship
+	// draft is NOT below the port depth — for testing that comparison
+	// induction refuses to induce the constraint from dirty data.
+	Violations int
+}
+
+// Harbor generates SHIP(Id, Name, Draft), PORT(Port, PortName, Depth),
+// and VISIT(Ship, Port) where every (clean) visit satisfies
+// SHIP.Draft < PORT.Depth.
+func Harbor(cfg HarborConfig) *storage.Catalog {
+	if cfg.Ships < 1 {
+		cfg.Ships = 1
+	}
+	if cfg.Ports < 1 {
+		cfg.Ports = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat := storage.NewCatalog()
+
+	ship := relation.New(HarborShip, relation.MustSchema(
+		relation.Column{Name: "Id", Type: relation.TString},
+		relation.Column{Name: "Name", Type: relation.TString},
+		relation.Column{Name: "Draft", Type: relation.TInt},
+	))
+	drafts := make([]int64, cfg.Ships)
+	for i := 0; i < cfg.Ships; i++ {
+		drafts[i] = 4 + rng.Int63n(12) // 4..15 metres
+		ship.MustInsert(relation.String(fmt.Sprintf("S%03d", i+1)),
+			relation.String(fmt.Sprintf("Vessel %d", i+1)), relation.Int(drafts[i]))
+	}
+	port := relation.New(HarborPort, relation.MustSchema(
+		relation.Column{Name: "Port", Type: relation.TString},
+		relation.Column{Name: "PortName", Type: relation.TString},
+		relation.Column{Name: "Depth", Type: relation.TInt},
+	))
+	depths := make([]int64, cfg.Ports)
+	for i := 0; i < cfg.Ports; i++ {
+		depths[i] = 8 + rng.Int63n(20) // 8..27 metres
+		port.MustInsert(relation.String(fmt.Sprintf("P%03d", i+1)),
+			relation.String(fmt.Sprintf("Port %d", i+1)), relation.Int(depths[i]))
+	}
+	visit := relation.New(HarborVisit, relation.MustSchema(
+		relation.Column{Name: "Ship", Type: relation.TString},
+		relation.Column{Name: "Port", Type: relation.TString},
+	))
+	added := 0
+	for attempts := 0; added < cfg.Visits && attempts < cfg.Visits*50; attempts++ {
+		si := rng.Intn(cfg.Ships)
+		pi := rng.Intn(cfg.Ports)
+		if drafts[si] >= depths[pi] {
+			continue // the draft constraint forbids this visit
+		}
+		visit.MustInsert(relation.String(fmt.Sprintf("S%03d", si+1)),
+			relation.String(fmt.Sprintf("P%03d", pi+1)))
+		added++
+	}
+	for v := 0; v < cfg.Violations; v++ {
+		// Force a dirty visit: deepest-draft ship into shallowest port.
+		si, pi := 0, 0
+		for i := range drafts {
+			if drafts[i] > drafts[si] {
+				si = i
+			}
+		}
+		for i := range depths {
+			if depths[i] < depths[pi] {
+				pi = i
+			}
+		}
+		if drafts[si] < depths[pi] {
+			break // data makes injection impossible
+		}
+		visit.MustInsert(relation.String(fmt.Sprintf("S%03d", si+1)),
+			relation.String(fmt.Sprintf("P%03d", pi+1)))
+	}
+	cat.Put(ship)
+	cat.Put(port)
+	cat.Put(visit)
+	return cat
+}
+
+// HarborDictionary declares the VISIT relationship linking ships and
+// ports.
+func HarborDictionary(cat *storage.Catalog) (*dict.Dictionary, error) {
+	d := dict.New(cat)
+	if err := d.AddRelationship(&dict.Relationship{
+		Name: HarborVisit,
+		Links: []dict.Link{
+			{From: rules.Attr(HarborVisit, "Ship"), To: rules.Attr(HarborShip, "Id")},
+			{From: rules.Attr(HarborVisit, "Port"), To: rules.Attr(HarborPort, "Port")},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,81 @@
+package synth_test
+
+import (
+	"testing"
+
+	"intensional/internal/synth"
+)
+
+func TestHarborShape(t *testing.T) {
+	cat := synth.Harbor(synth.HarborConfig{Ships: 30, Ports: 10, Visits: 100, Seed: 5})
+	for name, want := range map[string]int{
+		synth.HarborShip: 30,
+		synth.HarborPort: 10,
+	} {
+		r, err := cat.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Len() != want {
+			t.Errorf("%s = %d rows, want %d", name, r.Len(), want)
+		}
+	}
+	visit, err := cat.Get(synth.HarborVisit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visit.Len() == 0 || visit.Len() > 100 {
+		t.Errorf("visits = %d", visit.Len())
+	}
+}
+
+func TestHarborDefaultsAndDeterminism(t *testing.T) {
+	a := synth.Harbor(synth.HarborConfig{Seed: 9, Visits: 5})
+	b := synth.Harbor(synth.HarborConfig{Seed: 9, Visits: 5})
+	ra, _ := a.Get(synth.HarborShip)
+	rb, _ := b.Get(synth.HarborShip)
+	if ra.Len() != rb.Len() || ra.Len() != 1 { // Ships defaults to 1
+		t.Errorf("default ships = %d / %d", ra.Len(), rb.Len())
+	}
+	for i := range ra.Rows() {
+		if ra.Row(i).Key() != rb.Row(i).Key() {
+			t.Fatalf("row %d differs between same-seed harbors", i)
+		}
+	}
+}
+
+func TestHarborViolationInjection(t *testing.T) {
+	cat := synth.Harbor(synth.HarborConfig{Ships: 30, Ports: 10, Visits: 50, Seed: 5, Violations: 1})
+	ship, _ := cat.Get(synth.HarborShip)
+	port, _ := cat.Get(synth.HarborPort)
+	visit, _ := cat.Get(synth.HarborVisit)
+	draft := map[string]int64{}
+	for _, r := range ship.Rows() {
+		draft[r[0].Str()] = r[2].Int64()
+	}
+	depth := map[string]int64{}
+	for _, r := range port.Rows() {
+		depth[r[0].Str()] = r[2].Int64()
+	}
+	violations := 0
+	for _, r := range visit.Rows() {
+		if draft[r[0].Str()] >= depth[r[1].Str()] {
+			violations++
+		}
+	}
+	if violations != 1 {
+		t.Errorf("violations = %d, want 1", violations)
+	}
+}
+
+func TestHarborDictionaryDeclares(t *testing.T) {
+	cat := synth.Harbor(synth.HarborConfig{Ships: 5, Ports: 2, Visits: 5, Seed: 1})
+	d, err := synth.HarborDictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := d.Relationships()
+	if len(rels) != 1 || rels[0].Name != synth.HarborVisit || len(rels[0].Links) != 2 {
+		t.Errorf("relationships = %v", rels)
+	}
+}

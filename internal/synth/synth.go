@@ -1,0 +1,239 @@
+// Package synth generates deterministic synthetic databases for the
+// experiments and benchmarks: the full navy battleship fleet of Table 1
+// (the paper's proprietary SDC/UNISYS database is not available, so a
+// generator parameterised by Table 1's published per-type displacement
+// ranges stands in for it), the Employee database of Section 5.2.2, and
+// scalable fleets for the cost-scaling benches.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"intensional/internal/dict"
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+	"intensional/internal/storage"
+)
+
+// ShipType is one row of the paper's Table 1: a navy battleship type with
+// its category and displacement range in tons.
+type ShipType struct {
+	Category string
+	Type     string
+	TypeName string
+	MinDisp  int64
+	MaxDisp  int64
+}
+
+// Table1 is the classification characteristics of navy battleships
+// exactly as the paper's Table 1 lists them.
+var Table1 = []ShipType{
+	{"Subsurface", "SSBN", "Ballistic Nuclear Missile Submarine", 7250, 16600},
+	{"Subsurface", "SSN", "Nuclear Submarine", 1720, 6000},
+	{"Surface", "CVN", "Attack Aircraft Carrier", 75700, 81600},
+	{"Surface", "CV", "Aircraft Carrier", 41900, 61000},
+	{"Surface", "BB", "Battleship", 45000, 45000},
+	{"Surface", "CGN", "Guided Nuclear Missile Crusier", 7600, 14200},
+	{"Surface", "CG", "Guided Missile Crusier", 5670, 13700},
+	{"Surface", "CA", "Gun Cruiser", 17000, 17000},
+	{"Surface", "DDG", "Guided Missile Destroyer", 3370, 8300},
+	{"Surface", "DD", "Destroyer", 2425, 7810},
+	{"Surface", "FFG", "Guided Missile Frigate", 3605, 3605},
+	{"Surface", "FF", "Frigate", 2360, 3011},
+}
+
+// FleetConfig parameterises the generated fleet.
+type FleetConfig struct {
+	// ClassesPerType is the number of ship classes generated for each
+	// Table 1 type (minimum 1). The first and last class of each type sit
+	// exactly at the type's displacement range boundaries, so inducing
+	// per-type displacement characteristics recovers Table 1 verbatim.
+	ClassesPerType int
+	// ShipsPerClass is the number of ship instances per class.
+	ShipsPerClass int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Fleet relation names.
+const (
+	FleetShip  = "SHIP"
+	FleetClass = "CLASS"
+	FleetType  = "TYPE"
+)
+
+// Fleet generates a catalog with SHIP(Id, Name, Class),
+// CLASS(Class, ClassName, Type, Displacement), and
+// TYPE(Type, TypeName, Category) drawn from Table 1.
+func Fleet(cfg FleetConfig) *storage.Catalog {
+	if cfg.ClassesPerType < 1 {
+		cfg.ClassesPerType = 1
+	}
+	if cfg.ShipsPerClass < 1 {
+		cfg.ShipsPerClass = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat := storage.NewCatalog()
+
+	typ := relation.New(FleetType, relation.MustSchema(
+		relation.Column{Name: "Type", Type: relation.TString},
+		relation.Column{Name: "TypeName", Type: relation.TString},
+		relation.Column{Name: "Category", Type: relation.TString},
+	))
+	cls := relation.New(FleetClass, relation.MustSchema(
+		relation.Column{Name: "Class", Type: relation.TString},
+		relation.Column{Name: "ClassName", Type: relation.TString},
+		relation.Column{Name: "Type", Type: relation.TString},
+		relation.Column{Name: "Displacement", Type: relation.TInt},
+	))
+	ship := relation.New(FleetShip, relation.MustSchema(
+		relation.Column{Name: "Id", Type: relation.TString},
+		relation.Column{Name: "Name", Type: relation.TString},
+		relation.Column{Name: "Class", Type: relation.TString},
+	))
+
+	serial := 100
+	for ti, st := range Table1 {
+		typ.MustInsert(relation.String(st.Type), relation.String(st.TypeName),
+			relation.String(st.Category))
+		for c := 0; c < cfg.ClassesPerType; c++ {
+			code := fmt.Sprintf("%02d%02d", ti+1, c+1)
+			disp := st.MinDisp
+			switch {
+			case c == cfg.ClassesPerType-1:
+				disp = st.MaxDisp
+			case c == 0:
+				disp = st.MinDisp
+			default:
+				if st.MaxDisp > st.MinDisp {
+					disp = st.MinDisp + rng.Int63n(st.MaxDisp-st.MinDisp+1)
+				}
+			}
+			cls.MustInsert(relation.String(code),
+				relation.String(fmt.Sprintf("%s-class-%d", st.Type, c+1)),
+				relation.String(st.Type), relation.Int(disp))
+			for s := 0; s < cfg.ShipsPerClass; s++ {
+				id := fmt.Sprintf("%s%d", st.Type, serial)
+				serial++
+				ship.MustInsert(relation.String(id),
+					relation.String(fmt.Sprintf("%s %d-%d", st.TypeName, c+1, s+1)),
+					relation.String(code))
+			}
+		}
+	}
+	cat.Put(typ)
+	cat.Put(cls)
+	cat.Put(ship)
+	return cat
+}
+
+// FleetDictionary builds the dictionary for a generated fleet: classes
+// classified by Type, ships by Class, with the level link between them.
+func FleetDictionary(cat *storage.Catalog) (*dict.Dictionary, error) {
+	d := dict.New(cat)
+	cls, err := cat.Get(FleetClass)
+	if err != nil {
+		return nil, err
+	}
+	shipHier := &dict.Hierarchy{Object: FleetShip, ClassifyingAttr: "Class"}
+	classHier := &dict.Hierarchy{Object: FleetClass, ClassifyingAttr: "Type"}
+	seenTypes := map[string]bool{}
+	ci := cls.Schema().MustIndex("Class")
+	ti := cls.Schema().MustIndex("Type")
+	for _, row := range cls.Rows() {
+		shipHier.Subtypes = append(shipHier.Subtypes, dict.Subtype{
+			Name: "C" + row[ci].Str(), Value: row[ci],
+		})
+		if !seenTypes[row[ti].Str()] {
+			seenTypes[row[ti].Str()] = true
+			classHier.Subtypes = append(classHier.Subtypes, dict.Subtype{
+				Name: row[ti].Str(), Value: row[ti],
+			})
+		}
+	}
+	if err := d.AddHierarchy(shipHier); err != nil {
+		return nil, err
+	}
+	if err := d.AddHierarchy(classHier); err != nil {
+		return nil, err
+	}
+	if err := d.AddLevelLink(dict.Link{
+		From: rules.Attr(FleetShip, "Class"),
+		To:   rules.Attr(FleetClass, "Class"),
+	}); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Employee relation name for the Section 5.2.2 example database.
+const Employee = "EMPLOYEE"
+
+// positions assigns job titles by age band, giving the induction
+// algorithm clean Age → Position ranges like the paper's Employee
+// example.
+var positions = []struct {
+	lo, hi int64
+	title  string
+}{
+	{18, 25, "TRAINEE"},
+	{26, 45, "ENGINEER"},
+	{46, 58, "MANAGER"},
+	{59, 65, "DIRECTOR"},
+}
+
+// Employees generates EMPLOYEE(Id, Name, Age, Position) with n rows.
+func Employees(n int, seed int64) *storage.Catalog {
+	rng := rand.New(rand.NewSource(seed))
+	cat := storage.NewCatalog()
+	emp := relation.New(Employee, relation.MustSchema(
+		relation.Column{Name: "Id", Type: relation.TInt},
+		relation.Column{Name: "Name", Type: relation.TString},
+		relation.Column{Name: "Age", Type: relation.TInt},
+		relation.Column{Name: "Position", Type: relation.TString},
+	))
+	for i := 0; i < n; i++ {
+		band := positions[rng.Intn(len(positions))]
+		age := band.lo + rng.Int63n(band.hi-band.lo+1)
+		emp.MustInsert(relation.Int(int64(i+1)),
+			relation.String(fmt.Sprintf("Employee %d", i+1)),
+			relation.Int(age), relation.String(band.title))
+	}
+	cat.Put(emp)
+	return cat
+}
+
+// EmployeeDictionary builds the dictionary for the Employee database:
+// employees classified by Position.
+func EmployeeDictionary(cat *storage.Catalog) (*dict.Dictionary, error) {
+	d := dict.New(cat)
+	h := &dict.Hierarchy{Object: Employee, ClassifyingAttr: "Position"}
+	for _, p := range positions {
+		h.Subtypes = append(h.Subtypes, dict.Subtype{
+			Name: p.title, Value: relation.String(p.title),
+		})
+	}
+	if err := d.AddHierarchy(h); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// RuleSetOfSize builds a synthetic rule base with n rules over one
+// numeric attribute — the workload for the inference-scaling bench (B2).
+// Rule i covers the interval [i*10, i*10+9] and concludes a distinct
+// class value, so exactly one rule fires for any seeded point condition.
+func RuleSetOfSize(n int) *rules.Set {
+	set := rules.NewSet()
+	for i := 0; i < n; i++ {
+		lo := int64(i * 10)
+		set.Add(&rules.Rule{
+			LHS: []rules.Clause{rules.RangeClause(rules.Attr("R", "X"),
+				relation.Int(lo), relation.Int(lo+9))},
+			RHS:     rules.PointClause(rules.Attr("R", "Y"), relation.String(fmt.Sprintf("c%d", i))),
+			Support: 10,
+		})
+	}
+	return set
+}

@@ -1,0 +1,194 @@
+package synth_test
+
+import (
+	"testing"
+
+	"intensional/internal/induct"
+	"intensional/internal/relation"
+	"intensional/internal/rules"
+	"intensional/internal/synth"
+)
+
+func TestFleetShape(t *testing.T) {
+	cat := synth.Fleet(synth.FleetConfig{ClassesPerType: 3, ShipsPerClass: 4, Seed: 7})
+	cls, err := cat.Get(synth.FleetClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Len() != 12*3 {
+		t.Errorf("classes = %d, want 36", cls.Len())
+	}
+	ship, err := cat.Get(synth.FleetShip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ship.Len() != 12*3*4 {
+		t.Errorf("ships = %d, want 144", ship.Len())
+	}
+	typ, err := cat.Get(synth.FleetType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ.Len() != 12 {
+		t.Errorf("types = %d, want 12", typ.Len())
+	}
+}
+
+func TestFleetDeterministic(t *testing.T) {
+	a := synth.Fleet(synth.FleetConfig{ClassesPerType: 5, ShipsPerClass: 2, Seed: 42})
+	b := synth.Fleet(synth.FleetConfig{ClassesPerType: 5, ShipsPerClass: 2, Seed: 42})
+	ra, _ := a.Get(synth.FleetClass)
+	rb, _ := b.Get(synth.FleetClass)
+	for i := range ra.Rows() {
+		if ra.Row(i).Key() != rb.Row(i).Key() {
+			t.Fatalf("row %d differs between same-seed fleets", i)
+		}
+	}
+}
+
+func TestFleetDisplacementsWithinTable1(t *testing.T) {
+	cat := synth.Fleet(synth.FleetConfig{ClassesPerType: 6, ShipsPerClass: 1, Seed: 1})
+	cls, _ := cat.Get(synth.FleetClass)
+	ranges := map[string][2]int64{}
+	for _, st := range synth.Table1 {
+		ranges[st.Type] = [2]int64{st.MinDisp, st.MaxDisp}
+	}
+	ti := cls.Schema().MustIndex("Type")
+	di := cls.Schema().MustIndex("Displacement")
+	for _, row := range cls.Rows() {
+		r := ranges[row[ti].Str()]
+		d := row[di].Int64()
+		if d < r[0] || d > r[1] {
+			t.Errorf("class %v displacement %d outside Table 1 range %v", row, d, r)
+		}
+	}
+}
+
+// TestTable1Reproduction is the E5 experiment core: inducing per-type
+// displacement characteristics from the generated fleet recovers every
+// Table 1 range exactly (boundary classes pin the endpoints).
+func TestTable1Reproduction(t *testing.T) {
+	cat := synth.Fleet(synth.FleetConfig{ClassesPerType: 4, ShipsPerClass: 2, Seed: 3})
+	d, err := synth.FleetDictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, _ := cat.Get(synth.FleetClass)
+	in := induct.New(d, induct.Options{})
+	chars, err := in.InduceCharacteristics(cls, "Type", "Displacement",
+		rules.Attr(synth.FleetClass, "Type"), rules.Attr(synth.FleetClass, "Displacement"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chars) != len(synth.Table1) {
+		t.Fatalf("characteristics = %d, want %d", len(chars), len(synth.Table1))
+	}
+	byType := map[string]*rules.Rule{}
+	for _, r := range chars {
+		byType[r.LHS[0].Lo.Str()] = r
+	}
+	for _, st := range synth.Table1 {
+		r, ok := byType[st.Type]
+		if !ok {
+			t.Errorf("type %s missing", st.Type)
+			continue
+		}
+		if r.RHS.Lo.Int64() != st.MinDisp || r.RHS.Hi.Int64() != st.MaxDisp {
+			t.Errorf("%s: induced [%d..%d], Table 1 says [%d..%d]",
+				st.Type, r.RHS.Lo.Int64(), r.RHS.Hi.Int64(), st.MinDisp, st.MaxDisp)
+		}
+	}
+}
+
+func TestFleetDictionary(t *testing.T) {
+	cat := synth.Fleet(synth.FleetConfig{ClassesPerType: 2, ShipsPerClass: 1, Seed: 1})
+	d, err := synth.FleetDictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := d.Hierarchy(synth.FleetClass)
+	if !ok || len(h.Subtypes) != 12 {
+		t.Errorf("class hierarchy = %+v", h)
+	}
+	sh, ok := d.Hierarchy(synth.FleetShip)
+	if !ok || len(sh.Subtypes) != 24 {
+		t.Errorf("ship hierarchy subtypes = %d, want 24", len(sh.Subtypes))
+	}
+	if _, ok := d.LevelAbove(synth.FleetShip); !ok {
+		t.Error("level link missing")
+	}
+}
+
+func TestEmployees(t *testing.T) {
+	cat := synth.Employees(200, 9)
+	emp, err := cat.Get(synth.Employee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emp.Len() != 200 {
+		t.Fatalf("employees = %d", emp.Len())
+	}
+	ai := emp.Schema().MustIndex("Age")
+	for _, row := range emp.Rows() {
+		a := row[ai].Int64()
+		if a < 18 || a > 65 {
+			t.Errorf("age %d outside [18..65]", a)
+		}
+	}
+	d, err := synth.EmployeeDictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Age → Position induction yields one clean rule per age band.
+	set, err := induct.New(d, induct.Options{Nc: 2}).InduceAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ageRules := 0
+	for _, r := range set.Rules() {
+		if r.LHS[0].Attr.EqualFold(rules.Attr(synth.Employee, "Age")) {
+			ageRules++
+			if !r.RHS.IsPoint() {
+				t.Errorf("rule %s should have a point consequence", r)
+			}
+		}
+	}
+	if ageRules != 4 {
+		t.Errorf("age rules = %d, want 4 (one per band):\n%s", ageRules, set)
+	}
+}
+
+func TestRuleSetOfSize(t *testing.T) {
+	set := synth.RuleSetOfSize(100)
+	if set.Len() != 100 {
+		t.Fatalf("rules = %d", set.Len())
+	}
+	// Exactly one rule covers the point 555.
+	hits := 0
+	for _, r := range set.Rules() {
+		if r.LHS[0].Contains(relation.Int(555)) {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Errorf("rules covering 555 = %d, want 1", hits)
+	}
+}
+
+func TestInduceCharacteristicsErrors(t *testing.T) {
+	cat := synth.Employees(10, 1)
+	d, err := synth.EmployeeDictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, _ := cat.Get(synth.Employee)
+	in := induct.New(d, induct.Options{})
+	if _, err := in.InduceCharacteristics(emp, "nope", "Age",
+		rules.Attr("E", "P"), rules.Attr("E", "A")); err == nil {
+		t.Error("unknown class column should error")
+	}
+	if _, err := in.InduceCharacteristics(emp, "Position", "nope",
+		rules.Attr("E", "P"), rules.Attr("E", "A")); err == nil {
+		t.Error("unknown value column should error")
+	}
+}
