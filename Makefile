@@ -1,0 +1,26 @@
+# CI entry points. `make ci` is what every PR must keep green: build,
+# vet, the full test suite, and the race detector over the internal
+# packages — the latter enforces the concurrency contract the parallel
+# induction pipeline relies on (immutable sources, locked catalog).
+
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+ci: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# The B1/B2 scaling benches plus the worker sweep; not part of ci.
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .

@@ -97,6 +97,30 @@ func BenchmarkInduceScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkInduceParallel sweeps Options.Workers over the 10⁴-ship B1
+// fleet: the candidate pairs are induced concurrently while the rule set
+// stays byte-identical to the serial run (see
+// TestInduceAllParallelMatchesSerial). workers=1 is the serial baseline
+// the speedup criterion is measured against.
+func BenchmarkInduceParallel(b *testing.B) {
+	cat := synth.Fleet(synth.FleetConfig{ClassesPerType: 10, ShipsPerClass: 100, Seed: 1})
+	d, err := synth.FleetDictionary(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			in := induct.New(d, induct.Options{Nc: 2, Workers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := in.InduceAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // benchInfer measures Derive alone for one example query and rule base.
 func benchInfer(b *testing.B, sql string) {
 	d := shipDict(b)

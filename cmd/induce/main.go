@@ -7,6 +7,7 @@
 //	induce                    # ship test bed, Nc=2
 //	induce -nc 3              # pruning threshold
 //	induce -fraction 0.1      # threshold as a fraction of relation size
+//	induce -workers 8         # induction parallelism (0 = GOMAXPROCS, 1 = serial)
 //	induce -db DIR -save DIR  # open / save a database directory
 package main
 
@@ -24,6 +25,7 @@ func main() {
 	dbDir := flag.String("db", "", "open a saved database directory (default: ship test bed)")
 	nc := flag.Int("nc", 2, "absolute pruning threshold Nc")
 	fraction := flag.Float64("fraction", 0, "pruning threshold as a fraction of relation size")
+	workers := flag.Int("workers", 0, "induction worker goroutines (0 = GOMAXPROCS, 1 = serial); the rule set is identical at every setting")
 	save := flag.String("save", "", "save the database with its rule relations to this directory")
 	flag.Parse()
 
@@ -44,7 +46,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	set, err := sys.Induce(induct.Options{Nc: *nc, NcFraction: *fraction})
+	set, err := sys.Induce(induct.Options{Nc: *nc, NcFraction: *fraction, Workers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "induce:", err)
 		os.Exit(1)

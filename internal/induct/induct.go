@@ -9,8 +9,10 @@ package induct
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"intensional/internal/dict"
 	"intensional/internal/quel"
@@ -29,6 +31,29 @@ type Options struct {
 	// source relation's size; the effective threshold is
 	// max(Nc, ceil(NcFraction·|relation|)).
 	NcFraction float64
+	// Workers is the number of goroutines InduceAll spreads candidate
+	// pairs over. Zero (the default) uses runtime.GOMAXPROCS(0); one
+	// reproduces the historical serial behaviour. The induced rule set —
+	// rules, numbering, and supports — is identical at every setting:
+	// candidate pairs are independent, and results are committed to the
+	// set in candidate order regardless of completion order.
+	Workers int
+}
+
+// workers resolves the effective worker count, capped by the number of
+// independent work items.
+func (o Options) workers(items int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 func (o Options) effectiveNc(sourceSize int) int {
@@ -55,15 +80,41 @@ type Pair struct {
 // Scheme returns the pair's rule scheme.
 func (p Pair) Scheme() rules.Scheme { return rules.Scheme{X: p.X, Y: p.Y} }
 
-// Inducer runs rule induction against a dictionary's catalog.
+// Inducer runs rule induction against a dictionary's catalog. An Inducer
+// is safe for concurrent use: induction only reads the catalog, and the
+// materialised-join cache it keeps is lock-protected.
 type Inducer struct {
 	d    *dict.Dictionary
 	opts Options
+
+	// matMu guards matCache, the per-relationship memo of materialise.
+	// N candidate pairs over one relationship share one joined relation
+	// instead of rebuilding the same multi-way join N times; the cached
+	// relation and column map are immutable by contract (readers never
+	// mutate them, and nothing else holds a reference).
+	matMu    sync.Mutex
+	matCache map[string]*materialised
+}
+
+// materialised is one cached relationship join: the wide relation, the
+// attribute-key → column-name map describing it, and the base relations
+// (with versions) it was built from, for staleness checks.
+type materialised struct {
+	joined *relation.Relation
+	colFor map[string]string
+	deps   []matDep
+}
+
+// matDep pins one base relation a cached join depends on.
+type matDep struct {
+	name    string
+	rel     *relation.Relation
+	version uint64
 }
 
 // New creates an inducer.
 func New(d *dict.Dictionary, opts Options) *Inducer {
-	return &Inducer{d: d, opts: opts}
+	return &Inducer{d: d, opts: opts, matCache: make(map[string]*materialised)}
 }
 
 // InducePair runs the four-step Rule Induction Algorithm for one
@@ -368,23 +419,58 @@ func (in *Inducer) classifyingChain(object string) []rules.AttrRef {
 	return out
 }
 
-// materialise joins the relationship relation with all participants (and
+// materialise returns the relationship's wide join, memoised per
+// relationship: the first call builds it, later calls (other candidate
+// pairs, InduceComparisons, repeated InduceAll runs) share the cached
+// relation. The cached join is immutable by contract — every consumer
+// only reads it. Cache entries self-invalidate when a base relation they
+// were built from is mutated or replaced in the catalog.
+func (in *Inducer) materialise(r *dict.Relationship) (*relation.Relation, map[string]string, error) {
+	in.matMu.Lock()
+	defer in.matMu.Unlock()
+	k := strings.ToLower(r.Name)
+	if m, ok := in.matCache[k]; ok && m.fresh(in.d.Catalog()) {
+		return m.joined, m.colFor, nil
+	}
+	m, err := in.buildJoin(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	in.matCache[k] = m
+	return m.joined, m.colFor, nil
+}
+
+// fresh reports whether every base relation the join was built from is
+// still the same object at the same mutation version.
+func (m *materialised) fresh(cat *storage.Catalog) bool {
+	for _, d := range m.deps {
+		rel, err := cat.Get(d.name)
+		if err != nil || rel != d.rel || rel.Version() != d.version {
+			return false
+		}
+	}
+	return true
+}
+
+// buildJoin joins the relationship relation with all participants (and
 // the hierarchy levels above them) into one wide relation whose columns
 // are qualified "Relation.Attribute". colFor maps attribute keys to the
 // joined column names.
-func (in *Inducer) materialise(r *dict.Relationship) (*relation.Relation, map[string]string, error) {
+func (in *Inducer) buildJoin(r *dict.Relationship) (*materialised, error) {
 	cat := in.d.Catalog()
+	var deps []matDep
 	qualify := func(name string) (*relation.Relation, error) {
 		rel, err := cat.Get(name)
 		if err != nil {
 			return nil, err
 		}
+		deps = append(deps, matDep{name: name, rel: rel, version: rel.Version()})
 		return rel.RenameColumns(func(c string) string { return rel.Name() + "." + c })
 	}
 
 	joined, err := qualify(r.Name)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	colFor := map[string]string{}
 	record := func(relName string, schemaOf *relation.Relation) {
@@ -425,25 +511,63 @@ func (in *Inducer) materialise(r *dict.Relationship) (*relation.Relation, map[st
 	}
 	for _, link := range r.Links {
 		if err := attach(link); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
-	return joined, colFor, nil
+	return &materialised{joined: joined, colFor: colFor, deps: deps}, nil
 }
 
 // InduceAll generates candidates, induces every pair, prunes, and returns
 // the numbered rule set — the knowledge base contents.
+//
+// Candidate pairs are induced concurrently on Options.Workers goroutines
+// (levelwise relational rule mining is embarrassingly parallel across
+// rule schemes: each pair reads shared immutable sources and works in a
+// private scratch catalog). Determinism is preserved by committing
+// per-pair results to the set in candidate order after the fan-out, so
+// rule numbering and supports are identical at every worker count.
 func (in *Inducer) InduceAll() (*rules.Set, error) {
 	pairs, err := in.CandidatePairs()
 	if err != nil {
 		return nil, err
 	}
-	set := rules.NewSet()
-	for _, p := range pairs {
-		rs, err := in.InducePair(p)
+
+	results := make([][]*rules.Rule, len(pairs))
+	errs := make([]error, len(pairs))
+	if w := in.opts.workers(len(pairs)); w <= 1 {
+		for i, p := range pairs {
+			if results[i], errs[i] = in.InducePair(p); errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i], errs[i] = in.InducePair(pairs[i])
+				}
+			}()
+		}
+		for i := range pairs {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	// Report the first failure in candidate order, matching what the
+	// serial pipeline would have surfaced.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	set := rules.NewSet()
+	for _, rs := range results {
 		for _, r := range rs {
 			set.Add(r)
 		}

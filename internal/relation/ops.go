@@ -60,7 +60,10 @@ type SortKey struct {
 	Desc   bool
 }
 
-// Sort returns a new relation ordered by the given keys (stable).
+// Sort returns a new relation ordered by the given keys (stable). Null
+// sorts before every non-null value (so nulls come first ascending, last
+// descending) — a fixed rule rather than a skipped comparison, keeping
+// the comparator transitive and the output deterministic.
 func (r *Relation) Sort(keys ...SortKey) (*Relation, error) {
 	idx := make([]int, len(keys))
 	for i, k := range keys {
@@ -73,10 +76,7 @@ func (r *Relation) Sort(keys ...SortKey) (*Relation, error) {
 	out := r.Clone()
 	sort.SliceStable(out.rows, func(a, b int) bool {
 		for i, j := range idx {
-			c, err := out.rows[a][j].Compare(out.rows[b][j])
-			if err != nil {
-				continue // incomparable (e.g. null vs value): leave order
-			}
+			c := sortCompare(out.rows[a][j], out.rows[b][j])
 			if c == 0 {
 				continue
 			}
@@ -90,10 +90,32 @@ func (r *Relation) Sort(keys ...SortKey) (*Relation, error) {
 	return out, nil
 }
 
-// Delete removes the tuples satisfying pred in place and returns how many
-// were removed.
+// sortCompare orders two values for Sort: null < any non-null value;
+// otherwise Compare. Values of genuinely incomparable kinds cannot share
+// a typed column, so the remaining error case is unreachable and treated
+// as equal.
+func sortCompare(a, b Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	c, err := a.Compare(b)
+	if err != nil {
+		return 0
+	}
+	return c
+}
+
+// Delete removes the tuples satisfying pred and returns how many were
+// removed. The survivors are rebuilt into a fresh slice rather than
+// compacted in place, so shallow copies sharing the old backing array
+// (WithName, RenameColumns views) keep their contents intact.
 func (r *Relation) Delete(pred Predicate) int {
-	kept := r.rows[:0]
+	kept := make([]Tuple, 0, len(r.rows))
 	removed := 0
 	for _, t := range r.rows {
 		if pred(t) {
@@ -103,6 +125,7 @@ func (r *Relation) Delete(pred Predicate) int {
 		kept = append(kept, t)
 	}
 	r.rows = kept
+	r.shared.Store(false)
 	if removed > 0 {
 		r.version++
 	}

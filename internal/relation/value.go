@@ -9,6 +9,7 @@ package relation
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -141,16 +142,49 @@ func (v Value) Compare(w Value) (int, error) {
 			return 1, nil
 		}
 		return 0, nil
-	default: // at least one float
-		a, b := v.Float64(), w.Float64()
+	case v.kind == KindInt: // int vs float: exact, no rounding through float64
+		return compareIntFloat(v.i, w.f), nil
+	case w.kind == KindInt:
+		return -compareIntFloat(w.i, v.f), nil
+	default: // both float
 		switch {
-		case a < b:
+		case v.f < w.f:
 			return -1, nil
-		case a > b:
+		case v.f > w.f:
 			return 1, nil
 		}
 		return 0, nil
 	}
+}
+
+// compareIntFloat orders an int64 against a float64 without converting
+// the integer to float64, which would round above 2^53 and make distinct
+// integers compare equal to the same float.
+func compareIntFloat(i int64, f float64) int {
+	if f != f { // NaN: numerically unordered; treat as equal like < and > both failing
+		return 0
+	}
+	// Every float64 ≥ 2^63 exceeds any int64; every float64 < -2^63 is
+	// below any int64. In between, trunc(f) converts to int64 exactly.
+	if f >= 1<<63 {
+		return -1
+	}
+	if f < -(1 << 63) {
+		return 1
+	}
+	t := math.Trunc(f)
+	ti := int64(t)
+	switch {
+	case i < ti:
+		return -1
+	case i > ti:
+		return 1
+	case f > t: // i == trunc(f), positive fraction remains: i < f
+		return -1
+	case f < t: // negative fraction: i > f
+		return 1
+	}
+	return 0
 }
 
 // MustCompare is Compare but panics on incomparable kinds. It is intended
@@ -184,15 +218,24 @@ func (v Value) Less(w Value) bool {
 
 // Key returns a map-key form of the value that is equal exactly when the
 // values are Equal. Numerics are normalised to their float64 rendering so
-// Int(3) and Float(3) share a key.
+// Int(3) and Float(3) share a key — but only when the integer survives
+// the float64 round trip. Integers beyond that (magnitude above 2^53 and
+// not exactly representable) format exactly under a distinct prefix, so
+// Int(1<<53) and Int(1<<53+1) never collide; no float64 can equal such
+// an integer, so Equal agrees.
 func (v Value) Key() string {
 	switch v.kind {
 	case KindNull:
 		return "\x00"
 	case KindString:
 		return "s" + v.s
+	case KindInt:
+		if f := float64(v.i); f < 1<<63 && int64(f) == v.i {
+			return "n" + strconv.FormatFloat(f, 'g', -1, 64)
+		}
+		return "i" + strconv.FormatInt(v.i, 10)
 	default:
-		return "n" + strconv.FormatFloat(v.Float64(), 'g', -1, 64)
+		return "n" + strconv.FormatFloat(v.f, 'g', -1, 64)
 	}
 }
 

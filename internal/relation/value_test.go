@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -97,6 +98,57 @@ func TestValueKeyEquality(t *testing.T) {
 	}
 	if Null().Key() == String("").Key() {
 		t.Error("Null and empty string must not share a key")
+	}
+}
+
+// TestValueKeyInt53Boundary pins the contract that keys collide exactly
+// when Equal holds, across the 2^53 boundary where float64 loses integer
+// precision. Int(1<<53) and Int(1<<53+1) used to collide because both
+// routed through float64 formatting.
+func TestValueKeyInt53Boundary(t *testing.T) {
+	big := int64(1) << 53
+	pairs := []struct {
+		a, b Value
+	}{
+		{Int(big), Int(big + 1)},
+		{Int(big + 1), Int(big + 2)},
+		{Int(-big), Int(-big - 1)},
+		{Int(1<<62 + 1), Int(1 << 62)},
+		{Int(math.MaxInt64), Int(math.MaxInt64 - 1)},
+	}
+	for _, p := range pairs {
+		if p.a.Key() == p.b.Key() {
+			t.Errorf("%v and %v share key %q", p.a, p.b, p.a.Key())
+		}
+		if p.a.Equal(p.b) {
+			t.Errorf("%v and %v compare equal", p.a, p.b)
+		}
+	}
+	// Int/float unification survives for exactly representable values,
+	// including at the boundary itself.
+	for _, i := range []int64{0, 3, -7, big, -big, 1 << 60} {
+		if Int(i).Key() != Float(float64(i)).Key() {
+			t.Errorf("Int(%d) and Float of same value should share a key", i)
+		}
+		if !Int(i).Equal(Float(float64(i))) {
+			t.Errorf("Int(%d) should equal Float of same value", i)
+		}
+	}
+	// Compare must agree with Key at the boundary: float64(1<<53) equals
+	// the int 1<<53 but not 1<<53+1, even though float64 conversion of
+	// the latter would round onto it.
+	if Int(big+1).Equal(Float(float64(big))) {
+		t.Error("Int(2^53+1) must not equal Float(2^53)")
+	}
+	if c, err := Int(big + 1).Compare(Float(float64(big))); err != nil || c != 1 {
+		t.Errorf("Int(2^53+1) vs Float(2^53): got %d, %v; want 1", c, err)
+	}
+	if c, err := Int(-big - 1).Compare(Float(float64(-big))); err != nil || c != -1 {
+		t.Errorf("Int(-2^53-1) vs Float(-2^53): got %d, %v; want -1", c, err)
+	}
+	// MaxInt64 rounds up to 2^63 as a float; the float is strictly larger.
+	if c, err := Int(math.MaxInt64).Compare(Float(9.223372036854776e18)); err != nil || c != -1 {
+		t.Errorf("MaxInt64 vs 2^63 float: got %d, %v; want -1", c, err)
 	}
 }
 

@@ -14,7 +14,13 @@ import (
 )
 
 // Catalog is a concurrency-safe registry of named relations — the role
-// INGRES's system catalog played for the original prototype.
+// INGRES's system catalog played for the original prototype. The RWMutex
+// covers the registry itself (Get/Put/Create/Drop/Has/Names/Len/Clone
+// may be called from any number of goroutines); it does not cover the
+// contents of the relations it hands out. Relations support concurrent
+// readers but require exclusive access to mutate — the contract the
+// parallel induction pipeline relies on when workers share catalog
+// relations as read-only sources.
 type Catalog struct {
 	mu   sync.RWMutex
 	rels map[string]*relation.Relation

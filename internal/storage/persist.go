@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strings"
@@ -47,14 +48,26 @@ func typeFromName(s string) (relation.Type, error) {
 }
 
 // fileFor maps a relation name to a stable, filesystem-safe CSV filename.
+// Names that are already plain lowercase alphanumerics map to themselves;
+// any name that needed sanitising is suffixed with a short hash of the
+// original, so distinct names such as SHIP_CLASS and SHIP-CLASS (both
+// sanitising to "ship_class") get distinct files instead of silently
+// overwriting each other on Save.
 func fileFor(name string) string {
 	var b strings.Builder
+	sanitised := false
 	for _, r := range strings.ToLower(name) {
 		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
 			b.WriteRune(r)
 		} else {
 			b.WriteByte('_')
+			sanitised = true
 		}
+	}
+	if sanitised || b.Len() == 0 {
+		h := fnv.New32a()
+		h.Write([]byte(name))
+		fmt.Fprintf(&b, "_%08x", h.Sum32())
 	}
 	return b.String() + ".csv"
 }
@@ -68,12 +81,18 @@ func (c *Catalog) Save(dir string) error {
 		return fmt.Errorf("storage: save: %w", err)
 	}
 	var m manifest
+	usedBy := make(map[string]string) // target file → relation name
 	for _, name := range c.Names() {
 		r, err := c.Get(name)
 		if err != nil {
 			return err
 		}
 		meta := relationMeta{Name: r.Name(), File: fileFor(r.Name())}
+		if prev, dup := usedBy[meta.File]; dup {
+			return fmt.Errorf("storage: save: relations %q and %q both map to file %s",
+				prev, r.Name(), meta.File)
+		}
+		usedBy[meta.File] = r.Name()
 		for _, col := range r.Schema().Columns() {
 			meta.Columns = append(meta.Columns, columnMeta{Name: col.Name, Type: typeName(col.Type)})
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -177,8 +178,56 @@ func TestCatalogConcurrentAccess(t *testing.T) {
 }
 
 func TestFileForSanitises(t *testing.T) {
+	// Plain alphanumeric names keep their historical stable filename.
+	if got := fileFor("CLASS"); got != "class.csv" {
+		t.Errorf("fileFor(CLASS) = %q", got)
+	}
+	// Sanitised names carry a hash suffix disambiguating the original.
 	got := fileFor("My Weird/Name⋈X")
-	if got != "my_weird_name_x.csv" {
-		t.Errorf("fileFor = %q", got)
+	if !strings.HasPrefix(got, "my_weird_name_x_") || !strings.HasSuffix(got, ".csv") {
+		t.Errorf("fileFor = %q, want my_weird_name_x_<hash>.csv", got)
+	}
+	if fileFor("SHIP_CLASS") == fileFor("SHIP-CLASS") {
+		t.Error("names sanitising to the same stem must map to distinct files")
+	}
+	if fileFor("SHIP_CLASS") != fileFor("SHIP_CLASS") {
+		t.Error("fileFor must be deterministic")
+	}
+}
+
+// TestSaveCollidingNamesRoundtrip is the regression test for the silent
+// CSV overwrite: SHIP_CLASS and SHIP-CLASS both sanitise to ship_class,
+// and before hash disambiguation the second Save clobbered the first
+// relation's file. Both must survive a Save/Load round trip.
+func TestSaveCollidingNamesRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCatalog()
+	s := relation.MustSchema(relation.Column{Name: "V", Type: relation.TString})
+	a, err := c.Create("SHIP_CLASS", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.MustInsert(relation.String("underscore"))
+	b, err := c.Create("SHIP-CLASS", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.MustInsert(relation.String("dash"))
+
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]string{"SHIP_CLASS": "underscore", "SHIP-CLASS": "dash"} {
+		r, err := loaded.Get(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Len() != 1 || !r.Row(0)[0].Equal(relation.String(want)) {
+			t.Errorf("%s round-tripped as %v, want [%s]", name, r.Rows(), want)
+		}
 	}
 }
