@@ -1,13 +1,20 @@
 # CI entry points. `make ci` is what every PR must keep green: build,
-# vet, the full test suite, and the race detector over the internal
-# packages — the latter enforces the concurrency contract the parallel
-# induction pipeline relies on (immutable sources, locked catalog).
+# vet, the repo's own static-analysis suite (cmd/ilint), the full test
+# suite, and the race detector over the internal packages — lint and
+# race together enforce the concurrency contract the parallel induction
+# pipeline relies on (immutable sources, locked catalog, deterministic
+# rule numbering).
 
 GO ?= go
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet lint test race bench
 
-ci: vet build test race
+ci: vet build lint test race
+
+# The four repo-specific passes: lockguard, maporder, rowalias, errdrop.
+# See DESIGN.md "Static analysis".
+lint:
+	$(GO) run ./cmd/ilint ./...
 
 build:
 	$(GO) build ./...

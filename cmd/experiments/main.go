@@ -31,20 +31,26 @@ func main() {
 		return
 	}
 	out := io.Writer(os.Stdout)
+	closeOut := func() error { return nil }
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		out = f
+		closeOut = f.Close
 	}
 	var err error
 	if *exp == "" {
 		err = experiments.RunAll(out)
 	} else {
 		err = experiments.Run(*exp, out)
+	}
+	// A failed close loses buffered report output; surface it unless the
+	// run itself already failed.
+	if cerr := closeOut(); cerr != nil && err == nil {
+		err = cerr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

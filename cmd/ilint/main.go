@@ -1,0 +1,109 @@
+// Command ilint is the repo's static-analysis driver: it loads every
+// package in the module with the standard library's go/parser and
+// go/types (no external tooling), runs the repo-specific invariant
+// passes, and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/ilint ./...          # analyze the whole module
+//	go run ./cmd/ilint -list          # describe the passes
+//	go run ./cmd/ilint -p errdrop ./...  # run a single pass
+//
+// Passes:
+//
+//	lockguard  fields annotated `// guarded by <mu>` are only accessed
+//	           in functions that acquire that mutex
+//	maporder   map iteration must not feed ordered output (escaping
+//	           appends, printed lines) without an intervening sort
+//	rowalias   relation row slices are not mutated outside
+//	           internal/relation's copy-on-write API
+//	errdrop    error results are not silently discarded
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"intensional/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the passes and exit")
+	passNames := flag.String("p", "", "comma-separated pass names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, p := range lint.Passes() {
+			fmt.Printf("%-10s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	passes := lint.Passes()
+	if *passNames != "" {
+		passes = passes[:0:0]
+		for _, name := range strings.Split(*passNames, ",") {
+			p, ok := lint.PassByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ilint: unknown pass %q\n", name)
+				os.Exit(2)
+			}
+			passes = append(passes, p)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ilint:", err)
+		os.Exit(2)
+	}
+	// Package patterns are accepted for `go run`-style invocation;
+	// the loader always analyzes the whole module, so `./...` (or no
+	// argument) is the supported form.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "..." {
+			fmt.Fprintf(os.Stderr, "ilint: unsupported pattern %q (only ./... is supported)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	prog, err := lint.Load(lint.Config{Dir: root})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ilint:", err)
+		os.Exit(2)
+	}
+	diags := prog.Run(passes...)
+	for _, d := range diags {
+		// Print module-relative paths so output is stable across checkouts.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ilint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod, so ilint works from any subdirectory of the module.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -52,7 +52,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() {
+		if err := os.RemoveAll(dir); err != nil {
+			log.Printf("cleanup %s: %v", dir, err)
+		}
+	}()
 	if err := sys.Save(dir); err != nil {
 		log.Fatal(err)
 	}

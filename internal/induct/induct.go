@@ -93,7 +93,7 @@ type Inducer struct {
 	// relation and column map are immutable by contract (readers never
 	// mutate them, and nothing else holds a reference).
 	matMu    sync.Mutex
-	matCache map[string]*materialised
+	matCache map[string]*materialised // guarded by matMu
 }
 
 // materialised is one cached relationship join: the wide relation, the

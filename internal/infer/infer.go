@@ -10,6 +10,7 @@ package infer
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"intensional/internal/dict"
@@ -182,14 +183,21 @@ func (e *equivalence) union(a, b rules.AttrRef) {
 	}
 }
 
-// classOf returns every attribute equivalent to a (including a itself).
+// classOf returns every attribute equivalent to a (including a itself),
+// in attribute-key order — members are collected from a map, and their
+// order decides which backward-inference rule fires first.
 func (e *equivalence) classOf(a rules.AttrRef) []rules.AttrRef {
 	root := e.find(e.add(a))
-	var out []rules.AttrRef
+	var keys []string
 	for k := range e.parent {
 		if e.find(k) == root {
-			out = append(out, e.attrs[k])
+			keys = append(keys, k)
 		}
+	}
+	sort.Strings(keys)
+	out := make([]rules.AttrRef, len(keys))
+	for i, k := range keys {
+		out[i] = e.attrs[k]
 	}
 	return out
 }

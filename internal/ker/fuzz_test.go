@@ -37,6 +37,33 @@ func TestKERParseNeverPanicsProperty(t *testing.T) {
 	}
 }
 
+// FuzzParse feeds arbitrary text to the KER DDL parser. The seed
+// corpus in testdata/fuzz/FuzzParse covers each production of the
+// Appendix A grammar (domain definitions with range/set refinements,
+// object types with key/attribute/constraint clauses, contains
+// statements with structure rules, comments) plus malformed variants;
+// plain `go test` replays it, `go test -fuzz=FuzzParse` mutates it.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"domain NAME isa char[20]",
+		"domain AGE isa integer range [0..200]",
+		"domain GRADE isa integer set of {1, 2, 3}",
+		"object type CLASS\n  has key: Class domain: char[4]\n  has: Displacement domain: integer\n  with\n    if \"0101\" <= Class <= \"0103\" then Type = \"SSBN\"",
+		"CLASS contains SSBN, SSN\n  with\n    if x isa CLASS and 2145 <= x.Displacement <= 6955 then x isa SSN",
+		"/* comment */ domain X isa integer",
+		"object type",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		// Rejection is fine; panicking is the bug.
+		_, _ = ker.Parse(src)
+	})
+}
+
 // TestKERParseNeverPanicsOnBytes drives the lexer with raw random bytes.
 func TestKERParseNeverPanicsOnBytes(t *testing.T) {
 	prop := func(seed int64) (ok bool) {

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdropPass flags discarded error results in non-test code: bare call
+// statements whose results include an error, deferred calls that drop
+// one (the `defer f.Close()` data-loss class), and assignments that
+// send an error to the blank identifier. Exempt by convention, because
+// their errors are either unreachable or universally ignored:
+//
+//   - the fmt Print/Fprint family (console/report output),
+//   - methods of strings.Builder and bytes.Buffer, documented to
+//     always return a nil error.
+//
+// Everything else must handle or propagate its error; the repo fixes
+// findings rather than suppressing them.
+var errdropPass = &Pass{
+	Name: "errdrop",
+	Doc:  "error results must not be silently discarded",
+	Run:  runErrdrop,
+}
+
+func runErrdrop(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(stmt.X).(*ast.CallExpr); ok {
+					if d, bad := dropsError(pkg, call, "discarded"); bad {
+						diags = append(diags, d)
+					}
+				}
+			case *ast.DeferStmt:
+				if d, bad := dropsError(pkg, stmt.Call, "discarded by defer"); bad {
+					diags = append(diags, d)
+				}
+			case *ast.GoStmt:
+				if d, bad := dropsError(pkg, stmt.Call, "discarded by go statement"); bad {
+					diags = append(diags, d)
+				}
+			case *ast.AssignStmt:
+				diags = append(diags, blankErrorAssigns(pkg, stmt)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// dropsError reports whether the statement form drops the call's error.
+func dropsError(pkg *Package, call *ast.CallExpr, how string) (Diagnostic, bool) {
+	if len(pkg.resultErrorIndexes(call)) == 0 || exemptCall(pkg, call) {
+		return Diagnostic{}, false
+	}
+	return pkg.diag("errdrop", call, "error result of %s is %s", calleeName(pkg, call), how), true
+}
+
+// blankErrorAssigns flags `_ = errExpr` and `x, _ := f()` forms where a
+// blank identifier swallows an error.
+func blankErrorAssigns(pkg *Package, stmt *ast.AssignStmt) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(rhs ast.Expr, desc string) {
+		diags = append(diags, pkg.diag("errdrop", rhs,
+			"error result of %s is assigned to the blank identifier", desc))
+	}
+	if len(stmt.Lhs) != len(stmt.Rhs) {
+		// Single multi-value call distributed over the targets.
+		if len(stmt.Rhs) != 1 {
+			return nil
+		}
+		call, ok := unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok || exemptCall(pkg, call) {
+			return nil
+		}
+		for _, i := range pkg.resultErrorIndexes(call) {
+			if i < len(stmt.Lhs) && isBlank(stmt.Lhs[i]) {
+				flag(call, calleeName(pkg, call))
+			}
+		}
+		return diags
+	}
+	for i, lhs := range stmt.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		rhs := unparen(stmt.Rhs[i])
+		t := pkg.Info.TypeOf(rhs)
+		if t == nil || !types.Identical(t, errorType) {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if exemptCall(pkg, call) {
+				continue
+			}
+			flag(rhs, calleeName(pkg, call))
+			continue
+		}
+		flag(rhs, "expression")
+	}
+	return diags
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// exemptCall lists the callees whose errors are conventionally ignored.
+func exemptCall(pkg *Package, call *ast.CallExpr) bool {
+	f := pkg.calleeFunc(call)
+	if f == nil {
+		return false
+	}
+	if f.Pkg() != nil && f.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(f.Name(), "Print") || strings.HasPrefix(f.Name(), "Fprint")) {
+		return true
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type().String()
+		if strings.HasSuffix(recv, "strings.Builder") || strings.HasSuffix(recv, "bytes.Buffer") {
+			return true
+		}
+	}
+	// Methods reached through a hash.Hash* receiver: the hash package
+	// documents that Write never returns an error.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if named := namedType(pkg.Info.TypeOf(sel.X)); named != nil {
+			obj := named.Obj()
+			if obj.Pkg() != nil && (obj.Pkg().Path() == "hash" || strings.HasPrefix(obj.Pkg().Path(), "hash/")) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// namedType unwraps pointers to reach a named type, if any.
+func namedType(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// calleeName renders the called function for diagnostics.
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	if f := pkg.calleeFunc(call); f != nil {
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type().String()
+			star := strings.HasPrefix(t, "*")
+			t = strings.TrimPrefix(t, "*")
+			if i := strings.LastIndexByte(t, '/'); i >= 0 {
+				t = t[i+1:] // strip the import path, keep "pkg.Type"
+			}
+			if star {
+				t = "*" + t
+			}
+			return "(" + t + ")." + f.Name()
+		}
+		if f.Pkg() != nil {
+			return f.Pkg().Name() + "." + f.Name()
+		}
+		return f.Name()
+	}
+	return "call"
+}

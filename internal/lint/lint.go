@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the pass that produced it, and
+// a human-readable message. String renders the canonical
+// "file:line:col: [pass] message" form the CLI prints.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+}
+
+// Pass is one analyzer: it inspects a single type-checked package and
+// reports diagnostics.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Diagnostic
+}
+
+// Passes returns the full pass catalogue in stable order.
+func Passes() []*Pass {
+	return []*Pass{lockguardPass, maporderPass, rowaliasPass, errdropPass}
+}
+
+// PassByName resolves one pass.
+func PassByName(name string) (*Pass, bool) {
+	for _, p := range Passes() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Run executes the passes over every package of the program and returns
+// the surviving diagnostics sorted by position. Findings on lines
+// carrying an "//ilint:allow <pass>" comment are dropped — the escape
+// hatch for the rare deliberate violation (it is not used anywhere in
+// this repo's production code; violations are fixed instead).
+func (prog *Program) Run(passes ...*Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range prog.Packages {
+		allowed := allowedLines(pkg)
+		for _, pass := range passes {
+			for _, d := range pass.Run(pkg) {
+				if allowed[lineKey{d.Pos.Filename, d.Pos.Line}][pass.Name] {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+	return out
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var allowRe = regexp.MustCompile(`ilint:allow\s+([\w,]+)`)
+
+// allowedLines maps file:line to the set of pass names suppressed there.
+func allowedLines(pkg *Package) map[lineKey]map[string]bool {
+	out := map[lineKey]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				if out[k] == nil {
+					out[k] = map[string]bool{}
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					out[k][strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// diag builds a Diagnostic at a node's position.
+func (pkg *Package) diag(pass string, node ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     pkg.Fset.Position(node.Pos()),
+		Pass:    pass,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// objectOf resolves an identifier through Uses then Defs.
+func (pkg *Package) objectOf(id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for
+// builtins, conversions, and indirect calls through function values.
+func (pkg *Package) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pkg.objectOf(fun).(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pkg.objectOf(fun.Sel).(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgCall reports whether the call invokes a function of the named
+// package whose name satisfies want.
+func (pkg *Package) isPkgCall(call *ast.CallExpr, pkgPath string, want func(name string) bool) bool {
+	f := pkg.calleeFunc(call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && want(f.Name())
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func (pkg *Package) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pkg.objectOf(id).(*types.Builtin)
+	return ok
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// errorType is the universe error interface, for result matching.
+var errorType = types.Universe.Lookup("error").Type()
+
+// resultErrorIndexes returns which results of a call are of type error.
+func (pkg *Package) resultErrorIndexes(call *ast.CallExpr) []int {
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		var out []int
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				out = append(out, i)
+			}
+		}
+		return out
+	default:
+		if t != nil && types.Identical(t, errorType) {
+			return []int{0}
+		}
+	}
+	return nil
+}
+
+// parents maps every node of root to its parent, for upward walks.
+func parents(root ast.Node) map[ast.Node]ast.Node {
+	out := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			out[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return out
+}
+
+// stmtList extracts the statement list a node can act as a block of.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List
+	case *ast.CaseClause:
+		return b.Body
+	case *ast.CommClause:
+		return b.Body
+	}
+	return nil
+}
+
+// funcDecls yields every function declaration with a body in the
+// package, in file order.
+func (pkg *Package) funcDecls() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}

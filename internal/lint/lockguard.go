@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// lockguardPass enforces the "// guarded by <mu>" annotation: a struct
+// field so annotated may only be read or written inside functions that
+// acquire that mutex (a <recv>.<mu>.Lock() or .RLock() call anywhere in
+// the function), or inside functions annotated "//ilint:locked <mu>"
+// declaring that their caller holds it. Composite-literal construction
+// (a value no other goroutine can see yet) is exempt. The check is
+// intra-package — the fields this repo guards are unexported, so every
+// access site is visible to it.
+var lockguardPass = &Pass{
+	Name: "lockguard",
+	Doc:  "fields annotated `// guarded by <mu>` must only be accessed under that mutex",
+	Run:  runLockguard,
+}
+
+var (
+	guardRe  = regexp.MustCompile(`guarded by (\w+)`)
+	lockedRe = regexp.MustCompile(`ilint:locked\s+(\w+)`)
+)
+
+// guardInfo records one annotated field and the mutex object guarding it.
+type guardInfo struct {
+	mu     types.Object
+	muName string
+}
+
+func runLockguard(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	guarded := map[types.Object]guardInfo{}
+
+	// Collect annotated fields and resolve their mutexes.
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				m := guardRe.FindStringSubmatch(fieldComment(field))
+				if m == nil {
+					continue
+				}
+				muName := m[1]
+				mu := structField(pkg, st, muName)
+				if mu == nil {
+					diags = append(diags, pkg.diag("lockguard", field,
+						"field is annotated `guarded by %s` but the struct has no field %q", muName, muName))
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						guarded[obj] = guardInfo{mu: mu, muName: muName}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return diags
+	}
+
+	for _, fd := range pkg.funcDecls() {
+		held := heldMutexes(pkg, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pkg.objectOf(sel.Sel)
+			g, ok := guarded[obj]
+			if !ok {
+				return true
+			}
+			if held.objs[g.mu] || held.names[g.muName] {
+				return true
+			}
+			diags = append(diags, pkg.diag("lockguard", sel.Sel,
+				"%s is guarded by %s, but %s does not acquire it (and is not annotated //ilint:locked %s)",
+				sel.Sel.Name, g.muName, funcName(fd), g.muName))
+			return true
+		})
+	}
+	return diags
+}
+
+// fieldComment joins a field's doc and line comments.
+func fieldComment(f *ast.Field) string {
+	var parts []string
+	if f.Doc != nil {
+		parts = append(parts, f.Doc.Text())
+	}
+	if f.Comment != nil {
+		parts = append(parts, f.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// structField resolves a named field of a struct literal type.
+func structField(pkg *Package, st *ast.StructType, name string) types.Object {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return pkg.Info.Defs[n]
+			}
+		}
+	}
+	return nil
+}
+
+// heldSet is the mutexes a function acquires (by field object) or
+// declares held via //ilint:locked (by name).
+type heldSet struct {
+	objs  map[types.Object]bool
+	names map[string]bool
+}
+
+// heldMutexes scans a function for <x>.<mu>.Lock/RLock calls and
+// //ilint:locked annotations.
+func heldMutexes(pkg *Package, fd *ast.FuncDecl) heldSet {
+	held := heldSet{objs: map[types.Object]bool{}, names: map[string]bool{}}
+	if fd.Doc != nil {
+		// Directive comments are stripped by CommentGroup.Text, so scan
+		// the raw list.
+		for _, c := range fd.Doc.List {
+			for _, m := range lockedRe.FindAllStringSubmatch(c.Text, -1) {
+				held.names[m[1]] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := unparen(sel.X).(type) {
+		case *ast.SelectorExpr: // c.mu.Lock()
+			if obj := pkg.objectOf(recv.Sel); obj != nil {
+				held.objs[obj] = true
+			}
+		case *ast.Ident: // mu.Lock() on a local or package-level mutex
+			if obj := pkg.objectOf(recv); obj != nil {
+				held.objs[obj] = true
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// funcName renders a function declaration's name for diagnostics.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}

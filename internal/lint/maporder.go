@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// maporderPass flags the nondeterminism class that would silently break
+// rule numbering: ranging over a map while (a) appending to a slice
+// that outlives the loop, with no later sort of that slice in the
+// enclosing statement sequence, or (b) emitting output (fmt print
+// functions, builtin print/println) directly from the loop body. Order-
+// insensitive bodies — map writes, counters, commutative min/max folds —
+// are not flagged, and the canonical idiom
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// passes because the sort call referencing the slice suppresses the
+// finding.
+var maporderPass = &Pass{
+	Name: "maporder",
+	Doc:  "map iteration must not feed ordered output without an intervening sort",
+	Run:  runMaporder,
+}
+
+func runMaporder(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, fd := range pkg.funcDecls() {
+		par := parents(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			diags = append(diags, checkMapRange(pkg, rs, par)...)
+			return true
+		})
+	}
+	return diags
+}
+
+func checkMapRange(pkg *Package, rs *ast.RangeStmt, par map[ast.Node]ast.Node) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range stmt.Rhs {
+				call, ok := unparen(rhs).(*ast.CallExpr)
+				if !ok || !pkg.isBuiltin(call, "append") || i >= len(stmt.Lhs) {
+					continue
+				}
+				target := rootObject(pkg, stmt.Lhs[i])
+				if target == nil {
+					continue
+				}
+				// Appends to a variable local to the loop body don't
+				// observe iteration order across iterations.
+				if target.Pos() >= rs.Pos() && target.Pos() < rs.End() {
+					continue
+				}
+				if sortedAfter(pkg, rs, par, target) {
+					continue
+				}
+				diags = append(diags, pkg.diag("maporder", call,
+					"append to %q while ranging over a map, and no later sort of it: slice order depends on map iteration order", target.Name()))
+			}
+		case *ast.ExprStmt:
+			call, ok := unparen(stmt.X).(*ast.CallExpr)
+			if ok && isOutputCall(pkg, call) {
+				diags = append(diags, pkg.diag("maporder", call,
+					"output emitted while ranging over a map: line order depends on map iteration order"))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// rootObject resolves the variable at the root of an assignment target:
+// the object of `x` in `x`, `x.f`, or `x[i]`.
+func rootObject(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch v := unparen(e).(type) {
+		case *ast.Ident:
+			return pkg.objectOf(v)
+		case *ast.SelectorExpr:
+			return pkg.objectOf(v.Sel)
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isOutputCall reports whether the call writes program output: the fmt
+// Print/Fprint family or the builtin print/println.
+func isOutputCall(pkg *Package, call *ast.CallExpr) bool {
+	if pkg.isPkgCall(call, "fmt", func(name string) bool {
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	}) {
+		return true
+	}
+	return pkg.isBuiltin(call, "print") || pkg.isBuiltin(call, "println")
+}
+
+// sortedAfter reports whether any statement after the range loop, in
+// its enclosing block or an ancestor block of the same function,
+// contains a sort/slices call whose arguments reference obj.
+func sortedAfter(pkg *Package, rs *ast.RangeStmt, par map[ast.Node]ast.Node, obj types.Object) bool {
+	var node ast.Node = rs
+	for {
+		parent, ok := par[node]
+		if !ok {
+			return false
+		}
+		if list := stmtList(parent); list != nil {
+			after := false
+			for _, stmt := range list {
+				if stmt == node {
+					after = true
+					continue
+				}
+				if after && stmtSorts(pkg, stmt, obj) {
+					return true
+				}
+			}
+		}
+		if _, isFunc := parent.(*ast.FuncDecl); isFunc {
+			return false
+		}
+		if _, isLit := parent.(*ast.FuncLit); isLit {
+			return false
+		}
+		node = parent
+	}
+}
+
+// stmtSorts reports whether a statement calls a sorting function — the
+// sort/slices packages, or a helper whose name starts with "sort" —
+// with an argument referencing obj.
+func stmtSorts(pkg *Package, stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		f := pkg.calleeFunc(call)
+		if f == nil {
+			return true
+		}
+		fromSortPkg := f.Pkg() != nil && (f.Pkg().Path() == "sort" || f.Pkg().Path() == "slices")
+		if !fromSortPkg && !strings.HasPrefix(strings.ToLower(f.Name()), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pkg.objectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// rowaliasPass protects the copy-on-write contract of
+// internal/relation: outside that package, relation row slices
+// ([]relation.Tuple) and tuples (relation.Tuple) obtained from a
+// Relation are shared state — mutating them in place corrupts every
+// view built on the same backing array. The pass flags, anywhere
+// outside internal/relation:
+//
+//   - assignment through an index of a Tuple or []Tuple that is not a
+//     function-local fresh buffer (writing a shared cell or row),
+//   - append whose first argument is a non-fresh []Tuple (growing into
+//     a relation's live backing array),
+//   - sort/slices calls whose first argument is a non-fresh []Tuple
+//     (reordering a relation's rows behind its back).
+//
+// "Fresh" is a flow-insensitive local analysis: a variable every one of
+// whose assignments is a freshly allocated value (make, composite
+// literal, Clone, append to nil/fresh, a subslice of a fresh variable).
+// Building private buffers — id3's example sets, storage's decoded
+// tuples — therefore stays legal; only values that may alias live rows
+// are protected. Callers mutate relations through Insert/Set/Delete.
+var rowaliasPass = &Pass{
+	Name: "rowalias",
+	Doc:  "relation row slices must not be mutated outside internal/relation",
+	Run:  runRowalias,
+}
+
+const relationPkgSuffix = "internal/relation"
+
+func runRowalias(pkg *Package) []Diagnostic {
+	if strings.HasSuffix(pkg.Path, relationPkgSuffix) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, fd := range pkg.funcDecls() {
+		fresh := freshLocals(pkg, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					ix, ok := unparen(lhs).(*ast.IndexExpr)
+					if !ok {
+						continue
+					}
+					base := unparen(ix.X)
+					if !isTupleType(pkg.Info.TypeOf(base)) && !isRowSliceType(pkg.Info.TypeOf(base)) {
+						continue
+					}
+					if fresh.is(pkg, base) {
+						continue
+					}
+					diags = append(diags, pkg.diag("rowalias", ix,
+						"in-place write through a shared relation tuple/row slice; clone it or use the Relation Insert/Set/Delete API"))
+				}
+			case *ast.IncDecStmt:
+				if ix, ok := unparen(stmt.X).(*ast.IndexExpr); ok {
+					base := unparen(ix.X)
+					if (isTupleType(pkg.Info.TypeOf(base)) || isRowSliceType(pkg.Info.TypeOf(base))) && !fresh.is(pkg, base) {
+						diags = append(diags, pkg.diag("rowalias",
+							stmt, "in-place write through a shared relation tuple/row slice; clone it or use the Relation Insert/Set/Delete API"))
+					}
+				}
+			case *ast.CallExpr:
+				diags = append(diags, checkRowCall(pkg, stmt, fresh)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkRowCall flags appends to and sorts of non-fresh row slices.
+func checkRowCall(pkg *Package, call *ast.CallExpr, fresh freshSet) []Diagnostic {
+	var diags []Diagnostic
+	if pkg.isBuiltin(call, "append") && len(call.Args) > 0 {
+		first := unparen(call.Args[0])
+		if isRowSliceType(pkg.Info.TypeOf(first)) && !fresh.is(pkg, first) {
+			diags = append(diags, pkg.diag("rowalias", call,
+				"append to a relation's live row slice may write into a shared backing array; copy the rows or use Relation.Insert"))
+		}
+		return diags
+	}
+	f := pkg.calleeFunc(call)
+	if f == nil || f.Pkg() == nil {
+		return diags
+	}
+	if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+		return diags
+	}
+	if len(call.Args) == 0 {
+		return diags
+	}
+	first := unparen(call.Args[0])
+	if isRowSliceType(pkg.Info.TypeOf(first)) && !fresh.is(pkg, first) {
+		diags = append(diags, pkg.diag("rowalias",
+			call, "sorting a relation's live row slice reorders shared rows; sort a copy instead"))
+	}
+	return diags
+}
+
+// isTupleType reports whether t is relation.Tuple.
+func isTupleType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Tuple" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), relationPkgSuffix)
+}
+
+// isRowSliceType reports whether t is []relation.Tuple.
+func isRowSliceType(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	return ok && isTupleType(sl.Elem())
+}
+
+// freshSet is the set of function-local variables proven to hold only
+// freshly allocated (unaliased) memory.
+type freshSet map[types.Object]bool
+
+// is reports whether an expression denotes fresh memory.
+func (fs freshSet) is(pkg *Package, e ast.Expr) bool {
+	return exprFresh(pkg, fs, e)
+}
+
+// freshLocals computes the fresh variables of a function: start
+// optimistic with every local assigned at least once, then iteratively
+// demote any variable with a non-fresh assignment until a fixpoint —
+// the optimism lets fresh-to-fresh copies (x := y where y is fresh)
+// converge correctly.
+func freshLocals(pkg *Package, fd *ast.FuncDecl) freshSet {
+	assigns := map[types.Object][]ast.Expr{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pkg.objectOf(id)
+		if obj == nil {
+			return
+		}
+		assigns[obj] = append(assigns[obj], rhs) // rhs may be nil: var decl without init
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					record(st.Lhs[i], st.Rhs[i])
+				}
+			} else {
+				// Multi-value call/comma-ok: results come from elsewhere,
+				// treat every target as non-fresh via a nil marker RHS
+				// that exprFresh rejects.
+				for _, lhs := range st.Lhs {
+					record(lhs, badExpr)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if len(st.Values) == 0 {
+					record(name, nil) // zero value: fresh
+				} else if i < len(st.Values) {
+					record(name, st.Values[i])
+				} else {
+					record(name, badExpr)
+				}
+			}
+		case *ast.RangeStmt:
+			// Range variables alias the ranged container's elements.
+			if st.Key != nil {
+				record(st.Key, badExpr)
+			}
+			if st.Value != nil {
+				record(st.Value, badExpr)
+			}
+		}
+		return true
+	})
+
+	fresh := freshSet{}
+	for obj := range assigns {
+		fresh[obj] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, rhss := range assigns {
+			if !fresh[obj] {
+				continue
+			}
+			for _, rhs := range rhss {
+				if rhs == nil {
+					continue // zero-value declaration
+				}
+				if !exprFresh(pkg, fresh, rhs) {
+					fresh[obj] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return fresh
+}
+
+// badExpr marks an assignment whose value provenance is unknown.
+var badExpr ast.Expr = &ast.BadExpr{}
+
+// exprFresh reports whether an expression evaluates to freshly
+// allocated memory under the current fresh-variable assumption.
+func exprFresh(pkg *Package, fresh freshSet, e ast.Expr) bool {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		if v.Name == "nil" {
+			return true
+		}
+		obj := pkg.objectOf(v)
+		return obj != nil && fresh[obj]
+	case *ast.CompositeLit:
+		return true
+	case *ast.SliceExpr:
+		return exprFresh(pkg, fresh, v.X)
+	case *ast.CallExpr:
+		if pkg.isBuiltin(v, "make") {
+			return true
+		}
+		if pkg.isBuiltin(v, "append") && len(v.Args) > 0 {
+			return exprFresh(pkg, fresh, v.Args[0])
+		}
+		// Conversions like relation.Tuple(nil) or []relation.Tuple(nil).
+		if tv, ok := pkg.Info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+			return exprFresh(pkg, fresh, v.Args[0])
+		}
+		// Clone methods return independent copies by contract.
+		if f := pkg.calleeFunc(v); f != nil && f.Name() == "Clone" {
+			return true
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+// Package allow proves the //ilint:allow escape hatch: the dropped
+// error below is a raw errdrop finding, suppressed at the Run layer.
+package allow
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func deliberate() {
+	mayFail() //ilint:allow errdrop
+}

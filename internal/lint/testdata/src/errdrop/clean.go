@@ -1,0 +1,38 @@
+package errdrop
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// handled checks every error: true negative.
+func handled() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := twoResults()
+	if err != nil {
+		return err
+	}
+	use(n)
+	return nil
+}
+
+// exempted exercises the conventional exemptions: fmt printing,
+// strings.Builder, and hash writers never surface actionable errors.
+func exempted() string {
+	fmt.Println("report line")
+	var b strings.Builder
+	b.WriteString("x")
+	h := fnv.New32a()
+	h.Write([]byte("x"))
+	fmt.Fprintf(&b, "%08x", h.Sum32())
+	return b.String()
+}
+
+// voidCalls returns nothing to drop.
+func voidCalls() {
+	use(1)
+	defer use(2)
+}

@@ -1,0 +1,45 @@
+// Package errdrop is the golden fixture for the errdrop pass.
+package errdrop
+
+import (
+	"errors"
+	"os"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, errors.New("boom") }
+
+func use(int) {}
+
+// bare drops the only result.
+func bare() {
+	mayFail() // want "error result of errdrop.mayFail is discarded"
+}
+
+// blank discards explicitly.
+func blank() {
+	_ = mayFail() // want "assigned to the blank identifier"
+}
+
+// blankTuple keeps the value but blanks the error.
+func blankTuple() {
+	n, _ := twoResults() // want "assigned to the blank identifier"
+	use(n)
+}
+
+// blankVar launders the error through a variable first.
+func blankVar() {
+	err := mayFail()
+	_ = err // want "assigned to the blank identifier"
+}
+
+// deferred is the defer-Close data-loss class.
+func deferred(f *os.File) {
+	defer f.Close() // want "discarded by defer"
+}
+
+// goDrop loses the error on another goroutine.
+func goDrop() {
+	go mayFail() // want "discarded by go statement"
+}

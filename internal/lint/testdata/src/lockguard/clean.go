@@ -1,0 +1,22 @@
+package lockguard
+
+import "sync"
+
+// counter is an all-clean true-negative type: every access to the
+// guarded field takes the mutex.
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

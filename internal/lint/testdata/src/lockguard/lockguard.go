@@ -1,0 +1,49 @@
+// Package lockguard is the golden fixture for the lockguard pass.
+package lockguard
+
+import "sync"
+
+type registry struct {
+	mu    sync.RWMutex
+	items map[string]int // guarded by mu
+	tally int            // guarded by ghost want "struct has no field"
+}
+
+// get holds the read lock: true negative.
+func (r *registry) get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.items[k]
+}
+
+// put holds the write lock: true negative.
+func (r *registry) put(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items[k] = v
+}
+
+// peek reads the guarded map without the lock.
+func (r *registry) peek(k string) int {
+	return r.items[k] // want "items is guarded by mu"
+}
+
+// poke writes the guarded map without the lock.
+func (r *registry) poke(k string) {
+	delete(r.items, k) // want "items is guarded by mu"
+}
+
+// sizeLocked is documented (and machine-checked) to run under mu.
+//
+//ilint:locked mu
+func (r *registry) sizeLocked() int {
+	return len(r.items)
+}
+
+// newRegistry constructs the value before it is shared: composite
+// literals are exempt.
+func newRegistry() *registry {
+	return &registry{items: map[string]int{}}
+}
+
+var _ = newRegistry

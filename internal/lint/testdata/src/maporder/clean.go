@@ -1,0 +1,56 @@
+package maporder
+
+import "sort"
+
+// keysSorted is the canonical idiom: collect, then sort. True negative.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// keysHelperSorted sorts through a same-package helper, which also
+// counts as an intervening sort.
+func keysHelperSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(xs []string) { sort.Strings(xs) }
+
+// sum folds commutatively; no order leaks. True negative.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// invert writes into another map; map writes are order-insensitive.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// loopLocal appends to a slice that lives and dies inside one
+// iteration; no cross-iteration order is observable.
+func loopLocal(m map[string][]int, f func([]int)) {
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		f(doubled)
+	}
+}

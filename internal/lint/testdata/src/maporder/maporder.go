@@ -1,0 +1,33 @@
+// Package maporder is the golden fixture for the maporder pass.
+package maporder
+
+import "fmt"
+
+// keysUnsorted leaks map iteration order into the returned slice.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to .out. while ranging over a map"
+	}
+	return out
+}
+
+// printLoop emits output in map iteration order.
+func printLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "output emitted while ranging over a map"
+	}
+}
+
+// fieldAppend leaks map order through a struct field.
+type bag struct{ vals []int }
+
+func fieldAppend(m map[string]int, b *bag) {
+	for _, v := range m {
+		b.vals = append(b.vals, v) // want "append to .vals. while ranging over a map"
+	}
+}
+
+var _ = keysUnsorted
+var _ = printLoop
+var _ = fieldAppend

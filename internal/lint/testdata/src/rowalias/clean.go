@@ -1,0 +1,46 @@
+package rowalias
+
+import (
+	"sort"
+
+	"intensional/internal/relation"
+)
+
+// cloneAndSort copies the rows into a fresh buffer before sorting:
+// the id3 idiom, a true negative.
+func cloneAndSort(r *relation.Relation) []relation.Tuple {
+	sorted := append([]relation.Tuple(nil), r.Rows()...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i][0].Less(sorted[j][0])
+	})
+	return sorted
+}
+
+// buildTuple fills a freshly made tuple cell by cell: the storage
+// decoder idiom, a true negative.
+func buildTuple(vals []relation.Value) relation.Tuple {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = v
+	}
+	return t
+}
+
+// collect appends shared tuples into a private buffer without ever
+// writing through them.
+func collect(r *relation.Relation) []relation.Tuple {
+	var out []relation.Tuple
+	for _, t := range r.Rows() {
+		if !t[0].IsNull() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// mutateClone edits a cloned tuple, never the shared one.
+func mutateClone(r *relation.Relation) relation.Tuple {
+	t := r.Row(0).Clone()
+	t[0] = relation.Null()
+	return t
+}

@@ -1,0 +1,43 @@
+// Package rowalias is the golden fixture for the rowalias pass: it
+// imports the real internal/relation package so the protected types are
+// the ones production code uses.
+package rowalias
+
+import (
+	"sort"
+
+	"intensional/internal/relation"
+)
+
+// overwriteRow writes a row slot of the relation's live slice.
+func overwriteRow(r *relation.Relation) {
+	rows := r.Rows()
+	rows[0] = nil // want "in-place write through a shared relation tuple/row slice"
+}
+
+// mutateCell writes a cell of a shared tuple.
+func mutateCell(r *relation.Relation) {
+	t := r.Row(0)
+	t[0] = relation.Int(1) // want "in-place write through a shared relation tuple/row slice"
+}
+
+// mutateRangeVar writes through a range variable aliasing live rows.
+func mutateRangeVar(r *relation.Relation) {
+	for _, t := range r.Rows() {
+		t[0] = relation.Null() // want "in-place write through a shared relation tuple/row slice"
+	}
+}
+
+// growLive appends onto the live row slice, which may scribble into a
+// shared backing array.
+func growLive(r *relation.Relation, t relation.Tuple) []relation.Tuple {
+	return append(r.Rows(), t) // want "append to a relation's live row slice"
+}
+
+// sortLive reorders the relation's rows behind its back.
+func sortLive(r *relation.Relation) {
+	rows := r.Rows()
+	sort.Slice(rows, func(i, j int) bool { // want "sorting a relation's live row slice"
+		return rows[i][0].Less(rows[j][0])
+	})
+}

@@ -435,29 +435,39 @@ func splitConjuncts(e Expr) []Expr {
 
 func (p *planner) analyse(e Expr) (*conjunct, error) {
 	c := &conjunct{expr: e, lSlot: -1, rSlot: -1, slotsIn: map[int]bool{}}
-	var walk func(Expr)
-	walk = func(e Expr) {
+	var walk func(Expr) error
+	walk = func(e Expr) error {
 		switch e := e.(type) {
 		case *BinExpr:
 			for _, o := range []Operand{e.L, e.R} {
 				if col, ok := o.(ColOperand); ok {
-					slot, _, _ := p.colSlot(col.Col)
+					slot, _, err := p.colSlot(col.Col)
+					if err != nil {
+						return err
+					}
 					c.slotsIn[slot] = true
 				}
 			}
 		case *AndExpr:
 			for _, t := range e.Terms {
-				walk(t)
+				if err := walk(t); err != nil {
+					return err
+				}
 			}
 		case *OrExpr:
 			for _, t := range e.Terms {
-				walk(t)
+				if err := walk(t); err != nil {
+					return err
+				}
 			}
 		case *NotExpr:
-			walk(e.Term)
+			return walk(e.Term)
 		}
+		return nil
 	}
-	walk(e)
+	if err := walk(e); err != nil {
+		return nil, err
+	}
 	if b, ok := e.(*BinExpr); ok {
 		lc, lok := b.L.(ColOperand)
 		rc, rok := b.R.(ColOperand)

@@ -200,20 +200,14 @@ func (v Value) MustCompare(w Value) int {
 // Equal reports whether the two values are equal under Compare semantics.
 // Incomparable values are unequal.
 func (v Value) Equal(w Value) bool {
-	if !v.Comparable(w) {
-		return false
-	}
-	c, _ := v.Compare(w)
-	return c == 0
+	c, err := v.Compare(w)
+	return err == nil && c == 0
 }
 
 // Less reports v < w, treating incomparable values as unordered (false).
 func (v Value) Less(w Value) bool {
-	if !v.Comparable(w) {
-		return false
-	}
-	c, _ := v.Compare(w)
-	return c < 0
+	c, err := v.Compare(w)
+	return err == nil && c < 0
 }
 
 // Key returns a map-key form of the value that is equal exactly when the

@@ -23,7 +23,7 @@ import (
 // relations as read-only sources.
 type Catalog struct {
 	mu   sync.RWMutex
-	rels map[string]*relation.Relation
+	rels map[string]*relation.Relation // guarded by mu
 }
 
 // NewCatalog returns an empty catalog.

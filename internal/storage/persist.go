@@ -148,12 +148,18 @@ func Load(dir string) (*Catalog, error) {
 // is escaped by prefixing a backslash.
 const nullSentinel = `\N`
 
-func saveCSV(path string, r *relation.Relation) error {
+func saveCSV(path string, r *relation.Relation) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("storage: save %s: %w", r.Name(), err)
 	}
-	defer f.Close()
+	// Close exactly once, on every path; a failed close loses buffered
+	// writes, so it surfaces unless an earlier error already did.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("storage: save %s: %w", r.Name(), cerr)
+		}
+	}()
 	w := csv.NewWriter(f)
 	if err := w.Write(r.Schema().Names()); err != nil {
 		return fmt.Errorf("storage: save %s: %w", r.Name(), err)
@@ -178,7 +184,7 @@ func saveCSV(path string, r *relation.Relation) error {
 	if err := w.Error(); err != nil {
 		return fmt.Errorf("storage: save %s: %w", r.Name(), err)
 	}
-	return f.Close()
+	return nil
 }
 
 func loadCSV(path, name string, schema *relation.Schema) (*relation.Relation, error) {
@@ -186,11 +192,16 @@ func loadCSV(path, name string, schema *relation.Schema) (*relation.Relation, er
 	if err != nil {
 		return nil, fmt.Errorf("storage: load %s: %w", name, err)
 	}
-	defer f.Close()
 	rd := csv.NewReader(f)
 	records, err := rd.ReadAll()
+	// The file is fully consumed by ReadAll; close before decoding and
+	// report the first failure.
+	cerr := f.Close()
 	if err != nil {
 		return nil, fmt.Errorf("storage: load %s: %w", name, err)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("storage: load %s: %w", name, cerr)
 	}
 	if len(records) == 0 {
 		return nil, fmt.Errorf("storage: load %s: missing header", name)
