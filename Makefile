@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet lint test race bench
+.PHONY: ci build vet lint test race bench serve
 
 ci: vet build lint test race
 
@@ -31,3 +31,8 @@ race:
 # The B1/B2 scaling benches plus the worker sweep; not part of ci.
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# Run the intensional-answer server on the paper's ship test bed.
+# Try: curl -s localhost:8473/healthz
+serve:
+	$(GO) run ./cmd/iqpd -addr :8473

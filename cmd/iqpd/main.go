@@ -1,0 +1,126 @@
+// Command iqpd is the intensional query processing daemon: it serves
+// extensional and intensional answers over a stdlib-only HTTP/JSON API,
+// handling any number of concurrent queries while rule induction
+// installs new knowledge snapshots atomically.
+//
+// Usage:
+//
+//	iqpd                     # serve the paper's ship test bed on :8473
+//	iqpd -db DIR             # serve a saved database directory
+//	iqpd -fleet              # serve a synthetic Table 1 fleet
+//	iqpd -addr :9000 -nc 2   # custom listen address and pruning threshold
+//
+// Endpoints: POST /query, POST /induce, GET /rules, GET /healthz,
+// GET /metrics. Unless -no-induce is given, rules are induced once at
+// startup so the first query already has an intensional answer.
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"intensional/internal/core"
+	"intensional/internal/induct"
+	"intensional/internal/server"
+	"intensional/internal/shipdb"
+	"intensional/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", ":8473", "listen address")
+	dbDir := flag.String("db", "", "serve a saved database directory")
+	fleet := flag.Bool("fleet", false, "serve a synthetic Table 1 fleet")
+	nc := flag.Int("nc", 3, "rule pruning threshold for the startup induction")
+	workers := flag.Int("workers", 0, "induction worker goroutines (0 = GOMAXPROCS)")
+	noInduce := flag.Bool("no-induce", false, "skip the startup induction")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-request deadline for queries")
+	induceTimeout := flag.Duration("induce-timeout", 2*time.Minute, "per-request deadline for /induce")
+	flag.Parse()
+
+	if err := run(*addr, *dbDir, *fleet, *nc, *workers, *noInduce, *queryTimeout, *induceTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "iqpd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dbDir string, fleet bool, nc, workers int, noInduce bool, queryTimeout, induceTimeout time.Duration) error {
+	sys, err := openSystem(dbDir, fleet)
+	if err != nil {
+		return err
+	}
+	if !noInduce {
+		start := time.Now()
+		set, err := sys.Induce(induct.Options{Nc: nc, Workers: workers})
+		if err != nil {
+			return fmt.Errorf("startup induction: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "iqpd: induced %d rules in %v (version %d)\n",
+			set.Len(), time.Since(start).Round(time.Millisecond), sys.Version())
+	}
+
+	srv := server.New(sys, server.Options{
+		QueryTimeout:  queryTimeout,
+		InduceTimeout: induceTimeout,
+		AccessLog:     os.Stderr,
+	})
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "iqpd: serving %d relations on %s\n", sys.Catalog().Len(), addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "iqpd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+func openSystem(dbDir string, fleet bool) (*core.System, error) {
+	switch {
+	case dbDir != "":
+		return core.Open(dbDir)
+	case fleet:
+		cat := synth.Fleet(synth.FleetConfig{ClassesPerType: 4, ShipsPerClass: 3, Seed: 1})
+		d, err := synth.FleetDictionary(cat)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(cat, d), nil
+	default:
+		cat := shipdb.Catalog()
+		d, err := shipdb.Dictionary(cat)
+		if err != nil {
+			return nil, err
+		}
+		return core.New(cat, d), nil
+	}
+}

@@ -1,14 +1,34 @@
 // Package core assembles the intensional query processing system of
 // Figure 6: the traditional query processor, the intelligent data
 // dictionary, the inductive learning subsystem, and the inference
-// processor, behind one public API. This is the entry point examples and
-// tools use.
+// processor, behind one public API. This is the entry point examples,
+// tools, and the iqpd server use.
+//
+// # Concurrency contract
+//
+// A System is safe for concurrent use. It publishes its state as an
+// immutable snapshot — catalog, dictionary, rule set, and a per-snapshot
+// response cache, stamped with a version number. Readers (Query,
+// QueryContext, Catalog, Dictionary, Rules, Version) load the current
+// snapshot and work against it without further coordination; nothing in
+// a published snapshot is mutated except internally locked caches.
+// Writers (Induce, Save) are serialised among themselves. Induce builds
+// a whole new snapshot — cloned catalog, fresh dictionary, new rule set
+// — and installs it atomically, so queries in flight keep the consistent
+// view they started with and never observe a half-installed rule base.
+//
+// The flip side: references obtained from Catalog()/Dictionary()/Rules()
+// are snapshots too. After an Induce they describe the previous version;
+// re-fetch to observe the new one. Direct mutation of a fetched catalog
+// is only safe before the system starts serving concurrent traffic.
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"intensional/internal/answer"
 	"intensional/internal/dict"
@@ -21,46 +41,107 @@ import (
 )
 
 // System is one intensional query processing instance bound to a
-// database.
+// database. See the package comment for the concurrency contract.
 type System struct {
-	cat *storage.Catalog
-	d   *dict.Dictionary
-	q   *query.Processor
-	inf *infer.Processor
+	wmu  sync.Mutex   // serialises snapshot-replacing writers (Induce, Save)
+	mu   sync.RWMutex // protects the snapshot pointer swap
+	snap *snapshot    // guarded by mu
 }
 
-// New assembles a system over a catalog and its dictionary.
+// snapshot is one immutable published state of the system. Everything
+// reachable from it is frozen once installed, except the dictionary's
+// internally locked domain caches and the response cache.
+type snapshot struct {
+	version uint64
+	cat     *storage.Catalog
+	d       *dict.Dictionary
+	q       *query.Processor
+	inf     *infer.Processor
+	cache   *responseCache
+}
+
+func newSnapshot(version uint64, cat *storage.Catalog, d *dict.Dictionary) *snapshot {
+	return &snapshot{
+		version: version,
+		cat:     cat,
+		d:       d,
+		q:       query.New(cat),
+		inf:     infer.New(d),
+		cache:   newResponseCache(),
+	}
+}
+
+// New assembles a system over a catalog and its dictionary. The catalog
+// and dictionary become version 1's snapshot; mutate them only before
+// the system starts serving concurrent callers.
 func New(cat *storage.Catalog, d *dict.Dictionary) *System {
-	return &System{cat: cat, d: d, q: query.New(cat), inf: infer.New(d)}
+	return &System{snap: newSnapshot(1, cat, d)}
 }
 
-// Catalog returns the underlying catalog.
-func (s *System) Catalog() *storage.Catalog { return s.cat }
+// current returns the snapshot serving reads right now.
+func (s *System) current() *snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap
+}
 
-// Dictionary returns the intelligent data dictionary.
-func (s *System) Dictionary() *dict.Dictionary { return s.d }
+// install publishes a new snapshot; all subsequent reads see it.
+func (s *System) install(sn *snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap = sn
+}
 
-// Rules returns the current rule base.
-func (s *System) Rules() *rules.Set { return s.d.Rules() }
+// Version returns the current snapshot's version. It starts at 1 and
+// increases by one each time Induce installs a new rule base, so callers
+// can tell which knowledge state produced an answer.
+func (s *System) Version() uint64 { return s.current().version }
 
-// Induce runs the Inductive Learning Subsystem over the database,
-// installs the resulting rule base in the dictionary, and stores it as
-// rule relations in the catalog so it relocates with the data.
+// Catalog returns the catalog backing the current snapshot.
+func (s *System) Catalog() *storage.Catalog { return s.current().cat }
+
+// Dictionary returns the intelligent data dictionary of the current
+// snapshot.
+func (s *System) Dictionary() *dict.Dictionary { return s.current().d }
+
+// Rules returns the current snapshot's rule base.
+func (s *System) Rules() *rules.Set { return s.current().d.Rules() }
+
+// Induce runs the Inductive Learning Subsystem over the database and
+// atomically installs the result as a new snapshot: the catalog is
+// cloned, a fresh dictionary is rebuilt from the declarations, the
+// induced rule base is stored into the clone as rule relations, and the
+// version advances. Queries in flight keep the snapshot they started
+// with; queries issued after Induce returns see the new rules. Induce
+// calls are serialised; concurrent Query calls are never blocked.
 func (s *System) Induce(opts induct.Options) (*rules.Set, error) {
-	set, err := induct.New(s.d, opts).InduceAll()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.current()
+	cat := cur.cat.Clone()
+	d := dict.New(cat)
+	if err := d.Apply(cur.d.Decls()); err != nil {
+		return nil, fmt.Errorf("core: induce: rebuild dictionary: %w", err)
+	}
+	set, err := induct.New(d, opts).InduceAll()
 	if err != nil {
 		return nil, err
 	}
-	s.d.SetRules(set)
-	if err := s.d.StoreRules(); err != nil {
+	d.SetRules(set)
+	if err := d.StoreRules(); err != nil {
 		return nil, err
 	}
+	s.install(newSnapshot(cur.version+1, cat, d))
 	return set, nil
 }
 
 // Response is the result of one query: the conventional extensional
-// answer plus the derived intensional answer.
+// answer plus the derived intensional answer, stamped with the snapshot
+// version that produced it. Responses may be served from a per-snapshot
+// cache and shared between callers — treat every part of a Response,
+// including the extensional relation, as immutable.
 type Response struct {
+	Version     uint64
 	Extensional *relation.Relation
 	Analysis    *query.Analysis
 	Inference   *infer.Result
@@ -70,20 +151,76 @@ type Response struct {
 // Query executes a SQL query, returning both answer forms. mode selects
 // which inference direction the rendered intensional answer reports.
 func (s *System) Query(sql string, mode answer.Mode) (*Response, error) {
-	ext, an, err := s.q.Run(sql)
+	return s.QueryContext(context.Background(), sql, mode)
+}
+
+// QueryContext is Query with a deadline: the context is checked between
+// pipeline stages (parse/execute, inference), so a caller-imposed
+// timeout abandons the work at the next stage boundary. Successful
+// responses are cached per snapshot, keyed by (sql, mode) — a repeated
+// query against an unchanged rule base re-materialises nothing.
+func (s *System) QueryContext(ctx context.Context, sql string, mode answer.Mode) (*Response, error) {
+	sn := s.current()
+	key := fmt.Sprintf("%d\x00%s", mode, sql)
+	if r, ok := sn.cache.get(key); ok {
+		return r, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ext, an, err := sn.q.Run(sql)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.inf.Derive(an)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := sn.inf.Derive(an)
 	if err != nil {
 		return nil, err
 	}
-	return &Response{
+	resp := &Response{
+		Version:     sn.version,
 		Extensional: ext,
 		Analysis:    an,
 		Inference:   res,
 		Intensional: answer.Render(an, res, mode),
-	}, nil
+	}
+	sn.cache.put(key, resp)
+	return resp, nil
+}
+
+// responseCache memoises successful query responses for one snapshot.
+// It dies with its snapshot, so entries never outlive the rule base and
+// data that produced them.
+type responseCache struct {
+	mu sync.Mutex
+	m  map[string]*Response // guarded by mu
+}
+
+// maxCachedResponses bounds the cache; past it the whole cache is
+// dropped, which keeps eviction deterministic and the common
+// steady-state workload (a bounded set of hot queries) fully cached.
+const maxCachedResponses = 1024
+
+func newResponseCache() *responseCache {
+	return &responseCache{m: make(map[string]*Response)}
+}
+
+func (c *responseCache) get(k string) (*Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[k]
+	return r, ok
+}
+
+func (c *responseCache) put(k string, r *Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= maxCachedResponses {
+		c.m = make(map[string]*Response)
+	}
+	c.m[k] = r
 }
 
 // declsFile is the database directory entry holding the dictionary
@@ -92,24 +229,31 @@ const declsFile = "dictionary.json"
 
 // Save writes the database, its rule relations, and the dictionary
 // declarations to a directory — the complete relocatable unit of
-// Section 5.2.2.
+// Section 5.2.2. The whole directory is written atomically (built in a
+// temporary sibling and swapped into place), so a crash mid-save never
+// corrupts a previously saved database.
 func (s *System) Save(dir string) error {
-	if s.d.Rules().Len() > 0 {
-		if err := s.d.StoreRules(); err != nil {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	sn := s.current()
+	if sn.d.Rules().Len() > 0 {
+		if err := sn.d.StoreRules(); err != nil {
 			return err
 		}
 	}
-	if err := s.cat.Save(dir); err != nil {
-		return err
-	}
-	data, err := dict.MarshalDecls(s.d.Decls())
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(filepath.Join(dir, declsFile), data, 0o644); err != nil {
-		return fmt.Errorf("core: save declarations: %w", err)
-	}
-	return nil
+	return storage.WriteAtomic(dir, func(tmp string) error {
+		if err := sn.cat.WriteInto(tmp); err != nil {
+			return err
+		}
+		data, err := dict.MarshalDecls(sn.d.Decls())
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(tmp, declsFile), data, 0o644); err != nil {
+			return fmt.Errorf("core: save declarations: %w", err)
+		}
+		return nil
+	})
 }
 
 // Open loads a database directory written by Save: catalog, dictionary

@@ -1,0 +1,41 @@
+package dict_test
+
+import (
+	"sync"
+	"testing"
+
+	"intensional/internal/rules"
+)
+
+// TestDomainCachesConcurrent hammers the lazily filled active-domain and
+// sorted-value caches from many goroutines — the access pattern of
+// concurrent queries sharing one published dictionary. Run under -race.
+func TestDomainCachesConcurrent(t *testing.T) {
+	d := shipDict(t)
+	attrs := []rules.AttrRef{
+		rules.Attr("CLASS", "Displacement"),
+		rules.Attr("CLASS", "Type"),
+		rules.Attr("SUBMARINE", "Class"),
+		rules.Attr("SONAR", "Sonar"),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				a := attrs[(g+i)%len(attrs)]
+				iv, err := d.ActiveDomain(a)
+				if err != nil {
+					t.Errorf("ActiveDomain(%s): %v", a, err)
+					return
+				}
+				if _, ok, err := d.SnapToObserved(a, iv); err != nil || !ok {
+					t.Errorf("SnapToObserved(%s): ok=%v err=%v", a, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

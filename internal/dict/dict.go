@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"intensional/internal/relation"
 	"intensional/internal/rules"
@@ -100,6 +101,15 @@ func containsFold(list []string, s string) bool {
 
 // Dictionary is the knowledge base: schema-level declarations plus the
 // induced rule set, bound to the catalog that holds the data.
+//
+// Concurrency contract: a dictionary is built single-threaded (the Add*
+// declaration methods, Apply, SetRules, LoadRules), then may serve any
+// number of concurrent readers — the inference processor and the
+// inducer only read declarations and rules. The lazily filled domain
+// caches are the one piece of state readers mutate, so they carry their
+// own lock; everything else must be frozen before the dictionary is
+// shared. core.System enforces this by publishing dictionaries in
+// immutable snapshots and building a fresh one for each Induce.
 type Dictionary struct {
 	cat         *storage.Catalog
 	hierarchies map[string]*Hierarchy // lower(object) → hierarchy
@@ -108,8 +118,9 @@ type Dictionary struct {
 	levels      []Link // hierarchy-level links, e.g. SUBMARINE.Class = CLASS.Class
 	ruleSet     *rules.Set
 
-	domains map[string]rules.Interval   // lower(attr key) → cached active domain
-	values  map[string][]relation.Value // lower(attr key) → cached sorted distinct values
+	cmu     sync.RWMutex                // protects the lazily filled caches below
+	domains map[string]rules.Interval   // guarded by cmu — lower(attr key) → cached active domain
+	values  map[string][]relation.Value // guarded by cmu — lower(attr key) → cached sorted distinct values
 }
 
 // New creates an empty dictionary over the catalog.
@@ -235,7 +246,10 @@ func (d *Dictionary) Rules() *rules.Set { return d.ruleSet }
 // subsume an unbounded condition (Example 1).
 func (d *Dictionary) ActiveDomain(a rules.AttrRef) (rules.Interval, error) {
 	key := a.Key()
-	if iv, ok := d.domains[key]; ok {
+	d.cmu.RLock()
+	iv, ok := d.domains[key]
+	d.cmu.RUnlock()
+	if ok {
 		return iv, nil
 	}
 	rel, err := d.cat.Get(a.Relation)
@@ -253,14 +267,20 @@ func (d *Dictionary) ActiveDomain(a rules.AttrRef) (rules.Interval, error) {
 	if !okMin || !okMax {
 		return rules.Interval{}, fmt.Errorf("dict: attribute %s has no values", a)
 	}
-	iv := rules.Range(min, max)
+	iv = rules.Range(min, max)
+	// Concurrent misses may compute the interval twice; both arrive at
+	// the same value, so last-write-wins is fine.
+	d.cmu.Lock()
 	d.domains[key] = iv
+	d.cmu.Unlock()
 	return iv, nil
 }
 
 // InvalidateDomains clears the active-domain caches (call after data
 // mutation).
 func (d *Dictionary) InvalidateDomains() {
+	d.cmu.Lock()
+	defer d.cmu.Unlock()
 	d.domains = make(map[string]rules.Interval)
 	d.values = make(map[string][]relation.Value)
 }
@@ -269,7 +289,10 @@ func (d *Dictionary) InvalidateDomains() {
 // ascending order.
 func (d *Dictionary) sortedValues(a rules.AttrRef) ([]relation.Value, error) {
 	key := a.Key()
-	if vs, ok := d.values[key]; ok {
+	d.cmu.RLock()
+	vs, ok := d.values[key]
+	d.cmu.RUnlock()
+	if ok {
 		return vs, nil
 	}
 	rel, err := d.cat.Get(a.Relation)
@@ -293,7 +316,9 @@ func (d *Dictionary) sortedValues(a rules.AttrRef) ([]relation.Value, error) {
 		out = append(out, v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	d.cmu.Lock()
 	d.values[key] = out
+	d.cmu.Unlock()
 	return out, nil
 }
 

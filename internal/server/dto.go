@@ -1,0 +1,167 @@
+package server
+
+import (
+	"intensional/internal/core"
+	"intensional/internal/infer"
+	"intensional/internal/relation"
+)
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Mode selects the response shape and inference direction:
+	// "extensional", "intensional", "combined" (default), "forward",
+	// or "backward".
+	Mode string `json:"mode"`
+}
+
+// induceRequest is the POST /induce body, mirroring induct.Options.
+type induceRequest struct {
+	Nc         int     `json:"nc"`
+	NcFraction float64 `json:"ncFraction"`
+	Workers    int     `json:"workers"`
+}
+
+type induceResponse struct {
+	Version   uint64  `json:"version"`
+	Rules     int     `json:"rules"`
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+type rulesResponse struct {
+	Version uint64     `json:"version"`
+	Count   int        `json:"count"`
+	Rules   []ruleJSON `json:"rules,omitempty"`
+}
+
+type ruleJSON struct {
+	ID      int    `json:"id"`
+	Rule    string `json:"rule"`
+	Support int    `json:"support"`
+}
+
+type healthzResponse struct {
+	OK        bool   `json:"ok"`
+	Version   uint64 `json:"version"`
+	Relations int    `json:"relations"`
+	Rules     int    `json:"rules"`
+}
+
+// relationJSON is the wire form of an extensional answer. Cells are
+// typed JSON values: null, string, or number.
+type relationJSON struct {
+	Name    string       `json:"name"`
+	Columns []columnJSON `json:"columns"`
+	Rows    [][]any      `json:"rows"`
+}
+
+type columnJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type factJSON struct {
+	Attr     string `json:"attr"`
+	Interval string `json:"interval"`
+	Derived  bool   `json:"derived"`
+	Via      []int  `json:"via,omitempty"`
+	Subtype  string `json:"subtype,omitempty"`
+}
+
+type descriptionJSON struct {
+	Clause      string `json:"clause"`
+	Consequence string `json:"consequence"`
+	Via         int    `json:"via"`
+	Subtype     string `json:"subtype,omitempty"`
+}
+
+// queryResponse is the POST /query response: the extensional rows,
+// the rendered intensional sentences, and the structured inference
+// behind them, stamped with the snapshot version that produced it.
+type queryResponse struct {
+	Version      uint64            `json:"version"`
+	Mode         string            `json:"mode"`
+	RowCount     int               `json:"rowCount"`
+	Extensional  *relationJSON     `json:"extensional,omitempty"`
+	Intensional  []string          `json:"intensional,omitempty"`
+	Facts        []factJSON        `json:"facts,omitempty"`
+	Descriptions []descriptionJSON `json:"descriptions,omitempty"`
+	Conjunctive  bool              `json:"conjunctive"`
+	Empty        bool              `json:"empty"`
+}
+
+func valueToJSON(v relation.Value) any {
+	switch v.Kind() {
+	case relation.KindNull:
+		return nil
+	case relation.KindString:
+		return v.Str()
+	case relation.KindInt:
+		return v.Int64()
+	default:
+		return v.Float64()
+	}
+}
+
+func relationToJSON(r *relation.Relation) *relationJSON {
+	out := &relationJSON{Name: r.Name(), Rows: make([][]any, 0, r.Len())}
+	for _, col := range r.Schema().Columns() {
+		out.Columns = append(out.Columns, columnJSON{Name: col.Name, Type: col.Type.String()})
+	}
+	for _, row := range r.Rows() {
+		cells := make([]any, len(row))
+		for i, v := range row {
+			cells[i] = valueToJSON(v)
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	return out
+}
+
+func factToJSON(f infer.Fact) factJSON {
+	return factJSON{
+		Attr:     f.Attr.String(),
+		Interval: f.Interval.String(),
+		Derived:  f.Derived,
+		Via:      f.Via,
+		Subtype:  f.Subtype,
+	}
+}
+
+func descriptionToJSON(d infer.Description) descriptionJSON {
+	return descriptionJSON{
+		Clause:      d.Clause.String(),
+		Consequence: d.Consequence.String(),
+		Via:         d.Via,
+		Subtype:     d.Subtype,
+	}
+}
+
+// toQueryJSON projects a core.Response onto the wire shape. mode is
+// echoed back as the client sent it (normalised to "combined" when
+// empty); wantExt/wantInt select the sections.
+func toQueryJSON(resp *core.Response, mode string, wantExt, wantInt bool) queryResponse {
+	if mode == "" {
+		mode = "combined"
+	}
+	out := queryResponse{
+		Version:     resp.Version,
+		Mode:        mode,
+		RowCount:    resp.Extensional.Len(),
+		Conjunctive: resp.Inference.Conjunctive,
+		Empty:       resp.Inference.Empty,
+	}
+	if wantExt {
+		out.Extensional = relationToJSON(resp.Extensional)
+	}
+	if wantInt {
+		out.Intensional = resp.Intensional.Lines
+		for _, f := range resp.Inference.Facts {
+			out.Facts = append(out.Facts, factToJSON(f))
+		}
+		for _, d := range resp.Inference.Descriptions {
+			out.Descriptions = append(out.Descriptions, descriptionToJSON(d))
+		}
+	}
+	return out
+}

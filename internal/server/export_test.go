@@ -1,0 +1,6 @@
+package server
+
+// SetSlowHookForTest installs f to run at the entry of the /query and
+// /induce handlers, inside the deadline middleware — tests use it to
+// force a timeout deterministically. Install before serving traffic.
+func (s *Server) SetSlowHookForTest(f func()) { s.slow = f }

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// statusWriter records the status and byte count a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with the observability layer: per-endpoint
+// request counters and latency histograms, plus one structured
+// access-log line per request. It sits outside the timeout middleware so
+// 504s are counted and logged like any other response.
+func (s *Server) instrument(endpoint string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.met.observe(endpoint, sw.status, elapsed)
+		s.logAccess(r, sw.status, sw.bytes, elapsed)
+	})
+}
+
+// accessRecord is one JSON access-log line.
+type accessRecord struct {
+	Time      string  `json:"time"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Status    int     `json:"status"`
+	Bytes     int     `json:"bytes"`
+	DurMS     float64 `json:"durMs"`
+	Remote    string  `json:"remote"`
+	UserAgent string  `json:"userAgent,omitempty"`
+}
+
+func (s *Server) logAccess(r *http.Request, status, size int, elapsed time.Duration) {
+	if s.opts.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(accessRecord{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		Method:    r.Method,
+		Path:      r.URL.Path,
+		Status:    status,
+		Bytes:     size,
+		DurMS:     float64(elapsed) / float64(time.Millisecond),
+		Remote:    r.RemoteAddr,
+		UserAgent: r.UserAgent(),
+	})
+	if err != nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	fmt.Fprintln(s.opts.AccessLog, string(line))
+}
+
+// withTimeout enforces a per-request deadline. The wrapped handler runs
+// in its own goroutine against a buffered response; if it beats the
+// deadline the buffer is flushed to the client, otherwise the client
+// gets a 504 JSON error and the late result is discarded. The request
+// context carries the deadline, so core.QueryContext abandons the work
+// at its next stage boundary instead of running to completion.
+func (s *Server) withTimeout(d time.Duration, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+		done := make(chan *bufferedResponse, 1)
+		go func() {
+			br := newBufferedResponse()
+			h.ServeHTTP(br, r)
+			done <- br
+		}()
+		select {
+		case br := <-done:
+			br.flush(w)
+		case <-ctx.Done():
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Sprintf("request exceeded the %v deadline", d))
+		}
+	})
+}
+
+// bufferedResponse is an http.ResponseWriter that holds everything in
+// memory until flush, so a timed-out handler never races the 504 write.
+type bufferedResponse struct {
+	header http.Header
+	buf    bytes.Buffer
+	status int
+}
+
+func newBufferedResponse() *bufferedResponse {
+	return &bufferedResponse{header: make(http.Header)}
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.buf.Write(p)
+}
+
+func (b *bufferedResponse) flush(w http.ResponseWriter) {
+	keys := make([]string, 0, len(b.header))
+	for k := range b.header {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range b.header[k] {
+			w.Header().Add(k, v)
+		}
+	}
+	status := b.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	w.WriteHeader(status)
+	if _, err := w.Write(b.buf.Bytes()); err != nil {
+		// The client went away mid-flush; nothing to clean up.
+		return
+	}
+}

@@ -1,0 +1,231 @@
+// Package server exposes a core.System over a stdlib-only HTTP/JSON API
+// — the serving layer that promotes the paper's one-user-at-a-time
+// prototype to a concurrent network service. Endpoints:
+//
+//	POST /query    SQL in, extensional + intensional answer out
+//	POST /induce   re-run rule induction, install a new snapshot
+//	GET  /rules    the current rule base
+//	GET  /healthz  liveness plus version/relation/rule counts
+//	GET  /metrics  per-endpoint request counters and latency histograms
+//
+// Every request runs under a deadline; /query relies on core's
+// snapshot-swap concurrency contract, so any number of queries proceed
+// while /induce builds and atomically installs a new rule base. No
+// dependencies beyond the standard library.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"intensional/internal/answer"
+	"intensional/internal/core"
+	"intensional/internal/induct"
+)
+
+// Options configures a Server. Zero values select the defaults.
+type Options struct {
+	// QueryTimeout bounds /query, /rules, /healthz and /metrics requests
+	// (default 10s).
+	QueryTimeout time.Duration
+	// InduceTimeout bounds /induce requests, which re-run the full
+	// induction pipeline (default 2m).
+	InduceTimeout time.Duration
+	// AccessLog, when non-nil, receives one JSON line per request.
+	AccessLog io.Writer
+}
+
+func (o Options) queryTimeout() time.Duration {
+	if o.QueryTimeout > 0 {
+		return o.QueryTimeout
+	}
+	return 10 * time.Second
+}
+
+func (o Options) induceTimeout() time.Duration {
+	if o.InduceTimeout > 0 {
+		return o.InduceTimeout
+	}
+	return 2 * time.Minute
+}
+
+// Server serves intensional answers over HTTP. It is safe for concurrent
+// use; all shared state lives in the underlying core.System (snapshot
+// contract) and in the internally locked metrics registry.
+type Server struct {
+	sys   *core.System
+	opts  Options
+	met   *metrics
+	logMu sync.Mutex // serialises access-log lines
+	slow  func()     // test hook: injected latency at handler entry
+}
+
+// New builds a Server over a system.
+func New(sys *core.System, opts Options) *Server {
+	return &Server{sys: sys, opts: opts, met: newMetrics()}
+}
+
+// Handler returns the route table with timeout, metrics, and access-log
+// middleware applied. Method mismatches yield 405, unknown paths 404.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern string, d time.Duration, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, s.withTimeout(d, h)))
+	}
+	qt := s.opts.queryTimeout()
+	route("POST /query", qt, s.handleQuery)
+	route("POST /induce", s.opts.induceTimeout(), s.handleInduce)
+	route("GET /rules", qt, s.handleRules)
+	route("GET /healthz", qt, s.handleHealthz)
+	route("GET /metrics", qt, s.handleMetrics)
+	return mux
+}
+
+// maxBodyBytes bounds request bodies; queries and induction options are
+// tiny, so anything larger is a client error.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON reads a JSON request body into dst.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+// writeJSON writes v as the response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(data); err != nil {
+		// The client went away; there is no one left to tell.
+		return
+	}
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+// parseMode maps the request's mode string to the inference direction
+// and the response sections to include.
+func parseMode(mode string) (m answer.Mode, wantExt, wantInt bool, err error) {
+	switch strings.ToLower(strings.TrimSpace(mode)) {
+	case "", "combined":
+		return answer.Combined, true, true, nil
+	case "extensional":
+		return answer.Combined, true, false, nil
+	case "intensional":
+		return answer.Combined, false, true, nil
+	case "forward":
+		return answer.ForwardOnly, true, true, nil
+	case "backward":
+		return answer.BackwardOnly, true, true, nil
+	default:
+		return 0, false, false, fmt.Errorf("unknown mode %q (want extensional, intensional, combined, forward, or backward)", mode)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.slow != nil {
+		s.slow()
+	}
+	var req queryRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	mode, wantExt, wantInt, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := s.sys.QueryContext(r.Context(), req.SQL, mode)
+	if err != nil {
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			// The deadline middleware already answered 504; this write
+			// lands in a discarded buffer.
+			writeError(w, http.StatusGatewayTimeout, "query abandoned at deadline")
+			return
+		}
+		// Parse, binding, and inference errors are all properties of the
+		// request against the current schema: client errors.
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, toQueryJSON(resp, req.Mode, wantExt, wantInt))
+}
+
+func (s *Server) handleInduce(w http.ResponseWriter, r *http.Request) {
+	if s.slow != nil {
+		s.slow()
+	}
+	var req induceRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Nc < 0 || req.NcFraction < 0 || req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "nc, ncFraction, and workers must be non-negative")
+		return
+	}
+	start := time.Now()
+	set, err := s.sys.Induce(induct.Options{
+		Nc:         req.Nc,
+		NcFraction: req.NcFraction,
+		Workers:    req.Workers,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, induceResponse{
+		Version:   s.sys.Version(),
+		Rules:     set.Len(),
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
+	set := s.sys.Rules()
+	out := rulesResponse{Version: s.sys.Version(), Count: set.Len()}
+	for _, r := range set.Rules() {
+		out.Rules = append(out.Rules, ruleJSON{ID: r.ID, Rule: r.String(), Support: r.Support})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		OK:        true,
+		Version:   s.sys.Version(),
+		Relations: s.sys.Catalog().Len(),
+		Rules:     s.sys.Rules().Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.snapshot())
+}

@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"intensional/internal/relation"
+)
+
+// oneRelCatalog builds a catalog with a single STATUS relation holding
+// the given marker value, so tests can tell apart database generations.
+func oneRelCatalog(t *testing.T, marker string) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	r, err := c.Create("STATUS", relation.MustSchema(
+		relation.Column{Name: "Marker", Type: relation.TString},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.MustInsert(relation.String(marker))
+	return c
+}
+
+func loadMarker(t *testing.T, dir string) string {
+	t.Helper()
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatalf("load after save: %v", err)
+	}
+	r, err := c.Get("STATUS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("STATUS has %d rows", r.Len())
+	}
+	return r.Row(0)[0].Str()
+}
+
+// TestSaveMidFailureKeepsOldDatabase injects a failure partway through a
+// re-save and asserts the previously saved database is still intact and
+// loadable — the crash-safety contract of the atomic directory swap.
+func TestSaveMidFailureKeepsOldDatabase(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := oneRelCatalog(t, "v1").Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	next := oneRelCatalog(t, "v2")
+	// A second relation so the failure strikes mid-save: CLASS sorts
+	// before STATUS, so STATUS's write is the one that fails after CLASS
+	// already landed in the temp directory.
+	r, err := next.Create("CLASS", relation.MustSchema(
+		relation.Column{Name: "Name", Type: relation.TString},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.MustInsert(relation.String("0101"))
+
+	boom := errors.New("disk full")
+	saveHook = func(relName string) error {
+		if relName == "STATUS" {
+			return boom
+		}
+		return nil
+	}
+	defer func() { saveHook = nil }()
+
+	if err := next.Save(dir); !errors.Is(err, boom) {
+		t.Fatalf("Save error = %v, want injected failure", err)
+	}
+	if got := loadMarker(t, dir); got != "v1" {
+		t.Fatalf("after failed re-save, marker = %q, want old database v1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "class.csv")); !os.IsNotExist(err) {
+		t.Errorf("failed save leaked class.csv into the live directory (err=%v)", err)
+	}
+	assertNoDebris(t, filepath.Dir(dir))
+}
+
+// TestSaveReplacesExistingAtomically re-saves over an existing directory
+// and checks the new generation fully replaces the old, with no stale
+// files or temp directories left behind.
+func TestSaveReplacesExistingAtomically(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "db")
+	if err := sampleCatalog(t).Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := oneRelCatalog(t, "v2").Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 || !c.Has("STATUS") {
+		t.Fatalf("reloaded catalog = %v, want just STATUS", c.Names())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "class.csv")); !os.IsNotExist(err) {
+		t.Errorf("old generation's class.csv survived the swap (err=%v)", err)
+	}
+	assertNoDebris(t, parent)
+}
+
+// TestWriteAtomicFreshDirectory exercises the swap when no previous
+// directory exists and when fill fails before writing anything durable.
+func TestWriteAtomicFreshDirectory(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "fresh", "db")
+	err := WriteAtomic(dir, func(tmp string) error {
+		return os.WriteFile(filepath.Join(tmp, "x.txt"), []byte("ok"), 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "x.txt"))
+	if err != nil || string(data) != "ok" {
+		t.Fatalf("content = %q, %v", data, err)
+	}
+
+	boom := errors.New("boom")
+	if err := WriteAtomic(dir, func(string) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want fill failure", err)
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, "x.txt")); err != nil || string(data) != "ok" {
+		t.Fatalf("after failed rewrite, content = %q, %v", data, err)
+	}
+	assertNoDebris(t, filepath.Dir(dir))
+}
+
+// assertNoDebris fails if any temp or backup directory from the atomic
+// swap is left next to the target.
+func assertNoDebris(t *testing.T, parent string) {
+	t.Helper()
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") || strings.HasSuffix(e.Name(), ".old") {
+			t.Errorf("atomic save left debris %s in %s", e.Name(), parent)
+		}
+	}
+}

@@ -72,11 +72,79 @@ func fileFor(name string) string {
 	return b.String() + ".csv"
 }
 
+// saveHook, when non-nil, runs before each relation's CSV is written; a
+// returned error aborts the save. Tests use it to inject mid-save
+// failures and assert the previously saved directory survives.
+var saveHook func(relName string) error
+
 // Save writes every relation in the catalog to dir as CSV files plus a
-// manifest recording schemas. dir is created if needed. Because rule
-// relations live in the same catalog as the data, a single Save relocates
-// the database together with its induced knowledge.
+// manifest recording schemas. The write is atomic at the directory
+// level: contents are built in a temporary sibling directory and swapped
+// into place, so a crash or error mid-save never leaves dir corrupt — a
+// previously saved database there stays loadable. Because rule relations
+// live in the same catalog as the data, a single Save relocates the
+// database together with its induced knowledge.
 func (c *Catalog) Save(dir string) error {
+	return WriteAtomic(dir, c.WriteInto)
+}
+
+// WriteAtomic replaces dir with the contents fill writes, atomically:
+// fill receives a fresh temporary directory next to dir, and only after
+// it returns successfully is the finished tree renamed into place. If
+// fill (or the process) dies midway, dir is untouched. When dir already
+// exists it is moved aside before the swap and removed after, so a crash
+// in the narrow window between the two renames leaves the old data
+// recoverable under a ".old" sibling rather than destroyed.
+func WriteAtomic(dir string, fill func(tmp string) error) (err error) {
+	dir = filepath.Clean(dir)
+	parent := filepath.Dir(dir)
+	if mkErr := os.MkdirAll(parent, 0o755); mkErr != nil {
+		return fmt.Errorf("storage: save: %w", mkErr)
+	}
+	tmp, tmpErr := os.MkdirTemp(parent, filepath.Base(dir)+".tmp")
+	if tmpErr != nil {
+		return fmt.Errorf("storage: save: %w", tmpErr)
+	}
+	// Cleanup on every path; after a successful swap tmp no longer
+	// exists and RemoveAll is a no-op.
+	defer func() {
+		if rmErr := os.RemoveAll(tmp); rmErr != nil && err == nil {
+			err = fmt.Errorf("storage: save: %w", rmErr)
+		}
+	}()
+	if fillErr := fill(tmp); fillErr != nil {
+		return fillErr
+	}
+	old := tmp + ".old"
+	hadOld := false
+	if _, statErr := os.Stat(dir); statErr == nil {
+		if mvErr := os.Rename(dir, old); mvErr != nil {
+			return fmt.Errorf("storage: save: %w", mvErr)
+		}
+		hadOld = true
+	}
+	if mvErr := os.Rename(tmp, dir); mvErr != nil {
+		if hadOld {
+			if rerr := os.Rename(old, dir); rerr != nil {
+				return fmt.Errorf("storage: save: %v (restoring previous directory also failed: %w)", mvErr, rerr)
+			}
+		}
+		return fmt.Errorf("storage: save: %w", mvErr)
+	}
+	if hadOld {
+		if rmErr := os.RemoveAll(old); rmErr != nil {
+			return fmt.Errorf("storage: save: %w", rmErr)
+		}
+	}
+	return nil
+}
+
+// WriteInto writes the catalog's manifest and CSVs directly into dir
+// (created if needed), without the atomic swap. Most callers want Save;
+// WriteInto exists for composing larger atomic units — core.System.Save
+// adds the dictionary declarations to the same temporary directory
+// before the swap, so the whole database directory replaces atomically.
+func (c *Catalog) WriteInto(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("storage: save: %w", err)
 	}
@@ -95,6 +163,11 @@ func (c *Catalog) Save(dir string) error {
 		usedBy[meta.File] = r.Name()
 		for _, col := range r.Schema().Columns() {
 			meta.Columns = append(meta.Columns, columnMeta{Name: col.Name, Type: typeName(col.Type)})
+		}
+		if saveHook != nil {
+			if err := saveHook(r.Name()); err != nil {
+				return err
+			}
 		}
 		if err := saveCSV(filepath.Join(dir, meta.File), r); err != nil {
 			return err
