@@ -28,9 +28,17 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-# The B1/B2 scaling benches plus the worker sweep; not part of ci.
+# Machine-readable benchmark snapshots; not part of ci. Each run pipes
+# the standard -bench exposition through cmd/benchjson, leaving
+# BENCH_induce.json and BENCH_query.json (name, iterations, ns/op,
+# B/op, allocs/op) for trend tracking. BENCHTIME=10x etc. for more
+# stable numbers.
+BENCHTIME ?= 1x
 bench:
-	$(GO) test -bench . -benchtime 1x -run xxx .
+	$(GO) test -bench 'Induce|Table1|Tree' -benchmem -benchtime $(BENCHTIME) -run xxx . \
+		| $(GO) run ./cmd/benchjson -o BENCH_induce.json
+	$(GO) test -bench 'Query|Infer|EndToEnd|Join|Indexed' -benchmem -benchtime $(BENCHTIME) -run xxx . \
+		| $(GO) run ./cmd/benchjson -o BENCH_query.json
 
 # Run the intensional-answer server on the paper's ship test bed.
 # Try: curl -s localhost:8473/healthz

@@ -1,0 +1,159 @@
+// Command benchjson converts standard `go test -bench` output into
+// machine-readable JSON for trend tracking. It reads the textual
+// exposition on stdin and writes one JSON document:
+//
+//	go test -bench Induce -benchmem -run xxx . | benchjson -o BENCH_induce.json
+//
+// The document carries the run context (goos/goarch/pkg/cpu, taken from
+// the benchmark header lines) and one record per result line with the
+// benchmark name, the -N CPU suffix split off, the iteration count, and
+// ns/op, B/op, allocs/op where present. Lines that are not benchmark
+// results (PASS, ok, logging) pass through to stderr so a failing run
+// stays visible. Stdlib only, like everything else in this repo.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record is one benchmark result line.
+type record struct {
+	Name        string  `json:"name"`
+	CPUs        int     `json:"cpus,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
+	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
+}
+
+// document is the emitted JSON shape.
+type document struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []record `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(b); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// parse reads `go test -bench` output, returning the parsed document.
+// Non-result lines are echoed to echo so test failures stay visible.
+func parse(r io.Reader, echo io.Writer) (*document, error) {
+	doc := &document{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			rec, ok := parseResult(line)
+			if !ok {
+				fmt.Fprintln(echo, line)
+				continue
+			}
+			doc.Results = append(doc.Results, rec)
+		default:
+			if strings.TrimSpace(line) != "" {
+				fmt.Fprintln(echo, line)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseResult parses one result line of the form
+//
+//	BenchmarkName-8  10  123.4 ns/op  56 B/op  7 allocs/op
+//
+// returning ok=false for anything that does not fit (e.g. a benchmark
+// log line that happens to start with "Benchmark").
+func parseResult(line string) (record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return record{}, false
+	}
+	var rec record
+	rec.Name = fields[0]
+	if i := strings.LastIndex(rec.Name, "-"); i > 0 {
+		if n, err := strconv.Atoi(rec.Name[i+1:]); err == nil {
+			rec.Name, rec.CPUs = rec.Name[:i], n
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return record{}, false
+	}
+	rec.Iterations = iters
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return record{}, false
+			}
+			rec.NsPerOp, sawNs = f, true
+		case "B/op":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return record{}, false
+			}
+			rec.BytesPerOp = n
+		case "allocs/op":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return record{}, false
+			}
+			rec.AllocsPerOp = n
+		}
+	}
+	return rec, sawNs
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: intensional
+cpu: Example CPU @ 2.40GHz
+BenchmarkInduceShipDB-8   	     100	    123456 ns/op	   45678 B/op	     901 allocs/op
+BenchmarkQueryExample1-8  	    5000	       234.5 ns/op
+BenchmarkInduceNcSweep/Nc=2-8 	      50	    999999 ns/op	  111111 B/op	    2222 allocs/op
+--- BENCH: BenchmarkSomething
+    bench_test.go:42: some log line
+PASS
+ok  	intensional	1.234s
+`
+
+func TestParse(t *testing.T) {
+	var echo bytes.Buffer
+	doc, err := parse(strings.NewReader(sample), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Pkg != "intensional" {
+		t.Errorf("header = %q %q %q", doc.GOOS, doc.GOARCH, doc.Pkg)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("results = %d, want 3: %+v", len(doc.Results), doc.Results)
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkInduceShipDB" || r.CPUs != 8 || r.Iterations != 100 ||
+		r.NsPerOp != 123456 || r.BytesPerOp != 45678 || r.AllocsPerOp != 901 {
+		t.Errorf("first result = %+v", r)
+	}
+	r = doc.Results[1]
+	if r.NsPerOp != 234.5 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("no-benchmem result = %+v", r)
+	}
+	if doc.Results[2].Name != "BenchmarkInduceNcSweep/Nc=2" {
+		t.Errorf("sub-benchmark name = %q", doc.Results[2].Name)
+	}
+	// Non-result lines pass through for visibility.
+	for _, want := range []string{"--- BENCH", "some log line", "PASS", "ok "} {
+		if !strings.Contains(echo.String(), want) {
+			t.Errorf("echo missing %q: %q", want, echo.String())
+		}
+	}
+}
+
+func TestParseResultRejectsNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo", // bare name, no fields
+		"BenchmarkFoo-8 notanumber 1 ns/op",
+		"BenchmarkFoo-8 10 fast ns/op",
+		"Benchmark log output without numbers here",
+	} {
+		if _, ok := parseResult(line); ok {
+			t.Errorf("parseResult(%q) accepted", line)
+		}
+	}
+}

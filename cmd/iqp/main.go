@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	iqp             # start with the paper's ship test bed
-//	iqp -db DIR     # open a saved database directory
-//	iqp -fleet      # start with a synthetic Table 1 fleet
+//	iqp                 # start with the paper's ship test bed
+//	iqp -db DIR         # open a saved database directory
+//	iqp -db DIR -wal    # durable: WAL-logged mutations, replayed on restart
+//	iqp -fleet          # start with a synthetic Table 1 fleet
 //
-// Type .help inside the shell for the command list.
+// With -wal, INSERT/UPDATE/DELETE statements typed at the prompt are
+// committed to a write-ahead log before they are applied, so a crash
+// never loses an acknowledged mutation; .checkpoint folds the log into
+// the saved database. Type .help inside the shell for the command list.
 package main
 
 import (
@@ -25,23 +29,38 @@ import (
 
 func main() {
 	dbDir := flag.String("db", "", "open a saved database directory")
+	wal := flag.Bool("wal", false, "open -db durably: log mutations to a write-ahead log and replay it on startup")
 	fleet := flag.Bool("fleet", false, "start with a synthetic Table 1 fleet")
 	flag.Parse()
 
-	sys, model, err := openSystem(*dbDir, *fleet)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "iqp:", err)
-		os.Exit(1)
-	}
-	fmt.Println("intensional query processor — type .help for commands")
-	if err := shell.New(sys, model, os.Stdout).Run(os.Stdin); err != nil {
+	if err := run(*dbDir, *wal, *fleet); err != nil {
 		fmt.Fprintln(os.Stderr, "iqp:", err)
 		os.Exit(1)
 	}
 }
 
-func openSystem(dbDir string, fleet bool) (*core.System, *ker.Model, error) {
+func run(dbDir string, wal, fleet bool) error {
+	sys, model, err := openSystem(dbDir, wal, fleet)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sys.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "iqp: close:", cerr)
+		}
+	}()
+	fmt.Println("intensional query processor — type .help for commands")
+	return shell.New(sys, model, os.Stdout).Run(os.Stdin)
+}
+
+func openSystem(dbDir string, wal, fleet bool) (*core.System, *ker.Model, error) {
 	switch {
+	case wal:
+		if dbDir == "" {
+			return nil, nil, fmt.Errorf("-wal requires -db DIR (the WAL lives beside the database directory)")
+		}
+		sys, err := core.OpenDurable(dbDir, core.DurableOptions{})
+		return sys, nil, err
 	case dbDir != "":
 		sys, err := core.Open(dbDir)
 		return sys, nil, err

@@ -7,12 +7,17 @@
 //
 //	iqpd                     # serve the paper's ship test bed on :8473
 //	iqpd -db DIR             # serve a saved database directory
+//	iqpd -db DIR -wal        # durable: WAL-logged mutations, replayed on restart
 //	iqpd -fleet              # serve a synthetic Table 1 fleet
 //	iqpd -addr :9000 -nc 2   # custom listen address and pruning threshold
 //
-// Endpoints: POST /query, POST /induce, GET /rules, GET /healthz,
-// GET /metrics. Unless -no-induce is given, rules are induced once at
-// startup so the first query already has an intensional answer.
+// Endpoints: POST /query, POST /mutate, POST /induce, POST /maintain,
+// GET /rules, GET /healthz, GET /metrics. Unless -no-induce is given,
+// rules are induced once at startup so the first query already has an
+// intensional answer. With -wal, committed mutations survive crashes
+// (replayed from the write-ahead log on restart) and -checkpoint-bytes
+// bounds the log by folding it into the saved database. -auto-maintain
+// re-inducts stale rule schemes in the background after mutations.
 // SIGINT/SIGTERM drain in-flight requests before exit.
 package main
 
@@ -41,24 +46,50 @@ func main() {
 	nc := flag.Int("nc", 3, "rule pruning threshold for the startup induction")
 	workers := flag.Int("workers", 0, "induction worker goroutines (0 = GOMAXPROCS)")
 	noInduce := flag.Bool("no-induce", false, "skip the startup induction")
+	wal := flag.Bool("wal", false, "open -db durably: log mutations to a write-ahead log and replay it on startup")
+	checkpointBytes := flag.Int64("checkpoint-bytes", 0, "auto-checkpoint when the WAL exceeds this many bytes (0 = never)")
+	autoMaintain := flag.Bool("auto-maintain", false, "re-induct stale rule schemes in the background after mutations")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-request deadline for queries")
 	induceTimeout := flag.Duration("induce-timeout", 2*time.Minute, "per-request deadline for /induce")
 	flag.Parse()
 
-	if err := run(*addr, *dbDir, *fleet, *nc, *workers, *noInduce, *queryTimeout, *induceTimeout); err != nil {
+	cfg := config{
+		addr: *addr, dbDir: *dbDir, fleet: *fleet,
+		nc: *nc, workers: *workers, noInduce: *noInduce,
+		wal: *wal, checkpointBytes: *checkpointBytes, autoMaintain: *autoMaintain,
+		queryTimeout: *queryTimeout, induceTimeout: *induceTimeout,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "iqpd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbDir string, fleet bool, nc, workers int, noInduce bool, queryTimeout, induceTimeout time.Duration) error {
-	sys, err := openSystem(dbDir, fleet)
+type config struct {
+	addr, dbDir                 string
+	fleet, noInduce             bool
+	nc, workers                 int
+	wal, autoMaintain           bool
+	checkpointBytes             int64
+	queryTimeout, induceTimeout time.Duration
+}
+
+func run(cfg config) error {
+	sys, err := openSystem(cfg)
 	if err != nil {
 		return err
 	}
-	if !noInduce {
+	defer func() {
+		if cerr := sys.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "iqpd: close:", cerr)
+		}
+	}()
+	if cfg.autoMaintain {
+		sys.StartAutoMaintain(induct.Options{Nc: cfg.nc, Workers: cfg.workers})
+	}
+	if !cfg.noInduce {
 		start := time.Now()
-		set, err := sys.Induce(induct.Options{Nc: nc, Workers: workers})
+		set, err := sys.Induce(induct.Options{Nc: cfg.nc, Workers: cfg.workers})
 		if err != nil {
 			return fmt.Errorf("startup induction: %w", err)
 		}
@@ -67,12 +98,12 @@ func run(addr, dbDir string, fleet bool, nc, workers int, noInduce bool, queryTi
 	}
 
 	srv := server.New(sys, server.Options{
-		QueryTimeout:  queryTimeout,
-		InduceTimeout: induceTimeout,
+		QueryTimeout:  cfg.queryTimeout,
+		InduceTimeout: cfg.induceTimeout,
 		AccessLog:     os.Stderr,
 	})
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -82,7 +113,7 @@ func run(addr, dbDir string, fleet bool, nc, workers int, noInduce bool, queryTi
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "iqpd: serving %d relations on %s\n", sys.Catalog().Len(), addr)
+		fmt.Fprintf(os.Stderr, "iqpd: serving %d relations on %s\n", sys.Catalog().Len(), cfg.addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -104,11 +135,16 @@ func run(addr, dbDir string, fleet bool, nc, workers int, noInduce bool, queryTi
 	}
 }
 
-func openSystem(dbDir string, fleet bool) (*core.System, error) {
+func openSystem(cfg config) (*core.System, error) {
 	switch {
-	case dbDir != "":
-		return core.Open(dbDir)
-	case fleet:
+	case cfg.wal:
+		if cfg.dbDir == "" {
+			return nil, fmt.Errorf("-wal requires -db DIR (the WAL lives beside the database directory)")
+		}
+		return core.OpenDurable(cfg.dbDir, core.DurableOptions{CheckpointBytes: cfg.checkpointBytes})
+	case cfg.dbDir != "":
+		return core.Open(cfg.dbDir)
+	case cfg.fleet:
 		cat := synth.Fleet(synth.FleetConfig{ClassesPerType: 4, ShipsPerClass: 3, Seed: 1})
 		d, err := synth.FleetDictionary(cat)
 		if err != nil {

@@ -1,0 +1,440 @@
+// The write path: durable mutations and incremental rule maintenance.
+//
+// Apply/ApplyBatch execute DML copy-on-write against the current
+// snapshot's catalog, run the incremental rule-maintenance check, append
+// one record to the write-ahead log (the commit point, when the system
+// is durable), and install the result as snapshot version N+1. Readers
+// keep the snapshot they loaded; a rule contradicted by a mutation is
+// withheld from the new snapshot's inference rule set the instant the
+// snapshot installs, so no query ever sees a contradicted rule served
+// as valid.
+//
+// Checkpointing composes the WAL with the atomic Save: the catalog
+// (which contains every logged mutation) is atomically written first,
+// and only then is the log truncated. See Checkpoint for the crash
+// ordering argument.
+
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+
+	"intensional/internal/dict"
+	"intensional/internal/induct"
+	"intensional/internal/maintain"
+	"intensional/internal/query"
+	"intensional/internal/rules"
+	"intensional/internal/sqlparse"
+	"intensional/internal/wal"
+)
+
+// applyHook, when non-nil, runs at named stages of ApplyBatch; a non-nil
+// error aborts the apply at that point. Crash-recovery tests use it to
+// simulate a process dying between execution, logging, and installation.
+// Stages: "executed" (catalog mutated, nothing logged), "logged" (WAL
+// record fsync'd, snapshot not yet installed).
+var applyHook func(stage string) error
+
+// walRecord is the JSON payload of one WAL entry: a statement batch
+// applied atomically.
+type walRecord struct {
+	Stmts []string `json:"stmts"`
+}
+
+// walPath returns the log location for a database directory: a sibling
+// file, never inside the directory, because checkpointing replaces the
+// whole directory atomically and must not unlink the open log.
+func walPath(dir string) string { return filepath.Clean(dir) + ".wal" }
+
+// ErrNotDurable is returned by Checkpoint on a system opened without a
+// write-ahead log.
+var ErrNotDurable = fmt.Errorf("core: system has no write-ahead log (use OpenDurable)")
+
+// ErrLogFailed marks apply errors where the statements executed but the
+// WAL append failed — an infrastructure fault (disk full, I/O error),
+// not a problem with the request. The batch did NOT commit.
+var ErrLogFailed = fmt.Errorf("core: write-ahead log append failed")
+
+// DurableOptions configure OpenDurable.
+type DurableOptions struct {
+	// CheckpointBytes, when positive, auto-checkpoints after any apply
+	// that leaves the WAL larger than this many bytes.
+	CheckpointBytes int64
+}
+
+// OpenDurable opens a database directory like Open and attaches the
+// write-ahead log at "<dir>.wal" (created if absent), replaying any
+// mutations logged after the last checkpoint. The returned system logs
+// every ApplyBatch before acknowledging it; see Checkpoint for how the
+// log is bounded. The log file travels with the directory only if moved
+// alongside it — Save to a different directory writes a fully
+// checkpointed copy instead.
+func OpenDurable(dir string, o DurableOptions) (*System, error) {
+	s, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	log, entries, err := wal.Open(walPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	for i, payload := range entries {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			cerr := log.Close()
+			return nil, fmt.Errorf("core: wal entry %d: %w (close: %v)", i, err, cerr)
+		}
+		sn, _, err := applyStmts(s.current(), rec.Stmts)
+		if err != nil {
+			cerr := log.Close()
+			return nil, fmt.Errorf("core: replay wal entry %d: %w (close: %v)", i, err, cerr)
+		}
+		s.install(sn)
+	}
+	s.log = log
+	s.dir = dir
+	s.checkpointBytes = o.CheckpointBytes
+	return s, nil
+}
+
+// ApplyResult reports one committed mutation batch.
+type ApplyResult struct {
+	// Version is the snapshot the batch installed.
+	Version uint64
+	// Mutations holds the per-statement effects, in batch order.
+	Mutations []*query.Mutation
+	// Stale and Refinable count the rules in each state after the batch
+	// (cumulative since the last induction or maintenance).
+	Stale, Refinable int
+	// Checkpointed reports whether the apply triggered an automatic
+	// checkpoint.
+	Checkpointed bool
+}
+
+// Apply executes one DML statement as a single-statement batch.
+func (s *System) Apply(ctx context.Context, sql string) (*ApplyResult, error) {
+	return s.ApplyBatch(ctx, []string{sql})
+}
+
+// ApplyBatch executes a batch of DML statements atomically: either every
+// statement lands in snapshot version N+1, or none does. On a durable
+// system the batch is one WAL record, fsync'd before the snapshot
+// installs — the append is the commit point, so a crash before it loses
+// the (unacknowledged) batch and a crash after it replays the batch on
+// restart. Rules contradicted by the batch are stale in the new snapshot
+// and excluded from its inference rule set.
+func (s *System) ApplyBatch(ctx context.Context, stmts []string) (*ApplyResult, error) {
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("core: empty statement batch")
+	}
+	parsed := make([]sqlparse.Stmt, len(stmts))
+	for i, src := range stmts {
+		st, err := sqlparse.ParseStatement(src)
+		if err != nil {
+			return nil, err
+		}
+		if !sqlparse.IsDML(st) {
+			return nil, fmt.Errorf("core: statement %d is a %s, not a mutation", i, st.Kind())
+		}
+		parsed[i] = st
+	}
+
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cur := s.current()
+	sn, muts, err := applyParsed(cur, parsed)
+	if err != nil {
+		return nil, err
+	}
+	if applyHook != nil {
+		if err := applyHook("executed"); err != nil {
+			return nil, err
+		}
+	}
+	if s.log != nil {
+		payload, err := json.Marshal(walRecord{Stmts: stmts})
+		if err != nil {
+			return nil, fmt.Errorf("core: encode wal record: %w", err)
+		}
+		if err := s.log.Append(payload); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrLogFailed, err)
+		}
+	}
+	if applyHook != nil {
+		if err := applyHook("logged"); err != nil {
+			return nil, err
+		}
+	}
+	s.install(sn)
+
+	res := &ApplyResult{Version: sn.version, Mutations: muts}
+	res.Stale, res.Refinable = sn.maint.Counts()
+	if res.Stale > 0 {
+		s.kickAutoMaintain()
+	}
+	if s.log != nil && s.checkpointBytes > 0 && s.log.Size() > s.checkpointBytes {
+		if err := s.checkpointLocked(); err != nil {
+			// The batch is committed and durable; only the log
+			// compaction failed.
+			return res, fmt.Errorf("core: batch committed, auto-checkpoint failed: %w", err)
+		}
+		res.Checkpointed = true
+	}
+	return res, nil
+}
+
+// applyStmts parses and applies a statement batch against a snapshot,
+// returning the successor snapshot. Used by ApplyBatch (under wmu) and
+// by WAL replay (pre-publication).
+func applyStmts(cur *snapshot, stmts []string) (*snapshot, []*query.Mutation, error) {
+	parsed := make([]sqlparse.Stmt, len(stmts))
+	for i, src := range stmts {
+		st, err := sqlparse.ParseStatement(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		parsed[i] = st
+	}
+	return applyParsed(cur, parsed)
+}
+
+// applyParsed executes parsed statements copy-on-write against cur's
+// catalog and runs rule maintenance, building (but not installing) the
+// successor snapshot.
+func applyParsed(cur *snapshot, parsed []sqlparse.Stmt) (*snapshot, []*query.Mutation, error) {
+	workCat := cur.cat.ShallowClone()
+	st := cur.maint
+	muts := make([]*query.Mutation, 0, len(parsed))
+	for _, p := range parsed {
+		m, err := query.ApplyMutation(workCat, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		st = st.ApplyMutation(cur.d, cur.full, m)
+		muts = append(muts, m)
+	}
+	d := dict.New(workCat)
+	if err := d.Apply(cur.d.Decls()); err != nil {
+		return nil, nil, fmt.Errorf("core: rebuild dictionary: %w", err)
+	}
+	d.SetRules(st.Serving(cur.full))
+	sn := newSnapshot(cur.version+1, workCat, d)
+	sn.full = cur.full
+	sn.maint = st
+	return sn, muts, nil
+}
+
+// Checkpoint persists the database atomically and truncates the WAL.
+// Ordering argument: Save writes catalog + declarations into a temporary
+// sibling and renames it over the directory, so at every instant the
+// directory is either the old state (whose WAL replay reproduces the
+// logged mutations) or the new state (which already contains them). Only
+// after the rename succeeds is the log reset; a crash between the two
+// replays the log against data that already contains those mutations —
+// which is why Save and Checkpoint are fused here: Save on a durable
+// system truncates the log inside the same wmu critical section, before
+// any further mutation can commit.
+func (s *System) Checkpoint() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.log == nil {
+		return ErrNotDurable
+	}
+	return s.checkpointLocked()
+}
+
+// checkpointLocked runs the checkpoint protocol. Caller holds wmu.
+//
+//ilint:locked wmu
+func (s *System) checkpointLocked() error {
+	if err := s.saveLocked(s.dir); err != nil {
+		return err
+	}
+	return s.log.Reset()
+}
+
+// WalSize returns the write-ahead log's size in bytes, or 0 when the
+// system is not durable — the quantity the auto-checkpoint threshold
+// and the metrics endpoint report.
+func (s *System) WalSize() int64 {
+	if s.log == nil {
+		return 0
+	}
+	return s.log.Size()
+}
+
+// Durable reports whether the system writes a WAL.
+func (s *System) Durable() bool { return s.log != nil }
+
+// Close stops the auto-maintainer (if running) and closes the WAL. The
+// system must not be used afterwards.
+func (s *System) Close() error {
+	s.StopAutoMaintain()
+	if s.log == nil {
+		return nil
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.log.Close()
+}
+
+// RuleStatus returns, from one consistent snapshot: the full rule set
+// (stale rules included), the maintenance state classifying it, and the
+// snapshot version. The set Rules() serves for inference is this set
+// minus the stale rules.
+func (s *System) RuleStatus() (*rules.Set, *maintain.State, uint64) {
+	sn := s.current()
+	return sn.full, sn.maint, sn.version
+}
+
+// MaintainResult reports one maintenance pass.
+type MaintainResult struct {
+	// Version is the snapshot the pass installed (unchanged if there was
+	// nothing to do).
+	Version uint64
+	// Schemes lists the re-induced rule schemes (sorted keys).
+	Schemes []string
+	// Dropped and Added count rules removed (stale/refinable of the
+	// re-induced schemes) and re-derived.
+	Dropped, Added int
+}
+
+// Maintain re-induces exactly the rule schemes holding stale or
+// refinable rules, merges the result with the untouched rules (which
+// keep their numbers), and installs it as a new all-valid snapshot. It
+// is the incremental counterpart to Induce: the candidate pairs outside
+// the mutated schemes are not re-run.
+func (s *System) Maintain(opts induct.Options) (*MaintainResult, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.current()
+	scope := cur.maint.SchemeKeys(cur.full)
+	if len(scope) == 0 {
+		return &MaintainResult{Version: cur.version}, nil
+	}
+	inScope := make(map[string]bool, len(scope))
+	for _, k := range scope {
+		inScope[k] = true
+	}
+
+	cat := cur.cat.Clone()
+	d := dict.New(cat)
+	if err := d.Apply(cur.d.Decls()); err != nil {
+		return nil, fmt.Errorf("core: maintain: rebuild dictionary: %w", err)
+	}
+	in := induct.New(d, opts)
+	pairs, err := in.CandidatePairs()
+	if err != nil {
+		return nil, err
+	}
+	var scoped []induct.Pair
+	for _, p := range pairs {
+		if inScope[p.Scheme().Key()] {
+			scoped = append(scoped, p)
+		}
+	}
+	results, err := in.InducePairs(scoped)
+	if err != nil {
+		return nil, err
+	}
+
+	// Untouched rules keep their numbers; re-induced schemes get fresh
+	// numbers after the current maximum.
+	merged := rules.NewSet()
+	res := &MaintainResult{Schemes: scope}
+	for _, r := range cur.full.Rules() {
+		if inScope[r.Scheme().Key()] {
+			res.Dropped++
+			continue
+		}
+		merged.Add(r)
+	}
+	for _, rs := range results {
+		for _, r := range rs {
+			r.ID = 0
+			merged.Add(r)
+			res.Added++
+		}
+	}
+	d.SetRules(merged)
+	if err := d.StoreRules(); err != nil {
+		return nil, err
+	}
+	sn := newSnapshot(cur.version+1, cat, d)
+	sn.full = merged
+	sn.maint = maintain.NewState()
+	s.install(sn)
+	res.Version = sn.version
+	return res, nil
+}
+
+// StartAutoMaintain launches the eager maintenance worker: each apply
+// that leaves rules stale kicks it, and it runs Maintain with the given
+// induction options (reusing its Workers pool) until the rule base is
+// all-valid again. Kicks arriving mid-run coalesce (single flight).
+// Calling it twice replaces the previous worker.
+func (s *System) StartAutoMaintain(opts induct.Options) {
+	s.StopAutoMaintain()
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	s.autoKick = make(chan struct{}, 1)
+	s.autoStop = make(chan struct{})
+	s.autoDone = make(chan struct{})
+	go s.autoMaintainLoop(opts, s.autoKick, s.autoStop, s.autoDone)
+}
+
+// StopAutoMaintain stops the maintenance worker and waits for an
+// in-flight pass to finish. Safe to call when none is running.
+func (s *System) StopAutoMaintain() {
+	s.amu.Lock()
+	stop, done := s.autoStop, s.autoDone
+	s.autoStop, s.autoDone, s.autoKick = nil, nil, nil
+	s.amu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// kickAutoMaintain nudges the worker without blocking; a pending kick
+// already covers this apply.
+func (s *System) kickAutoMaintain() {
+	s.amu.Lock()
+	kick := s.autoKick
+	s.amu.Unlock()
+	if kick == nil {
+		return
+	}
+	select {
+	case kick <- struct{}{}:
+	default:
+	}
+}
+
+func (s *System) autoMaintainLoop(opts induct.Options, kick <-chan struct{}, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-kick:
+			if _, err := s.Maintain(opts); err != nil {
+				s.autoErrs.Add(1)
+			} else {
+				s.autoRuns.Add(1)
+			}
+		}
+	}
+}
+
+// AutoMaintainStats returns how many eager maintenance passes have run
+// and how many failed.
+func (s *System) AutoMaintainStats() (runs, errs uint64) {
+	return s.autoRuns.Load(), s.autoErrs.Load()
+}

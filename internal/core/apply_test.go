@@ -1,0 +1,703 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"intensional/internal/answer"
+	"intensional/internal/core"
+	"intensional/internal/induct"
+	"intensional/internal/rules"
+	"intensional/internal/shipdb"
+)
+
+// tableLen reads a relation's row count from the current snapshot.
+func tableLen(t *testing.T, s *core.System, name string) int {
+	t.Helper()
+	r, err := s.Catalog().Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Len()
+}
+
+// durableShip saves a fresh ship system (rules induced when induce is
+// set) into a directory and reopens it durably.
+func durableShip(t *testing.T, induce bool, o core.DurableOptions) (*core.System, string) {
+	t.Helper()
+	s := shipSystem(t)
+	if induce {
+		if _, err := s.Induce(induct.Options{Nc: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir() + "/db"
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.OpenDurable(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d, dir
+}
+
+// findRule locates the rule whose rendering contains every fragment.
+func findRule(t *testing.T, rs *rules.Set, fragments ...string) *rules.Rule {
+	t.Helper()
+	for _, r := range rs.Rules() {
+		s := r.String()
+		ok := true
+		for _, f := range fragments {
+			if !strings.Contains(s, f) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return r
+		}
+	}
+	t.Fatalf("no rule matching %v in:\n%s", fragments, rs)
+	return nil
+}
+
+// contradictor is a CLASS insert that definitely contradicts the
+// "Displacement in SSBN range implies Type = SSBN" rule: an SSN with
+// 16600 tons.
+const contradictor = `INSERT INTO CLASS VALUES ('9901', 'Contradictor', 'SSN', 16600)`
+
+func TestApplyInsertInstallsNewVersion(t *testing.T) {
+	s := shipSystem(t)
+	before := tableLen(t, s, shipdb.Submarine)
+	v := s.Version()
+
+	res, err := s.Apply(context.Background(), `INSERT INTO SUBMARINE VALUES ('SSN998', 'Testfish', '0204')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != v+1 || s.Version() != v+1 {
+		t.Errorf("version = %d/%d, want %d", res.Version, s.Version(), v+1)
+	}
+	if len(res.Mutations) != 1 || res.Mutations[0].Count() != 1 {
+		t.Errorf("mutations = %+v", res.Mutations)
+	}
+	if got := tableLen(t, s, shipdb.Submarine); got != before+1 {
+		t.Errorf("SUBMARINE has %d rows, want %d", got, before+1)
+	}
+}
+
+func TestApplyRejectsNonDML(t *testing.T) {
+	s := shipSystem(t)
+	v := s.Version()
+	if _, err := s.Apply(context.Background(), `SELECT SUBMARINE.Id FROM SUBMARINE`); err == nil {
+		t.Error("SELECT must be rejected by Apply")
+	}
+	if _, err := s.Apply(context.Background(), `INSERT INTO`); err == nil {
+		t.Error("parse error must propagate")
+	}
+	if _, err := s.ApplyBatch(context.Background(), nil); err == nil {
+		t.Error("empty batch must error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Apply(ctx, `DELETE FROM SONAR WHERE Sonar = 'none'`); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context: %v", err)
+	}
+	if s.Version() != v {
+		t.Errorf("failed applies must not install: version %d, want %d", s.Version(), v)
+	}
+}
+
+func TestApplyBatchIsAtomic(t *testing.T) {
+	s := shipSystem(t)
+	before := tableLen(t, s, shipdb.Submarine)
+	v := s.Version()
+	_, err := s.ApplyBatch(context.Background(), []string{
+		`INSERT INTO SUBMARINE VALUES ('SSN997', 'Ghost', '0204')`,
+		`INSERT INTO NO_SUCH_TABLE VALUES (1)`,
+	})
+	if err == nil {
+		t.Fatal("batch with a failing statement must error")
+	}
+	if s.Version() != v {
+		t.Errorf("version moved to %d after a failed batch", s.Version())
+	}
+	if got := tableLen(t, s, shipdb.Submarine); got != before {
+		t.Errorf("failed batch leaked a row: %d rows, want %d", got, before)
+	}
+}
+
+func TestApplyBatchAllOrNothingInstall(t *testing.T) {
+	s := shipSystem(t)
+	before := tableLen(t, s, shipdb.Sonar)
+	res, err := s.ApplyBatch(context.Background(), []string{
+		`INSERT INTO SONAR VALUES ('TST-01', 'Active')`,
+		`INSERT INTO SONAR VALUES ('TST-02', 'Passive')`,
+		`DELETE FROM SONAR WHERE Sonar = 'TST-01'`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tableLen(t, s, shipdb.Sonar); got != before+1 {
+		t.Errorf("SONAR has %d rows, want %d", got, before+1)
+	}
+	if len(res.Mutations) != 3 {
+		t.Errorf("mutations = %d, want 3", len(res.Mutations))
+	}
+}
+
+// TestApplyWithholdsContradictedRule is the core guarantee of the write
+// path: the instant a mutation contradicting a rule commits, the rule is
+// stale in the installed snapshot and excluded from inference.
+func TestApplyWithholdsContradictedRule(t *testing.T) {
+	s := shipSystem(t)
+	if _, err := s.Induce(induct.Options{Nc: 3}); err != nil {
+		t.Fatal(err)
+	}
+	full0, _, _ := s.RuleStatus()
+	target := findRule(t, full0, "CLASS.Displacement", "CLASS.Type = SSBN")
+
+	res, err := s.Apply(context.Background(), contradictor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stale == 0 {
+		t.Fatal("contradicting insert reported no stale rules")
+	}
+
+	full, maint, v := s.RuleStatus()
+	if v != res.Version {
+		t.Errorf("RuleStatus version %d, apply installed %d", v, res.Version)
+	}
+	inf := maint.Info(target.ID)
+	if !maint.IsStale(target.ID) || !inf.Definite {
+		t.Fatalf("R%d not definitely stale: %+v", target.ID, inf)
+	}
+	if _, ok := full.ByID(target.ID); !ok {
+		t.Error("full set must retain the stale rule for operators")
+	}
+	if _, ok := s.Rules().ByID(target.ID); ok {
+		t.Error("serving set still contains the contradicted rule")
+	}
+
+	// The intensional answer must no longer be derived through the
+	// contradicted rule, in any mode.
+	for _, mode := range []answer.Mode{answer.ForwardOnly, answer.BackwardOnly, answer.Combined} {
+		resp, err := s.Query(`SELECT SUBMARINE.ID FROM SUBMARINE, CLASS
+			WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000`, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Version != res.Version {
+			t.Errorf("mode %v answered from version %d, want %d", mode, resp.Version, res.Version)
+		}
+		for _, f := range resp.Inference.Facts {
+			for _, id := range f.Via {
+				if id == target.ID {
+					t.Errorf("mode %v derived a fact via stale R%d", mode, target.ID)
+				}
+			}
+		}
+		for _, d := range resp.Inference.Descriptions {
+			if d.Via == target.ID {
+				t.Errorf("mode %v described via stale R%d", mode, target.ID)
+			}
+		}
+	}
+}
+
+func TestMaintainReinducesOnlyStaleSchemes(t *testing.T) {
+	s := shipSystem(t)
+	if _, err := s.Induce(induct.Options{Nc: 3}); err != nil {
+		t.Fatal(err)
+	}
+	full0, _, _ := s.RuleStatus()
+	target := findRule(t, full0, "CLASS.Displacement", "CLASS.Type = SSBN")
+
+	if _, err := s.Apply(context.Background(), contradictor); err != nil {
+		t.Fatal(err)
+	}
+	// The re-induction scope is whatever schemes the mutation touched
+	// (the target's for certain, plus conservatively staled join
+	// schemes); rules outside it must survive by identity.
+	fullAfter, stateAfter, _ := s.RuleStatus()
+	scope := map[string]bool{}
+	for _, k := range stateAfter.SchemeKeys(fullAfter) {
+		scope[k] = true
+	}
+	if !scope[target.Scheme().Key()] {
+		t.Fatal("contradicted rule's scheme not in the re-induction scope")
+	}
+	var untouched []*rules.Rule
+	for _, r := range fullAfter.Rules() {
+		if !scope[r.Scheme().Key()] {
+			untouched = append(untouched, r)
+		}
+	}
+	if len(untouched) == 0 {
+		t.Fatal("every scheme went stale; fixture cannot show scoping")
+	}
+	vBefore := s.Version()
+	res, err := s.Maintain(induct.Options{Nc: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != vBefore+1 {
+		t.Errorf("maintain installed version %d, want %d", res.Version, vBefore+1)
+	}
+	if len(res.Schemes) == 0 || res.Dropped == 0 {
+		t.Errorf("maintain result = %+v", res)
+	}
+
+	full, maint, _ := s.RuleStatus()
+	if st, ref := maint.Counts(); st != 0 || ref != 0 {
+		t.Errorf("state after maintain: %d stale, %d refinable", st, ref)
+	}
+	for _, r := range untouched {
+		got, ok := full.ByID(r.ID)
+		if !ok || got != r {
+			t.Errorf("untouched R%d lost or renumbered by maintain", r.ID)
+		}
+	}
+	// All-valid: the serving set is the full set again.
+	if s.Rules().Len() != full.Len() {
+		t.Errorf("serving %d of %d rules after maintain", s.Rules().Len(), full.Len())
+	}
+
+	// Nothing stale: a second pass is a no-op at the same version.
+	res2, err := s.Maintain(induct.Options{Nc: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Version != res.Version || len(res2.Schemes) != 0 {
+		t.Errorf("idle maintain = %+v", res2)
+	}
+}
+
+func TestOpenDurableReplaysLoggedBatches(t *testing.T) {
+	s, dir := durableShip(t, false, core.DurableOptions{})
+	if !s.Durable() {
+		t.Fatal("OpenDurable produced a non-durable system")
+	}
+	before := tableLen(t, s, shipdb.Submarine)
+	if _, err := s.Apply(context.Background(), `INSERT INTO SUBMARINE VALUES ('SSN996', 'Echo', '0204')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(context.Background(), `UPDATE SUBMARINE SET Name = 'Echo II' WHERE Id = 'SSN996'`); err != nil {
+		t.Fatal(err)
+	}
+	if s.WalSize() == 0 {
+		t.Fatal("durable applies left the WAL empty")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The directory on disk has NOT been rewritten; recovery is replay.
+	s2, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := tableLen(t, s2, shipdb.Submarine); got != before+1 {
+		t.Fatalf("replay restored %d rows, want %d", got, before+1)
+	}
+	r, err := s2.Catalog().Get(shipdb.Submarine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range r.Rows() {
+		if strings.Contains(fmt.Sprint(row), "Echo II") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("replayed update lost: no 'Echo II' row")
+	}
+}
+
+func TestCheckpointTruncatesWalWithoutDoubleApply(t *testing.T) {
+	s, dir := durableShip(t, false, core.DurableOptions{})
+	before := tableLen(t, s, shipdb.Sonar)
+	if _, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-03', 'Towed')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s.WalSize() != 0 {
+		t.Errorf("wal size %d after checkpoint, want 0", s.WalSize())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := tableLen(t, s2, shipdb.Sonar); got != before+1 {
+		t.Errorf("after checkpoint+reopen: %d rows, want %d (double-apply?)", got, before+1)
+	}
+}
+
+func TestSaveOwnDirIsCheckpoint(t *testing.T) {
+	s, dir := durableShip(t, false, core.DurableOptions{})
+	if _, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-04', 'Hull')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if s.WalSize() != 0 {
+		t.Error("Save over the durable directory must truncate the WAL")
+	}
+	// Save elsewhere must NOT touch the log.
+	if _, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-05', 'Hull')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(t.TempDir() + "/copy"); err != nil {
+		t.Fatal(err)
+	}
+	if s.WalSize() == 0 {
+		t.Error("Save to a different directory truncated the WAL")
+	}
+}
+
+func TestAutoCheckpointThreshold(t *testing.T) {
+	s, _ := durableShip(t, false, core.DurableOptions{CheckpointBytes: 1})
+	res, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-06', 'Active')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Checkpointed {
+		t.Error("apply past the threshold must auto-checkpoint")
+	}
+	if s.WalSize() != 0 {
+		t.Errorf("wal size %d after auto-checkpoint", s.WalSize())
+	}
+}
+
+func TestCheckpointNotDurable(t *testing.T) {
+	s := shipSystem(t)
+	if err := s.Checkpoint(); !errors.Is(err, core.ErrNotDurable) {
+		t.Errorf("Checkpoint on non-durable system: %v", err)
+	}
+	if s.Durable() || s.WalSize() != 0 {
+		t.Error("plain system reports durability")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("Close on non-durable system: %v", err)
+	}
+}
+
+// TestCrashBeforeCommitLosesBatch kills the apply after execution but
+// before the WAL append: the batch was never acknowledged and must be
+// gone after restart.
+func TestCrashBeforeCommitLosesBatch(t *testing.T) {
+	s, dir := durableShip(t, false, core.DurableOptions{})
+	before := tableLen(t, s, shipdb.Submarine)
+	boom := errors.New("simulated crash")
+	restore := core.SetApplyHook(func(stage string) error {
+		if stage == "executed" {
+			return boom
+		}
+		return nil
+	})
+	_, err := s.Apply(context.Background(), `INSERT INTO SUBMARINE VALUES ('SSN995', 'Wraith', '0204')`)
+	restore()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := tableLen(t, s, shipdb.Submarine); got != before {
+		t.Errorf("aborted apply visible in memory: %d rows", got)
+	}
+	if s.WalSize() != 0 {
+		t.Error("aborted apply reached the WAL")
+	}
+	s.Close()
+
+	s2, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := tableLen(t, s2, shipdb.Submarine); got != before {
+		t.Errorf("lost batch resurrected on restart: %d rows, want %d", got, before)
+	}
+}
+
+// TestCrashAfterCommitReplaysBatch kills the apply after the WAL fsync
+// but before the snapshot installs: the record is the commit point, so
+// restart must restore the mutation.
+func TestCrashAfterCommitReplaysBatch(t *testing.T) {
+	s, dir := durableShip(t, false, core.DurableOptions{})
+	before := tableLen(t, s, shipdb.Submarine)
+	boom := errors.New("simulated crash")
+	restore := core.SetApplyHook(func(stage string) error {
+		if stage == "logged" {
+			return boom
+		}
+		return nil
+	})
+	_, err := s.Apply(context.Background(), `INSERT INTO SUBMARINE VALUES ('SSN994', 'Revenant', '0204')`)
+	restore()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.WalSize() == 0 {
+		t.Fatal("commit point not reached")
+	}
+	s.Close()
+
+	s2, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := tableLen(t, s2, shipdb.Submarine); got != before+1 {
+		t.Errorf("committed batch not replayed: %d rows, want %d", got, before+1)
+	}
+}
+
+// TestReplayPreservesStaleness proves staleness is re-derived
+// deterministically from the log: a contradicting insert replayed on
+// restart leaves the rule withheld, never served as valid.
+func TestReplayPreservesStaleness(t *testing.T) {
+	s, dir := durableShip(t, true, core.DurableOptions{})
+	full0, _, _ := s.RuleStatus()
+	target := findRule(t, full0, "CLASS.Displacement", "CLASS.Type = SSBN")
+	if _, err := s.Apply(context.Background(), contradictor); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	_, maint, _ := s2.RuleStatus()
+	if !maint.IsStale(target.ID) {
+		t.Fatal("replay lost the staleness mark")
+	}
+	if _, ok := s2.Rules().ByID(target.ID); ok {
+		t.Error("contradicted rule served as valid after restart")
+	}
+}
+
+func TestAutoMaintainClearsStaleness(t *testing.T) {
+	s := shipSystem(t)
+	if _, err := s.Induce(induct.Options{Nc: 3}); err != nil {
+		t.Fatal(err)
+	}
+	s.StartAutoMaintain(induct.Options{Nc: 3, Workers: 2})
+	defer s.StopAutoMaintain()
+
+	res, err := s.Apply(context.Background(), contradictor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stale == 0 {
+		t.Fatal("contradictor produced no staleness")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, maint, _ := s.RuleStatus()
+		if st, _ := maint.Counts(); st == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto-maintain never cleared the stale rules")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	runs, errs := s.AutoMaintainStats()
+	if runs == 0 || errs != 0 {
+		t.Errorf("auto-maintain stats: %d runs, %d errors", runs, errs)
+	}
+}
+
+// TestConcurrentMutateQueryHammer drives writers and readers in every
+// answer mode against one durable system under the race detector. The
+// invariant: once the contradicting insert commits at version V, no
+// response produced by a snapshot ≥ V derives anything through the
+// contradicted rule. (No Maintain runs here, so rule IDs are never
+// reassigned and the ID-based check is exact; Maintain racing the write
+// path is covered by TestConcurrentMaintainRace.)
+func TestConcurrentMutateQueryHammer(t *testing.T) {
+	s, _ := durableShip(t, true, core.DurableOptions{CheckpointBytes: 1 << 16})
+	full0, _, _ := s.RuleStatus()
+	target := findRule(t, full0, "CLASS.Displacement", "CLASS.Type = SSBN")
+
+	var staleAt atomic.Uint64 // version at which the contradictor committed
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	const query = `SELECT SUBMARINE.ID FROM SUBMARINE, CLASS
+		WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000`
+
+	// Writers: benign inserts on two goroutines, with the contradictor
+	// fired mid-stream.
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 20; i++ {
+				var err error
+				if w == 0 && i == 10 {
+					var res *core.ApplyResult
+					res, err = s.Apply(context.Background(), contradictor)
+					if err == nil {
+						staleAt.Store(res.Version)
+					}
+				} else {
+					_, err = s.Apply(context.Background(),
+						fmt.Sprintf(`INSERT INTO SUBMARINE VALUES ('H%d%02d', 'Hammer', '0204')`, w, i))
+				}
+				if err != nil {
+					t.Errorf("writer: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers in every mode.
+	for _, mode := range []answer.Mode{answer.ForwardOnly, answer.BackwardOnly, answer.Combined} {
+		readers.Add(1)
+		go func(mode answer.Mode) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := s.QueryContext(context.Background(), query, mode)
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				v := staleAt.Load()
+				if v == 0 || resp.Version < v {
+					continue
+				}
+				for _, f := range resp.Inference.Facts {
+					for _, id := range f.Via {
+						if id == target.ID {
+							t.Errorf("version %d served stale R%d (stale since %d)", resp.Version, target.ID, v)
+							return
+						}
+					}
+				}
+				for _, d := range resp.Inference.Descriptions {
+					if d.Via == target.ID {
+						t.Errorf("version %d described via stale R%d", resp.Version, target.ID)
+						return
+					}
+				}
+			}
+		}(mode)
+	}
+
+	waitOrDie := func(wg *sync.WaitGroup, who string) {
+		t.Helper()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("%s deadlocked", who)
+		}
+	}
+	waitOrDie(&writers, "writers")
+	// Give the readers one last look at the final (stale-bearing) version.
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	waitOrDie(&readers, "readers")
+	if staleAt.Load() == 0 {
+		t.Fatal("contradictor never committed")
+	}
+	if _, maint, _ := s.RuleStatus(); !maint.IsStale(target.ID) {
+		t.Error("contradicted rule not stale at the end of the hammer")
+	}
+}
+
+// TestConcurrentMaintainRace races Apply, Maintain, and queries; it
+// asserts nothing errors and the system converges to an all-valid rule
+// base once the writers stop and a final maintenance pass runs. The
+// race detector guards the snapshot-swap discipline.
+func TestConcurrentMaintainRace(t *testing.T) {
+	s := shipSystem(t)
+	if _, err := s.Induce(induct.Options{Nc: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			stmt := fmt.Sprintf(`INSERT INTO SUBMARINE VALUES ('M%03d', 'Racer', '0204')`, i)
+			if i%5 == 3 {
+				stmt = fmt.Sprintf(`INSERT INTO CLASS VALUES ('99%02d', 'Racer', 'SSN', %d)`, i, 16000+i)
+			}
+			if _, err := s.Apply(context.Background(), stmt); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Maintain(induct.Options{Nc: 3, Workers: 2}); err != nil {
+				t.Errorf("maintain: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Query(`SELECT CLASS.CLASSNAME FROM CLASS WHERE CLASS.DISPLACEMENT > 8000`, answer.Combined); err != nil {
+				t.Errorf("reader: %v", err)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if _, err := s.Maintain(induct.Options{Nc: 3}); err != nil {
+		t.Fatal(err)
+	}
+	_, maint, _ := s.RuleStatus()
+	if st, ref := maint.Counts(); st != 0 || ref != 0 {
+		t.Errorf("not all-valid after final maintain: %d stale, %d refinable", st, ref)
+	}
+}

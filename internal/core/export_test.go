@@ -1,0 +1,12 @@
+package core
+
+// SetApplyHook installs a stage hook for crash-injection tests and
+// returns a restore function. Stages are "executed" (catalog mutated,
+// nothing logged) and "logged" (WAL record durable, snapshot not yet
+// installed); a non-nil error from the hook aborts ApplyBatch there,
+// simulating the process dying at that instant.
+func SetApplyHook(f func(stage string) error) func() {
+	old := applyHook
+	applyHook = f
+	return func() { applyHook = old }
+}

@@ -29,23 +29,41 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"intensional/internal/answer"
 	"intensional/internal/dict"
 	"intensional/internal/induct"
 	"intensional/internal/infer"
+	"intensional/internal/maintain"
 	"intensional/internal/query"
 	"intensional/internal/relation"
 	"intensional/internal/rules"
 	"intensional/internal/storage"
+	"intensional/internal/wal"
 )
 
 // System is one intensional query processing instance bound to a
 // database. See the package comment for the concurrency contract.
 type System struct {
-	wmu  sync.Mutex   // serialises snapshot-replacing writers (Induce, Save)
+	wmu  sync.Mutex   // serialises snapshot-replacing writers (Apply, Induce, Maintain, Save, Checkpoint)
 	mu   sync.RWMutex // protects the snapshot pointer swap
 	snap *snapshot    // guarded by mu
+
+	// Durability, set by OpenDurable before the system is shared and
+	// immutable afterwards (the Log has its own internal lock). A nil
+	// log means the system is not durable.
+	log             *wal.Log
+	dir             string
+	checkpointBytes int64
+
+	// Eager-maintenance worker lifecycle (StartAutoMaintain).
+	amu      sync.Mutex
+	autoKick chan struct{} // guarded by amu
+	autoStop chan struct{} // guarded by amu
+	autoDone chan struct{} // guarded by amu
+	autoRuns atomic.Uint64
+	autoErrs atomic.Uint64
 }
 
 // snapshot is one immutable published state of the system. Everything
@@ -58,6 +76,13 @@ type snapshot struct {
 	q       *query.Processor
 	inf     *infer.Processor
 	cache   *responseCache
+	// full is the complete rule base including stale rules; the
+	// dictionary's rule set (what inference serves) is full minus the
+	// rules maint marks stale.
+	full *rules.Set
+	// maint classifies full: which rules a mutation has contradicted
+	// (stale) or loosened (refinable) since the last (re-)induction.
+	maint *maintain.State
 }
 
 func newSnapshot(version uint64, cat *storage.Catalog, d *dict.Dictionary) *snapshot {
@@ -68,6 +93,8 @@ func newSnapshot(version uint64, cat *storage.Catalog, d *dict.Dictionary) *snap
 		q:       query.New(cat),
 		inf:     infer.New(d),
 		cache:   newResponseCache(),
+		full:    d.Rules(),
+		maint:   maintain.NewState(),
 	}
 }
 
@@ -231,10 +258,30 @@ const declsFile = "dictionary.json"
 // declarations to a directory — the complete relocatable unit of
 // Section 5.2.2. The whole directory is written atomically (built in a
 // temporary sibling and swapped into place), so a crash mid-save never
-// corrupts a previously saved database.
+// corrupts a previously saved database. Stale rules are not persisted:
+// the serving rule set is what Save stores, and a load after a crash
+// re-derives staleness deterministically from the replayed WAL.
+//
+// On a durable system, saving over its own directory is a checkpoint:
+// the WAL is truncated in the same critical section, because the saved
+// directory already contains every logged mutation and replaying them
+// again would double-apply.
 func (s *System) Save(dir string) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	if err := s.saveLocked(dir); err != nil {
+		return err
+	}
+	if s.log != nil && filepath.Clean(dir) == filepath.Clean(s.dir) {
+		return s.log.Reset()
+	}
+	return nil
+}
+
+// saveLocked writes the current snapshot to dir. Caller holds wmu.
+//
+//ilint:locked wmu
+func (s *System) saveLocked(dir string) error {
 	sn := s.current()
 	if sn.d.Rules().Len() > 0 {
 		if err := sn.d.StoreRules(); err != nil {

@@ -531,7 +531,25 @@ func (in *Inducer) InduceAll() (*rules.Set, error) {
 	if err != nil {
 		return nil, err
 	}
+	results, err := in.InducePairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	set := rules.NewSet()
+	for _, rs := range results {
+		for _, r := range rs {
+			set.Add(r)
+		}
+	}
+	return set, nil
+}
 
+// InducePairs induces the given candidate pairs on the configured worker
+// pool and returns the per-pair rule lists in input order (unnumbered —
+// the caller commits them to a set). Incremental maintenance uses it to
+// re-induce only the schemes a mutation touched, with the same
+// parallelism and determinism guarantees as InduceAll.
+func (in *Inducer) InducePairs(pairs []Pair) ([][]*rules.Rule, error) {
 	results := make([][]*rules.Rule, len(pairs))
 	errs := make([]error, len(pairs))
 	if w := in.opts.workers(len(pairs)); w <= 1 {
@@ -565,12 +583,5 @@ func (in *Inducer) InduceAll() (*rules.Set, error) {
 			return nil, err
 		}
 	}
-
-	set := rules.NewSet()
-	for _, rs := range results {
-		for _, r := range rs {
-			set.Add(r)
-		}
-	}
-	return set, nil
+	return results, nil
 }

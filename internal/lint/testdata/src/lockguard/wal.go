@@ -1,0 +1,62 @@
+// wal.go shapes the fixture like internal/wal: an append-only log
+// whose offset, file handle, and closed flag share one mutex. The
+// misuses below are the ones a write-ahead log invites — a lock-free
+// fast-path Size(), and rewinding the offset after an error without
+// re-entering the critical section.
+
+package lockguard
+
+import "sync"
+
+type walLog struct {
+	mu     sync.Mutex
+	size   int64 // guarded by mu
+	closed bool  // guarded by mu
+}
+
+// appendRecord holds the lock across the check-write-advance sequence:
+// true negative.
+func (l *walLog) appendRecord(n int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	l.size += n
+	return true
+}
+
+// fastSize is the tempting lock-free read of the current offset; a
+// concurrent append makes it a data race.
+func (l *walLog) fastSize() int64 {
+	return l.size // want "size is guarded by mu"
+}
+
+// rewind undoes a failed append's offset advance, but the error path
+// never acquires the lock the happy path held.
+func (l *walLog) rewind(n int64) {
+	if l.size >= n { // want "size is guarded by mu"
+		l.size -= n // want "size is guarded by mu"
+	}
+}
+
+// markClosed flips the flag without the lock, racing appendRecord's
+// check.
+func (l *walLog) markClosed() {
+	l.closed = true // want "closed is guarded by mu"
+}
+
+// truncateLocked is called from recovery code that already holds mu.
+//
+//ilint:locked mu
+func (l *walLog) truncateLocked() {
+	l.size = 0
+}
+
+var (
+	_ = (*walLog).appendRecord
+	_ = (*walLog).fastSize
+	_ = (*walLog).rewind
+	_ = (*walLog).markClosed
+	_ = (*walLog).truncateLocked
+)

@@ -1,0 +1,214 @@
+package query
+
+import (
+	"testing"
+
+	"intensional/internal/relation"
+	"intensional/internal/shipdb"
+	"intensional/internal/sqlparse"
+	"intensional/internal/storage"
+)
+
+func mustDML(t *testing.T, src string) sqlparse.Stmt {
+	t.Helper()
+	st, err := sqlparse.ParseStatement(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return st
+}
+
+func apply(t *testing.T, cat *storage.Catalog, src string) *Mutation {
+	t.Helper()
+	m, err := ApplyMutation(cat, mustDML(t, src))
+	if err != nil {
+		t.Fatalf("apply %q: %v", src, err)
+	}
+	return m
+}
+
+func TestApplyInsert(t *testing.T) {
+	cat := shipdb.Catalog()
+	before, _ := cat.Get(shipdb.Submarine)
+	n := before.Len()
+
+	m := apply(t, cat, `INSERT INTO SUBMARINE VALUES ('SSN790', 'South Dakota', '0201')`)
+	if m.Kind != "insert" || m.Table != shipdb.Submarine || m.Count() != 1 {
+		t.Errorf("mutation = %+v", m)
+	}
+	after, _ := cat.Get(shipdb.Submarine)
+	if after.Len() != n+1 {
+		t.Errorf("len after insert = %d, want %d", after.Len(), n+1)
+	}
+	// Copy-on-write: the relation object handed out before must be intact.
+	if before.Len() != n {
+		t.Errorf("original relation mutated: len %d, want %d", before.Len(), n)
+	}
+}
+
+func TestApplyInsertColumnListNullFill(t *testing.T) {
+	cat := shipdb.Catalog()
+	apply(t, cat, `INSERT INTO CLASS (Class, Displacement) VALUES ('9901', 5000)`)
+	cls, _ := cat.Get(shipdb.Class)
+	last := cls.Row(cls.Len() - 1)
+	if !last[0].Equal(relation.String("9901")) || !last[3].Equal(relation.Int(5000)) {
+		t.Errorf("row = %v", last)
+	}
+	if !last[1].IsNull() || !last[2].IsNull() {
+		t.Errorf("unmentioned columns should be NULL, got %v", last)
+	}
+}
+
+func TestApplyInsertErrors(t *testing.T) {
+	cat := shipdb.Catalog()
+	cls, _ := cat.Get(shipdb.Class)
+	n := cls.Len()
+	for _, src := range []string{
+		`INSERT INTO nosuch VALUES (1)`,
+		`INSERT INTO CLASS VALUES ('x')`,                         // arity
+		`INSERT INTO CLASS (Nope) VALUES (1)`,                    // unknown column
+		`INSERT INTO CLASS (Class, Class) VALUES ('a', 'b')`,     // dup column
+		`INSERT INTO CLASS VALUES ('a', 'b', 'c', 'not-an-int')`, // type
+	} {
+		if _, err := ApplyMutation(cat, mustDML(t, src)); err == nil {
+			t.Errorf("%q unexpectedly succeeded", src)
+		}
+	}
+	// Multi-row atomicity: second row fails, first must not land.
+	src := `INSERT INTO CLASS (Class) VALUES ('9901'), ('a', 'b')`
+	if _, err := sqlparse.ParseStatement(src); err == nil {
+		t.Fatalf("arity mismatch should fail at parse: %q", src)
+	}
+	bad := mustDML(t, `INSERT INTO CLASS VALUES ('9901', 'x', 'SSN', 1), ('9902', 'y', 'SSN', 'oops')`)
+	if _, err := ApplyMutation(cat, bad); err == nil {
+		t.Fatal("typed row 2 should fail the whole statement")
+	}
+	cls2, _ := cat.Get(shipdb.Class)
+	if cls2.Len() != n {
+		t.Errorf("failed statement changed the catalog: len %d, want %d", cls2.Len(), n)
+	}
+}
+
+func TestApplyDelete(t *testing.T) {
+	cat := shipdb.Catalog()
+	m := apply(t, cat, `DELETE FROM CLASS WHERE Displacement > 8000`)
+	// Ohio (16600) and Typhoon (30000).
+	if len(m.Deleted) != 2 || len(m.Inserted) != 0 {
+		t.Fatalf("deleted %d inserted %d", len(m.Deleted), len(m.Inserted))
+	}
+	cls, _ := cat.Get(shipdb.Class)
+	if cls.Len() != 11 {
+		t.Errorf("len = %d, want 11", cls.Len())
+	}
+	for _, d := range m.Deleted {
+		if c, _ := d[3].Compare(relation.Int(8000)); c <= 0 {
+			t.Errorf("captured wrong tuple %v", d)
+		}
+	}
+
+	all := apply(t, cat, `DELETE FROM CLASS`)
+	if len(all.Deleted) != 11 {
+		t.Errorf("bare DELETE removed %d, want 11", len(all.Deleted))
+	}
+}
+
+func TestApplyDeleteQualifiedAndColCol(t *testing.T) {
+	cat := shipdb.Catalog()
+	m := apply(t, cat, `DELETE FROM SONAR WHERE SONAR.Sonar = SONAR.SonarType`)
+	if len(m.Deleted) != 1 { // TACTAS|TACTAS
+		t.Errorf("deleted %d, want 1 (TACTAS)", len(m.Deleted))
+	}
+	if _, err := ApplyMutation(cat, mustDML(t, `DELETE FROM SONAR WHERE CLASS.Type = 'SSN'`)); err == nil {
+		t.Error("foreign qualifier should be rejected")
+	}
+}
+
+func TestApplyUpdate(t *testing.T) {
+	cat := shipdb.Catalog()
+	m := apply(t, cat, `UPDATE CLASS SET Displacement = 7000, ClassName = 'Renamed' WHERE Type = 'SSBN' AND Displacement < 8000`)
+	// Benjamin Franklin (7250) and Lafayette (7250).
+	if m.Count() != 2 || len(m.Deleted) != 2 || len(m.Inserted) != 2 {
+		t.Fatalf("mutation = %+v", m)
+	}
+	for i := range m.Inserted {
+		if !m.Inserted[i][3].Equal(relation.Int(7000)) || !m.Inserted[i][1].Equal(relation.String("Renamed")) {
+			t.Errorf("new image %v", m.Inserted[i])
+		}
+		if !m.Deleted[i][3].Equal(relation.Int(7250)) {
+			t.Errorf("old image %v", m.Deleted[i])
+		}
+		// Key column untouched.
+		if !m.Inserted[i][0].Equal(m.Deleted[i][0]) {
+			t.Errorf("key changed: %v -> %v", m.Deleted[i], m.Inserted[i])
+		}
+	}
+	cls, _ := cat.Get(shipdb.Class)
+	got := 0
+	for _, row := range cls.Rows() {
+		if row[1].Equal(relation.String("Renamed")) {
+			got++
+		}
+	}
+	if got != 2 {
+		t.Errorf("%d renamed rows in catalog, want 2", got)
+	}
+}
+
+func TestApplyUpdateErrors(t *testing.T) {
+	cat := shipdb.Catalog()
+	cls, _ := cat.Get(shipdb.Class)
+	want := cls.String()
+	for _, src := range []string{
+		`UPDATE CLASS SET Nope = 1`,
+		`UPDATE CLASS SET Displacement = 'not-an-int'`,
+		`UPDATE CLASS SET Displacement = 1, Displacement = 2`,
+		`UPDATE nosuch SET a = 1`,
+	} {
+		if _, err := ApplyMutation(cat, mustDML(t, src)); err == nil {
+			t.Errorf("%q unexpectedly succeeded", src)
+		}
+	}
+	cls2, _ := cat.Get(shipdb.Class)
+	if cls2.String() != want {
+		t.Error("failed updates changed the catalog")
+	}
+}
+
+func TestApplyMutationRejectsSelect(t *testing.T) {
+	cat := shipdb.Catalog()
+	if _, err := ApplyMutation(cat, mustDML(t, `SELECT Class FROM CLASS`)); err == nil {
+		t.Error("SELECT accepted as mutation")
+	}
+}
+
+// TestApplyMutationSnapshotIsolation pins the contract the core layer
+// builds on: mutating a shallow clone leaves the original catalog's view
+// untouched.
+func TestApplyMutationSnapshotIsolation(t *testing.T) {
+	cat := shipdb.Catalog()
+	oldRel, _ := cat.Get(shipdb.Class)
+	oldVersion := oldRel.Version()
+
+	work := cat.ShallowClone()
+	apply(t, work, `DELETE FROM CLASS`)
+	apply(t, work, `INSERT INTO SUBMARINE VALUES ('X1', 'Ghost', '0201')`)
+
+	origCls, _ := cat.Get(shipdb.Class)
+	if origCls.Len() != 13 || origCls.Version() != oldVersion {
+		t.Errorf("original catalog saw the mutation: len %d version %d", origCls.Len(), origCls.Version())
+	}
+	origSub, _ := cat.Get(shipdb.Submarine)
+	if origSub.Len() != 24 {
+		t.Errorf("original SUBMARINE saw the insert: len %d", origSub.Len())
+	}
+	newCls, _ := work.Get(shipdb.Class)
+	if newCls.Len() != 0 {
+		t.Errorf("clone catalog missed the delete: len %d", newCls.Len())
+	}
+	// Untouched relations are shared, not copied.
+	oldSon, _ := cat.Get(shipdb.Sonar)
+	newSon, _ := work.Get(shipdb.Sonar)
+	if oldSon != newSon {
+		t.Error("untouched relation was copied by ShallowClone")
+	}
+}

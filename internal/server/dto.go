@@ -28,16 +28,82 @@ type induceResponse struct {
 	ElapsedMS float64 `json:"elapsedMs"`
 }
 
+// maintainResponse is the POST /maintain response: the schemes that
+// were re-induced and the rule turnover.
+type maintainResponse struct {
+	Version   uint64   `json:"version"`
+	Schemes   []string `json:"schemes,omitempty"`
+	Dropped   int      `json:"dropped"`
+	Added     int      `json:"added"`
+	ElapsedMS float64  `json:"elapsedMs"`
+}
+
+// systemJSON is the GET /metrics system section: one consistent
+// snapshot of the write-path state.
+type systemJSON struct {
+	Version   uint64 `json:"version"`
+	Rules     int    `json:"rules"`
+	Serving   int    `json:"serving"`
+	Stale     int    `json:"stale"`
+	Refinable int    `json:"refinable"`
+	// StaleByRelationship counts non-valid rules per relationship key —
+	// the distinct relations a rule ranges over, sorted and joined with
+	// "+" (e.g. "CLASS" or "CLASS+SONAR").
+	StaleByRelationship map[string]int `json:"staleByRelationship,omitempty"`
+	Durable             bool           `json:"durable"`
+	WalBytes            int64          `json:"walBytes"`
+	AutoMaintainRuns    uint64         `json:"autoMaintainRuns"`
+	AutoMaintainErrs    uint64         `json:"autoMaintainErrs"`
+}
+
+// mutateRequest is the POST /mutate body: either one statement in sql
+// or a batch in stmts (exactly one of the two), applied atomically.
+type mutateRequest struct {
+	SQL   string   `json:"sql"`
+	Stmts []string `json:"stmts"`
+}
+
+// mutationJSON reports one statement's effect.
+type mutationJSON struct {
+	Kind     string `json:"kind"`
+	Table    string `json:"table"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+}
+
+// mutateResponse is the POST /mutate response. Stale and Refinable are
+// the rule-maintenance totals after the batch; Warning carries a
+// committed-but-degraded condition (auto-checkpoint failure).
+type mutateResponse struct {
+	Version      uint64         `json:"version"`
+	Mutations    []mutationJSON `json:"mutations"`
+	Stale        int            `json:"stale"`
+	Refinable    int            `json:"refinable"`
+	Checkpointed bool           `json:"checkpointed,omitempty"`
+	WalBytes     int64          `json:"walBytes"`
+	Warning      string         `json:"warning,omitempty"`
+}
+
 type rulesResponse struct {
-	Version uint64     `json:"version"`
-	Count   int        `json:"count"`
-	Rules   []ruleJSON `json:"rules,omitempty"`
+	Version   uint64     `json:"version"`
+	Count     int        `json:"count"`
+	Serving   int        `json:"serving"`
+	Stale     int        `json:"stale"`
+	Refinable int        `json:"refinable"`
+	Rules     []ruleJSON `json:"rules,omitempty"`
 }
 
 type ruleJSON struct {
 	ID      int    `json:"id"`
 	Rule    string `json:"rule"`
 	Support int    `json:"support"`
+	Status  string `json:"status"`
+	// Stale duplicates Status == "stale" for cheap client checks; stale
+	// rules are withheld from inference until re-induction.
+	Stale           bool   `json:"stale,omitempty"`
+	Counterexamples int    `json:"counterexamples,omitempty"`
+	Definite        bool   `json:"definite,omitempty"`
+	Example         string `json:"example,omitempty"`
 }
 
 type healthzResponse struct {
@@ -45,6 +111,8 @@ type healthzResponse struct {
 	Version   uint64 `json:"version"`
 	Relations int    `json:"relations"`
 	Rules     int    `json:"rules"`
+	Stale     int    `json:"stale"`
+	Durable   bool   `json:"durable"`
 }
 
 // relationJSON is the wire form of an extensional answer. Cells are

@@ -74,6 +74,9 @@ type endpointJSON struct {
 
 type metricsJSON struct {
 	Endpoints map[string]endpointJSON `json:"endpoints"`
+	// System is filled in by the handler from the core snapshot; the
+	// registry itself only owns the per-endpoint counters.
+	System systemJSON `json:"system"`
 }
 
 // snapshot copies the registry into its wire form. encoding/json sorts

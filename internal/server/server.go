@@ -3,15 +3,21 @@
 // prototype to a concurrent network service. Endpoints:
 //
 //	POST /query    SQL in, extensional + intensional answer out
+//	POST /mutate   INSERT/DELETE/UPDATE batch, applied atomically
 //	POST /induce   re-run rule induction, install a new snapshot
-//	GET  /rules    the current rule base
+//	POST /maintain re-induce only the schemes holding stale rules
+//	GET  /rules    the current rule base with per-rule staleness
 //	GET  /healthz  liveness plus version/relation/rule counts
-//	GET  /metrics  per-endpoint request counters and latency histograms
+//	GET  /metrics  per-endpoint request counters and latency histograms,
+//	               plus the system section: snapshot version, WAL size,
+//	               and per-relationship rule staleness
 //
 // Every request runs under a deadline; /query relies on core's
 // snapshot-swap concurrency contract, so any number of queries proceed
-// while /induce builds and atomically installs a new rule base. No
-// dependencies beyond the standard library.
+// while /induce builds and atomically installs a new rule base, and a
+// /mutate that contradicts a rule installs a snapshot whose inference
+// set already withholds it. No dependencies beyond the standard
+// library.
 package server
 
 import (
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -27,6 +34,8 @@ import (
 	"intensional/internal/answer"
 	"intensional/internal/core"
 	"intensional/internal/induct"
+	"intensional/internal/maintain"
+	"intensional/internal/rules"
 )
 
 // Options configures a Server. Zero values select the defaults.
@@ -80,7 +89,9 @@ func (s *Server) Handler() http.Handler {
 	}
 	qt := s.opts.queryTimeout()
 	route("POST /query", qt, s.handleQuery)
+	route("POST /mutate", qt, s.handleMutate)
 	route("POST /induce", s.opts.induceTimeout(), s.handleInduce)
+	route("POST /maintain", s.opts.induceTimeout(), s.handleMaintain)
 	route("GET /rules", qt, s.handleRules)
 	route("GET /healthz", qt, s.handleHealthz)
 	route("GET /metrics", qt, s.handleMetrics)
@@ -208,24 +219,193 @@ func (s *Server) handleInduce(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMutate applies a DML batch atomically through the write path.
+// The response is sent only after the batch is durable (on a durable
+// system) and the new snapshot — with any contradicted rules withheld —
+// is installed.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if s.slow != nil {
+		s.slow()
+	}
+	var req mutateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	stmts := req.Stmts
+	if strings.TrimSpace(req.SQL) != "" {
+		if len(stmts) > 0 {
+			writeError(w, http.StatusBadRequest, "give either sql or stmts, not both")
+			return
+		}
+		stmts = []string{req.SQL}
+	}
+	if len(stmts) == 0 {
+		writeError(w, http.StatusBadRequest, "missing sql or stmts")
+		return
+	}
+	res, err := s.sys.ApplyBatch(r.Context(), stmts)
+	if err != nil && res == nil {
+		switch {
+		case r.Context().Err() != nil && errors.Is(err, r.Context().Err()):
+			writeError(w, http.StatusGatewayTimeout, "mutation abandoned at deadline")
+		case errors.Is(err, core.ErrLogFailed):
+			writeError(w, http.StatusInternalServerError, err.Error())
+		default:
+			// Parse errors, unknown tables/columns, arity and type
+			// mismatches: properties of the request.
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	out := mutateResponse{
+		Version:      res.Version,
+		Mutations:    make([]mutationJSON, 0, len(res.Mutations)),
+		Stale:        res.Stale,
+		Refinable:    res.Refinable,
+		Checkpointed: res.Checkpointed,
+		WalBytes:     s.sys.WalSize(),
+	}
+	for _, m := range res.Mutations {
+		out.Mutations = append(out.Mutations, mutationJSON{
+			Kind:     m.Kind,
+			Table:    m.Table,
+			Inserted: len(m.Inserted),
+			Deleted:  len(m.Deleted),
+		})
+	}
+	if err != nil {
+		// The batch committed; only post-commit housekeeping (the
+		// auto-checkpoint) failed.
+		out.Warning = err.Error()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMaintain re-induces exactly the schemes holding stale or
+// refinable rules — the lazy counterpart to the -auto-maintain worker.
+func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
+	if s.slow != nil {
+		s.slow()
+	}
+	var req induceRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Nc < 0 || req.NcFraction < 0 || req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "nc, ncFraction, and workers must be non-negative")
+		return
+	}
+	start := time.Now()
+	res, err := s.sys.Maintain(induct.Options{
+		Nc:         req.Nc,
+		NcFraction: req.NcFraction,
+		Workers:    req.Workers,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, maintainResponse{
+		Version:   res.Version,
+		Schemes:   res.Schemes,
+		Dropped:   res.Dropped,
+		Added:     res.Added,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
 func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
-	set := s.sys.Rules()
-	out := rulesResponse{Version: s.sys.Version(), Count: set.Len()}
-	for _, r := range set.Rules() {
-		out.Rules = append(out.Rules, ruleJSON{ID: r.ID, Rule: r.String(), Support: r.Support})
+	full, maint, version := s.sys.RuleStatus()
+	stale, refinable := maint.Counts()
+	out := rulesResponse{
+		Version:   version,
+		Count:     full.Len(),
+		Serving:   full.Len() - stale,
+		Stale:     stale,
+		Refinable: refinable,
+	}
+	for _, r := range full.Rules() {
+		inf := maint.Info(r.ID)
+		out.Rules = append(out.Rules, ruleJSON{
+			ID:              r.ID,
+			Rule:            r.String(),
+			Support:         r.Support,
+			Status:          inf.Status.String(),
+			Stale:           inf.Status == maintain.Stale,
+			Counterexamples: inf.Counterexamples,
+			Definite:        inf.Definite,
+			Example:         inf.Example,
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	_, maint, version := s.sys.RuleStatus()
+	stale, _ := maint.Counts()
 	writeJSON(w, http.StatusOK, healthzResponse{
 		OK:        true,
-		Version:   s.sys.Version(),
+		Version:   version,
 		Relations: s.sys.Catalog().Len(),
 		Rules:     s.sys.Rules().Len(),
+		Stale:     stale,
+		Durable:   s.sys.Durable(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.met.snapshot())
+	snap := s.met.snapshot()
+	snap.System = s.systemMetrics()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// systemMetrics reads one consistent snapshot of the write-path state:
+// version, rule staleness (totals and per relationship), and WAL size.
+func (s *Server) systemMetrics() systemJSON {
+	full, maint, version := s.sys.RuleStatus()
+	stale, refinable := maint.Counts()
+	runs, errs := s.sys.AutoMaintainStats()
+	out := systemJSON{
+		Version:          version,
+		Rules:            full.Len(),
+		Serving:          full.Len() - stale,
+		Stale:            stale,
+		Refinable:        refinable,
+		Durable:          s.sys.Durable(),
+		WalBytes:         s.sys.WalSize(),
+		AutoMaintainRuns: runs,
+		AutoMaintainErrs: errs,
+	}
+	for _, r := range full.Rules() {
+		if maint.Info(r.ID).Status == maintain.Valid {
+			continue
+		}
+		if out.StaleByRelationship == nil {
+			out.StaleByRelationship = make(map[string]int)
+		}
+		out.StaleByRelationship[relationshipKey(r)]++
+	}
+	return out
+}
+
+// relationshipKey names the relation or join a rule ranges over: the
+// distinct relation names of its clauses, sorted and joined with "+".
+func relationshipKey(r *rules.Rule) string {
+	seen := map[string]bool{}
+	var names []string
+	add := func(rel string) {
+		u := strings.ToUpper(rel)
+		if !seen[u] {
+			seen[u] = true
+			names = append(names, u)
+		}
+	}
+	for _, c := range r.LHS {
+		add(c.Attr.Relation)
+	}
+	add(r.RHS.Attr.Relation)
+	sort.Strings(names)
+	return strings.Join(names, "+")
 }

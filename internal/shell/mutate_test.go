@@ -1,0 +1,144 @@
+package shell_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"intensional/internal/core"
+	"intensional/internal/shell"
+	"intensional/internal/shipdb"
+)
+
+// durableShell builds a shell over a durable system saved to a temp
+// directory.
+func durableShell(t *testing.T) (*shell.Shell, *bytes.Buffer, string) {
+	t.Helper()
+	cat := shipdb.Catalog()
+	d, err := shipdb.Dictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir() + "/db"
+	if err := core.New(cat, d).Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	var out bytes.Buffer
+	return shell.New(sys, nil, &out), &out, dir
+}
+
+func TestShellMutateLifecycle(t *testing.T) {
+	out := run(t,
+		".induce 3",
+		`INSERT INTO SUBMARINE VALUES ('SSN992', 'Shelltest', '0204')`,
+		`INSERT INTO CLASS VALUES ('9901', 'Contradictor', 'SSN', 16600)`,
+		".rules",
+		".maintain 3",
+		".maintain 3",
+		`DELETE FROM SUBMARINE WHERE Id = 'SSN992'`,
+		`UPDATE CLASS SET ClassName = 'Renamed' WHERE Class = '9901'`,
+	)
+	for _, want := range []string{
+		"insert SUBMARINE: 1 inserted, 0 deleted",
+		"rule(s) now stale and withheld from inference — run .maintain",
+		"[stale, 1 counterexample(s)]",
+		"re-induced",
+		"rule base already all-valid; nothing to re-induce",
+		"delete SUBMARINE: 0 inserted, 1 deleted",
+		"update CLASS: 1 inserted, 1 deleted",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShellMutateError(t *testing.T) {
+	out := run(t, `INSERT INTO NOPE VALUES (1)`, `DELETE FROM`)
+	if strings.Count(out, "error:") != 2 {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestShellStatusAndCheckpoint(t *testing.T) {
+	// Non-durable: .status says in-memory, .checkpoint errors.
+	out := run(t, ".status", ".checkpoint")
+	if !strings.Contains(out, "in-memory: no write-ahead log") {
+		t.Errorf("status output = %q", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Errorf("checkpoint on in-memory system must error: %q", out)
+	}
+
+	// Durable: mutate grows the WAL, .checkpoint truncates it.
+	sh, buf, _ := durableShell(t)
+	for _, line := range []string{
+		`INSERT INTO SONAR VALUES ('TST-20', 'Shell')`,
+		".status",
+		".checkpoint",
+		".status",
+	} {
+		sh.Exec(line)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "durable:") {
+		t.Errorf("durable status missing: %q", s)
+	}
+	if !strings.Contains(s, "checkpointed: database saved, write-ahead log truncated") {
+		t.Errorf("checkpoint output missing: %q", s)
+	}
+	if !strings.Contains(s, "durable: 0 bytes in the write-ahead log") {
+		t.Errorf("post-checkpoint status should show an empty WAL: %q", s)
+	}
+}
+
+func TestShellModes(t *testing.T) {
+	const q = `SELECT SUBMARINE.ID FROM SUBMARINE, CLASS
+		WHERE SUBMARINE.CLASS = CLASS.CLASS AND CLASS.DISPLACEMENT > 8000`
+	out := run(t, ".induce 3", ".mode extensional", q)
+	if strings.Contains(out, "intensional answer:") || !strings.Contains(out, "extensional answer (2 tuples)") {
+		t.Errorf("extensional mode output = %q", out)
+	}
+	out = run(t, ".induce 3", ".mode intensional", q)
+	if strings.Contains(out, "extensional answer") || !strings.Contains(out, "intensional answer:") {
+		t.Errorf("intensional mode output = %q", out)
+	}
+	// Every documented mode is accepted.
+	for _, m := range shell.Modes() {
+		if out := run(t, ".mode "+m); !strings.Contains(out, "mode set to "+m) {
+			t.Errorf("mode %s rejected: %q", m, out)
+		}
+	}
+}
+
+// TestHelpMatchesCommandTable pins .help to the shared table: every
+// command row appears, including the server-era modes and the write
+// path commands the old hand-written help screen omitted.
+func TestHelpMatchesCommandTable(t *testing.T) {
+	out := run(t, ".help")
+	for _, c := range shell.Commands() {
+		if !strings.Contains(out, c.Name) || !strings.Contains(out, c.Summary) {
+			t.Errorf("help missing command %s (%s)", c.Name, c.Summary)
+		}
+	}
+	for _, m := range shell.Modes() {
+		if !strings.Contains(out, m) {
+			t.Errorf("help does not document mode %q", m)
+		}
+	}
+	// Dispatcher coverage: every dot-command in the table is handled
+	// (an unhandled one would print "unknown command").
+	for _, c := range shell.Commands() {
+		if !strings.HasPrefix(c.Name, ".") || c.Name == ".quit" {
+			continue
+		}
+		if out := run(t, c.Name); strings.Contains(out, "unknown command") {
+			t.Errorf("documented command %s is not dispatched", c.Name)
+		}
+	}
+}

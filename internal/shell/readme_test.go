@@ -1,0 +1,32 @@
+package shell_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"intensional/internal/shell"
+)
+
+// TestReadmeDocumentsCommandTable guards README.md against drifting
+// from the shell: every command in the shared table and every query
+// mode must be mentioned. The help screen is rendered from the same
+// table (TestHelpMatchesCommandTable), so shell, help, and README stay
+// in lockstep — adding a command without documenting it fails here.
+func TestReadmeDocumentsCommandTable(t *testing.T) {
+	b, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("README.md: %v", err)
+	}
+	readme := string(b)
+	for _, c := range shell.Commands() {
+		if !strings.Contains(readme, c.Name) {
+			t.Errorf("README.md does not document shell command %q (%s)", c.Name, c.Summary)
+		}
+	}
+	for _, m := range shell.Modes() {
+		if !strings.Contains(readme, "`"+m+"`") {
+			t.Errorf("README.md does not document query mode %q", m)
+		}
+	}
+}

@@ -1,12 +1,19 @@
 // Package shell implements the interactive intensional query processor
 // behind cmd/iqp: SQL queries answered extensionally and intensionally,
-// plus dot-commands for induction, rule inspection, integrity checking,
-// decision trees, and database relocation. It reads from an io.Reader
-// and writes to an io.Writer so the whole loop is testable.
+// DML statements routed through the durable write path, plus
+// dot-commands for induction, incremental rule maintenance, rule
+// inspection, integrity checking, decision trees, checkpointing, and
+// database relocation. It reads from an io.Reader and writes to an
+// io.Writer so the whole loop is testable.
+//
+// The command list is a single table (Commands) that the .help screen
+// is rendered from and that the README's command table is tested
+// against, so the two cannot drift.
 package shell
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -18,9 +25,11 @@ import (
 	"intensional/internal/induct"
 	"intensional/internal/integrity"
 	"intensional/internal/ker"
+	"intensional/internal/maintain"
 	"intensional/internal/query"
 	"intensional/internal/rules"
 	"intensional/internal/semopt"
+	"intensional/internal/sqlparse"
 )
 
 // Shell is one interactive session.
@@ -28,13 +37,66 @@ type Shell struct {
 	sys     *core.System
 	model   *ker.Model // optional, enables .check
 	mode    answer.Mode
+	wantExt bool // print the extensional section of answers
+	wantInt bool // print the intensional section of answers
 	explain bool
 	out     io.Writer
 }
 
 // New creates a shell over a system. model may be nil (disables .check).
 func New(sys *core.System, model *ker.Model, out io.Writer) *Shell {
-	return &Shell{sys: sys, model: model, mode: answer.Combined, out: out}
+	return &Shell{sys: sys, model: model, mode: answer.Combined, wantExt: true, wantInt: true, out: out}
+}
+
+// Command is one row of the shell's command table — the single source
+// the .help screen and the README's command documentation draw from.
+type Command struct {
+	Name    string // the command or input form, e.g. ".induce"
+	Args    string // argument syntax, e.g. "[Nc]"
+	Summary string
+}
+
+// Modes lists the five answer modes .mode accepts — the same set the
+// iqpd server's POST /query accepts, in the same spelling.
+func Modes() []string {
+	return []string{"extensional", "intensional", "combined", "forward", "backward"}
+}
+
+// commands is the command table in help order. Keep summaries to one
+// line; HelpText aligns on the name+args column.
+var commands = []Command{
+	{"SELECT", "...", "run a query (both answer forms; aggregates + GROUP BY supported)"},
+	{"INSERT/UPDATE/DELETE", "...", "mutate the database through the write path (WAL-logged when durable)"},
+	{".induce", "[Nc]", "run the Inductive Learning Subsystem (default Nc=2)"},
+	{".maintain", "[Nc]", "re-induce only the schemes holding stale or refinable rules"},
+	{".rules", "", "show the rule base with staleness marks"},
+	{".status", "", "snapshot version, rule staleness, durability, WAL size"},
+	{".schema", "", "list relations"},
+	{".show", "REL", "print a relation"},
+	{".hierarchies", "", "list declared type hierarchies"},
+	{".hierarchy", "OBJ", "render one hierarchy chain with instance counts"},
+	{".comparisons", "", "induce inter-object comparison knowledge"},
+	{".check", "", "validate data against the KER schema constraints"},
+	{".tree", "REL Y X...", "grow a decision tree classifying Y from X columns"},
+	{".explain", "on|off", "print derivation traces after each query"},
+	{".optimize", "SQL", "semantic-optimization advice for a query"},
+	{".mode", "MODE", "extensional | intensional | combined | forward | backward"},
+	{".checkpoint", "", "save the durable database and truncate its WAL"},
+	{".save", "DIR", "save database + dictionary + rules"},
+	{".quit", "", "exit"},
+}
+
+// Commands returns the command table.
+func Commands() []Command { return commands }
+
+// HelpText renders the command table as the .help screen.
+func HelpText() string {
+	var b strings.Builder
+	for _, c := range commands {
+		left := strings.TrimSpace(c.Name + " " + c.Args)
+		fmt.Fprintf(&b, "  %-21s %s\n", left, c.Summary)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // Run processes lines until EOF or .quit.
@@ -58,9 +120,13 @@ func (s *Shell) Exec(line string) bool {
 	case line == ".quit" || line == ".exit":
 		return false
 	case line == ".help":
-		fmt.Fprintln(s.out, helpText)
+		fmt.Fprintln(s.out, HelpText())
 	case line == ".rules":
 		s.cmdRules()
+	case line == ".status":
+		s.cmdStatus()
+	case line == ".checkpoint":
+		s.cmdCheckpoint()
 	case line == ".schema":
 		s.cmdSchema()
 	case line == ".hierarchies":
@@ -83,10 +149,14 @@ func (s *Shell) Exec(line string) bool {
 		s.cmdMode(arg(line, ".mode"))
 	case strings.HasPrefix(line, ".induce"):
 		s.cmdInduce(arg(line, ".induce"))
+	case strings.HasPrefix(line, ".maintain"):
+		s.cmdMaintain(arg(line, ".maintain"))
 	case strings.HasPrefix(line, ".save"):
 		s.cmdSave(arg(line, ".save"))
 	case strings.HasPrefix(line, "."):
 		fmt.Fprintln(s.out, "unknown command; .help lists commands")
+	case sqlparse.LooksLikeDML(line):
+		s.cmdMutate(line)
 	default:
 		s.cmdQuery(line)
 	}
@@ -98,12 +168,67 @@ func arg(line, cmd string) string {
 }
 
 func (s *Shell) cmdRules() {
-	if s.sys.Rules().Len() == 0 {
+	full, st, _ := s.sys.RuleStatus()
+	if full.Len() == 0 {
 		fmt.Fprintln(s.out, "rule base empty — run .induce first")
 		return
 	}
-	for _, r := range s.sys.Rules().Rules() {
-		fmt.Fprintf(s.out, "R%-3d %-70s (support %d)\n", r.ID, r.String(), r.Support)
+	for _, r := range full.Rules() {
+		fmt.Fprintf(s.out, "R%-3d %-70s (support %d)", r.ID, r.String(), r.Support)
+		if inf := st.Info(r.ID); inf.Status != maintain.Valid {
+			fmt.Fprintf(s.out, "  [%s", inf.Status)
+			if inf.Counterexamples > 0 {
+				fmt.Fprintf(s.out, ", %d counterexample(s)", inf.Counterexamples)
+			}
+			fmt.Fprint(s.out, "]")
+		}
+		fmt.Fprintln(s.out)
+	}
+	if stale, refinable := st.Counts(); stale > 0 || refinable > 0 {
+		fmt.Fprintf(s.out, "%d stale (withheld from inference), %d refinable — run .maintain\n", stale, refinable)
+	}
+}
+
+func (s *Shell) cmdStatus() {
+	full, st, version := s.sys.RuleStatus()
+	stale, refinable := st.Counts()
+	fmt.Fprintf(s.out, "version %d: %d relations, %d rules (%d serving, %d stale, %d refinable)\n",
+		version, s.sys.Catalog().Len(), full.Len(), full.Len()-stale, stale, refinable)
+	if s.sys.Durable() {
+		fmt.Fprintf(s.out, "durable: %d bytes in the write-ahead log\n", s.sys.WalSize())
+	} else {
+		fmt.Fprintln(s.out, "in-memory: no write-ahead log (open with iqp -db DIR -wal)")
+	}
+}
+
+func (s *Shell) cmdCheckpoint() {
+	if err := s.sys.Checkpoint(); err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	fmt.Fprintln(s.out, "checkpointed: database saved, write-ahead log truncated")
+}
+
+// cmdMutate routes INSERT/UPDATE/DELETE through the write path: the
+// statement commits (durably, when the system has a WAL) and installs a
+// new snapshot whose inference set withholds any contradicted rule.
+func (s *Shell) cmdMutate(sql string) {
+	res, err := s.sys.Apply(context.Background(), sql)
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	for _, m := range res.Mutations {
+		fmt.Fprintf(s.out, "%s %s: %d inserted, %d deleted (version %d)\n",
+			m.Kind, m.Table, len(m.Inserted), len(m.Deleted), res.Version)
+	}
+	if res.Stale > 0 {
+		fmt.Fprintf(s.out, "warning: %d rule(s) now stale and withheld from inference — run .maintain\n", res.Stale)
+	} else if res.Refinable > 0 {
+		fmt.Fprintf(s.out, "note: %d rule(s) refinable — .maintain will tighten them\n", res.Refinable)
+	}
+	if res.Checkpointed {
+		fmt.Fprintln(s.out, "auto-checkpoint: database saved, write-ahead log truncated")
 	}
 }
 
@@ -266,13 +391,17 @@ func (s *Shell) cmdExplain(arg string) {
 func (s *Shell) cmdMode(m string) {
 	switch m {
 	case "forward":
-		s.mode = answer.ForwardOnly
+		s.mode, s.wantExt, s.wantInt = answer.ForwardOnly, true, true
 	case "backward":
-		s.mode = answer.BackwardOnly
+		s.mode, s.wantExt, s.wantInt = answer.BackwardOnly, true, true
 	case "combined":
-		s.mode = answer.Combined
+		s.mode, s.wantExt, s.wantInt = answer.Combined, true, true
+	case "extensional":
+		s.mode, s.wantExt, s.wantInt = answer.Combined, true, false
+	case "intensional":
+		s.mode, s.wantExt, s.wantInt = answer.Combined, false, true
 	default:
-		fmt.Fprintln(s.out, "usage: .mode forward|backward|combined")
+		fmt.Fprintf(s.out, "usage: .mode %s\n", strings.Join(Modes(), "|"))
 		return
 	}
 	fmt.Fprintf(s.out, "mode set to %s\n", m)
@@ -296,6 +425,29 @@ func (s *Shell) cmdInduce(ncArg string) {
 	fmt.Fprintf(s.out, "induced %d rules (Nc = %d)\n", set.Len(), nc)
 }
 
+func (s *Shell) cmdMaintain(ncArg string) {
+	nc := 2
+	if ncArg != "" {
+		n, err := strconv.Atoi(ncArg)
+		if err != nil {
+			fmt.Fprintln(s.out, "usage: .maintain [Nc]")
+			return
+		}
+		nc = n
+	}
+	res, err := s.sys.Maintain(induct.Options{Nc: nc})
+	if err != nil {
+		fmt.Fprintln(s.out, "error:", err)
+		return
+	}
+	if len(res.Schemes) == 0 {
+		fmt.Fprintln(s.out, "rule base already all-valid; nothing to re-induce")
+		return
+	}
+	fmt.Fprintf(s.out, "re-induced %d scheme(s): dropped %d rule(s), added %d (version %d)\n",
+		len(res.Schemes), res.Dropped, res.Added, res.Version)
+}
+
 func (s *Shell) cmdSave(dir string) {
 	if dir == "" {
 		fmt.Fprintln(s.out, "usage: .save DIR")
@@ -314,27 +466,15 @@ func (s *Shell) cmdQuery(sql string) {
 		fmt.Fprintln(s.out, "error:", err)
 		return
 	}
-	fmt.Fprintf(s.out, "extensional answer (%d tuples):\n%s", resp.Extensional.Len(), resp.Extensional)
-	fmt.Fprintf(s.out, "intensional answer:\n  %s\n",
-		strings.ReplaceAll(resp.Intensional.Text(), "\n", "\n  "))
+	if s.wantExt {
+		fmt.Fprintf(s.out, "extensional answer (%d tuples):\n%s", resp.Extensional.Len(), resp.Extensional)
+	}
+	if s.wantInt {
+		fmt.Fprintf(s.out, "intensional answer:\n  %s\n",
+			strings.ReplaceAll(resp.Intensional.Text(), "\n", "\n  "))
+	}
 	if s.explain {
 		fmt.Fprintf(s.out, "derivation:\n  %s\n",
 			strings.ReplaceAll(strings.TrimRight(resp.Inference.Explain(s.sys.Rules()), "\n"), "\n", "\n  "))
 	}
 }
-
-const helpText = `  SELECT ...          run a query (both answer forms; aggregates + GROUP BY supported)
-  .induce [Nc]        run the Inductive Learning Subsystem (default Nc=2)
-  .rules              show the rule base
-  .schema             list relations
-  .show REL           print a relation
-  .hierarchies        list declared type hierarchies
-  .hierarchy OBJ      render one hierarchy chain with instance counts
-  .comparisons        induce inter-object comparison knowledge
-  .check              validate data against the KER schema constraints
-  .tree REL Y X...    grow a decision tree classifying Y from X columns
-  .explain on|off     print derivation traces after each query
-  .optimize SQL       semantic-optimization advice for a query
-  .mode MODE          forward | backward | combined
-  .save DIR           save database + dictionary + rules
-  .quit               exit`

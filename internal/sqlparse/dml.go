@@ -1,0 +1,283 @@
+// DML statements — the write path of the SQL subset. The paper's
+// prototype was read-only; the reproduction grows INSERT, DELETE, and
+// UPDATE so induced rules can be contradicted by evolving data and
+// maintained incrementally (internal/maintain). The grammar stays in the
+// same spirit as the SELECT subset: literals only (no value
+// subexpressions), one table per statement, the full boolean WHERE
+// grammar shared with SELECT.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"intensional/internal/relation"
+)
+
+// Stmt is one parsed SQL statement: *Select, *Insert, *Delete, or
+// *Update.
+type Stmt interface {
+	stmt()
+	// Kind returns the statement's lowercase verb: "select", "insert",
+	// "delete", or "update".
+	Kind() string
+}
+
+func (*Select) stmt() {}
+func (*Insert) stmt() {}
+func (*Delete) stmt() {}
+func (*Update) stmt() {}
+
+// Kind returns "select".
+func (*Select) Kind() string { return "select" }
+
+// Kind returns "insert".
+func (*Insert) Kind() string { return "insert" }
+
+// Kind returns "delete".
+func (*Delete) Kind() string { return "delete" }
+
+// Kind returns "update".
+func (*Update) Kind() string { return "update" }
+
+// Insert is "INSERT INTO table [(col, ...)] VALUES (lit, ...), ...".
+// With no column list the values bind to the table's columns in schema
+// order; with one, unmentioned columns receive NULL.
+type Insert struct {
+	Table   string
+	Columns []string // nil means schema order
+	Rows    [][]Lit
+}
+
+// Delete is "DELETE FROM table [WHERE expr]". A missing WHERE deletes
+// every tuple.
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Assign is one "column = literal" item of an UPDATE's SET list.
+type Assign struct {
+	Column string
+	Val    Lit
+}
+
+// Update is "UPDATE table SET col = lit, ... [WHERE expr]".
+type Update struct {
+	Table string
+	Set   []Assign
+	Where Expr
+}
+
+// IsDML reports whether the statement mutates data.
+func IsDML(s Stmt) bool {
+	switch s.(type) {
+	case *Insert, *Delete, *Update:
+		return true
+	}
+	return false
+}
+
+// LooksLikeDML reports whether the source text starts with a DML verb —
+// the cheap dispatch shells use to route a line to the write path
+// without parsing it twice.
+func LooksLikeDML(src string) bool {
+	f := strings.Fields(src)
+	if len(f) == 0 {
+		return false
+	}
+	switch strings.ToUpper(f[0]) {
+	case "INSERT", "DELETE", "UPDATE":
+		return true
+	}
+	return false
+}
+
+// ParseStatement parses one statement of any kind, dispatching on the
+// leading keyword. Parse remains the SELECT-only entry point.
+func ParseStatement(src string) (Stmt, error) {
+	toks, err := lexSQL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var st Stmt
+	switch {
+	case p.peekKeyword("select"):
+		st, err = p.parseSelect()
+	case p.peekKeyword("insert"):
+		st, err = p.parseInsert()
+	case p.peekKeyword("delete"):
+		st, err = p.parseDelete()
+	case p.peekKeyword("update"):
+		st, err = p.parseUpdate()
+	default:
+		return nil, fmt.Errorf("sql: expected SELECT, INSERT, DELETE, or UPDATE, got %s", p.cur())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tEOF {
+		return nil, fmt.Errorf("sql: unexpected %s after statement", p.cur())
+	}
+	return st, nil
+}
+
+// peekKeyword reports whether the current token is the keyword, without
+// consuming it.
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) parseInsert() (*Insert, error) {
+	p.keyword("insert")
+	if !p.keyword("into") {
+		return nil, fmt.Errorf("sql: expected INTO after INSERT, got %s", p.cur())
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if p.cur().kind == tLParen {
+		p.i++
+		for {
+			col, err := p.expectIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if p.cur().kind == tComma {
+				p.i++
+				continue
+			}
+			break
+		}
+		if p.cur().kind != tRParen {
+			return nil, fmt.Errorf("sql: expected ) after column list, got %s", p.cur())
+		}
+		p.i++
+	}
+	if !p.keyword("values") {
+		return nil, fmt.Errorf("sql: expected VALUES, got %s", p.cur())
+	}
+	for {
+		row, err := p.parseValueRow()
+		if err != nil {
+			return nil, err
+		}
+		if ins.Columns != nil && len(row) != len(ins.Columns) {
+			return nil, fmt.Errorf("sql: VALUES row has %d values, column list %d", len(row), len(ins.Columns))
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.cur().kind == tComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+// parseValueRow parses one parenthesised literal tuple.
+func (p *parser) parseValueRow() ([]Lit, error) {
+	if p.cur().kind != tLParen {
+		return nil, fmt.Errorf("sql: expected ( to open a VALUES row, got %s", p.cur())
+	}
+	p.i++
+	var row []Lit
+	for {
+		l, err := p.parseLit()
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, l)
+		if p.cur().kind == tComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.cur().kind != tRParen {
+		return nil, fmt.Errorf("sql: expected ) to close a VALUES row, got %s", p.cur())
+	}
+	p.i++
+	return row, nil
+}
+
+// parseLit parses one literal: a string, a number, or NULL.
+func (p *parser) parseLit() (Lit, error) {
+	if p.keyword("null") {
+		return Lit{Val: relation.Null()}, nil
+	}
+	op, err := p.parseOperand()
+	if err != nil {
+		return Lit{}, err
+	}
+	l, ok := op.(Lit)
+	if !ok {
+		return Lit{}, fmt.Errorf("sql: expected a literal value, got column reference %s", op)
+	}
+	return l, nil
+}
+
+func (p *parser) parseDelete() (*Delete, error) {
+	p.keyword("delete")
+	if !p.keyword("from") {
+		return nil, fmt.Errorf("sql: expected FROM after DELETE, got %s", p.cur())
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table}
+	if p.keyword("where") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = e
+	}
+	return del, nil
+}
+
+func (p *parser) parseUpdate() (*Update, error) {
+	p.keyword("update")
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if !p.keyword("set") {
+		return nil, fmt.Errorf("sql: expected SET after the table name, got %s", p.cur())
+	}
+	upd := &Update{Table: table}
+	for {
+		col, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		if t := p.cur(); t.kind != tOp || t.text != "=" {
+			return nil, fmt.Errorf("sql: expected = after %s, got %s", col, t)
+		}
+		p.i++
+		val, err := p.parseLit()
+		if err != nil {
+			return nil, err
+		}
+		upd.Set = append(upd.Set, Assign{Column: col, Val: val})
+		if p.cur().kind == tComma {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.keyword("where") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Where = e
+	}
+	return upd, nil
+}

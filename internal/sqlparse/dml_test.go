@@ -1,0 +1,183 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"intensional/internal/relation"
+)
+
+func mustStmt(t *testing.T, src string) Stmt {
+	t.Helper()
+	st, err := ParseStatement(src)
+	if err != nil {
+		t.Fatalf("ParseStatement(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestParseInsert(t *testing.T) {
+	st := mustStmt(t, `INSERT INTO ship (Id, Name, Displacement) VALUES ('S1', 'Nautilus', 4040), ('S2', NULL, 3.5)`)
+	ins, ok := st.(*Insert)
+	if !ok {
+		t.Fatalf("expected *Insert, got %T", st)
+	}
+	if ins.Table != "ship" || ins.Kind() != "insert" {
+		t.Errorf("table %q kind %q", ins.Table, ins.Kind())
+	}
+	if len(ins.Columns) != 3 || ins.Columns[0] != "Id" || ins.Columns[2] != "Displacement" {
+		t.Errorf("columns %v", ins.Columns)
+	}
+	if len(ins.Rows) != 2 {
+		t.Fatalf("rows %d", len(ins.Rows))
+	}
+	if !ins.Rows[0][1].Val.Equal(relation.String("Nautilus")) {
+		t.Errorf("row 0 name = %v", ins.Rows[0][1].Val)
+	}
+	if !ins.Rows[1][1].Val.IsNull() {
+		t.Errorf("row 1 name should be NULL, got %v", ins.Rows[1][1].Val)
+	}
+	if !ins.Rows[1][2].Val.Equal(relation.Float(3.5)) {
+		t.Errorf("row 1 displacement = %v", ins.Rows[1][2].Val)
+	}
+}
+
+func TestParseInsertSchemaOrder(t *testing.T) {
+	st := mustStmt(t, `INSERT INTO t VALUES (1, 'a')`)
+	ins := st.(*Insert)
+	if ins.Columns != nil {
+		t.Errorf("expected nil column list, got %v", ins.Columns)
+	}
+	if len(ins.Rows) != 1 || len(ins.Rows[0]) != 2 {
+		t.Errorf("rows %v", ins.Rows)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	st := mustStmt(t, `DELETE FROM ship WHERE Displacement > 8000 AND Type = 'SSBN'`)
+	del, ok := st.(*Delete)
+	if !ok {
+		t.Fatalf("expected *Delete, got %T", st)
+	}
+	if del.Table != "ship" || del.Where == nil {
+		t.Errorf("table %q where %v", del.Table, del.Where)
+	}
+	if _, ok := del.Where.(*And); !ok {
+		t.Errorf("expected conjunction, got %T", del.Where)
+	}
+
+	all := mustStmt(t, `DELETE FROM ship`).(*Delete)
+	if all.Where != nil {
+		t.Errorf("expected nil WHERE, got %v", all.Where)
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	st := mustStmt(t, `UPDATE ship SET Displacement = 9000, Name = NULL WHERE Id = 'S1'`)
+	upd, ok := st.(*Update)
+	if !ok {
+		t.Fatalf("expected *Update, got %T", st)
+	}
+	if upd.Table != "ship" || len(upd.Set) != 2 {
+		t.Fatalf("table %q set %v", upd.Table, upd.Set)
+	}
+	if upd.Set[0].Column != "Displacement" || !upd.Set[0].Val.Val.Equal(relation.Int(9000)) {
+		t.Errorf("assign 0 = %v", upd.Set[0])
+	}
+	if !upd.Set[1].Val.Val.IsNull() {
+		t.Errorf("assign 1 should be NULL")
+	}
+	if upd.Where == nil {
+		t.Errorf("missing WHERE")
+	}
+}
+
+func TestParseStatementSelect(t *testing.T) {
+	st := mustStmt(t, `SELECT Id FROM ship WHERE Displacement > 100`)
+	if _, ok := st.(*Select); !ok {
+		t.Fatalf("expected *Select, got %T", st)
+	}
+	if IsDML(st) {
+		t.Error("SELECT classified as DML")
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`DROP TABLE ship`,
+		`INSERT ship VALUES (1)`,
+		`INSERT INTO ship (a, b) VALUES (1)`,
+		`INSERT INTO ship VALUES (a)`,
+		`INSERT INTO ship VALUES (1,)`,
+		`INSERT INTO ship VALUES 1`,
+		`DELETE ship`,
+		`DELETE FROM ship WHERE`,
+		`UPDATE ship Displacement = 1`,
+		`UPDATE ship SET Displacement`,
+		`UPDATE ship SET Displacement = Name`,
+		`UPDATE ship SET Displacement = 1 extra`,
+		`INSERT INTO ship VALUES (1) garbage`,
+	} {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestIsDMLAndLooksLikeDML(t *testing.T) {
+	for src, want := range map[string]bool{
+		"insert into t values (1)": true,
+		"  DELETE FROM t":          true,
+		"Update t set a = 1":       true,
+		"SELECT a FROM t":          false,
+		"":                         false,
+		".help":                    false,
+	} {
+		if got := LooksLikeDML(src); got != want {
+			t.Errorf("LooksLikeDML(%q) = %v, want %v", src, got, want)
+		}
+	}
+	for _, src := range []string{
+		"INSERT INTO t VALUES (1)",
+		"DELETE FROM t",
+		"UPDATE t SET a = 1",
+	} {
+		if !IsDML(mustStmt(t, src)) {
+			t.Errorf("IsDML(%q) = false", src)
+		}
+	}
+}
+
+// TestParseStatementRoundtripKinds pins the Kind strings the WAL and the
+// mutate endpoint report.
+func TestParseStatementRoundtripKinds(t *testing.T) {
+	for src, kind := range map[string]string{
+		"SELECT a FROM t":          "select",
+		"INSERT INTO t VALUES (1)": "insert",
+		"DELETE FROM t":            "delete",
+		"UPDATE t SET a = 1":       "update",
+	} {
+		if got := mustStmt(t, src).Kind(); got != kind {
+			t.Errorf("%q: kind %q, want %q", src, got, kind)
+		}
+	}
+}
+
+// TestDMLNeverPanics drives the statement parser with word soup covering
+// the DML grammar; rejection is fine, panics are not.
+func TestDMLNeverPanics(t *testing.T) {
+	words := []string{
+		"INSERT", "INTO", "VALUES", "DELETE", "FROM", "UPDATE", "SET",
+		"WHERE", "NULL", "AND", "OR", "NOT", "(", ")", ",", "=", "<",
+		"t", "a", "'x'", "1", "2.5", "-3", ".",
+	}
+	var src strings.Builder
+	for i := 0; i < len(words); i++ {
+		for j := 0; j < len(words); j++ {
+			src.Reset()
+			src.WriteString(words[i] + " " + words[j] + " " + words[(i+j)%len(words)])
+			_, _ = ParseStatement(src.String())
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package sqlparse
+
+import "testing"
+
+// FuzzDML drives the full statement parser (SELECT + the DML verbs).
+// Plain `go test` replays the seed corpus under testdata/fuzz/FuzzDML;
+// `go test -fuzz FuzzDML ./internal/sqlparse` explores further. The
+// invariant is the same as FuzzParse-style targets elsewhere in the
+// repo: rejection is fine, panics are not, and an accepted statement
+// must report a known kind.
+func FuzzDML(f *testing.F) {
+	for _, seed := range []string{
+		"INSERT INTO ship VALUES ('S1', 4040)",
+		"INSERT INTO ship (Id, Name) VALUES ('S1', NULL), ('S2', 'x')",
+		"DELETE FROM ship",
+		"DELETE FROM ship WHERE Displacement > 8000 AND NOT Type = 'SSBN'",
+		"UPDATE ship SET Displacement = 9000, Name = NULL WHERE Id = 'S1'",
+		"SELECT Name FROM ship WHERE Displacement > 100",
+		"insert into t values (",
+		"UPDATE t SET a = b",
+		"INSERT INTO t VALUES (1,)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := ParseStatement(src)
+		if err != nil {
+			return
+		}
+		switch st.Kind() {
+		case "select", "insert", "delete", "update":
+		default:
+			t.Fatalf("accepted statement with unknown kind %q", st.Kind())
+		}
+	})
+}

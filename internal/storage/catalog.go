@@ -114,3 +114,17 @@ func (c *Catalog) Clone() *Catalog {
 	}
 	return out
 }
+
+// ShallowClone returns a new catalog sharing the relation pointers. The
+// copy-on-write mutation path uses it: the mutated relation is
+// deep-cloned and Put back into the shallow clone, so every other
+// relation (and any snapshot holding the original catalog) is untouched.
+func (c *Catalog) ShallowClone() *Catalog {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := NewCatalog()
+	for k, r := range c.rels {
+		out.rels[k] = r
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package wal is an append-only write-ahead log of logical mutations.
+// Each record is length-prefixed and checksummed, and every append is
+// fsync'd before it returns, so a mutation acknowledged by the write
+// path survives a crash. Startup replay (Open) scans the log, hands the
+// complete records back to the caller, and truncates a torn or corrupt
+// tail — the crash-recovery contract is "everything up to the last
+// complete record, nothing after it".
+//
+// The log stores opaque payloads; the core layer encodes statement
+// batches into them. Checkpointing composes with storage.WriteAtomic:
+// after the catalog has been atomically saved, Reset truncates the log
+// back to its header, because every logged mutation is now in the
+// snapshot on disk.
+//
+// On-disk format:
+//
+//	magic   "IQPWAL1\n"                      (8 bytes, written at create)
+//	record  uint32 payload length (big endian)
+//	        uint32 IEEE CRC-32 of the payload
+//	        payload bytes
+//	record  ...
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+var magic = []byte("IQPWAL1\n")
+
+const headerLen = 8 // uint32 length + uint32 CRC
+
+// maxRecord bounds a single record so a corrupt length prefix cannot
+// drive a multi-gigabyte allocation during replay; anything larger is
+// treated as a torn tail.
+const maxRecord = 64 << 20
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Log is an open write-ahead log. Append, Size, Reset, and Close are
+// safe for concurrent use; in the system there is one writer (the core
+// mutation path, serialized by its own lock) plus metric readers.
+type Log struct {
+	path string
+	mu   sync.Mutex
+	f    *os.File // guarded by mu
+	size int64    // guarded by mu; current file length in bytes
+}
+
+// Open opens (creating if absent) the log at path and replays it,
+// returning the payloads of every complete record in append order. A
+// torn or corrupt tail — a partial header, a length running past EOF, a
+// checksum mismatch, or an absurd length — is truncated away so the log
+// ends at the last complete record; the data it described was never
+// acknowledged as durable.
+func Open(path string) (*Log, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &Log{path: path, f: f}
+	entries, err := l.recover()
+	if err != nil {
+		if cerr := f.Close(); cerr != nil {
+			err = fmt.Errorf("%w (close: %v)", err, cerr)
+		}
+		return nil, nil, err
+	}
+	return l, entries, nil
+}
+
+// recover scans the freshly opened file, validating the magic and every
+// record, truncating at the first incomplete or corrupt one. It runs
+// from Open, before the Log is visible to any other goroutine.
+//
+//ilint:locked mu
+func (l *Log) recover() ([][]byte, error) {
+	info, err := l.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	if info.Size() < int64(len(magic)) {
+		// Empty, or a crash during creation before the magic landed; no
+		// record can exist. Start the file over.
+		if err := l.restart(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	head := make([]byte, len(magic))
+	if _, err := l.f.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("wal: read magic: %w", err)
+	}
+	if string(head) != string(magic) {
+		return nil, fmt.Errorf("wal: %s is not a WAL file (bad magic %q)", l.path, head)
+	}
+
+	var entries [][]byte
+	off := int64(len(magic))
+	hdr := make([]byte, headerLen)
+	for {
+		n, err := l.f.ReadAt(hdr, off)
+		if err == io.EOF && n == 0 {
+			break // clean end
+		}
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("wal: read header: %w", err)
+		}
+		if n < headerLen {
+			break // torn header
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if length > maxRecord {
+			break // corrupt length
+		}
+		payload := make([]byte, length)
+		pn, err := l.f.ReadAt(payload, off+headerLen)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("wal: read payload: %w", err)
+		}
+		if pn < int(length) {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt payload
+		}
+		entries = append(entries, payload)
+		off += headerLen + int64(length)
+	}
+	if off != info.Size() {
+		// Drop the torn tail so the next append starts at a record
+		// boundary.
+		if err := l.f.Truncate(off); err != nil {
+			return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return nil, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	l.size = off
+	return entries, nil
+}
+
+// restart truncates the file to zero and writes a fresh magic header.
+//
+//ilint:locked mu
+func (l *Log) restart() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.WriteAt(magic, 0); err != nil {
+		return fmt.Errorf("wal: write magic: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.size = int64(len(magic))
+	return nil
+}
+
+// Append writes one record and fsyncs. When it returns nil the record is
+// durable; when it returns an error the log is rewound to its previous
+// length, so a failed append never leaves a torn record for the next
+// append to bury.
+func (l *Log) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return ErrClosed
+	}
+	rec := make([]byte, headerLen+len(payload))
+	binary.BigEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	copy(rec[headerLen:], payload)
+	if _, err := l.f.WriteAt(rec, l.size); err != nil {
+		// Best-effort rewind; the truncate failing too leaves a torn
+		// tail, which recovery handles.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			return fmt.Errorf("wal: append: %w (rewind also failed: %v)", err, terr)
+		}
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		if terr := l.f.Truncate(l.size); terr != nil {
+			return fmt.Errorf("wal: append sync: %w (rewind also failed: %v)", err, terr)
+		}
+		return fmt.Errorf("wal: append sync: %w", err)
+	}
+	l.size += int64(len(rec))
+	return nil
+}
+
+// Size returns the bytes of logged records — the file length minus the
+// magic header, so a freshly created or just-reset log reports 0. This
+// is the quantity auto-checkpointing thresholds watch.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.size < int64(len(magic)) {
+		return 0
+	}
+	return l.size - int64(len(magic))
+}
+
+// Reset truncates the log back to its header. Callers invoke it only
+// after the state the log protects has been durably persisted elsewhere
+// (the checkpoint protocol).
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return ErrClosed
+	}
+	return l.restart()
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close syncs and closes the log. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
