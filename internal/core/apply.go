@@ -11,14 +11,19 @@
 //
 // Checkpointing composes the WAL with the atomic Save: the catalog
 // (which contains every logged mutation) is atomically written first,
-// and only then is the log truncated. See Checkpoint for the crash
-// ordering argument.
+// and only then is the log truncated. Every WAL record carries the
+// sequence number it commits and every saved directory records the last
+// sequence it contains, so replay is idempotent: a crash between the
+// save and the log reset replays records the catalog already holds, and
+// each is skipped by sequence instead of double-applied. See Checkpoint
+// for the full ordering argument.
 
 package core
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"path/filepath"
 
@@ -38,9 +43,20 @@ import (
 // record fsync'd, snapshot not yet installed).
 var applyHook func(stage string) error
 
+// checkpointHook, when non-nil, runs between the checkpoint's atomic
+// save and its log reset; a non-nil error aborts the checkpoint there.
+// Crash-recovery tests use it to die inside the window where the saved
+// directory and the un-reset log both hold the same mutations, proving
+// sequence-stamped replay skips them instead of double-applying.
+var checkpointHook func() error
+
 // walRecord is the JSON payload of one WAL entry: a statement batch
-// applied atomically.
+// applied atomically. Seq is the record's position in the log's commit
+// order, compared against the saved directory's walseq.json on replay;
+// records at or below the saved sequence are already in the catalog and
+// are skipped.
 type walRecord struct {
+	Seq   uint64   `json:"seq"`
 	Stmts []string `json:"stmts"`
 }
 
@@ -67,13 +83,25 @@ type DurableOptions struct {
 
 // OpenDurable opens a database directory like Open and attaches the
 // write-ahead log at "<dir>.wal" (created if absent), replaying any
-// mutations logged after the last checkpoint. The returned system logs
-// every ApplyBatch before acknowledging it; see Checkpoint for how the
-// log is bounded. The log file travels with the directory only if moved
-// alongside it — Save to a different directory writes a fully
-// checkpointed copy instead.
+// mutations logged after the last checkpoint. Records whose sequence
+// number is at or below the directory's recorded walseq are already in
+// the loaded catalog (a checkpoint saved them, then crashed or missed
+// the log reset) and are skipped, so replay is idempotent. The returned
+// system logs every ApplyBatch before acknowledging it; see Checkpoint
+// for how the log is bounded. The log file travels with the directory
+// only if moved alongside it — Save to a different directory writes a
+// fully checkpointed copy instead.
+//
+// OpenDurable runs before the system is shared, so it touches
+// wmu-guarded state without the lock.
+//
+//ilint:locked wmu
 func OpenDurable(dir string, o DurableOptions) (*System, error) {
 	s, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	savedSeq, err := readWalSeq(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -81,11 +109,15 @@ func OpenDurable(dir string, o DurableOptions) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.walSeq = savedSeq
 	for i, payload := range entries {
 		var rec walRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			cerr := log.Close()
 			return nil, fmt.Errorf("core: wal entry %d: %w (close: %v)", i, err, cerr)
+		}
+		if rec.Seq != 0 && rec.Seq <= savedSeq {
+			continue // already contained in the checkpointed catalog
 		}
 		sn, _, err := applyStmts(s.current(), rec.Stmts)
 		if err != nil {
@@ -93,6 +125,9 @@ func OpenDurable(dir string, o DurableOptions) (*System, error) {
 			return nil, fmt.Errorf("core: replay wal entry %d: %w (close: %v)", i, err, cerr)
 		}
 		s.install(sn)
+		if rec.Seq > s.walSeq {
+			s.walSeq = rec.Seq
+		}
 	}
 	s.log = log
 	s.dir = dir
@@ -112,6 +147,13 @@ type ApplyResult struct {
 	// Checkpointed reports whether the apply triggered an automatic
 	// checkpoint.
 	Checkpointed bool
+	// CheckpointErr describes an automatic checkpoint that failed after
+	// the batch committed. The batch itself is durable and installed —
+	// ApplyBatch returns a nil error in this case, so err-first callers
+	// never mistake a committed batch for a failed one — but the WAL was
+	// not compacted; the condition is degraded housekeeping, not a
+	// failed mutation.
+	CheckpointErr string
 }
 
 // Apply executes one DML statement as a single-statement batch.
@@ -158,13 +200,14 @@ func (s *System) ApplyBatch(ctx context.Context, stmts []string) (*ApplyResult, 
 		}
 	}
 	if s.log != nil {
-		payload, err := json.Marshal(walRecord{Stmts: stmts})
+		payload, err := json.Marshal(walRecord{Seq: s.walSeq + 1, Stmts: stmts})
 		if err != nil {
 			return nil, fmt.Errorf("core: encode wal record: %w", err)
 		}
 		if err := s.log.Append(payload); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrLogFailed, err)
 		}
+		s.walSeq++
 	}
 	if applyHook != nil {
 		if err := applyHook("logged"); err != nil {
@@ -181,8 +224,10 @@ func (s *System) ApplyBatch(ctx context.Context, stmts []string) (*ApplyResult, 
 	if s.log != nil && s.checkpointBytes > 0 && s.log.Size() > s.checkpointBytes {
 		if err := s.checkpointLocked(); err != nil {
 			// The batch is committed and durable; only the log
-			// compaction failed.
-			return res, fmt.Errorf("core: batch committed, auto-checkpoint failed: %w", err)
+			// compaction failed. Report it in the result, not the error,
+			// so err-first callers do not retry a committed batch.
+			res.CheckpointErr = err.Error()
+			return res, nil
 		}
 		res.Checkpointed = true
 	}
@@ -231,15 +276,15 @@ func applyParsed(cur *snapshot, parsed []sqlparse.Stmt) (*snapshot, []*query.Mut
 }
 
 // Checkpoint persists the database atomically and truncates the WAL.
-// Ordering argument: Save writes catalog + declarations into a temporary
-// sibling and renames it over the directory, so at every instant the
-// directory is either the old state (whose WAL replay reproduces the
-// logged mutations) or the new state (which already contains them). Only
-// after the rename succeeds is the log reset; a crash between the two
-// replays the log against data that already contains those mutations —
-// which is why Save and Checkpoint are fused here: Save on a durable
-// system truncates the log inside the same wmu critical section, before
-// any further mutation can commit.
+// Ordering argument: Save writes catalog + declarations + the current
+// WAL sequence into a temporary sibling and renames it over the
+// directory, so at every instant the directory is either the old state
+// (whose recorded sequence admits replay of the logged mutations) or
+// the new state (whose recorded sequence makes replay skip them). Only
+// after the rename succeeds is the log reset; a crash in the window
+// between the two leaves a log whose every record is at or below the
+// saved sequence, and OpenDurable skips them all — no mutation is ever
+// double-applied, and none is ever lost.
 func (s *System) Checkpoint() error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
@@ -255,6 +300,11 @@ func (s *System) Checkpoint() error {
 func (s *System) checkpointLocked() error {
 	if err := s.saveLocked(s.dir); err != nil {
 		return err
+	}
+	if checkpointHook != nil {
+		if err := checkpointHook(); err != nil {
+			return err
+		}
 	}
 	return s.log.Reset()
 }
@@ -310,68 +360,91 @@ type MaintainResult struct {
 // keep their numbers), and installs it as a new all-valid snapshot. It
 // is the incremental counterpart to Induce: the candidate pairs outside
 // the mutated schemes are not re-run.
-func (s *System) Maintain(opts induct.Options) (*MaintainResult, error) {
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
-	cur := s.current()
-	scope := cur.maint.SchemeKeys(cur.full)
-	if len(scope) == 0 {
-		return &MaintainResult{Version: cur.version}, nil
-	}
-	inScope := make(map[string]bool, len(scope))
-	for _, k := range scope {
-		inScope[k] = true
-	}
-
-	cat := cur.cat.Clone()
-	d := dict.New(cat)
-	if err := d.Apply(cur.d.Decls()); err != nil {
-		return nil, fmt.Errorf("core: maintain: rebuild dictionary: %w", err)
-	}
-	in := induct.New(d, opts)
-	pairs, err := in.CandidatePairs()
-	if err != nil {
-		return nil, err
-	}
-	var scoped []induct.Pair
-	for _, p := range pairs {
-		if inScope[p.Scheme().Key()] {
-			scoped = append(scoped, p)
+//
+// The induction runs against a cloned catalog without holding the
+// writer mutex, so applies and checkpoints proceed concurrently with a
+// long re-induction pass. The lock is taken only to install: if another
+// writer installed a snapshot meanwhile, the pass's input is outdated
+// (the write may have staled further rules, or changed the data the
+// re-induced intervals were fit to) and Maintain retries against the
+// new snapshot. ctx cancels the pass between stages.
+func (s *System) Maintain(ctx context.Context, opts induct.Options) (*MaintainResult, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-	}
-	results, err := in.InducePairs(scoped)
-	if err != nil {
-		return nil, err
-	}
+		cur := s.current()
+		scope := cur.maint.SchemeKeys(cur.full)
+		if len(scope) == 0 {
+			return &MaintainResult{Version: cur.version}, nil
+		}
+		inScope := make(map[string]bool, len(scope))
+		for _, k := range scope {
+			inScope[k] = true
+		}
 
-	// Untouched rules keep their numbers; re-induced schemes get fresh
-	// numbers after the current maximum.
-	merged := rules.NewSet()
-	res := &MaintainResult{Schemes: scope}
-	for _, r := range cur.full.Rules() {
-		if inScope[r.Scheme().Key()] {
-			res.Dropped++
+		cat := cur.cat.Clone()
+		d := dict.New(cat)
+		if err := d.Apply(cur.d.Decls()); err != nil {
+			return nil, fmt.Errorf("core: maintain: rebuild dictionary: %w", err)
+		}
+		in := induct.New(d, opts)
+		pairs, err := in.CandidatePairs()
+		if err != nil {
+			return nil, err
+		}
+		var scoped []induct.Pair
+		for _, p := range pairs {
+			if inScope[p.Scheme().Key()] {
+				scoped = append(scoped, p)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		results, err := in.InducePairs(scoped)
+		if err != nil {
+			return nil, err
+		}
+
+		// Untouched rules keep their numbers; re-induced schemes get
+		// fresh numbers after the current maximum.
+		merged := rules.NewSet()
+		res := &MaintainResult{Schemes: scope}
+		for _, r := range cur.full.Rules() {
+			if inScope[r.Scheme().Key()] {
+				res.Dropped++
+				continue
+			}
+			merged.Add(r)
+		}
+		for _, rs := range results {
+			for _, r := range rs {
+				r.ID = 0
+				merged.Add(r)
+				res.Added++
+			}
+		}
+		d.SetRules(merged)
+		if err := d.StoreRules(); err != nil {
+			return nil, err
+		}
+
+		s.wmu.Lock()
+		if s.current().version != cur.version {
+			// A write landed during the induction; its effects (data and
+			// staleness) are not in this pass. Discard and redo.
+			s.wmu.Unlock()
 			continue
 		}
-		merged.Add(r)
+		sn := newSnapshot(cur.version+1, cat, d)
+		sn.full = merged
+		sn.maint = maintain.NewState()
+		s.install(sn)
+		s.wmu.Unlock()
+		res.Version = sn.version
+		return res, nil
 	}
-	for _, rs := range results {
-		for _, r := range rs {
-			r.ID = 0
-			merged.Add(r)
-			res.Added++
-		}
-	}
-	d.SetRules(merged)
-	if err := d.StoreRules(); err != nil {
-		return nil, err
-	}
-	sn := newSnapshot(cur.version+1, cat, d)
-	sn.full = merged
-	sn.maint = maintain.NewState()
-	s.install(sn)
-	res.Version = sn.version
-	return res, nil
 }
 
 // StartAutoMaintain launches the eager maintenance worker: each apply
@@ -419,15 +492,27 @@ func (s *System) kickAutoMaintain() {
 
 func (s *System) autoMaintainLoop(opts induct.Options, kick <-chan struct{}, stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
+	// Cancelling on stop bounds StopAutoMaintain's wait: an in-flight
+	// pass is abandoned at the next stage boundary instead of running a
+	// full induction to completion.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-stop
+		cancel()
+	}()
 	for {
 		select {
 		case <-stop:
 			return
 		case <-kick:
-			if _, err := s.Maintain(opts); err != nil {
-				s.autoErrs.Add(1)
-			} else {
+			switch _, err := s.Maintain(ctx, opts); {
+			case err == nil:
 				s.autoRuns.Add(1)
+			case errors.Is(err, context.Canceled):
+				// Shutdown, not a failure.
+			default:
+				s.autoErrs.Add(1)
 			}
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -246,7 +248,7 @@ func TestMaintainReinducesOnlyStaleSchemes(t *testing.T) {
 		t.Fatal("every scheme went stale; fixture cannot show scoping")
 	}
 	vBefore := s.Version()
-	res, err := s.Maintain(induct.Options{Nc: 3})
+	res, err := s.Maintain(context.Background(), induct.Options{Nc: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +275,7 @@ func TestMaintainReinducesOnlyStaleSchemes(t *testing.T) {
 	}
 
 	// Nothing stale: a second pass is a no-op at the same version.
-	res2, err := s.Maintain(induct.Options{Nc: 3})
+	res2, err := s.Maintain(context.Background(), induct.Options{Nc: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -370,6 +372,144 @@ func TestSaveOwnDirIsCheckpoint(t *testing.T) {
 	}
 	if s.WalSize() == 0 {
 		t.Error("Save to a different directory truncated the WAL")
+	}
+}
+
+// TestCrashBetweenCheckpointSaveAndReset kills the checkpoint inside
+// the window where the directory has been atomically rewritten (and so
+// already contains every logged mutation) but the WAL has not been
+// reset. Replay must recognise the log's records as already applied —
+// by their stamped sequence against the directory's recorded one — and
+// skip them, not double-apply them.
+func TestCrashBetweenCheckpointSaveAndReset(t *testing.T) {
+	s, dir := durableShip(t, false, core.DurableOptions{})
+	before := tableLen(t, s, shipdb.Sonar)
+	if _, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-20', 'Active')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-21', 'Passive')`); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("simulated crash")
+	restore := core.SetCheckpointHook(func() error { return boom })
+	err := s.Checkpoint()
+	restore()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.WalSize() == 0 {
+		t.Fatal("log was reset despite the simulated crash")
+	}
+	s.Close()
+
+	s2, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tableLen(t, s2, shipdb.Sonar); got != before+2 {
+		t.Fatalf("after crashed checkpoint + reopen: %d rows, want %d (double-apply?)", got, before+2)
+	}
+	// The recovered system continues the sequence: a further mutation and
+	// a clean checkpoint must round-trip exactly once more.
+	if _, err := s2.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-22', 'Towed')`); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := tableLen(t, s3, shipdb.Sonar); got != before+3 {
+		t.Errorf("after recovery + clean checkpoint: %d rows, want %d", got, before+3)
+	}
+}
+
+// TestSaveAliasedOwnDirIsCheckpoint saves over the durable directory
+// through a symlinked parent — a path string comparison cannot equate
+// the two names, but the save still rewrites the live directory, so it
+// must be treated as a checkpoint (and even a missed reset must not
+// double-apply on reopen).
+func TestSaveAliasedOwnDirIsCheckpoint(t *testing.T) {
+	s, dir := durableShip(t, false, core.DurableOptions{})
+	before := tableLen(t, s, shipdb.Sonar)
+	if _, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-23', 'Hull')`); err != nil {
+		t.Fatal(err)
+	}
+	link := filepath.Join(t.TempDir(), "parentlink")
+	if err := os.Symlink(filepath.Dir(dir), link); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	alias := filepath.Join(link, filepath.Base(dir))
+	if err := s.Save(alias); err != nil {
+		t.Fatal(err)
+	}
+	if s.WalSize() != 0 {
+		t.Error("aliased Save over the durable directory must truncate the WAL")
+	}
+	s.Close()
+
+	s2, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := tableLen(t, s2, shipdb.Sonar); got != before+1 {
+		t.Errorf("after aliased save + reopen: %d rows, want %d (double-apply?)", got, before+1)
+	}
+}
+
+// TestAutoCheckpointFailureReportedInResult pins the API contract: a
+// committed batch whose post-commit auto-checkpoint fails returns a nil
+// error (so err-first callers never retry a durable batch) and reports
+// the degradation in CheckpointErr.
+func TestAutoCheckpointFailureReportedInResult(t *testing.T) {
+	s, dir := durableShip(t, false, core.DurableOptions{CheckpointBytes: 1})
+	before := tableLen(t, s, shipdb.Sonar)
+	boom := errors.New("disk on fire")
+	restore := core.SetCheckpointHook(func() error { return boom })
+	res, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-24', 'Active')`)
+	restore()
+	if err != nil {
+		t.Fatalf("committed batch must not return an error: %v", err)
+	}
+	if res.Checkpointed {
+		t.Error("failed checkpoint reported as done")
+	}
+	if !strings.Contains(res.CheckpointErr, boom.Error()) {
+		t.Errorf("CheckpointErr = %q, want it to mention %q", res.CheckpointErr, boom)
+	}
+	// The batch is durable exactly once.
+	s.Close()
+	s2, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := tableLen(t, s2, shipdb.Sonar); got != before+1 {
+		t.Errorf("reopen after degraded apply: %d rows, want %d", got, before+1)
+	}
+}
+
+func TestMaintainCancelledContext(t *testing.T) {
+	s := shipSystem(t)
+	if _, err := s.Induce(induct.Options{Nc: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(context.Background(), contradictor); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Maintain(ctx, induct.Options{Nc: 3}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Maintain = %v, want context.Canceled", err)
+	}
+	_, maint, _ := s.RuleStatus()
+	if st, _ := maint.Counts(); st == 0 {
+		t.Error("cancelled Maintain must leave the staleness state untouched")
 	}
 }
 
@@ -667,7 +807,7 @@ func TestConcurrentMaintainRace(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := s.Maintain(induct.Options{Nc: 3, Workers: 2}); err != nil {
+			if _, err := s.Maintain(context.Background(), induct.Options{Nc: 3, Workers: 2}); err != nil {
 				t.Errorf("maintain: %v", err)
 				return
 			}
@@ -693,7 +833,7 @@ func TestConcurrentMaintainRace(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
-	if _, err := s.Maintain(induct.Options{Nc: 3}); err != nil {
+	if _, err := s.Maintain(context.Background(), induct.Options{Nc: 3}); err != nil {
 		t.Fatal(err)
 	}
 	_, maint, _ := s.RuleStatus()

@@ -10,3 +10,14 @@ func SetApplyHook(f func(stage string) error) func() {
 	applyHook = f
 	return func() { applyHook = old }
 }
+
+// SetCheckpointHook installs a hook running between a checkpoint's
+// atomic save and its log reset, and returns a restore function. A
+// non-nil error aborts the checkpoint inside that window, simulating a
+// crash after the directory holds the logged mutations but before the
+// log forgets them — the window sequence-stamped replay must cover.
+func SetCheckpointHook(f func() error) func() {
+	old := checkpointHook
+	checkpointHook = f
+	return func() { checkpointHook = old }
+}

@@ -25,6 +25,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -56,6 +57,13 @@ type System struct {
 	log             *wal.Log
 	dir             string
 	checkpointBytes int64
+	// walSeq is the sequence number of the last WAL record appended (or
+	// replayed/skipped at open). Every record is stamped with the
+	// sequence it commits, and Save persists the current value into the
+	// directory, so replay can skip records already contained in the
+	// saved catalog — the idempotency that closes the crash window
+	// between a checkpoint's save and its log reset.
+	walSeq uint64 // guarded by wmu
 
 	// Eager-maintenance worker lifecycle (StartAutoMaintain).
 	amu      sync.Mutex
@@ -254,6 +262,37 @@ func (c *responseCache) put(k string, r *Response) {
 // declarations.
 const declsFile = "dictionary.json"
 
+// walSeqFile is the database directory entry recording the sequence
+// number of the last WAL record whose effects the directory contains.
+// Replay skips records at or below it, making recovery idempotent: a
+// crash between a checkpoint's atomic save and its log reset replays a
+// log whose every record the catalog already holds, and each is
+// recognised and skipped instead of double-applied.
+const walSeqFile = "walseq.json"
+
+// walSeqRecord is the JSON shape of walSeqFile.
+type walSeqRecord struct {
+	Seq uint64 `json:"seq"`
+}
+
+// readWalSeq loads the directory's checkpointed WAL sequence; a missing
+// file (a directory saved by a non-durable system, or predating the
+// format) means nothing is recorded as applied.
+func readWalSeq(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, walSeqFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("core: read wal sequence: %w", err)
+	}
+	var rec walSeqRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return 0, fmt.Errorf("core: parse %s: %w", walSeqFile, err)
+	}
+	return rec.Seq, nil
+}
+
 // Save writes the database, its rule relations, and the dictionary
 // declarations to a directory — the complete relocatable unit of
 // Section 5.2.2. The whole directory is written atomically (built in a
@@ -264,18 +303,41 @@ const declsFile = "dictionary.json"
 //
 // On a durable system, saving over its own directory is a checkpoint:
 // the WAL is truncated in the same critical section, because the saved
-// directory already contains every logged mutation and replaying them
-// again would double-apply.
+// directory already contains every logged mutation. Own-directory
+// detection compares inodes (os.SameFile) after the save, so aliases —
+// relative paths, symlinked parents — are caught too. The comparison
+// failing open is safe: every saved directory records the WAL sequence
+// it contains, so a reopen skips the already-applied records instead of
+// double-applying them; a missed reset costs log space, not
+// correctness.
 func (s *System) Save(dir string) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	if err := s.saveLocked(dir); err != nil {
 		return err
 	}
-	if s.log != nil && filepath.Clean(dir) == filepath.Clean(s.dir) {
+	if s.log != nil && sameDir(dir, s.dir) {
 		return s.log.Reset()
 	}
 	return nil
+}
+
+// sameDir reports whether two paths name the same directory on disk.
+// Called after the save, when both paths exist if they alias each
+// other; any stat failure means they cannot be the same live directory.
+func sameDir(a, b string) bool {
+	if filepath.Clean(a) == filepath.Clean(b) {
+		return true
+	}
+	ai, err := os.Stat(a)
+	if err != nil {
+		return false
+	}
+	bi, err := os.Stat(b)
+	if err != nil {
+		return false
+	}
+	return os.SameFile(ai, bi)
 }
 
 // saveLocked writes the current snapshot to dir. Caller holds wmu.
@@ -298,6 +360,13 @@ func (s *System) saveLocked(dir string) error {
 		}
 		if err := os.WriteFile(filepath.Join(tmp, declsFile), data, 0o644); err != nil {
 			return fmt.Errorf("core: save declarations: %w", err)
+		}
+		seq, err := json.Marshal(walSeqRecord{Seq: s.walSeq})
+		if err != nil {
+			return fmt.Errorf("core: encode wal sequence: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, walSeqFile), seq, 0o644); err != nil {
+			return fmt.Errorf("core: save wal sequence: %w", err)
 		}
 		return nil
 	})

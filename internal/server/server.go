@@ -245,7 +245,10 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.sys.ApplyBatch(r.Context(), stmts)
-	if err != nil && res == nil {
+	if err != nil {
+		// A non-nil error always means the batch did not commit; a
+		// committed batch with a failed auto-checkpoint returns nil error
+		// and reports the failure in res.CheckpointErr.
 		switch {
 		case r.Context().Err() != nil && errors.Is(err, r.Context().Err()):
 			writeError(w, http.StatusGatewayTimeout, "mutation abandoned at deadline")
@@ -265,6 +268,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		Refinable:    res.Refinable,
 		Checkpointed: res.Checkpointed,
 		WalBytes:     s.sys.WalSize(),
+		Warning:      res.CheckpointErr,
 	}
 	for _, m := range res.Mutations {
 		out.Mutations = append(out.Mutations, mutationJSON{
@@ -273,11 +277,6 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			Inserted: len(m.Inserted),
 			Deleted:  len(m.Deleted),
 		})
-	}
-	if err != nil {
-		// The batch committed; only post-commit housekeeping (the
-		// auto-checkpoint) failed.
-		out.Warning = err.Error()
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -298,12 +297,16 @@ func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res, err := s.sys.Maintain(induct.Options{
+	res, err := s.sys.Maintain(r.Context(), induct.Options{
 		Nc:         req.Nc,
 		NcFraction: req.NcFraction,
 		Workers:    req.Workers,
 	})
 	if err != nil {
+		if r.Context().Err() != nil && errors.Is(err, r.Context().Err()) {
+			writeError(w, http.StatusGatewayTimeout, "maintenance abandoned at deadline")
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}

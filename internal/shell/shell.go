@@ -230,6 +230,9 @@ func (s *Shell) cmdMutate(sql string) {
 	if res.Checkpointed {
 		fmt.Fprintln(s.out, "auto-checkpoint: database saved, write-ahead log truncated")
 	}
+	if res.CheckpointErr != "" {
+		fmt.Fprintf(s.out, "warning: batch committed, but auto-checkpoint failed: %s\n", res.CheckpointErr)
+	}
 }
 
 func (s *Shell) cmdSchema() {
@@ -435,7 +438,7 @@ func (s *Shell) cmdMaintain(ncArg string) {
 		}
 		nc = n
 	}
-	res, err := s.sys.Maintain(induct.Options{Nc: nc})
+	res, err := s.sys.Maintain(context.Background(), induct.Options{Nc: nc})
 	if err != nil {
 		fmt.Fprintln(s.out, "error:", err)
 		return

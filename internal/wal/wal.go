@@ -2,9 +2,13 @@
 // Each record is length-prefixed and checksummed, and every append is
 // fsync'd before it returns, so a mutation acknowledged by the write
 // path survives a crash. Startup replay (Open) scans the log, hands the
-// complete records back to the caller, and truncates a torn or corrupt
-// tail — the crash-recovery contract is "everything up to the last
-// complete record, nothing after it".
+// complete records back to the caller, and truncates a torn tail — the
+// crash-recovery contract is "everything up to the last complete
+// record, nothing after it". A bad record that is followed by a valid
+// one is not a torn tail: appends are sequential and fsync'd, so data
+// after a record proves that record was once acknowledged as durable,
+// and Open refuses with ErrCorrupt instead of silently dropping
+// committed mutations.
 //
 // The log stores opaque payloads; the core layer encodes statement
 // batches into them. Checkpointing composes with storage.WriteAtomic:
@@ -43,6 +47,13 @@ const maxRecord = 64 << 20
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log is closed")
 
+// ErrCorrupt is returned by Open when a record fails validation but a
+// structurally valid record follows it. A torn tail can only be the
+// final (unacknowledged) append; a valid record after a bad one means
+// fsync-acknowledged data would be lost, which must surface to the
+// operator rather than be absorbed by truncation.
+var ErrCorrupt = errors.New("wal: corrupt record before the log tail")
+
 // Log is an open write-ahead log. Append, Size, Reset, and Close are
 // safe for concurrent use; in the system there is one writer (the core
 // mutation path, serialized by its own lock) plus metric readers.
@@ -55,10 +66,11 @@ type Log struct {
 
 // Open opens (creating if absent) the log at path and replays it,
 // returning the payloads of every complete record in append order. A
-// torn or corrupt tail — a partial header, a length running past EOF, a
-// checksum mismatch, or an absurd length — is truncated away so the log
-// ends at the last complete record; the data it described was never
-// acknowledged as durable.
+// torn tail — a partial header, a length running past EOF, a checksum
+// mismatch or absurd length on the final append — is truncated away so
+// the log ends at the last complete record; the data it described was
+// never acknowledged as durable. A bad record with a valid record
+// after it is mid-log corruption, not a tear, and yields ErrCorrupt.
 func Open(path string) (*Log, [][]byte, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -76,8 +88,10 @@ func Open(path string) (*Log, [][]byte, error) {
 }
 
 // recover scans the freshly opened file, validating the magic and every
-// record, truncating at the first incomplete or corrupt one. It runs
-// from Open, before the Log is visible to any other goroutine.
+// record. An incomplete or corrupt record ends the scan: if nothing
+// valid follows it is a torn tail and is truncated; if a valid record
+// follows, recovery refuses with ErrCorrupt (see checkCorruption). It
+// runs from Open, before the Log is visible to any other goroutine.
 //
 //ilint:locked mu
 func (l *Log) recover() ([][]byte, error) {
@@ -118,7 +132,13 @@ func (l *Log) recover() ([][]byte, error) {
 		length := binary.BigEndian.Uint32(hdr[0:4])
 		sum := binary.BigEndian.Uint32(hdr[4:8])
 		if length > maxRecord {
-			break // corrupt length
+			// Corrupt length: the record's extent cannot be trusted, so
+			// whether this is a torn final append or mid-log damage is
+			// decided by whether anything valid follows.
+			if err := l.checkCorruption(off, info.Size()); err != nil {
+				return nil, err
+			}
+			break
 		}
 		payload := make([]byte, length)
 		pn, err := l.f.ReadAt(payload, off+headerLen)
@@ -126,10 +146,13 @@ func (l *Log) recover() ([][]byte, error) {
 			return nil, fmt.Errorf("wal: read payload: %w", err)
 		}
 		if pn < int(length) {
-			break // torn payload
+			break // torn payload, reaches EOF
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			break // corrupt payload
+			if err := l.checkCorruption(off, info.Size()); err != nil {
+				return nil, err
+			}
+			break
 		}
 		entries = append(entries, payload)
 		off += headerLen + int64(length)
@@ -146,6 +169,42 @@ func (l *Log) recover() ([][]byte, error) {
 	}
 	l.size = off
 	return entries, nil
+}
+
+// checkCorruption decides whether a bad record at off is a torn tail
+// (truncatable) or mid-log corruption (a hard error). A torn write can
+// only be the final append, so if any structurally valid record —
+// sane non-zero length, fully present payload, matching checksum —
+// starts anywhere after off, the bad record was once acknowledged as
+// durable and truncating would silently discard committed data.
+// Zero-length candidates are ignored: a crash can extend the file with
+// zeros, and 8 zero bytes decode as an empty record with a matching
+// (zero) checksum. It runs from recover, before the Log is shared.
+//
+//ilint:locked mu
+func (l *Log) checkCorruption(off, size int64) error {
+	if off+1 >= size {
+		return nil
+	}
+	tail := make([]byte, size-off)
+	if _, err := l.f.ReadAt(tail, off); err != nil && err != io.EOF {
+		return fmt.Errorf("wal: read tail: %w", err)
+	}
+	for o := int64(1); o+headerLen <= int64(len(tail)); o++ {
+		length := int64(binary.BigEndian.Uint32(tail[o : o+4]))
+		sum := binary.BigEndian.Uint32(tail[o+4 : o+8])
+		if length == 0 || length > maxRecord {
+			continue
+		}
+		end := o + headerLen + length
+		if end > int64(len(tail)) {
+			continue
+		}
+		if crc32.ChecksumIEEE(tail[o+headerLen:end]) == sum {
+			return fmt.Errorf("%w: bad record at offset %d, but a valid record follows at offset %d — refusing to truncate acknowledged data", ErrCorrupt, off, off+o)
+		}
+	}
+	return nil
 }
 
 // restart truncates the file to zero and writes a fresh magic header.

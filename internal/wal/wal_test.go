@@ -3,6 +3,7 @@ package wal
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 	"os"
 	"path/filepath"
@@ -209,12 +210,12 @@ func TestRecoveryForeignFileRejected(t *testing.T) {
 	}
 }
 
-// TestRecoveryMidRecordCorruptionStopsReplay pins the policy for
-// corruption before the tail: replay stops at the first bad record even
-// when later records are intact, because an append-only log with
-// per-record fsync cannot legitimately have a good record after a bad
-// one.
-func TestRecoveryMidRecordCorruptionStopsReplay(t *testing.T) {
+// TestRecoveryMidRecordCorruptionIsHardError pins the policy for
+// corruption before the tail: a record that fails its checksum while an
+// intact record follows it was fsync-acknowledged when the next append
+// ran, so truncating would silently discard committed data. Open must
+// refuse with ErrCorrupt instead.
+func TestRecoveryMidRecordCorruptionIsHardError(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "db.wal")
 	l, _ := openT(t, path)
 	appendT(t, l, "first", "middle", "last")
@@ -233,8 +234,73 @@ func TestRecoveryMidRecordCorruptionStopsReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, entries := openT(t, path)
-	wantEntries(t, entries, "first")
+	if _, _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on mid-log corruption = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRecoveryZeroFilledTailTruncates simulates a crash where the
+// filesystem extended the file with zeros past the last fsync'd record:
+// zeros decode as an empty record with a matching zero checksum, which
+// must not be mistaken for a valid record proving mid-log corruption.
+func TestRecoveryZeroFilledTailTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.wal")
+	l, _ := openT(t, path)
+	appendT(t, l, "good-1", "good-2")
+	closeT(t, l)
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bad-checksum header followed by zeros, as a torn append that was
+	// partially persisted would leave behind.
+	hdr := make([]byte, headerLen)
+	binary.BigEndian.PutUint32(hdr[0:4], 64)
+	binary.BigEndian.PutUint32(hdr[4:8], 0xdeadbeef)
+	if _, err := f.Write(append(hdr, make([]byte, 64)...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, entries := openT(t, path)
+	wantEntries(t, entries, "good-1", "good-2")
+	appendT(t, l2, "after-recovery")
+	closeT(t, l2)
+	_, entries = openT(t, path)
+	wantEntries(t, entries, "good-1", "good-2", "after-recovery")
+}
+
+// TestRecoveryAbsurdLengthBeforeValidRecordIsHardError covers the
+// untrusted-extent case: a header claiming a multi-gigabyte payload
+// cannot locate the next record, but if one provably exists after it
+// the log has lost acknowledged data and recovery must not truncate.
+func TestRecoveryAbsurdLengthBeforeValidRecordIsHardError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.wal")
+	l, _ := openT(t, path)
+	appendT(t, l, "good")
+	closeT(t, l)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, len(data)-len(magic))
+	copy(rec, data[len(magic):]) // the valid "good" record
+
+	// Rewrite the log as: magic, absurd-length header, valid record.
+	hdr := make([]byte, headerLen)
+	binary.BigEndian.PutUint32(hdr[0:4], 1<<31)
+	out := append(append(append([]byte{}, magic...), hdr...), rec...)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
 }
 
 func TestClosedLog(t *testing.T) {
