@@ -7,12 +7,12 @@
 
 GO ?= go
 
-.PHONY: ci build vet lint test race bench serve
+.PHONY: ci build vet lint test race bench serve chaos
 
 ci: vet build lint test race
 
-# The four repo-specific passes: lockguard, maporder, rowalias, errdrop.
-# See DESIGN.md "Static analysis".
+# The five repo-specific passes: lockguard, maporder, rowalias,
+# errdrop, faultseam. See DESIGN.md "Static analysis".
 lint:
 	$(GO) run ./cmd/ilint ./...
 
@@ -39,6 +39,16 @@ bench:
 		| $(GO) run ./cmd/benchjson -o BENCH_induce.json
 	$(GO) test -bench 'Query|Infer|EndToEnd|Join|Indexed' -benchmem -benchtime $(BENCHTIME) -run xxx . \
 		| $(GO) run ./cmd/benchjson -o BENCH_query.json
+
+# Seeded crash-recovery harness (cmd/chaos): cycles of mutate → inject
+# disk death → kill → reopen, asserting after every cycle that
+# acknowledged batches survive exactly once and no serving rule is
+# contradicted by the recovered data. Deterministic per seed; a failure
+# prints the exact reproduction command.
+CHAOS_ITERS ?= 200
+CHAOS_SEED  ?= 1
+chaos:
+	$(GO) run ./cmd/chaos -iters $(CHAOS_ITERS) -seed $(CHAOS_SEED)
 
 # Run the intensional-answer server on the paper's ship test bed.
 # Try: curl -s localhost:8473/healthz

@@ -18,6 +18,8 @@
 //	rowalias   relation row slices are not mutated outside
 //	           internal/relation's copy-on-write API
 //	errdrop    error results are not silently discarded
+//	faultseam  internal/storage and internal/wal mutate the filesystem
+//	           only through the injected fault.FS seam, never package os
 package main
 
 import (

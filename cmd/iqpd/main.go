@@ -19,6 +19,14 @@
 // bounds the log by folding it into the saved database. -auto-maintain
 // re-inducts stale rule schemes in the background after mutations.
 // SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// The server bounds concurrency rather than dying under it:
+// -max-inflight requests are served at once, up to -max-queue more wait
+// at most -queue-wait, and the overflow is refused fast with 429/503 +
+// Retry-After. When the WAL repeatedly fails, the system degrades to
+// read-only — queries keep serving while mutations get 503s and
+// /healthz reports mode "degraded:read-only". Handler panics are
+// contained to a 500 on the one request and logged with a stack trace.
 package main
 
 import (
@@ -51,6 +59,9 @@ func main() {
 	autoMaintain := flag.Bool("auto-maintain", false, "re-induct stale rule schemes in the background after mutations")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-request deadline for queries")
 	induceTimeout := flag.Duration("induce-timeout", 2*time.Minute, "per-request deadline for /induce")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent requests served before queueing (0 = default 64)")
+	maxQueue := flag.Int("max-queue", 0, "queued requests before 429s (0 = default 2×max-inflight)")
+	queueWait := flag.Duration("queue-wait", 0, "longest a request waits in the queue before a 503 (0 = default 1s)")
 	flag.Parse()
 
 	cfg := config{
@@ -58,6 +69,7 @@ func main() {
 		nc: *nc, workers: *workers, noInduce: *noInduce,
 		wal: *wal, checkpointBytes: *checkpointBytes, autoMaintain: *autoMaintain,
 		queryTimeout: *queryTimeout, induceTimeout: *induceTimeout,
+		maxInFlight: *maxInFlight, maxQueue: *maxQueue, queueWait: *queueWait,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "iqpd:", err)
@@ -72,6 +84,8 @@ type config struct {
 	wal, autoMaintain           bool
 	checkpointBytes             int64
 	queryTimeout, induceTimeout time.Duration
+	maxInFlight, maxQueue       int
+	queueWait                   time.Duration
 }
 
 func run(cfg config) error {
@@ -101,6 +115,10 @@ func run(cfg config) error {
 		QueryTimeout:  cfg.queryTimeout,
 		InduceTimeout: cfg.induceTimeout,
 		AccessLog:     os.Stderr,
+		ErrorLog:      os.Stderr,
+		MaxInFlight:   cfg.maxInFlight,
+		MaxQueue:      cfg.maxQueue,
+		QueueWait:     cfg.queueWait,
 	})
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,

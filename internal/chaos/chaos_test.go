@@ -1,0 +1,50 @@
+package chaos_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"intensional/internal/chaos"
+)
+
+// TestShortChaosRun keeps a bounded slice of the chaos harness in the
+// ordinary test suite: enough cycles to cross several disk deaths,
+// torn writes, and checkpoints, cheap enough to run on every push. The
+// full run is `make chaos`.
+func TestShortChaosRun(t *testing.T) {
+	rep, err := chaos.Run(filepath.Join(t.TempDir(), "db"), chaos.Config{
+		Iters: 25,
+		Seed:  1,
+		Logf:  t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Iters != 25 {
+		t.Errorf("completed %d iterations, want 25", rep.Iters)
+	}
+	if rep.Acked == 0 || rep.Refused == 0 {
+		t.Errorf("run exercised too little: %d acked, %d refused (want both > 0)", rep.Acked, rep.Refused)
+	}
+}
+
+// TestChaosIsDeterministic replays the same seed twice and expects
+// byte-identical reports — the property that makes a failing seed a
+// reproducible bug report.
+func TestChaosIsDeterministic(t *testing.T) {
+	run := func(dir string) *chaos.Report {
+		rep, err := chaos.Run(dir, chaos.Config{Iters: 10, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a := run(filepath.Join(t.TempDir(), "a"))
+	b := run(filepath.Join(t.TempDir(), "b"))
+	if a.Acked != b.Acked || a.Refused != b.Refused || a.Checkpoint != b.Checkpoint {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

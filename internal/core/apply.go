@@ -28,27 +28,33 @@ import (
 	"path/filepath"
 
 	"intensional/internal/dict"
+	"intensional/internal/fault"
 	"intensional/internal/induct"
 	"intensional/internal/maintain"
 	"intensional/internal/query"
 	"intensional/internal/rules"
 	"intensional/internal/sqlparse"
+	"intensional/internal/storage"
 	"intensional/internal/wal"
 )
 
-// applyHook, when non-nil, runs at named stages of ApplyBatch; a non-nil
-// error aborts the apply at that point. Crash-recovery tests use it to
-// simulate a process dying between execution, logging, and installation.
-// Stages: "executed" (catalog mutated, nothing logged), "logged" (WAL
-// record fsync'd, snapshot not yet installed).
-var applyHook func(stage string) error
-
-// checkpointHook, when non-nil, runs between the checkpoint's atomic
-// save and its log reset; a non-nil error aborts the checkpoint there.
-// Crash-recovery tests use it to die inside the window where the saved
-// directory and the un-reset log both hold the same mutations, proving
-// sequence-stamped replay skips them instead of double-applying.
-var checkpointHook func() error
+// Crash points, reported to the system's fault.FS via fault.Hit. When
+// the FS is a fault.Injector with the point armed, the operation aborts
+// there — simulating a process dying between two file operations.
+// Production FSes ignore them.
+const (
+	// pointExecuted: statements applied to the working catalog, nothing
+	// logged yet. Dying here must lose the (unacknowledged) batch.
+	pointExecuted = "apply.executed"
+	// pointLogged: WAL record fsync'd, snapshot not yet installed.
+	// Dying here must replay the batch on restart.
+	pointLogged = "apply.logged"
+	// pointCheckpointSaved: the checkpoint's atomic save has renamed
+	// into place, the log is not yet reset. Dying here leaves a log
+	// whose every record the directory already contains; replay must
+	// skip them by sequence instead of double-applying.
+	pointCheckpointSaved = "checkpoint.saved"
+)
 
 // walRecord is the JSON payload of one WAL entry: a statement batch
 // applied atomically. Seq is the record's position in the log's commit
@@ -71,14 +77,37 @@ var ErrNotDurable = fmt.Errorf("core: system has no write-ahead log (use OpenDur
 
 // ErrLogFailed marks apply errors where the statements executed but the
 // WAL append failed — an infrastructure fault (disk full, I/O error),
-// not a problem with the request. The batch did NOT commit.
+// not a problem with the request. When the failed stage was the record
+// write and the log rewound cleanly, the batch did NOT commit; see
+// ErrLogIndeterminate for the one case where that cannot be promised.
 var ErrLogFailed = fmt.Errorf("core: write-ahead log append failed")
+
+// ErrLogIndeterminate marks the append failures where the batch's
+// commit state is unknown until the next recovery: the record's bytes
+// may have reached the file before the failure (a failed fsync reports
+// nothing about what the kernel already wrote — the "fsyncgate"
+// semantics that poison the log handle), so after a crash, replay may
+// legitimately surface the batch as committed. Callers treating errors
+// as "definitely not applied" must check for this sentinel; it wraps
+// ErrLogFailed, so err-is checks for the general failure still match.
+var ErrLogIndeterminate = fmt.Errorf("%w (commit state indeterminate until the next recovery)", ErrLogFailed)
 
 // DurableOptions configure OpenDurable.
 type DurableOptions struct {
 	// CheckpointBytes, when positive, auto-checkpoints after any apply
 	// that leaves the WAL larger than this many bytes.
 	CheckpointBytes int64
+	// FS, when non-nil, routes every file operation of the durability
+	// path (WAL appends, checkpoint saves) through it — the
+	// fault-injection seam. Nil means the real filesystem.
+	FS fault.FS
+	// Clock, when non-nil, supplies degraded-state timestamps. Nil
+	// means the wall clock.
+	Clock fault.Clock
+	// DegradeAfter is how many consecutive WAL append failures flip the
+	// system to read-only degraded mode (a poisoned log flips it
+	// immediately). Zero means the default of 3.
+	DegradeAfter int
 }
 
 // OpenDurable opens a database directory like Open and attaches the
@@ -97,15 +126,34 @@ type DurableOptions struct {
 //
 //ilint:locked wmu
 func OpenDurable(dir string, o DurableOptions) (*System, error) {
+	// Repair an interrupted checkpoint swap before loading: a crash
+	// between the two renames leaves only the ".old" generation, whose
+	// walseq predates the un-reset WAL — replay brings it forward.
+	fsys := o.FS
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	if err := storage.RecoverAtomicFS(fsys, dir); err != nil {
+		return nil, err
+	}
 	s, err := Open(dir)
 	if err != nil {
 		return nil, err
+	}
+	if o.FS != nil {
+		s.fs = o.FS
+	}
+	if o.Clock != nil {
+		s.clock = o.Clock
+	}
+	if o.DegradeAfter > 0 {
+		s.degradeAfter = o.DegradeAfter
 	}
 	savedSeq, err := readWalSeq(dir)
 	if err != nil {
 		return nil, err
 	}
-	log, entries, err := wal.Open(walPath(dir))
+	log, entries, err := wal.OpenFS(s.fs, walPath(dir))
 	if err != nil {
 		return nil, err
 	}
@@ -189,15 +237,16 @@ func (s *System) ApplyBatch(ctx context.Context, stmts []string) (*ApplyResult, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if st := s.degraded.Load(); st != nil {
+		return nil, fmt.Errorf("%w (%s)", ErrReadOnly, st.Reason)
+	}
 	cur := s.current()
 	sn, muts, err := applyParsed(cur, parsed)
 	if err != nil {
 		return nil, err
 	}
-	if applyHook != nil {
-		if err := applyHook("executed"); err != nil {
-			return nil, err
-		}
+	if err := fault.Hit(s.fs, pointExecuted); err != nil {
+		return nil, err
 	}
 	if s.log != nil {
 		payload, err := json.Marshal(walRecord{Seq: s.walSeq + 1, Stmts: stmts})
@@ -205,14 +254,20 @@ func (s *System) ApplyBatch(ctx context.Context, stmts []string) (*ApplyResult, 
 			return nil, fmt.Errorf("core: encode wal record: %w", err)
 		}
 		if err := s.log.Append(payload); err != nil {
+			s.noteAppendFailure(err)
+			if s.log.Poisoned() != nil {
+				// The record may be fully written despite the error (a
+				// failed fsync or rewind leaves the tail bytes unknown);
+				// a crash-and-replay could surface this batch.
+				return nil, fmt.Errorf("%w: %v", ErrLogIndeterminate, err)
+			}
 			return nil, fmt.Errorf("%w: %v", ErrLogFailed, err)
 		}
+		s.walFails = 0
 		s.walSeq++
 	}
-	if applyHook != nil {
-		if err := applyHook("logged"); err != nil {
-			return nil, err
-		}
+	if err := fault.Hit(s.fs, pointLogged); err != nil {
+		return nil, err
 	}
 	s.install(sn)
 
@@ -294,19 +349,24 @@ func (s *System) Checkpoint() error {
 	return s.checkpointLocked()
 }
 
-// checkpointLocked runs the checkpoint protocol. Caller holds wmu.
+// checkpointLocked runs the checkpoint protocol. A successful
+// checkpoint also leaves read-only degraded mode: the state is durably
+// saved and the log reset rewrote the WAL file from scratch, so the
+// conditions that forced degradation no longer hold. Caller holds wmu.
 //
 //ilint:locked wmu
 func (s *System) checkpointLocked() error {
 	if err := s.saveLocked(s.dir); err != nil {
 		return err
 	}
-	if checkpointHook != nil {
-		if err := checkpointHook(); err != nil {
-			return err
-		}
+	if err := fault.Hit(s.fs, pointCheckpointSaved); err != nil {
+		return err
 	}
-	return s.log.Reset()
+	if err := s.log.Reset(); err != nil {
+		return err
+	}
+	s.clearDegradedLocked()
+	return nil
 }
 
 // WalSize returns the write-ahead log's size in bytes, or 0 when the

@@ -14,6 +14,7 @@ import (
 
 	"intensional/internal/answer"
 	"intensional/internal/core"
+	"intensional/internal/fault"
 	"intensional/internal/induct"
 	"intensional/internal/rules"
 	"intensional/internal/shipdb"
@@ -382,7 +383,8 @@ func TestSaveOwnDirIsCheckpoint(t *testing.T) {
 // by their stamped sequence against the directory's recorded one — and
 // skip them, not double-apply them.
 func TestCrashBetweenCheckpointSaveAndReset(t *testing.T) {
-	s, dir := durableShip(t, false, core.DurableOptions{})
+	in := fault.NewInjector(fault.OS)
+	s, dir := durableShip(t, false, core.DurableOptions{FS: in})
 	before := tableLen(t, s, shipdb.Sonar)
 	if _, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-20', 'Active')`); err != nil {
 		t.Fatal(err)
@@ -391,9 +393,9 @@ func TestCrashBetweenCheckpointSaveAndReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("simulated crash")
-	restore := core.SetCheckpointHook(func() error { return boom })
+	in.FailPoint(core.PointCheckpointSaved, boom)
 	err := s.Checkpoint()
-	restore()
+	in.Clear()
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
@@ -467,12 +469,13 @@ func TestSaveAliasedOwnDirIsCheckpoint(t *testing.T) {
 // error (so err-first callers never retry a durable batch) and reports
 // the degradation in CheckpointErr.
 func TestAutoCheckpointFailureReportedInResult(t *testing.T) {
-	s, dir := durableShip(t, false, core.DurableOptions{CheckpointBytes: 1})
+	in := fault.NewInjector(fault.OS)
+	s, dir := durableShip(t, false, core.DurableOptions{CheckpointBytes: 1, FS: in})
 	before := tableLen(t, s, shipdb.Sonar)
 	boom := errors.New("disk on fire")
-	restore := core.SetCheckpointHook(func() error { return boom })
+	in.FailPoint(core.PointCheckpointSaved, boom)
 	res, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-24', 'Active')`)
-	restore()
+	in.Clear()
 	if err != nil {
 		t.Fatalf("committed batch must not return an error: %v", err)
 	}
@@ -544,17 +547,13 @@ func TestCheckpointNotDurable(t *testing.T) {
 // before the WAL append: the batch was never acknowledged and must be
 // gone after restart.
 func TestCrashBeforeCommitLosesBatch(t *testing.T) {
-	s, dir := durableShip(t, false, core.DurableOptions{})
+	in := fault.NewInjector(fault.OS)
+	s, dir := durableShip(t, false, core.DurableOptions{FS: in})
 	before := tableLen(t, s, shipdb.Submarine)
 	boom := errors.New("simulated crash")
-	restore := core.SetApplyHook(func(stage string) error {
-		if stage == "executed" {
-			return boom
-		}
-		return nil
-	})
+	in.FailPoint(core.PointExecuted, boom)
 	_, err := s.Apply(context.Background(), `INSERT INTO SUBMARINE VALUES ('SSN995', 'Wraith', '0204')`)
-	restore()
+	in.Clear()
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
@@ -580,17 +579,13 @@ func TestCrashBeforeCommitLosesBatch(t *testing.T) {
 // but before the snapshot installs: the record is the commit point, so
 // restart must restore the mutation.
 func TestCrashAfterCommitReplaysBatch(t *testing.T) {
-	s, dir := durableShip(t, false, core.DurableOptions{})
+	in := fault.NewInjector(fault.OS)
+	s, dir := durableShip(t, false, core.DurableOptions{FS: in})
 	before := tableLen(t, s, shipdb.Submarine)
 	boom := errors.New("simulated crash")
-	restore := core.SetApplyHook(func(stage string) error {
-		if stage == "logged" {
-			return boom
-		}
-		return nil
-	})
+	in.FailPoint(core.PointLogged, boom)
 	_, err := s.Apply(context.Background(), `INSERT INTO SUBMARINE VALUES ('SSN994', 'Revenant', '0204')`)
-	restore()
+	in.Clear()
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}

@@ -1,23 +1,9 @@
 package core
 
-// SetApplyHook installs a stage hook for crash-injection tests and
-// returns a restore function. Stages are "executed" (catalog mutated,
-// nothing logged) and "logged" (WAL record durable, snapshot not yet
-// installed); a non-nil error from the hook aborts ApplyBatch there,
-// simulating the process dying at that instant.
-func SetApplyHook(f func(stage string) error) func() {
-	old := applyHook
-	applyHook = f
-	return func() { applyHook = old }
-}
-
-// SetCheckpointHook installs a hook running between a checkpoint's
-// atomic save and its log reset, and returns a restore function. A
-// non-nil error aborts the checkpoint inside that window, simulating a
-// crash after the directory holds the logged mutations but before the
-// log forgets them — the window sequence-stamped replay must cover.
-func SetCheckpointHook(f func() error) func() {
-	old := checkpointHook
-	checkpointHook = f
-	return func() { checkpointHook = old }
-}
+// The crash-point names, exported to tests so fault injectors can arm
+// them (fault.Injector.FailPoint) without duplicating string literals.
+const (
+	PointExecuted        = pointExecuted
+	PointLogged          = pointLogged
+	PointCheckpointSaved = pointCheckpointSaved
+)

@@ -1,0 +1,298 @@
+package core_test
+
+// Fault-injection coverage of the durability path: read-only degraded
+// mode, and the fault matrix over OpenDurable + Checkpoint asserting
+// "recover fully or fail loudly, never load partial state".
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"intensional/internal/answer"
+	"intensional/internal/core"
+	"intensional/internal/fault"
+	"intensional/internal/shipdb"
+	"intensional/internal/wal"
+)
+
+// countRows counts rows of a relation whose rendering contains marker.
+func countRows(t *testing.T, s *core.System, rel, marker string) int {
+	t.Helper()
+	r, err := s.Catalog().Get(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, row := range r.Rows() {
+		if strings.Contains(fmt.Sprint(row), marker) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPersistentWalFailureDegradesToReadOnly drives the full degraded
+// life cycle: a failed WAL fsync poisons the log and flips the system
+// to read-only immediately; mutations are refused without touching the
+// disk while queries keep serving; a successful checkpoint after the
+// disk recovers clears the state.
+func TestPersistentWalFailureDegradesToReadOnly(t *testing.T) {
+	in := fault.NewInjector(fault.OS)
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	clk := fault.NewFakeClock(start)
+	s, _ := durableShip(t, false, core.DurableOptions{FS: in, Clock: clk})
+	before := tableLen(t, s, shipdb.Sonar)
+
+	in.FailOpFrom(fault.OpSync, ".wal", 1, fault.ErrInjected)
+	_, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-90', 'Active')`)
+	if !errors.Is(err, core.ErrLogFailed) {
+		t.Fatalf("apply with failing wal fsync = %v, want ErrLogFailed", err)
+	}
+	info := s.Degraded()
+	if info == nil {
+		t.Fatal("poisoned wal did not degrade the system")
+	}
+	if !info.Since.Equal(start) {
+		t.Errorf("degraded since %v, want the injected clock's %v", info.Since, start)
+	}
+
+	// Read-only: further mutations are refused before touching the disk.
+	ops := in.Ops()
+	if _, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-91', 'Active')`); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("apply while degraded = %v, want ErrReadOnly", err)
+	}
+	if in.Ops() != ops {
+		t.Errorf("degraded apply touched the disk: %d ops -> %d", ops, in.Ops())
+	}
+	if got := tableLen(t, s, shipdb.Sonar); got != before {
+		t.Errorf("failed/refused applies leaked rows: %d, want %d", got, before)
+	}
+
+	// Queries keep serving from the last good snapshot.
+	resp, err := s.Query(`SELECT SONAR.Sonar FROM SONAR`, answer.Combined)
+	if err != nil {
+		t.Fatalf("query while degraded: %v", err)
+	}
+	if resp.Extensional.Len() != before {
+		t.Errorf("degraded query saw %d rows, want %d", resp.Extensional.Len(), before)
+	}
+
+	// The disk comes back; a successful checkpoint clears degradation.
+	in.Clear()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("recovery checkpoint: %v", err)
+	}
+	if s.Degraded() != nil {
+		t.Fatal("still degraded after a successful checkpoint")
+	}
+	if _, err := s.Apply(context.Background(), `INSERT INTO SONAR VALUES ('TST-92', 'Active')`); err != nil {
+		t.Fatalf("apply after recovery: %v", err)
+	}
+}
+
+// TestConsecutiveAppendFailuresDegrade covers the non-poisoned path:
+// write failures with clean rewinds leave the handle usable, and only a
+// run of DegradeAfter consecutive failures flips to read-only.
+func TestConsecutiveAppendFailuresDegrade(t *testing.T) {
+	in := fault.NewInjector(fault.OS)
+	s, _ := durableShip(t, false, core.DurableOptions{FS: in, DegradeAfter: 2})
+
+	in.FailOpFrom(fault.OpWrite, ".wal", 1, fault.ErrInjected)
+	ins := `INSERT INTO SONAR VALUES ('TST-93', 'Active')`
+	if _, err := s.Apply(context.Background(), ins); !errors.Is(err, core.ErrLogFailed) {
+		t.Fatalf("1st failing apply = %v, want ErrLogFailed", err)
+	}
+	if s.Degraded() != nil {
+		t.Fatal("degraded after a single rewound write failure")
+	}
+	if _, err := s.Apply(context.Background(), ins); !errors.Is(err, core.ErrLogFailed) {
+		t.Fatalf("2nd failing apply = %v, want ErrLogFailed", err)
+	}
+	if s.Degraded() == nil {
+		t.Fatal("not degraded after DegradeAfter consecutive failures")
+	}
+	if _, err := s.Apply(context.Background(), ins); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("apply while degraded = %v, want ErrReadOnly", err)
+	}
+	in.Clear()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(context.Background(), ins); err != nil {
+		t.Fatalf("apply after recovery: %v", err)
+	}
+}
+
+// TestSuccessfulAppendResetsFailureStreak: transient, non-consecutive
+// failures never accumulate into degradation.
+func TestSuccessfulAppendResetsFailureStreak(t *testing.T) {
+	in := fault.NewInjector(fault.OS)
+	s, _ := durableShip(t, false, core.DurableOptions{FS: in, DegradeAfter: 2})
+	ins := `INSERT INTO SONAR VALUES ('TST-94', 'Active')`
+	for i := 0; i < 3; i++ {
+		in.FailOp(fault.OpWrite, ".wal", 1, fault.ErrInjected)
+		if _, err := s.Apply(context.Background(), ins); !errors.Is(err, core.ErrLogFailed) {
+			t.Fatalf("round %d failing apply = %v", i, err)
+		}
+		if _, err := s.Apply(context.Background(), `DELETE FROM SONAR WHERE Sonar = 'TST-94'`); err != nil {
+			t.Fatalf("round %d recovering apply: %v", i, err)
+		}
+	}
+	if s.Degraded() != nil {
+		t.Fatal("interleaved failures degraded the system despite successes between them")
+	}
+}
+
+// copyTree copies the database fixture (directory plus its sibling
+// .wal) so each fault-matrix case starts from identical bytes.
+func copyTree(t *testing.T, srcDir, dstDir string) {
+	t.Helper()
+	err := filepath.Walk(srcDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(srcDir, path)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(dstDir, rel)
+		if info.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		return copyFile(path, dst)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := copyFile(srcDir+".wal", dstDir+".wal"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close() //ilint:allow errdrop — read-only descriptor
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close() //ilint:allow errdrop — the copy error is reported
+		return err
+	}
+	return out.Close()
+}
+
+// TestOpenDurableFaultMatrix fails every single file operation of the
+// recover-then-checkpoint sequence in turn, and asserts the invariant
+// the durability design claims: the system either recovers fully or
+// fails loudly (the injected error or wal.ErrCorrupt) — it never opens
+// successfully with partial state, and the on-disk database always
+// remains fully recoverable afterwards.
+func TestOpenDurableFaultMatrix(t *testing.T) {
+	// Fixture: a durable database with two un-checkpointed batches in
+	// its WAL, so recovery exercises replay as well as load.
+	fixture := filepath.Join(t.TempDir(), "fixture")
+	{
+		s := shipSystem(t)
+		if err := s.Save(fixture); err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.OpenDurable(fixture, core.DurableOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []string{"TST-M1", "TST-M2"} {
+			if _, err := d.Apply(context.Background(), fmt.Sprintf(`INSERT INTO SONAR VALUES ('%s', 'Matrix')`, m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := func(s *core.System) int { return tableLen(t, s, shipdb.Sonar) }
+
+	// Counting pass: how many injectable operations does a clean
+	// open + checkpoint + close perform?
+	var total, want int
+	{
+		dir := filepath.Join(t.TempDir(), "count")
+		copyTree(t, fixture, dir)
+		in := fault.NewInjector(fault.OS)
+		s, err := core.OpenDurable(dir, core.DurableOptions{FS: in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = base(s)
+		if got := countRows(t, s, shipdb.Sonar, "TST-M1") + countRows(t, s, shipdb.Sonar, "TST-M2"); got != 2 {
+			t.Fatalf("clean open replayed %d marker rows, want 2", got)
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		total = in.Ops()
+	}
+	if total < 10 {
+		t.Fatalf("suspiciously few injectable ops (%d) — is the FS seam threaded through?", total)
+	}
+
+	for k := 1; k <= total; k++ {
+		k := k
+		t.Run(fmt.Sprintf("op%02d", k), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "db")
+			copyTree(t, fixture, dir)
+			in := fault.NewInjector(fault.OS)
+			in.FailNthOp(k, fault.ErrInjected)
+
+			s, err := core.OpenDurable(dir, core.DurableOptions{FS: in})
+			if err != nil {
+				// Loud failure: the injected fault or a corruption error,
+				// never anything silent or unrelated.
+				if !errors.Is(err, fault.ErrInjected) && !errors.Is(err, wal.ErrCorrupt) {
+					t.Errorf("open failed with unexpected error: %v", err)
+				}
+			} else {
+				// A successful open must hold the COMPLETE state.
+				if got := countRows(t, s, shipdb.Sonar, "TST-M1") + countRows(t, s, shipdb.Sonar, "TST-M2"); got != 2 {
+					t.Errorf("open succeeded with partial state: %d marker rows, want 2", got)
+				}
+				if got := base(s); got != want {
+					t.Errorf("open succeeded with %d SONAR rows, want %d", got, want)
+				}
+				// Checkpoint may fail loudly; the on-disk database must
+				// survive either way.
+				if cerr := s.Checkpoint(); cerr != nil && !errors.Is(cerr, fault.ErrInjected) {
+					t.Errorf("checkpoint failed with unexpected error: %v", cerr)
+				}
+				s.Close() //ilint:allow errdrop — the injected fault may surface here too; recovery below is the assertion
+			}
+
+			// Whatever happened, a clean reopen recovers the full state.
+			s2, err := core.OpenDurable(dir, core.DurableOptions{})
+			if err != nil {
+				t.Fatalf("clean reopen after fault at op %d: %v", k, err)
+			}
+			defer s2.Close()
+			if got := countRows(t, s2, shipdb.Sonar, "TST-M1") + countRows(t, s2, shipdb.Sonar, "TST-M2"); got != 2 {
+				t.Errorf("recovery lost acknowledged batches: %d marker rows, want 2", got)
+			}
+			if got := base(s2); got != want {
+				t.Errorf("recovered SONAR has %d rows, want %d", got, want)
+			}
+		})
+	}
+}

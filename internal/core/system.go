@@ -34,6 +34,7 @@ import (
 
 	"intensional/internal/answer"
 	"intensional/internal/dict"
+	"intensional/internal/fault"
 	"intensional/internal/induct"
 	"intensional/internal/infer"
 	"intensional/internal/maintain"
@@ -57,6 +58,21 @@ type System struct {
 	log             *wal.Log
 	dir             string
 	checkpointBytes int64
+	// fs and clock are the fault-injection seams: every file operation
+	// the system's own persistence performs goes through fs, and every
+	// degraded-state timestamp through clock. Set before the system is
+	// shared (New/OpenDurable), immutable afterwards.
+	fs    fault.FS
+	clock fault.Clock
+	// degradeAfter is how many consecutive WAL append failures flip the
+	// system to read-only; a poisoned log handle flips it immediately.
+	// Set before sharing, immutable afterwards.
+	degradeAfter int
+	// walFails counts consecutive WAL append failures. guarded by wmu.
+	walFails int
+	// degraded holds the read-only degraded state, nil when healthy.
+	// Written under wmu; read lock-free by health/metrics reporting.
+	degraded atomic.Pointer[DegradedInfo]
 	// walSeq is the sequence number of the last WAL record appended (or
 	// replayed/skipped at open). Every record is stamped with the
 	// sequence it commits, and Save persists the current value into the
@@ -110,7 +126,12 @@ func newSnapshot(version uint64, cat *storage.Catalog, d *dict.Dictionary) *snap
 // and dictionary become version 1's snapshot; mutate them only before
 // the system starts serving concurrent callers.
 func New(cat *storage.Catalog, d *dict.Dictionary) *System {
-	return &System{snap: newSnapshot(1, cat, d)}
+	return &System{
+		snap:         newSnapshot(1, cat, d),
+		fs:           fault.OS,
+		clock:        fault.Wall,
+		degradeAfter: defaultDegradeAfter,
+	}
 }
 
 // current returns the snapshot serving reads right now.
@@ -350,22 +371,22 @@ func (s *System) saveLocked(dir string) error {
 			return err
 		}
 	}
-	return storage.WriteAtomic(dir, func(tmp string) error {
-		if err := sn.cat.WriteInto(tmp); err != nil {
+	return storage.WriteAtomicFS(s.fs, dir, func(tmp string) error {
+		if err := sn.cat.WriteIntoFS(s.fs, tmp); err != nil {
 			return err
 		}
 		data, err := dict.MarshalDecls(sn.d.Decls())
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(filepath.Join(tmp, declsFile), data, 0o644); err != nil {
+		if err := s.fs.WriteFile(filepath.Join(tmp, declsFile), data, 0o644); err != nil {
 			return fmt.Errorf("core: save declarations: %w", err)
 		}
 		seq, err := json.Marshal(walSeqRecord{Seq: s.walSeq})
 		if err != nil {
 			return fmt.Errorf("core: encode wal sequence: %w", err)
 		}
-		if err := os.WriteFile(filepath.Join(tmp, walSeqFile), seq, 0o644); err != nil {
+		if err := s.fs.WriteFile(filepath.Join(tmp, walSeqFile), seq, 0o644); err != nil {
 			return fmt.Errorf("core: save wal sequence: %w", err)
 		}
 		return nil
@@ -375,6 +396,9 @@ func (s *System) saveLocked(dir string) error {
 // Open loads a database directory written by Save: catalog, dictionary
 // declarations, and (when present) the induced rule base.
 func Open(dir string) (*System, error) {
+	if err := storage.RecoverAtomic(dir); err != nil {
+		return nil, err
+	}
 	cat, err := storage.Load(dir)
 	if err != nil {
 		return nil, err

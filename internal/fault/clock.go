@@ -1,0 +1,32 @@
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// FakeClock is a Clock that only moves when told to. Tests inject it
+// where degraded-state timestamps or retry hints are computed, so
+// "degraded for 42s" is an assertion, not a sleep.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time // guarded by mu
+}
+
+// NewFakeClock returns a FakeClock frozen at t.
+func NewFakeClock(t time.Time) *FakeClock {
+	return &FakeClock{t: t}
+}
+
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}

@@ -1,0 +1,153 @@
+// Package fault is the deterministic fault-injection seam of the
+// durability path. Every file operation the storage and WAL layers
+// perform goes through the FS interface, so a test — or the chaos
+// harness — can make the Nth create/write/fsync/rename/remove fail,
+// short-write a record as a power cut would, or kill the process at a
+// named point between two operations, all without touching the real
+// code path: production passes fault.OS and pays one interface call.
+//
+// The package has three parts:
+//
+//   - FS and File: the filesystem surface the durability path is
+//     allowed to use. fault.OS implements it over package os.
+//   - Injector: an FS decorator that counts operations and fails the
+//     ones a test selects — by global operation number (the fault
+//     matrix), by kind and path (the targeted regression tests), or
+//     everything from a point on (the chaos harness's disk-death
+//     model). It also carries named crash points for the spots where a
+//     process can die between file operations.
+//   - Clock: an injectable time source, so degraded-state timestamps
+//     and retry hints are testable without sleeping.
+//
+// The ilint pass "faultseam" enforces the seam: internal/storage and
+// internal/wal must not call os.* mutation functions directly.
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Op classifies one filesystem operation for counting and matching.
+type Op string
+
+const (
+	OpOpen      Op = "open"      // FS.OpenFile
+	OpCreate    Op = "create"    // FS.Create
+	OpRead      Op = "read"      // File.ReadAt
+	OpWrite     Op = "write"     // File.Write / File.WriteAt
+	OpSync      Op = "sync"      // File.Sync
+	OpTruncate  Op = "truncate"  // File.Truncate
+	OpRename    Op = "rename"    // FS.Rename
+	OpRemove    Op = "remove"    // FS.Remove / FS.RemoveAll
+	OpMkdir     Op = "mkdir"     // FS.MkdirAll / FS.MkdirTemp
+	OpWriteFile Op = "writefile" // FS.WriteFile
+	OpSyncDir   Op = "syncdir"   // FS.SyncDir
+)
+
+// File is the open-file surface of the durability path. *os.File
+// satisfies every method; the injector wraps it to observe and fail
+// individual reads, writes, syncs, and truncates.
+type File interface {
+	io.Writer
+	io.WriterAt
+	io.ReaderAt
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+	Stat() (os.FileInfo, error)
+	Name() string
+}
+
+// FS is the filesystem surface of the durability path: every way the
+// storage and WAL layers create, mutate, or remove on-disk state. Read
+// paths that cannot corrupt anything (os.Open, os.ReadFile, os.Stat)
+// stay on package os.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Create(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm os.FileMode) error
+	MkdirTemp(dir, pattern string) (string, error)
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	// SyncDir fsyncs a directory, making the directory entries it holds
+	// (a just-renamed database directory, a just-created WAL) durable
+	// across a power cut. The atomic-save protocol calls it on the
+	// parent after the rename that commits a checkpoint.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: a thin veneer over package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) MkdirTemp(dir, pattern string) (string, error) { return os.MkdirTemp(dir, pattern) }
+
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		// Some filesystems refuse fsync on directories; surfacing the
+		// error is still right — the caller treats an unsyncable parent
+		// as a failed durability point, not a silent one.
+		return serr
+	}
+	return cerr
+}
+
+// ErrInjected is the default error injected faults carry; tests match
+// it with errors.Is through whatever wrapping the layers add.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Hit reports the named crash point to fs's injector, when fs is one;
+// on any other FS it is a no-op. The core layer calls it at the spots
+// where a process can die between two file operations (after the WAL
+// fsync, between a checkpoint's save and its log reset), so crash
+// tests select those instants through the same injector that fails
+// file operations.
+func Hit(fs FS, point string) error {
+	if in, ok := fs.(*Injector); ok {
+		return in.Point(point)
+	}
+	return nil
+}
+
+// Clock is an injectable time source.
+type Clock interface {
+	Now() time.Time
+}
+
+// Wall is the production clock.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }

@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f.txt")
+	f, err := OS.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	got, err := os.ReadFile(name)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := OS.Rename(name, name+".2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Remove(name + ".2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorCountsAndNth(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	in.FailNthOp(3, ErrInjected) // op1=create, op2=write, op3=sync
+
+	f, err := in.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync err = %v, want ErrInjected", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Ops() != 3 {
+		t.Fatalf("ops = %d, want 3", in.Ops())
+	}
+	if in.Count(OpSync) != 1 || in.Count(OpWrite) != 1 || in.Count(OpCreate) != 1 {
+		t.Fatalf("per-op counts wrong: sync=%d write=%d create=%d",
+			in.Count(OpSync), in.Count(OpWrite), in.Count(OpCreate))
+	}
+}
+
+func TestInjectorFailFrom(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	f, err := in.Create(filepath.Join(dir, "a")) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.FailFrom(2, ErrInjected)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) { // op 2
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) { // op 3
+		t.Fatalf("sync err = %v, want ErrInjected", err)
+	}
+	if err := in.Rename("a", "b"); !errors.Is(err, ErrInjected) { // op 4
+		t.Fatalf("rename err = %v, want ErrInjected", err)
+	}
+	in.Clear()
+	if _, err := f.Write([]byte("y")); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorFailOpByPathAndOccurrence(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	in.FailOp(OpSync, "target", 2, ErrInjected)
+
+	other, err := in.Create(filepath.Join(dir, "other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := in.Create(filepath.Join(dir, "target"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Sync(); err != nil { // non-matching path: never fails
+		t.Fatal(err)
+	}
+	if err := tgt.Sync(); err != nil { // 1st matching sync: passes
+		t.Fatal(err)
+	}
+	if err := tgt.Sync(); !errors.Is(err, ErrInjected) { // 2nd: fails
+		t.Fatalf("2nd target sync = %v, want ErrInjected", err)
+	}
+	if err := tgt.Sync(); err != nil { // 3rd: passes again (nth, not from)
+		t.Fatal(err)
+	}
+	if err := other.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorFailOpFromIsPersistent(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	in.FailOpFrom(OpSync, "", 1, ErrInjected)
+	f, err := in.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d = %v, want ErrInjected", i, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "torn")
+	in := NewInjector(OS)
+	f, err := in.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.TornWrites(true)
+	in.FailOpFrom(OpWrite, "", 1, ErrInjected)
+	if _, err := f.WriteAt([]byte("abcdefgh"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write = %v, want ErrInjected", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("torn write left %q, want half the buffer %q", got, "abcd")
+	}
+}
+
+func TestFaultPointsAndHit(t *testing.T) {
+	in := NewInjector(OS)
+	if err := Hit(in, "apply.logged"); err != nil {
+		t.Fatalf("unarmed point = %v, want nil", err)
+	}
+	in.FailPoint("apply.logged", ErrInjected)
+	if err := Hit(in, "apply.logged"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed point = %v, want ErrInjected", err)
+	}
+	if err := Hit(in, "other.point"); err != nil {
+		t.Fatalf("different point = %v, want nil", err)
+	}
+	in.Clear()
+	if err := Hit(in, "apply.logged"); err != nil {
+		t.Fatalf("cleared point = %v, want nil", err)
+	}
+	// Hit on a plain FS is a no-op.
+	if err := Hit(OS, "apply.logged"); err != nil {
+		t.Fatalf("Hit(OS) = %v, want nil", err)
+	}
+}
+
+func TestShutdownClosesTrackedFiles(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	f, err := in.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Shutdown()
+	// The underlying descriptor is gone: writes through the wrapper now
+	// reach a closed file.
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write after Shutdown succeeded, want closed-file error")
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	start := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	c := NewFakeClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.Advance(42 * time.Second)
+	if got := c.Now().Sub(start); got != 42*time.Second {
+		t.Fatalf("advanced %v, want 42s", got)
+	}
+	if Wall.Now().IsZero() {
+		t.Fatal("Wall clock returned zero time")
+	}
+}

@@ -1,0 +1,227 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Injector is an FS decorator that deterministically fails selected
+// operations. Faults are selected three ways, all 1-based and counted
+// in the order operations reach the injector:
+//
+//   - FailNthOp / FailFrom select by global operation number, counting
+//     every operation of every kind. The fault-matrix test walks this
+//     counter; FailFrom is the chaos harness's disk-death model (from
+//     operation N on, nothing succeeds — the closest deterministic
+//     stand-in for pulling the plug).
+//   - FailOp / FailOpFrom select by kind and path substring, counting
+//     only matching operations and only from the moment the rule is
+//     armed ("the next fsync of the WAL file"), so tests can set up
+//     state with working I/O and then arm the fault.
+//   - FailPoint arms a named crash point; the core layer reports those
+//     via fault.Hit at the instants where a process can die between
+//     two file operations.
+//
+// With TornWrites enabled, a failing write first persists a prefix of
+// its buffer — the shape a power cut leaves behind — so recovery code
+// faces torn records, not just absent ones.
+//
+// An Injector is safe for concurrent use.
+type Injector struct {
+	fs FS
+
+	mu      sync.Mutex
+	ops     int              // guarded by mu; total operations observed
+	perOp   map[Op]int       // guarded by mu; operations observed by kind
+	nth     map[int]error    // guarded by mu; global op number -> error
+	from    int              // guarded by mu; 0 = off, else ops >= from fail
+	fromErr error            // guarded by mu
+	rules   []*opRule        // guarded by mu
+	points  map[string]error // guarded by mu
+	torn    bool             // guarded by mu
+	open    []File           // guarded by mu; files opened through the injector
+}
+
+type opRule struct {
+	op     Op
+	path   string // substring match against the operation's path; "" = any
+	lo, hi int    // 1-based occurrence range among matching ops; hi = 0 means lo only, hi < 0 means open-ended
+	err    error
+	seen   int
+}
+
+// NewInjector wraps fs (usually fault.OS) with an injector carrying no
+// faults; every operation passes through until a Fail* method arms one.
+func NewInjector(fs FS) *Injector {
+	return &Injector{
+		fs:     fs,
+		perOp:  make(map[Op]int),
+		nth:    make(map[int]error),
+		points: make(map[string]error),
+	}
+}
+
+// FailNthOp makes the nth operation (counting every kind) fail with err.
+func (in *Injector) FailNthOp(n int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.nth[n] = err
+}
+
+// FailFrom makes operation n and every later operation fail with err:
+// the disk is dead from that point on. Clear re-arms a working disk.
+func (in *Injector) FailFrom(n int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.from = n
+	in.fromErr = err
+}
+
+// FailOp makes the nth operation of kind op whose path contains path
+// (counted among matching operations only) fail with err.
+func (in *Injector) FailOp(op Op, path string, nth int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &opRule{op: op, path: path, lo: nth, err: err})
+}
+
+// FailOpFrom is FailOp for a persistent fault: the nth matching
+// operation and every matching one after it fail with err.
+func (in *Injector) FailOpFrom(op Op, path string, nth int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &opRule{op: op, path: path, lo: nth, hi: -1, err: err})
+}
+
+// FailPoint arms the named crash point: every fault.Hit on it returns
+// err until Clear.
+func (in *Injector) FailPoint(name string, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.points[name] = err
+}
+
+// TornWrites makes failing writes first persist half their buffer, the
+// way a power cut tears a record mid-write.
+func (in *Injector) TornWrites(on bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.torn = on
+}
+
+// Clear disarms every fault and crash point but keeps the operation
+// counters: the disk works again, and Ops still reports the total
+// observed since construction.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.nth = make(map[int]error)
+	in.from = 0
+	in.fromErr = nil
+	in.rules = nil
+	in.points = make(map[string]error)
+	in.torn = false
+}
+
+// Ops reports the total number of operations observed.
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Count reports the number of operations of kind op observed.
+func (in *Injector) Count(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.perOp[op]
+}
+
+// Point reports the named crash point and returns its armed error, if
+// any. Callers normally reach it through fault.Hit.
+func (in *Injector) Point(name string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.points[name]
+}
+
+// Shutdown force-closes every file opened through the injector,
+// simulating the process dying with descriptors open. The files'
+// buffered-but-unsynced state is whatever the operating system keeps;
+// combined with FailFrom it is the harness's kill step.
+func (in *Injector) Shutdown() {
+	in.mu.Lock()
+	open := in.open
+	in.open = nil
+	in.mu.Unlock()
+	for _, f := range open {
+		f.Close() //ilint:allow errdrop — force-close at simulated process death; errors are the point
+	}
+}
+
+// check counts one operation and decides whether it fails. torn
+// reports whether a failing write should still persist a prefix.
+func (in *Injector) check(op Op, path string) (err error, torn bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops++
+	in.perOp[op]++
+	for _, r := range in.rules {
+		if r.op != op {
+			continue
+		}
+		if r.path != "" && !contains(path, r.path) {
+			continue
+		}
+		r.seen++
+		hit := r.seen == r.lo || (r.hi < 0 && r.seen >= r.lo) || (r.hi > 0 && r.seen >= r.lo && r.seen <= r.hi)
+		if hit && err == nil {
+			err = r.err
+		}
+	}
+	if err == nil {
+		if e, ok := in.nth[in.ops]; ok {
+			err = e
+		}
+	}
+	if err == nil && in.from > 0 && in.ops >= in.from {
+		err = in.fromErr
+	}
+	if err != nil {
+		err = fmt.Errorf("%w: op %d (%s %s)", err, in.ops, op, path)
+	}
+	return err, in.torn
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Rules returns a deterministic description of the armed faults, for
+// chaos-harness failure reports.
+func (in *Injector) Rules() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []string
+	for _, r := range in.rules {
+		out = append(out, fmt.Sprintf("op %s path %q nth %d..%d", r.op, r.path, r.lo, r.hi))
+	}
+	nums := make([]int, 0, len(in.nth))
+	for n := range in.nth {
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	for _, n := range nums {
+		out = append(out, fmt.Sprintf("nth-op %d", n))
+	}
+	if in.from > 0 {
+		out = append(out, fmt.Sprintf("fail-from %d (torn=%v)", in.from, in.torn))
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package fault
+
+import "os"
+
+// The Injector's FS implementation: count, maybe fail, else delegate.
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err, _ := in.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := in.fs.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return in.track(f), nil
+}
+
+func (in *Injector) Create(name string) (File, error) {
+	if err, _ := in.check(OpCreate, name); err != nil {
+		return nil, err
+	}
+	f, err := in.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return in.track(f), nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err, _ := in.check(OpRename, oldpath); err != nil {
+		return err
+	}
+	return in.fs.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err, _ := in.check(OpRemove, name); err != nil {
+		return err
+	}
+	return in.fs.Remove(name)
+}
+
+func (in *Injector) RemoveAll(path string) error {
+	if err, _ := in.check(OpRemove, path); err != nil {
+		return err
+	}
+	return in.fs.RemoveAll(path)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err, _ := in.check(OpMkdir, path); err != nil {
+		return err
+	}
+	return in.fs.MkdirAll(path, perm)
+}
+
+func (in *Injector) MkdirTemp(dir, pattern string) (string, error) {
+	if err, _ := in.check(OpMkdir, dir); err != nil {
+		return "", err
+	}
+	return in.fs.MkdirTemp(dir, pattern)
+}
+
+func (in *Injector) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if err, torn := in.check(OpWriteFile, name); err != nil {
+		if torn && len(data) > 1 {
+			// Best-effort torn write: half the payload lands.
+			in.fs.WriteFile(name, data[:len(data)/2], perm) //ilint:allow errdrop — the injected error is the outcome; the tear is incidental
+		}
+		return err
+	}
+	return in.fs.WriteFile(name, data, perm)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if err, _ := in.check(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return in.fs.SyncDir(dir)
+}
+
+func (in *Injector) track(f File) File {
+	wf := &injFile{in: in, f: f, name: f.Name()}
+	in.mu.Lock()
+	in.open = append(in.open, f)
+	in.mu.Unlock()
+	return wf
+}
+
+// injFile routes a File's mutating operations back through the
+// injector's counters.
+type injFile struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+func (w *injFile) Write(p []byte) (int, error) {
+	if err, torn := w.in.check(OpWrite, w.name); err != nil {
+		if torn && len(p) > 1 {
+			w.f.Write(p[:len(p)/2]) //ilint:allow errdrop — the injected error is the outcome; the tear is incidental
+		}
+		return 0, err
+	}
+	return w.f.Write(p)
+}
+
+func (w *injFile) WriteAt(p []byte, off int64) (int, error) {
+	if err, torn := w.in.check(OpWrite, w.name); err != nil {
+		if torn && len(p) > 1 {
+			w.f.WriteAt(p[:len(p)/2], off) //ilint:allow errdrop — the injected error is the outcome; the tear is incidental
+		}
+		return 0, err
+	}
+	return w.f.WriteAt(p, off)
+}
+
+func (w *injFile) ReadAt(p []byte, off int64) (int, error) {
+	if err, _ := w.in.check(OpRead, w.name); err != nil {
+		return 0, err
+	}
+	return w.f.ReadAt(p, off)
+}
+
+func (w *injFile) Sync() error {
+	if err, _ := w.in.check(OpSync, w.name); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *injFile) Truncate(size int64) error {
+	if err, _ := w.in.check(OpTruncate, w.name); err != nil {
+		return err
+	}
+	return w.f.Truncate(size)
+}
+
+// Close is never injected: the crash model kills processes, it does
+// not fail close(2), and recovery code must always be able to release
+// descriptors.
+func (w *injFile) Close() error { return w.f.Close() }
+
+func (w *injFile) Stat() (os.FileInfo, error) { return w.f.Stat() }
+
+func (w *injFile) Name() string { return w.name }

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// faultseamPass keeps the durability layer honest about fault
+// injection: packages that sit below the fault.FS seam
+// (internal/storage and internal/wal) must route every
+// filesystem MUTATION through an injected fault.FS, never through
+// package os directly. A direct os.Rename or os.Create is invisible to
+// the injector, so the chaos harness and the crash-point matrix tests
+// silently stop covering that operation — the worst kind of test rot,
+// where coverage decays without any test turning red.
+//
+// Read-only calls (os.Open, os.ReadFile, os.Stat, ...) stay allowed:
+// the fault model injects failures on writes, syncs, renames, and
+// removes — the operations that decide durability — and keeping reads
+// on package os keeps Load and recovery probing simple.
+var faultseamPass = &Pass{
+	Name: "faultseam",
+	Doc:  "fault-injected packages must not mutate the filesystem through package os",
+	Run:  runFaultseam,
+}
+
+// faultseamScope lists the import-path suffixes of the packages below
+// the seam. Matching is by suffix so the fixture module
+// (fixture/faultseam/internal/storage) exercises the same predicate as
+// the real tree (intensional/internal/storage).
+var faultseamScope = []string{"internal/storage", "internal/wal"}
+
+// osMutators is the set of package-os functions that change filesystem
+// state. Calls to any of these inside the scope are findings; the
+// fault.FS interface offers a counterpart for each one that is needed.
+var osMutators = map[string]bool{
+	"Chmod":      true,
+	"Chown":      true,
+	"Chtimes":    true,
+	"Create":     true,
+	"CreateTemp": true,
+	"Lchown":     true,
+	"Link":       true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+	"MkdirTemp":  true,
+	"OpenFile":   true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"Rename":     true,
+	"Symlink":    true,
+	"Truncate":   true,
+	"WriteFile":  true,
+}
+
+func runFaultseam(pkg *Package) []Diagnostic {
+	if !faultseamApplies(pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg.isPkgCall(call, "os", func(name string) bool { return osMutators[name] }) {
+				diags = append(diags, pkg.diag("faultseam", call,
+					"os.%s mutates the filesystem below the fault seam; go through an injected fault.FS (fault.OS in production)",
+					pkg.calleeFunc(call).Name()))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// faultseamApplies reports whether the package sits below the seam.
+func faultseamApplies(path string) bool {
+	for _, suffix := range faultseamScope {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}

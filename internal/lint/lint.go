@@ -33,7 +33,7 @@ type Pass struct {
 
 // Passes returns the full pass catalogue in stable order.
 func Passes() []*Pass {
-	return []*Pass{lockguardPass, maporderPass, rowaliasPass, errdropPass}
+	return []*Pass{lockguardPass, maporderPass, rowaliasPass, errdropPass, faultseamPass}
 }
 
 // PassByName resolves one pass.

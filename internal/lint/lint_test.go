@@ -102,6 +102,7 @@ func TestLockguardFixture(t *testing.T) { runPassFixture(t, "lockguard") }
 func TestMaporderFixture(t *testing.T)  { runPassFixture(t, "maporder") }
 func TestRowaliasFixture(t *testing.T)  { runPassFixture(t, "rowalias") }
 func TestErrdropFixture(t *testing.T)   { runPassFixture(t, "errdrop") }
+func TestFaultseamFixture(t *testing.T) { runPassFixture(t, "faultseam") }
 
 // TestAllowSuppression proves the //ilint:allow escape hatch drops a
 // finding the pass would otherwise report.
@@ -163,7 +164,7 @@ func TestDiagnosticOrdering(t *testing.T) {
 
 // TestPassRegistry pins the pass catalogue the Makefile and docs name.
 func TestPassRegistry(t *testing.T) {
-	want := []string{"lockguard", "maporder", "rowalias", "errdrop"}
+	want := []string{"lockguard", "maporder", "rowalias", "errdrop", "faultseam"}
 	got := Passes()
 	if len(got) != len(want) {
 		t.Fatalf("expected %d passes, got %d", len(want), len(got))

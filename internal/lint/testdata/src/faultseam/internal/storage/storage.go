@@ -1,0 +1,50 @@
+// Package storage is the golden fixture for the faultseam pass: a
+// stand-in for the real durability layer, whose import path ends in
+// internal/storage and therefore sits below the fault seam.
+package storage
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// swap mutates the filesystem directly — every call here must be a
+// finding.
+func swap(dir string) error {
+	tmp := dir + ".tmp"
+	if err := os.MkdirAll(tmp, 0o755); err != nil { // want "os.MkdirAll mutates the filesystem below the fault seam"
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "manifest.json"), nil, 0o644); err != nil { // want "os.WriteFile mutates the filesystem below the fault seam"
+		return err
+	}
+	if err := os.Rename(tmp, dir); err != nil { // want "os.Rename mutates the filesystem below the fault seam"
+		return err
+	}
+	return os.RemoveAll(dir + ".old") // want "os.RemoveAll mutates the filesystem below the fault seam"
+}
+
+// open mixes an allowed read with a flagged read-write open.
+func open(path string) error {
+	if _, err := os.Stat(path); err != nil { // reads are allowed: not a finding
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644) // want "os.OpenFile mutates the filesystem below the fault seam"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// load is entirely read-only and must stay clean.
+func load(dir string) ([]byte, error) {
+	if _, err := os.Stat(dir); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(filepath.Join(dir, "manifest.json"))
+}
+
+// deliberate proves the escape hatch: the Run layer drops this finding.
+func deliberate(path string) error {
+	return os.Remove(path) //ilint:allow faultseam
+}

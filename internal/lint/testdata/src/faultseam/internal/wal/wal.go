@@ -1,0 +1,13 @@
+// Package wal is the second in-scope fixture package: internal/wal is
+// below the fault seam too.
+package wal
+
+import "os"
+
+func create(path string) (*os.File, error) {
+	return os.Create(path) // want "os.Create mutates the filesystem below the fault seam"
+}
+
+func truncate(path string) error {
+	return os.Truncate(path, 0) // want "os.Truncate mutates the filesystem below the fault seam"
+}

@@ -1,0 +1,13 @@
+// Package other is OUT of the faultseam scope: its import path ends in
+// neither internal/storage nor internal/wal, so the same mutations that
+// are findings next door must produce no diagnostics here.
+package other
+
+import "os"
+
+func scratch(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.RemoveAll(dir)
+}

@@ -1,0 +1,113 @@
+package server
+
+// Admission control and panic containment — the serving layer's side of
+// graceful degradation. Two rules:
+//
+//  1. The process never dies because of one request. Handlers run in
+//     their own goroutine (see withTimeout), where a panic would kill
+//     the whole process; recoverTo converts it into a logged stack and
+//     a 500 instead.
+//
+//  2. The process never hangs because of many requests. A server-wide
+//     in-flight limit bounds concurrently executing handlers; a bounded
+//     queue absorbs short bursts. Past that, requests are refused
+//     immediately — 429 when the queue is full, 503 when a queued
+//     request waits out QueueWait — always with a Retry-After header,
+//     never an unbounded wait. /healthz and /metrics bypass admission
+//     so the system stays observable while saturated.
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// admit gates h behind the in-flight limit and bounded queue.
+func (s *Server) admit(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h.ServeHTTP(w, r)
+			return
+		default:
+		}
+		// All slots busy: join the bounded queue or be refused now.
+		if s.queued.Add(1) > int64(s.opts.maxQueue()) {
+			s.queued.Add(-1)
+			s.queueFull.Add(1)
+			s.refuse(w, http.StatusTooManyRequests,
+				fmt.Sprintf("server saturated: %d requests in flight and the queue is full", s.opts.maxInFlight()))
+			return
+		}
+		defer s.queued.Add(-1)
+		wait := time.NewTimer(s.opts.queueWait())
+		defer wait.Stop()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h.ServeHTTP(w, r)
+		case <-wait.C:
+			s.queueTimeout.Add(1)
+			s.refuse(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("server saturated: no execution slot freed within %v", s.opts.queueWait()))
+		case <-r.Context().Done():
+			// The client gave up while queued; answer for the log's sake.
+			s.refuse(w, http.StatusServiceUnavailable, "client canceled while queued")
+		}
+	})
+}
+
+// refuse sends an admission rejection with a Retry-After hint sized to
+// the queue wait — the interval after which a slot plausibly freed.
+func (s *Server) refuse(w http.ResponseWriter, status int, msg string) {
+	secs := int(s.opts.queueWait() / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, status, msg)
+}
+
+// notePanic logs a recovered panic's stack and counts it. Must be
+// called from a deferred context with recover()'s non-nil result.
+func (s *Server) notePanic(r *http.Request, p any) {
+	s.panics.Add(1)
+	s.logError("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+}
+
+// logError writes one line to the error log, if configured.
+func (s *Server) logError(format string, args ...any) {
+	if s.opts.ErrorLog == nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	fmt.Fprintf(s.opts.ErrorLog, format+"\n", args...)
+}
+
+// serverJSON is the GET /metrics "server" section: admission and panic
+// counters for the robustness layer.
+type serverJSON struct {
+	InFlight     int    `json:"inFlight"`
+	Queued       int64  `json:"queued"`
+	MaxInFlight  int    `json:"maxInFlight"`
+	MaxQueue     int    `json:"maxQueue"`
+	QueueFull    uint64 `json:"rejectedQueueFull"`
+	QueueTimeout uint64 `json:"rejectedQueueTimeout"`
+	Panics       uint64 `json:"panicsRecovered"`
+}
+
+func (s *Server) serverMetrics() serverJSON {
+	return serverJSON{
+		InFlight:     len(s.sem),
+		Queued:       s.queued.Load(),
+		MaxInFlight:  s.opts.maxInFlight(),
+		MaxQueue:     s.opts.maxQueue(),
+		QueueFull:    s.queueFull.Load(),
+		QueueTimeout: s.queueTimeout.Load(),
+		Panics:       s.panics.Load(),
+	}
+}

@@ -54,6 +54,10 @@ type systemJSON struct {
 	WalBytes            int64          `json:"walBytes"`
 	AutoMaintainRuns    uint64         `json:"autoMaintainRuns"`
 	AutoMaintainErrs    uint64         `json:"autoMaintainErrs"`
+	// Degraded reports read-only degraded mode: mutations refused with
+	// 503 while queries keep serving from the last good snapshot.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
 }
 
 // mutateRequest is the POST /mutate body: either one statement in sql
@@ -107,12 +111,18 @@ type ruleJSON struct {
 }
 
 type healthzResponse struct {
-	OK        bool   `json:"ok"`
-	Version   uint64 `json:"version"`
-	Relations int    `json:"relations"`
-	Rules     int    `json:"rules"`
-	Stale     int    `json:"stale"`
-	Durable   bool   `json:"durable"`
+	OK bool `json:"ok"`
+	// Mode is "ok" or "degraded:read-only". The process stays live (OK
+	// true) while degraded: queries serve, mutations are refused.
+	Mode           string `json:"mode"`
+	Version        uint64 `json:"version"`
+	Relations      int    `json:"relations"`
+	Rules          int    `json:"rules"`
+	Stale          int    `json:"stale"`
+	Durable        bool   `json:"durable"`
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
+	DegradedSince  string `json:"degradedSince,omitempty"`
 }
 
 // relationJSON is the wire form of an extensional answer. Cells are

@@ -74,9 +74,11 @@ type endpointJSON struct {
 
 type metricsJSON struct {
 	Endpoints map[string]endpointJSON `json:"endpoints"`
-	// System is filled in by the handler from the core snapshot; the
+	// System and Server are filled in by the handler — from the core
+	// snapshot and the admission/panic counters respectively; the
 	// registry itself only owns the per-endpoint counters.
 	System systemJSON `json:"system"`
+	Server serverJSON `json:"server"`
 }
 
 // snapshot copies the registry into its wire form. encoding/json sorts

@@ -41,7 +41,21 @@ func (s *Server) instrument(endpoint string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
-		h.ServeHTTP(sw, r)
+		func() {
+			// Second line of defence: a panic in the middleware stack
+			// itself (not the handler goroutine) still gets counted,
+			// answered, and logged instead of tearing down the
+			// connection without a metrics observation.
+			defer func() {
+				if p := recover(); p != nil {
+					s.notePanic(r, p)
+					if sw.status == 0 {
+						writeError(sw, http.StatusInternalServerError, "internal error: handler panicked (see server log)")
+					}
+				}
+			}()
+			h.ServeHTTP(sw, r)
+		}()
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
@@ -91,6 +105,12 @@ func (s *Server) logAccess(r *http.Request, status, size int, elapsed time.Durat
 // gets a 504 JSON error and the late result is discarded. The request
 // context carries the deadline, so core.QueryContext abandons the work
 // at its next stage boundary instead of running to completion.
+//
+// The spawned goroutine is also the panic containment boundary: an
+// unrecovered panic on a plain goroutine kills the whole process, and
+// no middleware stacked outside this one could catch it. recoverTo
+// converts it into a logged stack plus a 500; the partially written
+// buffer is discarded so the client never sees half a response.
 func (s *Server) withTimeout(d time.Duration, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), d)
@@ -99,8 +119,16 @@ func (s *Server) withTimeout(d time.Duration, h http.Handler) http.Handler {
 		done := make(chan *bufferedResponse, 1)
 		go func() {
 			br := newBufferedResponse()
+			defer func() {
+				if p := recover(); p != nil {
+					s.notePanic(r, p)
+					// Discard whatever the handler half-wrote.
+					br = newBufferedResponse()
+					writeError(br, http.StatusInternalServerError, "internal error: handler panicked (see server log)")
+				}
+				done <- br
+			}()
 			h.ServeHTTP(br, r)
-			done <- br
 		}()
 		select {
 		case br := <-done:

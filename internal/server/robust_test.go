@@ -1,0 +1,271 @@
+package server_test
+
+// Acceptance tests for the graceful-degradation layer: panic
+// containment, admission control, and read-only degraded mode.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"intensional/internal/core"
+	"intensional/internal/fault"
+	"intensional/internal/server"
+)
+
+const simpleQuery = `SELECT SONAR.Sonar FROM SONAR`
+
+// robustMetricsWire mirrors the /metrics sections these tests assert.
+type robustMetricsWire struct {
+	System struct {
+		Degraded       bool   `json:"degraded"`
+		DegradedReason string `json:"degradedReason"`
+	} `json:"system"`
+	Server struct {
+		InFlight     int    `json:"inFlight"`
+		Queued       int64  `json:"queued"`
+		QueueFull    uint64 `json:"rejectedQueueFull"`
+		QueueTimeout uint64 `json:"rejectedQueueTimeout"`
+		Panics       uint64 `json:"panicsRecovered"`
+	} `json:"server"`
+}
+
+type healthzWire struct {
+	OK             bool   `json:"ok"`
+	Mode           string `json:"mode"`
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degradedReason"`
+	DegradedSince  string `json:"degradedSince"`
+}
+
+// TestPanicRecoveredAs500 proves a panicking handler yields a 500 and
+// the process — including the very same server — keeps serving.
+func TestPanicRecoveredAs500(t *testing.T) {
+	srv, ts := newTestServer(t, server.Options{ErrorLog: &bytes.Buffer{}})
+	var once sync.Once
+	srv.SetSlowHookForTest(func() {
+		panicking := false
+		once.Do(func() { panicking = true })
+		if panicking {
+			panic("injected handler panic")
+		}
+	})
+
+	resp, body := postJSON(t, ts.URL+"/query", map[string]string{"sql": simpleQuery})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler status = %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "panicked") {
+		t.Errorf("panic 500 body does not say so: %s", body)
+	}
+
+	// The process survived: the next request on the same server works.
+	resp, body = postJSON(t, ts.URL+"/query", map[string]string{"sql": simpleQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after recovered panic = %d, body %s", resp.StatusCode, body)
+	}
+
+	var met robustMetricsWire
+	getJSON(t, ts.URL+"/metrics", &met)
+	if met.Server.Panics != 1 {
+		t.Errorf("panicsRecovered = %d, want 1", met.Server.Panics)
+	}
+}
+
+// TestAdmissionSaturation fills the single execution slot and the
+// single queue position, then proves the third request is refused
+// immediately with 429, the queued one times out with 503, and both
+// carry Retry-After — the server never hangs.
+func TestAdmissionSaturation(t *testing.T) {
+	srv, ts := newTestServer(t, server.Options{
+		MaxInFlight:  1,
+		MaxQueue:     1,
+		QueueWait:    150 * time.Millisecond,
+		QueryTimeout: 10 * time.Second,
+	})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	srv.SetSlowHookForTest(func() {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+	})
+	defer close(release)
+
+	// Request 1 takes the only slot and blocks inside the handler.
+	r1 := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/query", map[string]string{"sql": simpleQuery})
+		r1 <- resp.StatusCode
+	}()
+	<-entered
+
+	// Request 2 takes the only queue position and waits for a slot.
+	r2 := make(chan *http.Response, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/query", map[string]string{"sql": simpleQuery})
+		r2 <- resp
+	}()
+	waitQueued(t, ts.URL)
+
+	// Request 3 finds slot and queue full: refused on the spot.
+	resp, body := postJSON(t, ts.URL+"/query", map[string]string{"sql": simpleQuery})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity request = %d, body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+
+	// Request 2 outlives QueueWait without a slot freeing: 503.
+	select {
+	case resp := <-r2:
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("queued request = %d, want 503", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Error("503 without a Retry-After header")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request hung past its QueueWait")
+	}
+
+	// Observability endpoints bypass admission even while saturated.
+	var health healthzWire
+	if resp := getJSON(t, ts.URL+"/healthz", &health); resp.StatusCode != http.StatusOK || !health.OK {
+		t.Fatalf("healthz while saturated: status %d ok=%v", resp.StatusCode, health.OK)
+	}
+
+	release <- struct{}{}
+	select {
+	case code := <-r1:
+		if code != http.StatusOK {
+			t.Fatalf("released request = %d, want 200", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("released request never completed")
+	}
+
+	var met robustMetricsWire
+	getJSON(t, ts.URL+"/metrics", &met)
+	if met.Server.QueueFull != 1 || met.Server.QueueTimeout != 1 {
+		t.Errorf("admission counters = full %d / timeout %d, want 1 / 1",
+			met.Server.QueueFull, met.Server.QueueTimeout)
+	}
+}
+
+// waitQueued polls /metrics (admission-exempt) until one request is
+// reported waiting for a slot.
+func waitQueued(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var met robustMetricsWire
+		getJSON(t, base+"/metrics", &met)
+		if met.Server.Queued >= 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("request never reached the admission queue")
+}
+
+// TestDegradedModeServesReadsRefusesWrites drives the whole degraded
+// story over HTTP: a persistent WAL fsync failure flips /healthz to
+// degraded:read-only, mutations get 503, queries keep answering, and a
+// successful checkpoint restores write service.
+func TestDegradedModeServesReadsRefusesWrites(t *testing.T) {
+	in := fault.NewInjector(fault.OS)
+	dir := t.TempDir() + "/db"
+	if err := shipSystem(t).Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.OpenDurable(dir, core.DurableOptions{FS: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv := server.New(sys, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	ins := map[string]string{"sql": `INSERT INTO SONAR VALUES ('TST-80', 'Active')`}
+
+	// Healthy first: one mutation commits.
+	if resp, body := postJSON(t, ts.URL+"/mutate", ins); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy mutate = %d, body %s", resp.StatusCode, body)
+	}
+
+	// The disk dies under the WAL: the next append's fsync fails and
+	// every retry after it would too.
+	in.FailOpFrom(fault.OpSync, ".wal", 1, fault.ErrInjected)
+	resp, body := postJSON(t, ts.URL+"/mutate", map[string]string{
+		"sql": `INSERT INTO SONAR VALUES ('TST-81', 'Active')`,
+	})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("mutate with dead disk = %d, body %s", resp.StatusCode, body)
+	}
+
+	// Now degraded: health says so, loudly.
+	var health healthzWire
+	getJSON(t, ts.URL+"/healthz", &health)
+	if !health.OK || health.Mode != "degraded:read-only" || !health.Degraded {
+		t.Fatalf("healthz = %+v, want ok with mode degraded:read-only", health)
+	}
+	if health.DegradedReason == "" || health.DegradedSince == "" {
+		t.Errorf("degraded health missing reason/since: %+v", health)
+	}
+
+	// Mutations are refused up front with 503 + Retry-After...
+	resp, body = postJSON(t, ts.URL+"/mutate", ins)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mutate while degraded = %d, body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded 503 without a Retry-After header")
+	}
+	if resp, body = postJSON(t, ts.URL+"/maintain", map[string]any{}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("maintain while degraded = %d, body %s", resp.StatusCode, body)
+	}
+
+	// ...while queries keep serving from the last good snapshot,
+	// including the pre-failure commit.
+	resp, body = postJSON(t, ts.URL+"/query", map[string]string{
+		"sql": `SELECT SONAR.Sonar FROM SONAR WHERE Sonar = 'TST-80'`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query while degraded = %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "TST-80") {
+		t.Errorf("degraded query lost the committed row: %s", body)
+	}
+
+	var met robustMetricsWire
+	getJSON(t, ts.URL+"/metrics", &met)
+	if !met.System.Degraded || met.System.DegradedReason == "" {
+		t.Errorf("metrics do not report degradation: %+v", met.System)
+	}
+
+	// The disk comes back; a checkpoint (operator action) restores
+	// write service.
+	in.Clear()
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	var recovered healthzWire
+	getJSON(t, ts.URL+"/healthz", &recovered)
+	if recovered.Mode != "ok" || recovered.Degraded {
+		t.Fatalf("healthz after recovery = %+v, want mode ok", recovered)
+	}
+	if resp, body := postJSON(t, ts.URL+"/mutate", map[string]string{
+		"sql": `INSERT INTO SONAR VALUES ('TST-82', 'Active')`,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate after recovery = %d, body %s", resp.StatusCode, body)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"intensional/internal/answer"
@@ -48,6 +49,20 @@ type Options struct {
 	InduceTimeout time.Duration
 	// AccessLog, when non-nil, receives one JSON line per request.
 	AccessLog io.Writer
+	// ErrorLog, when non-nil, receives panic stack traces and other
+	// internal failures, one entry per line group.
+	ErrorLog io.Writer
+	// MaxInFlight bounds concurrently executing handlers (default 64).
+	// /healthz and /metrics are exempt, so the system stays observable
+	// while saturated.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot (default
+	// 2×MaxInFlight). When the queue is full, requests are refused
+	// immediately with 429 and a Retry-After header.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot
+	// before a 503 (default 1s).
+	QueueWait time.Duration
 }
 
 func (o Options) queryTimeout() time.Duration {
@@ -64,6 +79,27 @@ func (o Options) induceTimeout() time.Duration {
 	return 2 * time.Minute
 }
 
+func (o Options) maxInFlight() int {
+	if o.MaxInFlight > 0 {
+		return o.MaxInFlight
+	}
+	return 64
+}
+
+func (o Options) maxQueue() int {
+	if o.MaxQueue > 0 {
+		return o.MaxQueue
+	}
+	return 2 * o.maxInFlight()
+}
+
+func (o Options) queueWait() time.Duration {
+	if o.QueueWait > 0 {
+		return o.QueueWait
+	}
+	return time.Second
+}
+
 // Server serves intensional answers over HTTP. It is safe for concurrent
 // use; all shared state lives in the underlying core.System (snapshot
 // contract) and in the internally locked metrics registry.
@@ -71,20 +107,37 @@ type Server struct {
 	sys   *core.System
 	opts  Options
 	met   *metrics
-	logMu sync.Mutex // serialises access-log lines
+	logMu sync.Mutex // serialises access- and error-log lines
 	slow  func()     // test hook: injected latency at handler entry
+
+	sem    chan struct{} // in-flight slots; len(sem) = executing handlers
+	queued atomic.Int64  // requests waiting for a slot
+
+	queueFull    atomic.Uint64 // 429s: queue already full
+	queueTimeout atomic.Uint64 // 503s: no slot within QueueWait
+	panics       atomic.Uint64 // handler panics converted to 500s
 }
 
 // New builds a Server over a system.
 func New(sys *core.System, opts Options) *Server {
-	return &Server{sys: sys, opts: opts, met: newMetrics()}
+	return &Server{
+		sys:  sys,
+		opts: opts,
+		met:  newMetrics(),
+		sem:  make(chan struct{}, opts.maxInFlight()),
+	}
 }
 
-// Handler returns the route table with timeout, metrics, and access-log
-// middleware applied. Method mismatches yield 405, unknown paths 404.
+// Handler returns the route table with admission, timeout, panic
+// recovery, metrics, and access-log middleware applied. Method
+// mismatches yield 405, unknown paths 404. /healthz and /metrics skip
+// admission control so the system stays observable while saturated.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern string, d time.Duration, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, s.admit(s.withTimeout(d, h))))
+	}
+	observe := func(pattern string, d time.Duration, h http.HandlerFunc) {
 		mux.Handle(pattern, s.instrument(pattern, s.withTimeout(d, h)))
 	}
 	qt := s.opts.queryTimeout()
@@ -93,8 +146,8 @@ func (s *Server) Handler() http.Handler {
 	route("POST /induce", s.opts.induceTimeout(), s.handleInduce)
 	route("POST /maintain", s.opts.induceTimeout(), s.handleMaintain)
 	route("GET /rules", qt, s.handleRules)
-	route("GET /healthz", qt, s.handleHealthz)
-	route("GET /metrics", qt, s.handleMetrics)
+	observe("GET /healthz", qt, s.handleHealthz)
+	observe("GET /metrics", qt, s.handleMetrics)
 	return mux
 }
 
@@ -189,9 +242,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toQueryJSON(resp, req.Mode, wantExt, wantInt))
 }
 
+// refuseDegraded answers 503 when the system is in read-only degraded
+// mode and reports whether it did. Mutating endpoints call it up front
+// so clients get a clear signal instead of a doomed attempt; /query is
+// deliberately not gated — serving reads is the point of the mode.
+func (s *Server) refuseDegraded(w http.ResponseWriter) bool {
+	st := s.sys.Degraded()
+	if st == nil {
+		return false
+	}
+	w.Header().Set("Retry-After", "30")
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Sprintf("system is read-only (degraded since %s): %s",
+			st.Since.UTC().Format(time.RFC3339), st.Reason))
+	return true
+}
+
 func (s *Server) handleInduce(w http.ResponseWriter, r *http.Request) {
 	if s.slow != nil {
 		s.slow()
+	}
+	if s.refuseDegraded(w) {
+		return
 	}
 	var req induceRequest
 	if err := decodeJSON(w, r, &req); err != nil {
@@ -227,6 +299,9 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if s.slow != nil {
 		s.slow()
 	}
+	if s.refuseDegraded(w) {
+		return
+	}
 	var req mutateRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -246,12 +321,19 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.sys.ApplyBatch(r.Context(), stmts)
 	if err != nil {
-		// A non-nil error always means the batch did not commit; a
-		// committed batch with a failed auto-checkpoint returns nil error
-		// and reports the failure in res.CheckpointErr.
+		// A non-nil error means the batch did not commit — except
+		// core.ErrLogIndeterminate, where a failed fsync leaves the
+		// outcome unknown until the next recovery; the 500 body carries
+		// that wording. A committed batch with a failed auto-checkpoint
+		// returns nil error and reports it in res.CheckpointErr.
 		switch {
 		case r.Context().Err() != nil && errors.Is(err, r.Context().Err()):
 			writeError(w, http.StatusGatewayTimeout, "mutation abandoned at deadline")
+		case errors.Is(err, core.ErrReadOnly):
+			// The system degraded between the up-front check and the
+			// apply (or during this very batch).
+			w.Header().Set("Retry-After", "30")
+			writeError(w, http.StatusServiceUnavailable, err.Error())
 		case errors.Is(err, core.ErrLogFailed):
 			writeError(w, http.StatusInternalServerError, err.Error())
 		default:
@@ -286,6 +368,9 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 	if s.slow != nil {
 		s.slow()
+	}
+	if s.refuseDegraded(w) {
+		return
 	}
 	var req induceRequest
 	if err := decodeJSON(w, r, &req); err != nil {
@@ -348,19 +433,30 @@ func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	_, maint, version := s.sys.RuleStatus()
 	stale, _ := maint.Counts()
-	writeJSON(w, http.StatusOK, healthzResponse{
+	out := healthzResponse{
 		OK:        true,
+		Mode:      "ok",
 		Version:   version,
 		Relations: s.sys.Catalog().Len(),
 		Rules:     s.sys.Rules().Len(),
 		Stale:     stale,
 		Durable:   s.sys.Durable(),
-	})
+	}
+	if st := s.sys.Degraded(); st != nil {
+		// Still OK for liveness — the process serves queries — but the
+		// mode tells operators mutations are being refused.
+		out.Mode = "degraded:read-only"
+		out.Degraded = true
+		out.DegradedReason = st.Reason
+		out.DegradedSince = st.Since.UTC().Format(time.RFC3339)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.met.snapshot()
 	snap.System = s.systemMetrics()
+	snap.Server = s.serverMetrics()
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -380,6 +476,10 @@ func (s *Server) systemMetrics() systemJSON {
 		WalBytes:         s.sys.WalSize(),
 		AutoMaintainRuns: runs,
 		AutoMaintainErrs: errs,
+	}
+	if st := s.sys.Degraded(); st != nil {
+		out.Degraded = true
+		out.DegradedReason = st.Reason
 	}
 	for _, r := range full.Rules() {
 		if maint.Info(r.ID).Status == maintain.Valid {

@@ -18,6 +18,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"intensional/internal/answer"
 	"intensional/internal/core"
@@ -198,6 +199,10 @@ func (s *Shell) cmdStatus() {
 		fmt.Fprintf(s.out, "durable: %d bytes in the write-ahead log\n", s.sys.WalSize())
 	} else {
 		fmt.Fprintln(s.out, "in-memory: no write-ahead log (open with iqp -db DIR -wal)")
+	}
+	if d := s.sys.Degraded(); d != nil {
+		fmt.Fprintf(s.out, "DEGRADED (read-only since %s): %s — queries serve, mutations are refused; fix the disk and .checkpoint to recover\n",
+			d.Since.UTC().Format(time.RFC3339), d.Reason)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"intensional/internal/fault"
 	"intensional/internal/relation"
 )
 
@@ -62,16 +63,12 @@ func TestSaveMidFailureKeepsOldDatabase(t *testing.T) {
 	}
 	r.MustInsert(relation.String("0101"))
 
-	boom := errors.New("disk full")
-	saveHook = func(relName string) error {
-		if relName == "STATUS" {
-			return boom
-		}
-		return nil
-	}
-	defer func() { saveHook = nil }()
+	// Fail the creation of STATUS's CSV: CLASS has already landed in the
+	// temp directory when the fault strikes.
+	in := fault.NewInjector(fault.OS)
+	in.FailOp(fault.OpCreate, "status.csv", 1, fault.ErrInjected)
 
-	if err := next.Save(dir); !errors.Is(err, boom) {
+	if err := next.SaveFS(in, dir); !errors.Is(err, fault.ErrInjected) {
 		t.Fatalf("Save error = %v, want injected failure", err)
 	}
 	if got := loadMarker(t, dir); got != "v1" {
@@ -132,6 +129,48 @@ func TestWriteAtomicFreshDirectory(t *testing.T) {
 		t.Fatalf("after failed rewrite, content = %q, %v", data, err)
 	}
 	assertNoDebris(t, filepath.Dir(dir))
+}
+
+// TestSaveSyncsParentDirectory pins the rename-durability fix: a save
+// is only complete once the parent directory holding the renamed entry
+// has been fsynced, so WriteAtomic must issue exactly that sync — and a
+// failing one must surface as a failed save, not be swallowed.
+func TestSaveSyncsParentDirectory(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "db")
+
+	in := fault.NewInjector(fault.OS)
+	if err := oneRelCatalog(t, "v1").SaveFS(in, dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Count(fault.OpSyncDir); got != 1 {
+		t.Fatalf("successful save issued %d parent-dir syncs, want 1", got)
+	}
+
+	in.FailOp(fault.OpSyncDir, parent, 1, fault.ErrInjected)
+	err := oneRelCatalog(t, "v2").SaveFS(in, dir)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Save with failing parent-dir fsync = %v, want the injected error surfaced", err)
+	}
+	// The swap had happened before the sync failed; whichever generation
+	// is visible, the directory must stay loadable and the .old fallback
+	// must not have been destroyed by a save that reported failure.
+	if got := loadMarker(t, dir); got != "v1" && got != "v2" {
+		t.Fatalf("marker = %q, want a complete generation", got)
+	}
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundOld := false
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".old") {
+			foundOld = true
+		}
+	}
+	if !foundOld {
+		t.Error("failed save destroyed the .old fallback before durability was established")
+	}
 }
 
 // assertNoDebris fails if any temp or backup directory from the atomic

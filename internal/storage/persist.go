@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"intensional/internal/fault"
 	"intensional/internal/relation"
 )
 
@@ -72,11 +73,6 @@ func fileFor(name string) string {
 	return b.String() + ".csv"
 }
 
-// saveHook, when non-nil, runs before each relation's CSV is written; a
-// returned error aborts the save. Tests use it to inject mid-save
-// failures and assert the previously saved directory survives.
-var saveHook func(relName string) error
-
 // Save writes every relation in the catalog to dir as CSV files plus a
 // manifest recording schemas. The write is atomic at the directory
 // level: contents are built in a temporary sibling directory and swapped
@@ -85,7 +81,16 @@ var saveHook func(relName string) error
 // live in the same catalog as the data, a single Save relocates the
 // database together with its induced knowledge.
 func (c *Catalog) Save(dir string) error {
-	return WriteAtomic(dir, c.WriteInto)
+	return c.SaveFS(fault.OS, dir)
+}
+
+// SaveFS is Save through an explicit filesystem — the fault-injection
+// seam. Tests pass a fault.Injector to fail individual operations of
+// the save protocol.
+func (c *Catalog) SaveFS(fsys fault.FS, dir string) error {
+	return WriteAtomicFS(fsys, dir, func(tmp string) error {
+		return c.WriteIntoFS(fsys, tmp)
+	})
 }
 
 // WriteAtomic replaces dir with the contents fill writes, atomically:
@@ -94,47 +99,118 @@ func (c *Catalog) Save(dir string) error {
 // fill (or the process) dies midway, dir is untouched. When dir already
 // exists it is moved aside before the swap and removed after, so a crash
 // in the narrow window between the two renames leaves the old data
-// recoverable under a ".old" sibling rather than destroyed.
-func WriteAtomic(dir string, fill func(tmp string) error) (err error) {
+// recoverable under a ".old" sibling rather than destroyed. After the
+// final rename the parent directory is fsynced: rename(2) alone only
+// orders the metadata in memory, so without the parent sync a power cut
+// after "save succeeded" could still resurface the old directory.
+func WriteAtomic(dir string, fill func(tmp string) error) error {
+	return WriteAtomicFS(fault.OS, dir, fill)
+}
+
+// WriteAtomicFS is WriteAtomic through an explicit filesystem.
+func WriteAtomicFS(fsys fault.FS, dir string, fill func(tmp string) error) (err error) {
 	dir = filepath.Clean(dir)
 	parent := filepath.Dir(dir)
-	if mkErr := os.MkdirAll(parent, 0o755); mkErr != nil {
+	if mkErr := fsys.MkdirAll(parent, 0o755); mkErr != nil {
 		return fmt.Errorf("storage: save: %w", mkErr)
 	}
-	tmp, tmpErr := os.MkdirTemp(parent, filepath.Base(dir)+".tmp")
+	tmp, tmpErr := fsys.MkdirTemp(parent, filepath.Base(dir)+".tmp")
 	if tmpErr != nil {
 		return fmt.Errorf("storage: save: %w", tmpErr)
 	}
 	// Cleanup on every path; after a successful swap tmp no longer
 	// exists and RemoveAll is a no-op.
 	defer func() {
-		if rmErr := os.RemoveAll(tmp); rmErr != nil && err == nil {
+		if rmErr := fsys.RemoveAll(tmp); rmErr != nil && err == nil {
 			err = fmt.Errorf("storage: save: %w", rmErr)
 		}
 	}()
 	if fillErr := fill(tmp); fillErr != nil {
 		return fillErr
 	}
-	old := tmp + ".old"
+	old := dir + ".old"
 	hadOld := false
 	if _, statErr := os.Stat(dir); statErr == nil {
-		if mvErr := os.Rename(dir, old); mvErr != nil {
+		// A leftover .old from an older interrupted swap is disposable:
+		// dir itself is the current complete generation.
+		if _, statErr := os.Stat(old); statErr == nil {
+			if rmErr := fsys.RemoveAll(old); rmErr != nil {
+				return fmt.Errorf("storage: save: %w", rmErr)
+			}
+		}
+		if mvErr := fsys.Rename(dir, old); mvErr != nil {
 			return fmt.Errorf("storage: save: %w", mvErr)
 		}
 		hadOld = true
 	}
-	if mvErr := os.Rename(tmp, dir); mvErr != nil {
+	if mvErr := fsys.Rename(tmp, dir); mvErr != nil {
 		if hadOld {
-			if rerr := os.Rename(old, dir); rerr != nil {
+			if rerr := fsys.Rename(old, dir); rerr != nil {
 				return fmt.Errorf("storage: save: %v (restoring previous directory also failed: %w)", mvErr, rerr)
 			}
 		}
 		return fmt.Errorf("storage: save: %w", mvErr)
 	}
+	// Make both renames durable before declaring success (and before
+	// destroying the .old fallback): the swap is one set of entries in
+	// the parent directory, and only its fsync pins them across a power
+	// cut.
+	if syncErr := fsys.SyncDir(parent); syncErr != nil {
+		return fmt.Errorf("storage: save: sync parent dir: %w", syncErr)
+	}
 	if hadOld {
-		if rmErr := os.RemoveAll(old); rmErr != nil {
+		if rmErr := fsys.RemoveAll(old); rmErr != nil {
 			return fmt.Errorf("storage: save: %w", rmErr)
 		}
+	}
+	return nil
+}
+
+// RecoverAtomic repairs the aftermath of a crash inside WriteAtomic's
+// swap window. When dir lacks a complete generation (no manifest) but
+// the ".old" sibling from an interrupted swap holds one, the old
+// generation is renamed back into place; when dir is complete, stale
+// ".old" and ".tmp*" siblings are deleted. Idempotent and a no-op on a
+// healthy directory; callers run it before Load.
+func RecoverAtomic(dir string) error { return RecoverAtomicFS(fault.OS, dir) }
+
+// RecoverAtomicFS is RecoverAtomic through an explicit filesystem.
+func RecoverAtomicFS(fsys fault.FS, dir string) error {
+	dir = filepath.Clean(dir)
+	old := dir + ".old"
+	// Leftover temporaries from interrupted fills are never the good
+	// generation — a temporary only becomes one by being renamed to dir.
+	tmps, globErr := filepath.Glob(dir + ".tmp*")
+	if globErr != nil {
+		return fmt.Errorf("storage: recover: %w", globErr)
+	}
+	for _, tmp := range tmps {
+		if rmErr := fsys.RemoveAll(tmp); rmErr != nil {
+			return fmt.Errorf("storage: recover: %w", rmErr)
+		}
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, manifestFile)); statErr == nil {
+		// dir is complete; a surviving .old is from a swap that finished
+		// its second rename but died before the cleanup.
+		if _, statErr := os.Stat(old); statErr == nil {
+			if rmErr := fsys.RemoveAll(old); rmErr != nil {
+				return fmt.Errorf("storage: recover: %w", rmErr)
+			}
+		}
+		return nil
+	}
+	if _, statErr := os.Stat(filepath.Join(old, manifestFile)); statErr != nil {
+		return nil // nothing to restore from; Load will report dir's state
+	}
+	// The swap died between its renames: .old holds the only complete
+	// generation. Put it back.
+	if _, statErr := os.Stat(dir); statErr == nil {
+		if rmErr := fsys.RemoveAll(dir); rmErr != nil {
+			return fmt.Errorf("storage: recover: %w", rmErr)
+		}
+	}
+	if mvErr := fsys.Rename(old, dir); mvErr != nil {
+		return fmt.Errorf("storage: recover: %w", mvErr)
 	}
 	return nil
 }
@@ -145,7 +221,12 @@ func WriteAtomic(dir string, fill func(tmp string) error) (err error) {
 // adds the dictionary declarations to the same temporary directory
 // before the swap, so the whole database directory replaces atomically.
 func (c *Catalog) WriteInto(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return c.WriteIntoFS(fault.OS, dir)
+}
+
+// WriteIntoFS is WriteInto through an explicit filesystem.
+func (c *Catalog) WriteIntoFS(fsys fault.FS, dir string) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("storage: save: %w", err)
 	}
 	var m manifest
@@ -164,12 +245,7 @@ func (c *Catalog) WriteInto(dir string) error {
 		for _, col := range r.Schema().Columns() {
 			meta.Columns = append(meta.Columns, columnMeta{Name: col.Name, Type: typeName(col.Type)})
 		}
-		if saveHook != nil {
-			if err := saveHook(r.Name()); err != nil {
-				return err
-			}
-		}
-		if err := saveCSV(filepath.Join(dir, meta.File), r); err != nil {
+		if err := saveCSV(fsys, filepath.Join(dir, meta.File), r); err != nil {
 			return err
 		}
 		m.Relations = append(m.Relations, meta)
@@ -178,7 +254,7 @@ func (c *Catalog) WriteInto(dir string) error {
 	if err != nil {
 		return fmt.Errorf("storage: save manifest: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestFile), data, 0o644); err != nil {
+	if err := fsys.WriteFile(filepath.Join(dir, manifestFile), data, 0o644); err != nil {
 		return fmt.Errorf("storage: save manifest: %w", err)
 	}
 	return nil
@@ -221,8 +297,8 @@ func Load(dir string) (*Catalog, error) {
 // is escaped by prefixing a backslash.
 const nullSentinel = `\N`
 
-func saveCSV(path string, r *relation.Relation) (err error) {
-	f, err := os.Create(path)
+func saveCSV(fsys fault.FS, path string, r *relation.Relation) (err error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return fmt.Errorf("storage: save %s: %w", r.Name(), err)
 	}

@@ -33,6 +33,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"intensional/internal/fault"
 )
 
 var magic = []byte("IQPWAL1\n")
@@ -54,14 +56,26 @@ var ErrClosed = errors.New("wal: log is closed")
 // operator rather than be absorbed by truncation.
 var ErrCorrupt = errors.New("wal: corrupt record before the log tail")
 
+// ErrPoisoned is returned by Append after an earlier fsync (or
+// unrecoverable write) failed. A failed fsync leaves the kernel's view
+// of the file unknowable — dirty pages may have been dropped — so
+// continuing to append would build on state that may not exist.
+// Recovery is Reset (which rewrites the file from scratch and syncs,
+// making its contents known again) or reopening the log.
+var ErrPoisoned = errors.New("wal: log poisoned by an earlier append failure; checkpoint or reopen to recover")
+
 // Log is an open write-ahead log. Append, Size, Reset, and Close are
 // safe for concurrent use; in the system there is one writer (the core
 // mutation path, serialized by its own lock) plus metric readers.
 type Log struct {
 	path string
 	mu   sync.Mutex
-	f    *os.File // guarded by mu
-	size int64    // guarded by mu; current file length in bytes
+	f    fault.File // guarded by mu
+	size int64      // guarded by mu; current file length in bytes
+	// poisoned records the first fsync/write failure that left the
+	// file's durable state unknown; while set, Append refuses with
+	// ErrPoisoned. guarded by mu.
+	poisoned error
 }
 
 // Open opens (creating if absent) the log at path and replays it,
@@ -72,7 +86,15 @@ type Log struct {
 // never acknowledged as durable. A bad record with a valid record
 // after it is mid-log corruption, not a tear, and yields ErrCorrupt.
 func Open(path string) (*Log, [][]byte, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(fault.OS, path)
+}
+
+// OpenFS is Open through an explicit filesystem — the fault-injection
+// seam. Production callers use Open (which passes fault.OS); tests and
+// the chaos harness pass a fault.Injector to fail or tear individual
+// operations.
+func OpenFS(fsys fault.FS, path string) (*Log, [][]byte, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: open: %w", err)
 	}
@@ -208,52 +230,72 @@ func (l *Log) checkCorruption(off, size int64) error {
 }
 
 // restart truncates the file to zero and writes a fresh magic header.
+// Success makes the file's entire (8-byte) content freshly written and
+// synced — fully known — so it clears any poison; failure poisons,
+// because the file was left mid-rewrite.
 //
 //ilint:locked mu
 func (l *Log) restart() error {
 	if err := l.f.Truncate(0); err != nil {
+		l.poisoned = err
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
 	if _, err := l.f.WriteAt(magic, 0); err != nil {
+		l.poisoned = err
 		return fmt.Errorf("wal: write magic: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
+		l.poisoned = err
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.size = int64(len(magic))
+	l.poisoned = nil
 	return nil
 }
 
-// Append writes one record and fsyncs. When it returns nil the record is
-// durable; when it returns an error the log is rewound to its previous
-// length, so a failed append never leaves a torn record for the next
-// append to bury.
+// Append writes one record and fsyncs. When it returns nil the record
+// is durable. A failed write is rewound (truncated back to the previous
+// length) so no torn record is buried by the next append; if the rewind
+// also fails, or the fsync fails, the handle is poisoned: the kernel's
+// view of the file is unknown (a failed fsync may have dropped dirty
+// pages), so further appends refuse with ErrPoisoned until a successful
+// Reset rewrites the file or the log is reopened. Retrying on such a
+// handle could acknowledge a record whose bytes never reach the disk.
 func (l *Log) Append(payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return ErrClosed
 	}
+	if l.poisoned != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, l.poisoned)
+	}
 	rec := make([]byte, headerLen+len(payload))
 	binary.BigEndian.PutUint32(rec[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
 	copy(rec[headerLen:], payload)
 	if _, err := l.f.WriteAt(rec, l.size); err != nil {
-		// Best-effort rewind; the truncate failing too leaves a torn
-		// tail, which recovery handles.
+		// Best-effort rewind; if the truncate fails too, the tail state
+		// is unknown and the handle is poisoned.
 		if terr := l.f.Truncate(l.size); terr != nil {
+			l.poisoned = err
 			return fmt.Errorf("wal: append: %w (rewind also failed: %v)", err, terr)
 		}
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
-		if terr := l.f.Truncate(l.size); terr != nil {
-			return fmt.Errorf("wal: append sync: %w (rewind also failed: %v)", err, terr)
-		}
+		l.poisoned = err
 		return fmt.Errorf("wal: append sync: %w", err)
 	}
 	l.size += int64(len(rec))
 	return nil
+}
+
+// Poisoned reports the failure that poisoned the log handle, or nil.
+func (l *Log) Poisoned() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poisoned
 }
 
 // Size returns the bytes of logged records — the file length minus the
@@ -270,7 +312,9 @@ func (l *Log) Size() int64 {
 
 // Reset truncates the log back to its header. Callers invoke it only
 // after the state the log protects has been durably persisted elsewhere
-// (the checkpoint protocol).
+// (the checkpoint protocol). A successful Reset also recovers a
+// poisoned handle: the rewrite-and-sync makes the file's whole content
+// known-good again.
 func (l *Log) Reset() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -284,13 +328,18 @@ func (l *Log) Reset() error {
 func (l *Log) Path() string { return l.path }
 
 // Close syncs and closes the log. Further operations return ErrClosed.
+// A poisoned handle skips the sync — nothing on it is trustworthy to
+// flush; replay on the next open reconciles.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
 	}
-	err := l.f.Sync()
+	var err error
+	if l.poisoned == nil {
+		err = l.f.Sync()
+	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}

@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"intensional/internal/fault"
 )
 
 func openT(t *testing.T, path string) (*Log, [][]byte) {
@@ -339,6 +341,129 @@ func TestAppendFailureRewinds(t *testing.T) {
 	l.f = nil // suppress the double close in Close
 	_, entries := openT(t, path)
 	wantEntries(t, entries, "ok")
+}
+
+func TestFsyncFailurePoisonsLog(t *testing.T) {
+	// Satellite: after a failed fsync the kernel's view of the file is
+	// unknown, so the handle must be poisoned — no rewind-and-retry.
+	path := filepath.Join(t.TempDir(), "db.wal")
+	in := fault.NewInjector(fault.OS)
+	l, _, err := OpenFS(in, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, l, "acked")
+	size := l.Size()
+
+	in.FailOp(fault.OpSync, "", 1, fault.ErrInjected)
+	if err := l.Append([]byte("doomed")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append with failing fsync = %v, want ErrInjected", err)
+	}
+	if l.Poisoned() == nil {
+		t.Fatal("log not poisoned after failed fsync")
+	}
+	if l.Size() != size {
+		t.Errorf("size moved after failed fsync: %d -> %d", size, l.Size())
+	}
+	ops := in.Ops()
+	if err := l.Append([]byte("refused")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append on poisoned log = %v, want ErrPoisoned", err)
+	}
+	if in.Ops() != ops {
+		t.Errorf("poisoned append touched the disk: %d ops -> %d", ops, in.Ops())
+	}
+
+	// A successful Reset rewrites the file from scratch and recovers.
+	if err := l.Reset(); err != nil {
+		t.Fatalf("Reset on poisoned log: %v", err)
+	}
+	if l.Poisoned() != nil {
+		t.Fatalf("still poisoned after successful Reset: %v", l.Poisoned())
+	}
+	appendT(t, l, "fresh")
+	closeT(t, l)
+	_, entries := openT(t, path)
+	wantEntries(t, entries, "fresh")
+}
+
+func TestPersistentFsyncFailureStaysPoisoned(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.wal")
+	in := fault.NewInjector(fault.OS)
+	l, _, err := OpenFS(in, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, l, "acked")
+	in.FailOpFrom(fault.OpSync, "", 1, fault.ErrInjected)
+	if err := l.Append([]byte("doomed")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append = %v, want ErrInjected", err)
+	}
+	// Reset's own sync fails too: the handle must stay poisoned.
+	if err := l.Reset(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Reset under persistent fsync failure = %v, want ErrInjected", err)
+	}
+	if l.Poisoned() == nil {
+		t.Fatal("poison cleared by a failed Reset")
+	}
+	if err := l.Append([]byte("refused")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append = %v, want ErrPoisoned", err)
+	}
+	// The disk comes back: Reset now succeeds and recovers the handle.
+	in.Clear()
+	if err := l.Reset(); err != nil {
+		t.Fatalf("Reset after faults cleared: %v", err)
+	}
+	appendT(t, l, "recovered")
+	closeT(t, l)
+	_, entries := openT(t, path)
+	wantEntries(t, entries, "recovered")
+}
+
+func TestWriteFailureWithCleanRewindDoesNotPoison(t *testing.T) {
+	// A failed write whose rewind succeeds leaves a known-good file; the
+	// next append may proceed.
+	path := filepath.Join(t.TempDir(), "db.wal")
+	in := fault.NewInjector(fault.OS)
+	l, _, err := OpenFS(in, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, l, "one")
+	in.FailOp(fault.OpWrite, "", 1, fault.ErrInjected)
+	if err := l.Append([]byte("doomed")); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append = %v, want ErrInjected", err)
+	}
+	if l.Poisoned() != nil {
+		t.Fatalf("poisoned after rewound write failure: %v", l.Poisoned())
+	}
+	appendT(t, l, "two")
+	closeT(t, l)
+	_, entries := openT(t, path)
+	wantEntries(t, entries, "one", "two")
+}
+
+func TestTornAppendTruncatedOnReplay(t *testing.T) {
+	// A torn write (power cut mid-append) plus a failed rewind poisons
+	// the handle; replay on reopen truncates the tear.
+	path := filepath.Join(t.TempDir(), "db.wal")
+	in := fault.NewInjector(fault.OS)
+	l, _, err := OpenFS(in, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendT(t, l, "acked-1", "acked-2")
+	in.TornWrites(true)
+	in.FailFrom(in.Ops()+1, fault.ErrInjected) // disk dies: write tears, rewind fails
+	if err := l.Append([]byte("torn-record-payload")); err == nil {
+		t.Fatal("append succeeded with dead disk")
+	}
+	if l.Poisoned() == nil {
+		t.Fatal("log not poisoned when rewind failed")
+	}
+	in.Shutdown() // process dies
+
+	_, entries := openT(t, path)
+	wantEntries(t, entries, "acked-1", "acked-2")
 }
 
 func TestChecksumCoversPayload(t *testing.T) {
