@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet lint test race bench serve chaos
+.PHONY: ci build vet lint test race bench bench-check serve chaos
 
 ci: vet build lint test race
 
@@ -28,17 +28,30 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-# Machine-readable benchmark snapshots; not part of ci. Each run pipes
-# the standard -bench exposition through cmd/benchjson, leaving
-# BENCH_induce.json and BENCH_query.json (name, iterations, ns/op,
-# B/op, allocs/op) for trend tracking. BENCHTIME=10x etc. for more
-# stable numbers.
+# Machine-readable benchmark snapshots. Each run pipes the standard
+# -bench exposition through cmd/benchjson, leaving BENCH_induce.json
+# and BENCH_query.json (name, iterations, ns/op, B/op, allocs/op) —
+# committed as the regression baseline bench-check diffs against.
+# BENCHTIME=10x etc. for more stable numbers.
 BENCHTIME ?= 1x
+INDUCE_BENCHES = Induce|Table1|Tree
+QUERY_BENCHES  = Query|Infer|EndToEnd|Join|Indexed|Explain|Prepared
 bench:
-	$(GO) test -bench 'Induce|Table1|Tree' -benchmem -benchtime $(BENCHTIME) -run xxx . \
+	$(GO) test -bench '$(INDUCE_BENCHES)' -benchmem -benchtime $(BENCHTIME) -run xxx . \
 		| $(GO) run ./cmd/benchjson -o BENCH_induce.json
-	$(GO) test -bench 'Query|Infer|EndToEnd|Join|Indexed' -benchmem -benchtime $(BENCHTIME) -run xxx . \
+	$(GO) test -bench '$(QUERY_BENCHES)' -benchmem -benchtime $(BENCHTIME) -run xxx . \
 		| $(GO) run ./cmd/benchjson -o BENCH_query.json
+
+# Re-run the benchmark suites and fail on a >25% regression against the
+# committed BENCH_*.json baselines. Allocation metrics (allocs/op,
+# B/op) are fatal — they are deterministic, so they compare across
+# machines; ns/op past the threshold only warns. Does not overwrite the
+# baselines; run `make bench` to refresh them after an intended change.
+bench-check:
+	$(GO) test -bench '$(INDUCE_BENCHES)' -benchmem -benchtime $(BENCHTIME) -run xxx . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_induce.json -threshold 25
+	$(GO) test -bench '$(QUERY_BENCHES)' -benchmem -benchtime $(BENCHTIME) -run xxx . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_query.json -threshold 25
 
 # Seeded crash-recovery harness (cmd/chaos): cycles of mutate → inject
 # disk death → kill → reopen, asserting after every cycle that

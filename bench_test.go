@@ -403,6 +403,67 @@ func BenchmarkIndexedSelection(b *testing.B) {
 	})
 }
 
+// inducedShipSystem builds the ship test bed with rules induced, for
+// the planning benchmarks.
+func inducedShipSystem(b *testing.B) *intensional.System {
+	b.Helper()
+	cat := shipdb.Catalog()
+	d, err := shipdb.Dictionary(cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := intensional.New(cat, d)
+	if _, err := sys.Induce(intensional.InduceOptions{Nc: 3}); err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkExplain measures plan rendering for Example 1: after the
+// first call the statement is cached, so this is the steady-state cost
+// of serving POST /explain.
+func BenchmarkExplain(b *testing.B) {
+	sys := inducedShipSystem(b)
+	if _, err := sys.Explain(example1SQL); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Explain(example1SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedHit measures a prepared-statement cache hit —
+// normalize the SQL, look up the snapshot's plan — the per-request
+// planning cost of a repeated /query statement.
+func BenchmarkPreparedHit(b *testing.B) {
+	sys := inducedShipSystem(b)
+	if _, err := sys.Prepare(example1SQL); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Prepare(example1SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedCold is the baseline BenchmarkPreparedHit is judged
+// against: full parse, binding, analysis, and planning on every
+// iteration, with no plan cache.
+func BenchmarkPreparedCold(b *testing.B) {
+	q := query.New(shipdb.Catalog())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Prepare(example1SQL, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSaveOpen measures relocation of database + knowledge (the
 // Section 5.2.2 scenario).
 func BenchmarkSaveOpen(b *testing.B) {

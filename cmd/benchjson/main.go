@@ -10,6 +10,14 @@
 // ns/op, B/op, allocs/op where present. Lines that are not benchmark
 // results (PASS, ok, logging) pass through to stderr so a failing run
 // stays visible. Stdlib only, like everything else in this repo.
+//
+// With -compare BASELINE.json the run is additionally checked against a
+// committed snapshot: a benchmark whose allocs/op or B/op grew by more
+// than -threshold percent fails the run (exit 1). Those two metrics are
+// deterministic, so they compare meaningfully across machines; ns/op
+// regressions past the threshold only warn, because wall-clock differs
+// between the machine that produced the baseline and the one checking
+// it. Benchmarks present on one side only are reported but not fatal.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -44,6 +53,8 @@ type document struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to diff against; allocs/op or B/op regressions past -threshold fail the run")
+	threshold := flag.Float64("threshold", 25, "allowed regression in percent for -compare")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin, os.Stderr)
@@ -55,6 +66,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
 		os.Exit(1)
 	}
+	if *compare != "" {
+		base, err := load(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed := diff(base, doc, *threshold, os.Stderr); regressed {
+			os.Exit(1)
+		}
+	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -62,6 +83,9 @@ func main() {
 	}
 	b = append(b, '\n')
 	if *out == "" {
+		if *compare != "" {
+			return // compare-only invocations keep stdout quiet
+		}
 		if _, err := os.Stdout.Write(b); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -73,6 +97,63 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// load reads a previously emitted document.
+func load(path string) (*document, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &document{}
+	if err := json.Unmarshal(b, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// diff reports each regression past the threshold and returns whether
+// any fatal one (allocs/op or B/op growth) was found.
+func diff(base, cur *document, threshold float64, w io.Writer) bool {
+	old := make(map[string]record, len(base.Results))
+	for _, r := range base.Results {
+		old[r.Name] = r
+	}
+	grew := func(was, now int64) bool {
+		return was > 0 && float64(now-was)/float64(was)*100 > threshold
+	}
+	fatal := false
+	for _, r := range cur.Results {
+		b, ok := old[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "benchjson: %s: new benchmark (no baseline)\n", r.Name)
+			continue
+		}
+		delete(old, r.Name)
+		if grew(b.AllocsPerOp, r.AllocsPerOp) {
+			fmt.Fprintf(w, "benchjson: FAIL %s: allocs/op %d -> %d (>%g%%)\n",
+				r.Name, b.AllocsPerOp, r.AllocsPerOp, threshold)
+			fatal = true
+		}
+		if grew(b.BytesPerOp, r.BytesPerOp) {
+			fmt.Fprintf(w, "benchjson: FAIL %s: B/op %d -> %d (>%g%%)\n",
+				r.Name, b.BytesPerOp, r.BytesPerOp, threshold)
+			fatal = true
+		}
+		if b.NsPerOp > 0 && (r.NsPerOp-b.NsPerOp)/b.NsPerOp*100 > threshold {
+			fmt.Fprintf(w, "benchjson: warn %s: ns/op %.0f -> %.0f (>%g%%, advisory across machines)\n",
+				r.Name, b.NsPerOp, r.NsPerOp, threshold)
+		}
+	}
+	missing := make([]string, 0, len(old))
+	for name := range old {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(w, "benchjson: %s: present in baseline, missing from this run\n", name)
+	}
+	return fatal
 }
 
 // parse reads `go test -bench` output, returning the parsed document.

@@ -51,6 +51,40 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestDiff(t *testing.T) {
+	base := &document{Results: []record{
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		{Name: "BenchmarkB", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		{Name: "BenchmarkGone", NsPerOp: 1},
+	}}
+	cur := &document{Results: []record{
+		// Within threshold on the fatal metrics; ns/op regressed (warn only).
+		{Name: "BenchmarkA", NsPerOp: 500, BytesPerOp: 1100, AllocsPerOp: 12},
+		// Allocs grew past 25%: fatal.
+		{Name: "BenchmarkB", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 20},
+		{Name: "BenchmarkNew", NsPerOp: 1},
+	}}
+	var out bytes.Buffer
+	if !diff(base, cur, 25, &out) {
+		t.Fatalf("alloc regression not fatal; output:\n%s", out.String())
+	}
+	for _, want := range []string{
+		"FAIL BenchmarkB: allocs/op 10 -> 20",
+		"warn BenchmarkA: ns/op",
+		"BenchmarkNew: new benchmark",
+		"BenchmarkGone: present in baseline",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	var quiet bytes.Buffer
+	if diff(base, &document{Results: base.Results}, 25, &quiet) {
+		t.Errorf("identical run flagged as regression:\n%s", quiet.String())
+	}
+}
+
 func TestParseResultRejectsNonResults(t *testing.T) {
 	for _, line := range []string{
 		"BenchmarkFoo", // bare name, no fields

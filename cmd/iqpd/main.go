@@ -11,8 +11,11 @@
 //	iqpd -fleet              # serve a synthetic Table 1 fleet
 //	iqpd -addr :9000 -nc 2   # custom listen address and pruning threshold
 //
-// Endpoints: POST /query, POST /mutate, POST /induce, POST /maintain,
-// GET /rules, GET /healthz, GET /metrics. Unless -no-induce is given,
+// Endpoints: POST /query, POST /explain, POST /mutate, POST /induce,
+// POST /maintain, GET /rules, GET /healthz, GET /metrics. /explain
+// returns the typed execution plan — access paths with cardinality
+// estimates, join order, and the rule base's semantic rewrites —
+// without executing the query. Unless -no-induce is given,
 // rules are induced once at startup so the first query already has an
 // intensional answer. With -wal, committed mutations survive crashes
 // (replayed from the write-ahead log on restart) and -checkpoint-bytes

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"sync"
+
+	"intensional/internal/plan"
+	"intensional/internal/query"
+	"intensional/internal/semopt"
+)
+
+// NormalizeSQL collapses runs of whitespace to single spaces so that
+// formatting variants of one statement share a prepared plan. It is the
+// prepared-statement cache key; matching stays case-sensitive because
+// string literals are.
+func NormalizeSQL(sql string) string {
+	return strings.Join(strings.Fields(sql), " ")
+}
+
+// planCache memoises prepared statements for one snapshot, keyed by
+// normalized SQL. Like the response cache it dies with its snapshot, so
+// a plan never outlives the catalog version and rule base it was chosen
+// for — the staleness story for cached index choices and semantic
+// rewrites is simply snapshot lifetime.
+type planCache struct {
+	mu sync.Mutex
+	m  map[string]*query.Prepared // guarded by mu
+}
+
+// maxCachedPlans bounds the cache; past it the whole cache is dropped,
+// same deterministic eviction as the response cache.
+const maxCachedPlans = 1024
+
+func newPlanCache() *planCache {
+	return &planCache{m: make(map[string]*query.Prepared)}
+}
+
+func (c *planCache) get(k string) *query.Prepared {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}
+
+func (c *planCache) put(k string, p *query.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= maxCachedPlans {
+		c.m = make(map[string]*query.Prepared)
+	}
+	c.m[k] = p
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// rewriter adapts the snapshot's semantic optimizer to the query
+// processor's Rewriter hook. The adaptation exists because of the import
+// direction: semopt consumes query.Analysis, so query cannot call
+// semopt itself.
+//
+// Safety argument for applying the advice to execution: the dictionary
+// serves only rules consistent with this snapshot's data (maintenance
+// retires contradicted rules before a new snapshot is published), so a
+// restriction semopt derives from them holds for every tuple of the true
+// answer. Adding it as a filter removes only non-answers; dropping a
+// redundant restriction keeps the filter logically equal; an Empty proof
+// means no stored tuple can qualify. And because the plan cache is
+// per-snapshot, a rewrite can never outlive the rule base that justified
+// it.
+func (sn *snapshot) rewriter() query.Rewriter {
+	return func(an *query.Analysis) (*query.Rewrites, error) {
+		rep, err := semopt.Analyze(an, sn.d)
+		if err != nil {
+			return nil, err
+		}
+		return &query.Rewrites{
+			Empty:     rep.Empty,
+			Because:   rep.Because,
+			Implied:   rep.Implied,
+			Redundant: rep.Redundant,
+		}, nil
+	}
+}
+
+// prepare returns the snapshot's prepared statement for sql, planning
+// and caching it on first use.
+func (s *System) prepare(sn *snapshot, sql string) (*query.Prepared, error) {
+	key := NormalizeSQL(sql)
+	if p := sn.plans.get(key); p != nil {
+		s.planHits.Add(1)
+		return p, nil
+	}
+	s.planMisses.Add(1)
+	p, err := sn.q.Prepare(key, sn.rewriter())
+	if err != nil {
+		return nil, err
+	}
+	sn.plans.put(key, p)
+	return p, nil
+}
+
+// Prepare plans a SQL query against the current snapshot, applying the
+// rule base's semantic rewrites, and caches the result as a prepared
+// statement keyed by normalized SQL. Repeated calls with the same
+// statement against an unchanged snapshot return the cached plan.
+func (s *System) Prepare(sql string) (*query.Prepared, error) {
+	return s.prepare(s.current(), sql)
+}
+
+// Explain returns the typed execution plan for a SQL query — access
+// paths with cardinality estimates, join order, and the semantic
+// rewrites the rule base contributed — without executing it. The plan
+// shown is the plan that runs: Explain prepares (and caches) the same
+// statement Query executes.
+func (s *System) Explain(sql string) (*plan.Plan, error) {
+	p, err := s.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return p.Describe(), nil
+}
+
+// PlannerStats is a point-in-time report of planner behaviour for
+// metrics: cumulative scan counters over the system's lifetime and the
+// prepared-statement cache's hit rate.
+type PlannerStats struct {
+	// FullScans and IndexScans count executed access paths by kind.
+	FullScans  int64
+	IndexScans int64
+	// IndexFallbacks counts access paths that wanted an index but
+	// degraded to a full scan (stale index, mixed-kind column,
+	// incomparable probe). Nonzero and climbing means some query is
+	// quietly running O(n); the reason is logged when it happens.
+	IndexFallbacks int64
+	// PlanCacheHits / PlanCacheMisses are cumulative prepared-statement
+	// cache outcomes; CachedPlans is the current snapshot's cache size.
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+	CachedPlans     int
+}
+
+// PlannerStats reports the planner counters and prepared-statement
+// cache state.
+func (s *System) PlannerStats() PlannerStats {
+	return PlannerStats{
+		FullScans:       s.counters.FullScans.Load(),
+		IndexScans:      s.counters.IndexScans.Load(),
+		IndexFallbacks:  s.counters.IndexFallbacks.Load(),
+		PlanCacheHits:   s.planHits.Load(),
+		PlanCacheMisses: s.planMisses.Load(),
+		CachedPlans:     s.current().plans.len(),
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -39,6 +40,7 @@ import (
 	"intensional/internal/infer"
 	"intensional/internal/maintain"
 	"intensional/internal/query"
+	"intensional/internal/quel"
 	"intensional/internal/relation"
 	"intensional/internal/rules"
 	"intensional/internal/storage"
@@ -88,6 +90,14 @@ type System struct {
 	autoDone chan struct{} // guarded by amu
 	autoRuns atomic.Uint64
 	autoErrs atomic.Uint64
+
+	// Planner observability, cumulative over the system's lifetime (they
+	// deliberately survive snapshot replacement so /metrics trends are
+	// monotone): scan counters shared by every snapshot's sessions, and
+	// prepared-statement cache outcomes.
+	counters   quel.Counters
+	planHits   atomic.Int64
+	planMisses atomic.Int64
 }
 
 // snapshot is one immutable published state of the system. Everything
@@ -107,31 +117,53 @@ type snapshot struct {
 	// maint classifies full: which rules a mutation has contradicted
 	// (stale) or loosened (refinable) since the last (re-)induction.
 	maint *maintain.State
+	// plans caches prepared statements for this snapshot, keyed by
+	// normalized SQL. Per-snapshot like the response cache, so a plan's
+	// index choices and semantic rewrites never outlive the data and
+	// rules that justified them.
+	plans *planCache
 }
 
 func newSnapshot(version uint64, cat *storage.Catalog, d *dict.Dictionary) *snapshot {
+	q := query.New(cat)
+	// One shared index cache per snapshot: relations are immutable once
+	// the snapshot is published, so indexes built by one query serve all
+	// later queries on the same version.
+	q.UseIndexCache(quel.NewIndexCache())
 	return &snapshot{
 		version: version,
 		cat:     cat,
 		d:       d,
-		q:       query.New(cat),
+		q:       q,
 		inf:     infer.New(d),
 		cache:   newResponseCache(),
 		full:    d.Rules(),
 		maint:   maintain.NewState(),
+		plans:   newPlanCache(),
 	}
+}
+
+// wire attaches the system's cumulative planner counters and logger to a
+// snapshot's query processor. Every snapshot passes through here (New or
+// install) before it can serve a query.
+func (s *System) wire(sn *snapshot) {
+	sn.q.UseCounters(&s.counters)
+	sn.q.UseLogf(log.Printf)
 }
 
 // New assembles a system over a catalog and its dictionary. The catalog
 // and dictionary become version 1's snapshot; mutate them only before
 // the system starts serving concurrent callers.
 func New(cat *storage.Catalog, d *dict.Dictionary) *System {
-	return &System{
-		snap:         newSnapshot(1, cat, d),
+	sn := newSnapshot(1, cat, d)
+	s := &System{
+		snap:         sn,
 		fs:           fault.OS,
 		clock:        fault.Wall,
 		degradeAfter: defaultDegradeAfter,
 	}
+	s.wire(sn)
+	return s
 }
 
 // current returns the snapshot serving reads right now.
@@ -143,6 +175,7 @@ func (s *System) current() *snapshot {
 
 // install publishes a new snapshot; all subsequent reads see it.
 func (s *System) install(sn *snapshot) {
+	s.wire(sn)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.snap = sn
@@ -224,10 +257,18 @@ func (s *System) QueryContext(ctx context.Context, sql string, mode answer.Mode)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ext, an, err := sn.q.Run(sql)
+	// Execute through the prepared-statement path: the plan — with the
+	// rule base's semantic rewrites applied — is cached per snapshot, so
+	// a repeated statement skips parse, analysis, and planning entirely.
+	prep, err := s.prepare(sn, sql)
 	if err != nil {
 		return nil, err
 	}
+	ext, err := prep.Run()
+	if err != nil {
+		return nil, err
+	}
+	an := prep.Analysis
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -90,10 +90,14 @@ type Expr interface {
 	String() string
 }
 
-// BinExpr is a comparison between two operands.
+// BinExpr is a comparison between two operands. Implied marks a
+// conjunct synthesized by the semantic optimizer from induced rules
+// rather than written in the query; the planner carries the mark into
+// EXPLAIN output.
 type BinExpr struct {
-	Op   string // = != < <= > >=
-	L, R Operand
+	Op      string // = != < <= > >=
+	L, R    Operand
+	Implied bool
 }
 
 // AndExpr is a conjunction.

@@ -4,10 +4,65 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"intensional/internal/plan"
 	"intensional/internal/relation"
 	"intensional/internal/storage"
 )
+
+// Counters tallies the planner's access-path decisions across queries.
+// One instance is typically shared by every session a snapshot spawns so
+// /metrics can report scan behaviour system-wide; the zero value is
+// ready to use and all fields are safe for concurrent update.
+type Counters struct {
+	// FullScans counts access paths that read every row of a relation.
+	FullScans atomic.Int64
+	// IndexScans counts access paths served by a secondary index.
+	IndexScans atomic.Int64
+	// IndexFallbacks counts access paths that wanted an index but had to
+	// degrade to a full scan — a stale index that could not be rebuilt,
+	// a mixed-kind column, or an incomparable probe value. A steadily
+	// climbing value means some query is quietly running O(n).
+	IndexFallbacks atomic.Int64
+}
+
+// IndexCache shares lazily built secondary indexes between sessions.
+// Without one, each Session keeps a private cache that dies with it —
+// useless in the SQL path, which spins up a fresh session per query. A
+// cache is safe to share only between sessions over the same immutable
+// snapshot of the catalog: entries are validated with Index.Fresh but
+// keyed by relation name, so a *replaced* relation pointer would not be
+// detected.
+type IndexCache struct {
+	mu sync.Mutex
+	m  map[string]*relation.Index // guarded by mu
+}
+
+// NewIndexCache creates an empty shared index cache.
+func NewIndexCache() *IndexCache {
+	return &IndexCache{m: make(map[string]*relation.Index)}
+}
+
+func (c *IndexCache) get(key string) *relation.Index {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[key]
+}
+
+func (c *IndexCache) put(key string, ix *relation.Index) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = ix
+}
+
+// Len reports the number of cached indexes.
+func (c *IndexCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
 
 // Session executes QUEL statements against a catalog. Range declarations
 // persist for the life of the session, as in INGRES, and so do the
@@ -17,6 +72,10 @@ type Session struct {
 	cat     *storage.Catalog
 	ranges  map[string]string // lower(var) → relation name
 	indexes map[string]*relation.Index
+
+	cache    *IndexCache // optional shared cache; overrides indexes
+	counters *Counters   // optional shared scan counters
+	logf     func(format string, args ...any)
 }
 
 // indexMinRows is the relation size below which a scan beats building an
@@ -32,22 +91,67 @@ func NewSession(cat *storage.Catalog) *Session {
 	}
 }
 
+// SetIndexCache makes the session build and look up secondary indexes in
+// the given shared cache instead of its private one.
+func (s *Session) SetIndexCache(c *IndexCache) { s.cache = c }
+
+// SetCounters wires the session's access-path decisions to shared
+// counters.
+func (s *Session) SetCounters(c *Counters) { s.counters = c }
+
+// SetLogf installs a logger for planner diagnostics (index fallbacks).
+func (s *Session) SetLogf(f func(format string, args ...any)) { s.logf = f }
+
 // indexFor returns a fresh index on the relation's column, building or
-// rebuilding as needed; nil when indexing is not worthwhile.
-func (s *Session) indexFor(rel *relation.Relation, col int) *relation.Index {
+// rebuilding as needed. A nil index with an empty reason means indexing
+// is simply not worthwhile (small relation); a non-empty reason reports
+// a build failure the caller should surface as an index fallback.
+func (s *Session) indexFor(rel *relation.Relation, col int) (*relation.Index, string) {
 	if rel.Len() < indexMinRows {
-		return nil
+		return nil, ""
 	}
 	key := strings.ToLower(rel.Name()) + "\x00" + rel.Schema().Col(col).Name
-	if ix, ok := s.indexes[key]; ok && ix.Fresh() {
-		return ix
+	if s.cache != nil {
+		if ix := s.cache.get(key); ix != nil && ix.Fresh() {
+			return ix, ""
+		}
+	} else if ix, ok := s.indexes[key]; ok && ix.Fresh() {
+		return ix, ""
 	}
 	ix, err := rel.BuildIndex(rel.Schema().Col(col).Name)
 	if err != nil {
-		return nil
+		return nil, err.Error()
 	}
-	s.indexes[key] = ix
-	return ix
+	if s.cache != nil {
+		s.cache.put(key, ix)
+	} else {
+		s.indexes[key] = ix
+	}
+	return ix, ""
+}
+
+// noteFallback records an index that could not serve a planned access
+// path — the silent-degradation case the plannerIndexFallbacks metric
+// exists to expose.
+func (s *Session) noteFallback(rel, col, reason string) {
+	if s.counters != nil {
+		s.counters.IndexFallbacks.Add(1)
+	}
+	if s.logf != nil {
+		s.logf("quel: index fallback on %s.%s: %s", rel, col, reason)
+	}
+}
+
+func (s *Session) countFullScan() {
+	if s.counters != nil {
+		s.counters.FullScans.Add(1)
+	}
+}
+
+func (s *Session) countIndexScan() {
+	if s.counters != nil {
+		s.counters.IndexScans.Add(1)
+	}
 }
 
 // Result reports the effect of one statement: the retrieved relation
@@ -88,22 +192,6 @@ func (s *Session) ExecStmt(st Stmt) (*Result, error) {
 		return s.execReplace(st)
 	default:
 		return nil, fmt.Errorf("quel: unknown statement %T", st)
-	}
-}
-
-// flipCmp mirrors a comparison operator when its operands swap sides.
-func flipCmp(op string) string {
-	switch op {
-	case "<":
-		return ">"
-	case "<=":
-		return ">="
-	case ">":
-		return "<"
-	case ">=":
-		return "<="
-	default:
-		return op
 	}
 }
 
@@ -416,6 +504,18 @@ type conjunct struct {
 	selAttr int
 	selOp   string
 	selVal  relation.Value
+	// implied marks a conjunct synthesized by the semantic optimizer
+	// rather than written in the query.
+	implied bool
+}
+
+// label renders the conjunct for plan display.
+func (c *conjunct) label() string {
+	l := c.expr.String()
+	if c.implied {
+		l += " [implied]"
+	}
+	return l
 }
 
 // splitConjuncts flattens the top-level conjunction of e.
@@ -469,6 +569,7 @@ func (p *planner) analyse(e Expr) (*conjunct, error) {
 		return nil, err
 	}
 	if b, ok := e.(*BinExpr); ok {
+		c.implied = b.Implied
 		lc, lok := b.L.(ColOperand)
 		rc, rok := b.R.(ColOperand)
 		lv, lIsConst := b.L.(ConstOperand)
@@ -498,7 +599,7 @@ func (p *planner) analyse(e Expr) (*conjunct, error) {
 			if err != nil {
 				return nil, err
 			}
-			c.isSel, c.selSlot, c.selAttr, c.selOp, c.selVal = true, slot, attr, flipCmp(b.Op), lv.Val
+			c.isSel, c.selSlot, c.selAttr, c.selOp, c.selVal = true, slot, attr, relation.FlipOp(b.Op), lv.Val
 		}
 	}
 	comp, err := p.compile(e)
@@ -509,14 +610,65 @@ func (p *planner) analyse(e Expr) (*conjunct, error) {
 	return c, nil
 }
 
-// assemble produces all bindings of the plan variables satisfying the
-// qualification. Single-variable conjuncts are pushed down as selections,
-// cross-variable equalities drive hash joins, and everything else runs as
-// a residual filter.
-func (p *planner) assemble(where Expr) ([]binding, error) {
+// accessPath is the planned way to produce one range variable's
+// candidate rows: a full scan or an index range scan on the chosen
+// selection, plus the remaining pushed-down single-variable predicates.
+type accessPath struct {
+	slot  int
+	preds []*conjunct // all pushed-down single-variable conjuncts
+	// sel/ix, when set, serve the initial candidates from an index; sel
+	// is always one of preds (its predicate re-checks cost one compare).
+	sel *conjunct
+	ix  *relation.Index
+	// fallback records why an index-usable selection could not get an
+	// index at plan time (build failure on a mixed-kind column, count
+	// error); empty when an index was chosen or none was applicable.
+	fallback string
+	est      int
+}
+
+// joinEdge is one equality conjunct between the bound prefix and the
+// variable being joined.
+type joinEdge struct{ boundSlot, boundAttr, nextAttr int }
+
+// joinStep binds one more variable: by hash join over its edges, or by
+// cross product when no equality links it to the bound prefix.
+type joinStep struct {
+	next  int
+	edges []joinEdge
+	on    []string // rendered edge conditions, for plan display
+	est   int      // estimated prefix cardinality after this step
+}
+
+// scanPlan is the planned qualification evaluation: per-variable access
+// paths, a join order, and a residual filter. It is built once and may
+// run many times (prepared statements re-run against the same snapshot).
+type scanPlan struct {
+	p        *planner
+	paths    []accessPath // one per slot, in slot order
+	steps    []joinStep   // join order after seeding with slot 0
+	residual []*conjunct
+	est      int // estimated binding count after the residual filter
+}
+
+// selectivity scales a cardinality estimate by the heuristic 1/3 per
+// extra predicate, holding non-zero estimates above zero.
+func selectivity(est, preds int) int {
+	for i := 0; i < preds && est > 1; i++ {
+		est = (est + 2) / 3
+	}
+	return est
+}
+
+// plan classifies the qualification's conjuncts and chooses access paths
+// and a join order. Access paths are cost-based: every index-usable
+// selection on a slot is ranked by its exact index range count, and the
+// narrowest wins — not the first one that happens to have an index.
+func (p *planner) plan(where Expr) (*scanPlan, error) {
+	sp := &scanPlan{p: p}
 	n := len(p.vars)
 	if n == 0 {
-		return []binding{{}}, nil
+		return sp, nil
 	}
 	var conjs []*conjunct
 	for _, e := range splitConjuncts(where) {
@@ -528,72 +680,62 @@ func (p *planner) assemble(where Expr) ([]binding, error) {
 	}
 	used := make([]bool, len(conjs))
 
-	// Per-variable candidate row lists after pushing down single-variable
-	// conjuncts. When one of them is an index-usable selection on a large
-	// relation, the session's lazy secondary index supplies the initial
-	// candidates and the remaining predicates filter them.
-	cand := make([][]int, n)
+	// Push down single-variable conjuncts and pick each slot's access path.
+	sp.paths = make([]accessPath, n)
 	for slot := 0; slot < n; slot++ {
-		var preds []compiled
-		var sel *conjunct
+		ap := &sp.paths[slot]
+		ap.slot = slot
+		var sels []*conjunct
 		for ci, c := range conjs {
 			if len(c.slotsIn) == 1 && c.slotsIn[slot] && !c.isEq {
-				preds = append(preds, c.compiled)
+				ap.preds = append(ap.preds, c)
 				used[ci] = true
-				if sel == nil && c.isSel && c.selSlot == slot {
-					sel = c
+				if c.isSel && c.selSlot == slot {
+					sels = append(sels, c)
 				}
 			}
 		}
-		probe := make(binding, n)
-		for i := range probe {
-			probe[i] = -1
-		}
-		passes := func(i int) bool {
-			probe[slot] = i
-			for _, pr := range preds {
-				if !pr(probe) {
-					return false
+		rel := p.rels[slot]
+		best := -1
+		failCol := ""
+		for _, c := range sels {
+			col := rel.Schema().Col(c.selAttr).Name
+			ix, reason := p.sess.indexFor(rel, c.selAttr)
+			if ix == nil {
+				if reason != "" && ap.fallback == "" {
+					ap.fallback, failCol = reason, col
 				}
+				continue
 			}
-			return true
-		}
-		if sel != nil {
-			if ix := p.sess.indexFor(p.rels[slot], sel.selAttr); ix != nil {
-				if rows, err := ix.Lookup(sel.selOp, sel.selVal); err == nil {
-					sort.Ints(rows) // restore row order for stable results
-					for _, i := range rows {
-						if passes(i) {
-							cand[slot] = append(cand[slot], i)
-						}
-					}
-					continue
+			cnt, err := ix.Count(c.selOp, c.selVal)
+			if err != nil {
+				if ap.fallback == "" {
+					ap.fallback, failCol = err.Error(), col
 				}
+				continue
+			}
+			if best < 0 || cnt < best {
+				best, ap.sel, ap.ix = cnt, c, ix
 			}
 		}
-		for i := 0; i < p.rels[slot].Len(); i++ {
-			if passes(i) {
-				cand[slot] = append(cand[slot], i)
+		if ap.ix != nil {
+			// An index was chosen; any earlier candidate's failure is moot.
+			ap.fallback = ""
+			ap.est = selectivity(best, len(ap.preds)-1)
+		} else {
+			if ap.fallback != "" {
+				p.sess.noteFallback(rel.Name(), failCol, ap.fallback)
 			}
+			ap.est = selectivity(rel.Len(), len(ap.preds))
 		}
 	}
 
+	// Greedy join order: always extend the bound prefix with a variable
+	// reachable by an equality conjunct, falling back to a cross product.
 	bound := make([]bool, n)
-	// Seed with variable 0.
-	bindings := make([]binding, 0, len(cand[0]))
-	for _, i := range cand[0] {
-		b := make(binding, n)
-		for j := range b {
-			b[j] = -1
-		}
-		b[0] = i
-		bindings = append(bindings, b)
-	}
 	bound[0] = true
-	nBound := 1
-
-	for nBound < n {
-		// Prefer a variable joined to the bound set by equality conjuncts.
+	cur := sp.paths[0].est
+	for nBound := 1; nBound < n; nBound++ {
 		next := -1
 		for slot := 0; slot < n && next == -1; slot++ {
 			if bound[slot] {
@@ -603,8 +745,7 @@ func (p *planner) assemble(where Expr) ([]binding, error) {
 				if used[ci] || !c.isEq {
 					continue
 				}
-				a, b := c.lSlot, c.rSlot
-				if (a == slot && bound[b]) || (b == slot && bound[a]) {
+				if (c.lSlot == slot && bound[c.rSlot]) || (c.rSlot == slot && bound[c.lSlot]) {
 					next = slot
 					break
 				}
@@ -618,6 +759,126 @@ func (p *planner) assemble(where Expr) ([]binding, error) {
 					break
 				}
 			}
+			est := cur * sp.paths[next].est
+			sp.steps = append(sp.steps, joinStep{next: next, est: est})
+			bound[next] = true
+			cur = est
+			continue
+		}
+		step := joinStep{next: next}
+		for ci, c := range conjs {
+			if used[ci] || !c.isEq {
+				continue
+			}
+			switch {
+			case c.lSlot == next && bound[c.rSlot]:
+				step.edges = append(step.edges, joinEdge{boundSlot: c.rSlot, boundAttr: c.rAttr, nextAttr: c.lAttr})
+				step.on = append(step.on, c.expr.String())
+				used[ci] = true
+			case c.rSlot == next && bound[c.lSlot]:
+				step.edges = append(step.edges, joinEdge{boundSlot: c.lSlot, boundAttr: c.lAttr, nextAttr: c.rAttr})
+				step.on = append(step.on, c.expr.String())
+				used[ci] = true
+			}
+		}
+		// Equi-join estimate: the smaller input bounds the matches.
+		step.est = cur
+		if sp.paths[next].est < step.est {
+			step.est = sp.paths[next].est
+		}
+		sp.steps = append(sp.steps, step)
+		bound[next] = true
+		cur = step.est
+	}
+
+	// Residual filter: every conjunct not yet consumed.
+	for ci, c := range conjs {
+		if !used[ci] {
+			sp.residual = append(sp.residual, c)
+		}
+	}
+	sp.est = selectivity(cur, len(sp.residual))
+	return sp, nil
+}
+
+// scan produces one access path's candidate rows. An index chosen at
+// plan time serves the initial candidates; if it has gone stale since
+// (or the probe turns out incomparable), the path is rebuilt once and
+// otherwise degrades — loudly — to a full scan.
+func (sp *scanPlan) scan(ap *accessPath) []int {
+	p := sp.p
+	rel := p.rels[ap.slot]
+	probe := make(binding, len(p.vars))
+	for i := range probe {
+		probe[i] = -1
+	}
+	passes := func(i int) bool {
+		probe[ap.slot] = i
+		for _, c := range ap.preds {
+			if !c.compiled(probe) {
+				return false
+			}
+		}
+		return true
+	}
+	var out []int
+	if ap.ix != nil {
+		ix := ap.ix
+		rows, err := ix.Lookup(ap.sel.selOp, ap.sel.selVal)
+		if err != nil {
+			// Stale index: rebuild and retry once before degrading.
+			if ix2, _ := p.sess.indexFor(rel, ap.sel.selAttr); ix2 != nil {
+				rows, err = ix2.Lookup(ap.sel.selOp, ap.sel.selVal)
+			}
+		}
+		if err == nil {
+			p.sess.countIndexScan()
+			sort.Ints(rows) // restore row order for stable results
+			for _, i := range rows {
+				if passes(i) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		p.sess.noteFallback(rel.Name(), rel.Schema().Col(ap.sel.selAttr).Name, err.Error())
+	}
+	p.sess.countFullScan()
+	for i := 0; i < rel.Len(); i++ {
+		if passes(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// run executes the plan: per-slot candidate scans, then the planned join
+// order, then the residual filter.
+func (sp *scanPlan) run() ([]binding, error) {
+	p := sp.p
+	n := len(p.vars)
+	if n == 0 {
+		return []binding{{}}, nil
+	}
+	cand := make([][]int, n)
+	for slot := range sp.paths {
+		cand[slot] = sp.scan(&sp.paths[slot])
+	}
+
+	// Seed with variable 0.
+	bindings := make([]binding, 0, len(cand[0]))
+	for _, i := range cand[0] {
+		b := make(binding, n)
+		for j := range b {
+			b[j] = -1
+		}
+		b[0] = i
+		bindings = append(bindings, b)
+	}
+
+	for _, step := range sp.steps {
+		next := step.next
+		if len(step.edges) == 0 {
 			var out []binding
 			for _, b := range bindings {
 				for _, i := range cand[next] {
@@ -627,32 +888,14 @@ func (p *planner) assemble(where Expr) ([]binding, error) {
 				}
 			}
 			bindings = out
-			bound[next] = true
-			nBound++
 			continue
-		}
-		// Gather every equality edge between next and the bound set.
-		type edge struct{ boundAttr, nextAttr, boundSlot int }
-		var es []edge
-		for ci, c := range conjs {
-			if used[ci] || !c.isEq {
-				continue
-			}
-			switch {
-			case c.lSlot == next && bound[c.rSlot]:
-				es = append(es, edge{boundAttr: c.rAttr, nextAttr: c.lAttr, boundSlot: c.rSlot})
-				used[ci] = true
-			case c.rSlot == next && bound[c.lSlot]:
-				es = append(es, edge{boundAttr: c.lAttr, nextAttr: c.rAttr, boundSlot: c.lSlot})
-				used[ci] = true
-			}
 		}
 		// Hash next's candidate rows on its side of the edges.
 		rel := p.rels[next]
 		table := make(map[string][]int, len(cand[next]))
 		for _, i := range cand[next] {
 			var key strings.Builder
-			for _, e := range es {
+			for _, e := range step.edges {
 				key.WriteString(rel.Row(i)[e.nextAttr].Key())
 				key.WriteByte('\x1f')
 			}
@@ -661,7 +904,7 @@ func (p *planner) assemble(where Expr) ([]binding, error) {
 		var out []binding
 		for _, b := range bindings {
 			var key strings.Builder
-			for _, e := range es {
+			for _, e := range step.edges {
 				key.WriteString(p.rels[e.boundSlot].Row(b[e.boundSlot])[e.boundAttr].Key())
 				key.WriteByte('\x1f')
 			}
@@ -672,23 +915,14 @@ func (p *planner) assemble(where Expr) ([]binding, error) {
 			}
 		}
 		bindings = out
-		bound[next] = true
-		nBound++
 	}
 
-	// Residual filter: every conjunct not yet consumed.
-	var residual []compiled
-	for ci, c := range conjs {
-		if !used[ci] {
-			residual = append(residual, c.compiled)
-		}
-	}
-	if len(residual) > 0 {
+	if len(sp.residual) > 0 {
 		kept := bindings[:0]
 		for _, b := range bindings {
 			ok := true
-			for _, r := range residual {
-				if !r(b) {
+			for _, c := range sp.residual {
+				if !c.compiled(b) {
 					ok = false
 					break
 				}
@@ -702,33 +936,119 @@ func (p *planner) assemble(where Expr) ([]binding, error) {
 	return bindings, nil
 }
 
-func (s *Session) execRetrieve(st *RetrieveStmt) (*Result, error) {
-	p := newPlanner(s)
-	for _, t := range st.Target {
-		if _, err := p.addVar(t.Col.Var); err != nil {
-			return nil, err
-		}
-	}
-	if err := p.collectVars(st.Where); err != nil {
+// assemble plans and runs the qualification in one step — the
+// single-shot path delete and replace use. Retrieve goes through
+// PlanRetrieve so the plan can be described and re-run.
+func (p *planner) assemble(where Expr) ([]binding, error) {
+	sp, err := p.plan(where)
+	if err != nil {
 		return nil, err
 	}
-	for _, c := range st.SortBy {
-		if _, err := p.addVar(c.Col.Var); err != nil {
-			return nil, err
+	return sp.run()
+}
+
+// node renders one access path as a plan tree leaf, wrapped in a Filter
+// when predicates beyond the index condition apply.
+func (sp *scanPlan) node(ap *accessPath) plan.Node {
+	p := sp.p
+	rel := p.rels[ap.slot]
+	cols := planSchema(rel.Schema())
+	alias := p.vars[ap.slot]
+	var leaf plan.Node
+	var extra []string
+	if ap.ix != nil {
+		leaf = &plan.IndexScan{
+			Relation: rel.Name(),
+			Binding:  alias,
+			Column:   rel.Schema().Col(ap.sel.selAttr).Name,
+			Op:       ap.sel.selOp,
+			Value:    ap.sel.selVal.GoString(),
+			Est:      selectivity(mustCount(ap), 0),
+			Cols:     cols,
+			Implied:  ap.sel.implied,
+		}
+		for _, c := range ap.preds {
+			if c != ap.sel {
+				extra = append(extra, c.label())
+			}
+		}
+	} else {
+		leaf = &plan.FullScan{
+			Relation: rel.Name(),
+			Binding:  alias,
+			Est:      rel.Len(),
+			Cols:     cols,
+			Fallback: ap.fallback,
+		}
+		for _, c := range ap.preds {
+			extra = append(extra, c.label())
 		}
 	}
-
-	// Resolve targets and build the output schema.
-	type targetInfo struct {
-		slot, attr int
-		name       string
+	if len(extra) > 0 {
+		leaf = &plan.Filter{Conds: extra, Est: ap.est, Input: leaf}
 	}
+	return leaf
+}
+
+// mustCount re-derives the index range count for display; falls back to
+// the relation size if the index went stale since planning.
+func mustCount(ap *accessPath) int {
+	if n, err := ap.ix.Count(ap.sel.selOp, ap.sel.selVal); err == nil {
+		return n
+	}
+	return ap.ix.Len()
+}
+
+// describe renders the planned qualification evaluation as a plan tree.
+func (sp *scanPlan) describe() plan.Node {
+	if len(sp.paths) == 0 {
+		return &plan.FullScan{Relation: "dual", Est: 1}
+	}
+	root := sp.node(&sp.paths[0])
+	for _, step := range sp.steps {
+		right := sp.node(&sp.paths[step.next])
+		if len(step.edges) == 0 {
+			root = &plan.CrossJoin{Est: step.est, Left: root, Right: right}
+		} else {
+			root = &plan.HashJoin{On: step.on, Est: step.est, Left: root, Right: right}
+		}
+	}
+	if len(sp.residual) > 0 {
+		conds := make([]string, len(sp.residual))
+		for i, c := range sp.residual {
+			conds[i] = c.label()
+		}
+		root = &plan.Filter{Conds: conds, Est: sp.est, Input: root}
+	}
+	return root
+}
+
+// planSchema converts a relation schema to plan columns.
+func planSchema(s *relation.Schema) []plan.Column {
+	cols := make([]plan.Column, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		c := s.Col(i)
+		cols[i] = plan.Column{Name: c.Name, Type: c.Type.String()}
+	}
+	return cols
+}
+
+// targetInfo maps one projection target to its (slot, attribute) source
+// and resolved output name.
+type targetInfo struct {
+	slot, attr int
+	name       string
+}
+
+// resolveTargets resolves the statement's projection list against the
+// planner's variables and builds the output schema. It touches no rows.
+func resolveTargets(p *planner, st *RetrieveStmt) ([]targetInfo, *relation.Schema, error) {
 	infos := make([]targetInfo, len(st.Target))
 	usedNames := map[string]bool{}
 	for i, t := range st.Target {
 		slot, ai, err := p.colSlot(t.Col)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		name := t.As
 		if name == "" {
@@ -752,64 +1072,169 @@ func (s *Session) execRetrieve(st *RetrieveStmt) (*Result, error) {
 	}
 	schema, err := relation.NewSchema(cols...)
 	if err != nil {
+		return nil, nil, err
+	}
+	return infos, schema, nil
+}
+
+// bindVars registers every range variable the statement mentions.
+func (p *planner) bindVars(st *RetrieveStmt) error {
+	for _, t := range st.Target {
+		if _, err := p.addVar(t.Col.Var); err != nil {
+			return err
+		}
+	}
+	if err := p.collectVars(st.Where); err != nil {
+		return err
+	}
+	for _, c := range st.SortBy {
+		if _, err := p.addVar(c.Col.Var); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RetrieveSchema resolves the statement's output schema — names and
+// types of the result columns — without planning access paths or
+// touching any rows. It is the cheap half of PlanRetrieve, used when the
+// semantic optimizer has already proven the result empty.
+func (s *Session) RetrieveSchema(st *RetrieveStmt) (*relation.Schema, error) {
+	p := newPlanner(s)
+	if err := p.bindVars(st); err != nil {
 		return nil, err
 	}
+	_, schema, err := resolveTargets(p, st)
+	return schema, err
+}
 
-	bindings, err := p.assemble(st.Where)
+// RetrievePlan is a prepared retrieve: variables resolved, targets and
+// sort keys checked, access paths and join order chosen. Run may be
+// called any number of times; each run re-scans the underlying relations
+// through the plan. A RetrievePlan is only valid while the catalog
+// snapshot it was planned against is — callers caching plans must key
+// them by snapshot version.
+type RetrievePlan struct {
+	sess   *Session
+	st     *RetrieveStmt
+	p      *planner
+	sp     *scanPlan
+	infos  []targetInfo
+	schema *relation.Schema
+	keys   []relation.SortKey
+}
+
+// Schema returns the plan's output schema.
+func (rp *RetrievePlan) Schema() *relation.Schema { return rp.schema }
+
+// PlanRetrieve prepares a retrieve statement: resolves every variable,
+// target and sort key, chooses access paths cost-based, and fixes the
+// join order.
+func (s *Session) PlanRetrieve(st *RetrieveStmt) (*RetrievePlan, error) {
+	p := newPlanner(s)
+	if err := p.bindVars(st); err != nil {
+		return nil, err
+	}
+	infos, schema, err := resolveTargets(p, st)
 	if err != nil {
 		return nil, err
 	}
+	var keys []relation.SortKey
+	for _, item := range st.SortBy {
+		// Map the sort column to an output column: prefer a target on
+		// the same variable+attribute.
+		found := ""
+		slot, ai, err := p.colSlot(item.Col)
+		if err != nil {
+			return nil, err
+		}
+		for _, info := range infos {
+			if info.slot == slot && info.attr == ai {
+				found = info.name
+				break
+			}
+		}
+		if found == "" {
+			return nil, fmt.Errorf("quel: sort by %s: column is not retrieved", item.Col)
+		}
+		keys = append(keys, relation.SortKey{Column: found, Desc: item.Desc})
+	}
+	sp, err := p.plan(st.Where)
+	if err != nil {
+		return nil, err
+	}
+	return &RetrievePlan{sess: s, st: st, p: p, sp: sp, infos: infos, schema: schema, keys: keys}, nil
+}
 
-	name := st.Into
+// Describe renders the prepared retrieve as a typed plan tree.
+func (rp *RetrievePlan) Describe() plan.Node {
+	root := rp.sp.describe()
+	cols := make([]plan.Column, rp.schema.Len())
+	for i := 0; i < rp.schema.Len(); i++ {
+		c := rp.schema.Col(i)
+		cols[i] = plan.Column{Name: c.Name, Type: c.Type.String()}
+	}
+	var node plan.Node = &plan.Project{Cols: cols, Est: rp.sp.est, Input: root}
+	if rp.st.Unique {
+		node = &plan.Distinct{Input: node}
+	}
+	if len(rp.keys) > 0 {
+		keys := make([]string, len(rp.keys))
+		for i, k := range rp.keys {
+			keys[i] = k.Column
+			if k.Desc {
+				keys[i] += " desc"
+			}
+		}
+		node = &plan.Sort{Keys: keys, Input: node}
+	}
+	return node
+}
+
+// Run executes the prepared retrieve.
+func (rp *RetrievePlan) Run() (*Result, error) {
+	bindings, err := rp.sp.run()
+	if err != nil {
+		return nil, err
+	}
+	name := rp.st.Into
 	if name == "" {
 		name = "result"
 	}
-	out := relation.New(name, schema)
+	out := relation.New(name, rp.schema)
 	for _, b := range bindings {
-		row := make(relation.Tuple, len(infos))
-		for i, info := range infos {
-			row[i] = p.rels[info.slot].Row(b[info.slot])[info.attr]
+		row := make(relation.Tuple, len(rp.infos))
+		for i, info := range rp.infos {
+			row[i] = rp.p.rels[info.slot].Row(b[info.slot])[info.attr]
 		}
 		if err := out.Insert(row); err != nil {
 			return nil, err
 		}
 	}
-	if st.Unique {
+	if rp.st.Unique {
 		out = out.Unique()
 	}
-	if len(st.SortBy) > 0 {
-		keys := make([]relation.SortKey, len(st.SortBy))
-		for i, item := range st.SortBy {
-			// Map the sort column to an output column: prefer a target on
-			// the same variable+attribute.
-			found := ""
-			slot, ai, err := p.colSlot(item.Col)
-			if err != nil {
-				return nil, err
-			}
-			for j, info := range infos {
-				if info.slot == slot && info.attr == ai {
-					found = infos[j].name
-					break
-				}
-			}
-			if found == "" {
-				return nil, fmt.Errorf("quel: sort by %s: column is not retrieved", item.Col)
-			}
-			keys[i] = relation.SortKey{Column: found, Desc: item.Desc}
-		}
-		out, err = out.Sort(keys...)
+	if len(rp.keys) > 0 {
+		out, err = out.Sort(rp.keys...)
 		if err != nil {
 			return nil, err
 		}
 	}
-	if st.Into != "" {
-		if s.cat.Has(st.Into) {
-			return nil, fmt.Errorf("quel: retrieve into %s: relation already exists", st.Into)
+	if rp.st.Into != "" {
+		if rp.sess.cat.Has(rp.st.Into) {
+			return nil, fmt.Errorf("quel: retrieve into %s: relation already exists", rp.st.Into)
 		}
-		s.cat.Put(out)
+		rp.sess.cat.Put(out)
 	}
 	return &Result{Rel: out}, nil
+}
+
+func (s *Session) execRetrieve(st *RetrieveStmt) (*Result, error) {
+	rp, err := s.PlanRetrieve(st)
+	if err != nil {
+		return nil, err
+	}
+	return rp.Run()
 }
 
 func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {

@@ -4,17 +4,36 @@ import (
 	"fmt"
 	"strings"
 
+	"intensional/internal/plan"
 	"intensional/internal/quel"
 	"intensional/internal/relation"
 	"intensional/internal/sqlparse"
 )
 
-// runAggregate executes a SELECT containing aggregates and/or GROUP BY:
-// the paper's introduction motivates summarised answers alongside
-// intensional ones, and grouped aggregates are the classic summarised
-// form. The base rows are produced by the QUEL executor; grouping and
-// accumulation happen here.
-func (p *Processor) runAggregate(b *binder, sel *sqlparse.Select) (*relation.Relation, error) {
+// aggPlan is a prepared aggregate/GROUP BY SELECT: the paper's
+// introduction motivates summarised answers alongside intensional ones,
+// and grouped aggregates are the classic summarised form. The base rows
+// are produced by a prepared QUEL retrieve (or, when the semantic
+// optimizer proved the input empty, by no retrieve at all); grouping and
+// accumulation happen in run.
+type aggPlan struct {
+	sel *sqlparse.Select
+	// rp produces the base rows; nil when the input is provably empty,
+	// in which case baseSchema alone types the (empty) base.
+	rp          *quel.RetrievePlan
+	baseSchema  *relation.Schema
+	outSchema   *relation.Schema
+	emptyReason string
+	groupPos    []int // base positions of the GROUP BY columns
+	argPos      []int // per item: base position of the aggregate argument; -1 for COUNT(*) or plain
+	itemGroup   []int // per plain item: base position of its group column
+}
+
+// prepareAggregate validates the aggregate query, plans the base
+// retrieve (unless emptyReason marks the input provably empty), and
+// fixes both base and output schemas. The where expression is the
+// already-rewritten qualification.
+func (p *Processor) prepareAggregate(b *binder, sel *sqlparse.Select, where quel.Expr, emptyReason string) (*aggPlan, error) {
 	if sel.Star {
 		return nil, fmt.Errorf("query: SELECT * cannot be combined with aggregates")
 	}
@@ -49,11 +68,8 @@ func (p *Processor) runAggregate(b *binder, sel *sqlparse.Select) (*relation.Rel
 		}
 	}
 
-	// Fetch the base rows: group columns first, then aggregate arguments.
+	// Base retrieve: group columns first, then aggregate arguments.
 	st := &quel.RetrieveStmt{}
-	type argRef struct {
-		pos int // column position in the base result; -1 for COUNT(*)
-	}
 	baseCols := 0
 	addTarget := func(binding, col string) int {
 		st.Target = append(st.Target, quel.Target{
@@ -63,13 +79,15 @@ func (p *Processor) runAggregate(b *binder, sel *sqlparse.Select) (*relation.Rel
 		baseCols++
 		return baseCols - 1
 	}
-	groupPos := make([]int, len(groupCols))
+	ap := &aggPlan{sel: sel, emptyReason: emptyReason}
+	ap.groupPos = make([]int, len(groupCols))
 	for i, g := range groupCols {
-		groupPos[i] = addTarget(g.binding, g.col)
+		ap.groupPos[i] = addTarget(g.binding, g.col)
 	}
-	args := make([]argRef, len(sel.Items))
-	itemGroupPos := make([]int, len(sel.Items)) // for plain items: base position
+	ap.argPos = make([]int, len(sel.Items))
+	ap.itemGroup = make([]int, len(sel.Items))
 	for i, it := range sel.Items {
+		ap.argPos[i] = -1
 		if it.Agg == "" {
 			binding, col, _, err := b.resolve(it.Col.Table, it.Col.Column)
 			if err != nil {
@@ -77,20 +95,19 @@ func (p *Processor) runAggregate(b *binder, sel *sqlparse.Select) (*relation.Rel
 			}
 			for gi, g := range groupCols {
 				if strings.EqualFold(g.binding, binding) && strings.EqualFold(g.col, col) {
-					itemGroupPos[i] = groupPos[gi]
+					ap.itemGroup[i] = ap.groupPos[gi]
 				}
 			}
 			continue
 		}
 		if it.Star {
-			args[i] = argRef{pos: -1}
 			continue
 		}
 		binding, col, _, err := b.resolve(it.Col.Table, it.Col.Column)
 		if err != nil {
 			return nil, err
 		}
-		args[i] = argRef{pos: addTarget(binding, col)}
+		ap.argPos[i] = addTarget(binding, col)
 	}
 	if baseCols == 0 {
 		// COUNT(*) alone with no GROUP BY: fetch any column to count rows.
@@ -98,24 +115,92 @@ func (p *Processor) runAggregate(b *binder, sel *sqlparse.Select) (*relation.Rel
 		schema := b.schemas[strings.ToLower(name)]
 		addTarget(name, schema.Col(0).Name)
 	}
-	if sel.Where != nil {
-		e, err := lowerExpr(b, sel.Where)
-		if err != nil {
-			return nil, err
-		}
-		st.Where = e
-	}
-	sess := quel.NewSession(p.cat)
-	for _, name := range b.bindings {
-		if _, err := sess.ExecStmt(&quel.RangeStmt{Var: name, Rel: b.tables[strings.ToLower(name)]}); err != nil {
-			return nil, err
-		}
-	}
-	res, err := sess.ExecStmt(st)
+	st.Where = where
+
+	sess, err := p.session(b)
 	if err != nil {
 		return nil, err
 	}
-	base := res.Rel
+	if emptyReason != "" {
+		ap.baseSchema, err = sess.RetrieveSchema(st)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		ap.rp, err = sess.PlanRetrieve(st)
+		if err != nil {
+			return nil, err
+		}
+		ap.baseSchema = ap.rp.Schema()
+	}
+
+	// Output schema.
+	cols := make([]relation.Column, len(sel.Items))
+	for i, it := range sel.Items {
+		t := relation.TInt // COUNT
+		switch {
+		case it.Agg == "":
+			// type of the underlying group column
+			t = ap.baseSchema.Col(ap.itemGroup[i]).Type
+		case it.Agg == "AVG":
+			t = relation.TFloat
+		case it.Agg == "SUM", it.Agg == "MIN", it.Agg == "MAX":
+			if !it.Star {
+				t = ap.baseSchema.Col(ap.argPos[i]).Type
+			}
+		}
+		cols[i] = relation.Column{Name: it.Label(), Type: t}
+	}
+	ap.outSchema, err = relation.NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	return ap, nil
+}
+
+// describe renders the aggregate plan tree.
+func (ap *aggPlan) describe() plan.Node {
+	var input plan.Node
+	if ap.rp == nil {
+		input = &plan.Empty{Reason: ap.emptyReason, Cols: planColumns(ap.baseSchema)}
+	} else {
+		input = ap.rp.Describe()
+	}
+	items := make([]string, len(ap.sel.Items))
+	for i, it := range ap.sel.Items {
+		items[i] = it.Label()
+	}
+	var groupBy []string
+	for _, g := range ap.sel.GroupBy {
+		groupBy = append(groupBy, g.String())
+	}
+	est := 1
+	if len(groupBy) > 0 {
+		est = input.EstRows()
+	}
+	return &plan.Aggregate{
+		Items:   items,
+		GroupBy: groupBy,
+		Est:     est,
+		Cols:    planColumns(ap.outSchema),
+		Input:   input,
+	}
+}
+
+// run executes the prepared aggregate: fetch base rows, group,
+// accumulate, and order.
+func (ap *aggPlan) run() (*relation.Relation, error) {
+	sel := ap.sel
+	var base *relation.Relation
+	if ap.rp == nil {
+		base = relation.New("base", ap.baseSchema)
+	} else {
+		res, err := ap.rp.Run()
+		if err != nil {
+			return nil, err
+		}
+		base = res.Rel
+	}
 
 	// Group and accumulate.
 	type acc struct {
@@ -140,8 +225,8 @@ func (p *Processor) runAggregate(b *binder, sel *sqlparse.Select) (*relation.Rel
 	var order []string
 	for _, row := range base.Rows() {
 		var kb strings.Builder
-		key := make([]relation.Value, len(groupPos))
-		for i, gp := range groupPos {
+		key := make([]relation.Value, len(ap.groupPos))
+		for i, gp := range ap.groupPos {
 			key[i] = row[gp]
 			kb.WriteString(row[gp].Key())
 			kb.WriteByte('\x1f')
@@ -162,7 +247,7 @@ func (p *Processor) runAggregate(b *binder, sel *sqlparse.Select) (*relation.Rel
 				g.count[i]++
 				continue
 			}
-			v := row[args[i].pos]
+			v := row[ap.argPos[i]]
 			if v.IsNull() {
 				continue
 			}
@@ -190,28 +275,7 @@ func (p *Processor) runAggregate(b *binder, sel *sqlparse.Select) (*relation.Rel
 		order = append(order, "")
 	}
 
-	// Output schema.
-	cols := make([]relation.Column, len(sel.Items))
-	for i, it := range sel.Items {
-		t := relation.TInt // COUNT
-		switch {
-		case it.Agg == "":
-			// type of the underlying group column
-			t = base.Schema().Col(itemGroupPos[i]).Type
-		case it.Agg == "AVG":
-			t = relation.TFloat
-		case it.Agg == "SUM", it.Agg == "MIN", it.Agg == "MAX":
-			if !it.Star {
-				t = base.Schema().Col(args[i].pos).Type
-			}
-		}
-		cols[i] = relation.Column{Name: it.Label(), Type: t}
-	}
-	schema, err := relation.NewSchema(cols...)
-	if err != nil {
-		return nil, err
-	}
-	out := relation.New("result", schema)
+	out := relation.New("result", ap.outSchema)
 	for _, k := range order {
 		g := groups[k]
 		row := make(relation.Tuple, len(sel.Items))
@@ -219,8 +283,8 @@ func (p *Processor) runAggregate(b *binder, sel *sqlparse.Select) (*relation.Rel
 			switch {
 			case it.Agg == "":
 				// Find the group column index matching this item.
-				for gi, gp := range groupPos {
-					if gp == itemGroupPos[i] {
+				for gi, gp := range ap.groupPos {
+					if gp == ap.itemGroup[i] {
 						row[i] = g.key[gi]
 					}
 				}

@@ -264,7 +264,7 @@ func compileCompare(schema *relation.Schema, table string, cmp *sqlparse.Compare
 		if err != nil {
 			return nil, err
 		}
-		return relation.Cmp(schema, schema.Col(ci).Name, flipOp(cmp.Op), ll.Val)
+		return relation.Cmp(schema, schema.Col(ci).Name, relation.FlipOp(cmp.Op), ll.Val)
 	case lIsCol && rIsCol:
 		li, err := resolveCol(lc)
 		if err != nil {

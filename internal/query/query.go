@@ -25,6 +25,12 @@ type Restriction struct {
 	Val         relation.Value
 	HasInterval bool
 	Interval    rules.Interval
+	// Conjunct is the index of the WHERE conjunct this restriction came
+	// from, in flattening order — the hook Prepare uses to drop the
+	// conjunct when the semantic optimizer proves it redundant. Only
+	// meaningful for restrictions extracted from a conjunctive query;
+	// synthesized (implied) restrictions leave it zero.
+	Conjunct int
 }
 
 // String renders the restriction as written in the query.
@@ -58,11 +64,48 @@ type Analysis struct {
 
 // Processor executes SQL queries against a catalog.
 type Processor struct {
-	cat *storage.Catalog
+	cat      *storage.Catalog
+	cache    *quel.IndexCache
+	counters *quel.Counters
+	logf     func(format string, args ...any)
 }
 
 // New creates a processor over the catalog.
 func New(cat *storage.Catalog) *Processor { return &Processor{cat: cat} }
+
+// UseIndexCache shares one secondary-index cache across every session
+// the processor spawns. Without it each query builds indexes from
+// scratch: the executor creates a fresh QUEL session per statement, so a
+// per-session cache never survives long enough to help. The cache must
+// only outlive one immutable snapshot of the catalog.
+func (p *Processor) UseIndexCache(c *quel.IndexCache) { p.cache = c }
+
+// UseCounters wires all sessions' planner decisions to shared counters.
+func (p *Processor) UseCounters(c *quel.Counters) { p.counters = c }
+
+// UseLogf installs a logger for planner diagnostics.
+func (p *Processor) UseLogf(f func(format string, args ...any)) { p.logf = f }
+
+// session creates a QUEL session with the processor's cache and counters
+// attached and the binder's range variables declared.
+func (p *Processor) session(b *binder) (*quel.Session, error) {
+	sess := quel.NewSession(p.cat)
+	if p.cache != nil {
+		sess.SetIndexCache(p.cache)
+	}
+	if p.counters != nil {
+		sess.SetCounters(p.counters)
+	}
+	if p.logf != nil {
+		sess.SetLogf(p.logf)
+	}
+	for _, name := range b.bindings {
+		if _, err := sess.ExecStmt(&quel.RangeStmt{Var: name, Rel: b.tables[strings.ToLower(name)]}); err != nil {
+			return nil, err
+		}
+	}
+	return sess, nil
+}
 
 // Run parses and executes the query, returning the extensional answer and
 // the structural analysis.
@@ -142,22 +185,20 @@ func (b *binder) resolve(table, column string) (binding, col, relName string, er
 
 // RunSelect executes a parsed SELECT.
 func (p *Processor) RunSelect(sel *sqlparse.Select) (*relation.Relation, *Analysis, error) {
-	b, err := newBinder(p.cat, sel.From)
+	prep, err := p.PrepareSelect("", sel, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	an, err := analyse(b, sel)
+	rel, err := prep.Run()
 	if err != nil {
 		return nil, nil, err
 	}
-	if sel.HasAggregates() || len(sel.GroupBy) > 0 {
-		rel, err := p.runAggregate(b, sel)
-		if err != nil {
-			return nil, nil, err
-		}
-		return rel, an, nil
-	}
+	return rel, prep.Analysis, nil
+}
 
+// buildRetrieve lowers the SELECT's projection and ordering onto a QUEL
+// retrieve statement, leaving the qualification for the caller.
+func buildRetrieve(b *binder, sel *sqlparse.Select) (*quel.RetrieveStmt, error) {
 	st := &quel.RetrieveStmt{Unique: sel.Distinct}
 	if sel.Star {
 		for _, name := range b.bindings {
@@ -172,7 +213,7 @@ func (p *Processor) RunSelect(sel *sqlparse.Select) (*relation.Relation, *Analys
 		for _, c := range sel.Columns() {
 			binding, col, _, err := b.resolve(c.Table, c.Column)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			st.Target = append(st.Target, quel.Target{
 				As:  c.As,
@@ -180,37 +221,17 @@ func (p *Processor) RunSelect(sel *sqlparse.Select) (*relation.Relation, *Analys
 			})
 		}
 	}
-
-	if sel.Where != nil {
-		e, err := lowerExpr(b, sel.Where)
-		if err != nil {
-			return nil, nil, err
-		}
-		st.Where = e
-	}
-
 	for _, o := range sel.OrderBy {
 		binding, col, _, err := b.resolve(o.Col.Table, o.Col.Column)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		st.SortBy = append(st.SortBy, quel.SortItem{
 			Col:  quel.ColRef{Var: binding, Attr: col},
 			Desc: o.Desc,
 		})
 	}
-
-	sess := quel.NewSession(p.cat)
-	for _, name := range b.bindings {
-		if _, err := sess.ExecStmt(&quel.RangeStmt{Var: name, Rel: b.tables[strings.ToLower(name)]}); err != nil {
-			return nil, nil, err
-		}
-	}
-	res, err := sess.ExecStmt(st)
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Rel, an, nil
+	return st, nil
 }
 
 // lowerExpr maps the SQL expression onto the QUEL expression grammar,
@@ -295,21 +316,8 @@ func analyse(b *binder, sel *sqlparse.Select) (*Analysis, error) {
 			an.Projection = append(an.Projection, rules.Attr(relName, col))
 		}
 	}
-	var conjuncts []sqlparse.Expr
-	var split func(e sqlparse.Expr)
-	split = func(e sqlparse.Expr) {
-		if a, ok := e.(*sqlparse.And); ok {
-			for _, t := range a.Terms {
-				split(t)
-			}
-			return
-		}
-		conjuncts = append(conjuncts, e)
-	}
-	if sel.Where != nil {
-		split(sel.Where)
-	}
-	for _, c := range conjuncts {
+	conjuncts := splitSQLConjuncts(sel.Where)
+	for ci, c := range conjuncts {
 		cmp, ok := c.(*sqlparse.Compare)
 		if !ok {
 			an.Conjunctive = false
@@ -334,13 +342,13 @@ func analyse(b *binder, sel *sqlparse.Select) (*Analysis, error) {
 				R: rules.Attr(rrel, rcol),
 			})
 		case lIsCol && rIsLit:
-			r, err := makeRestriction(b, lc, cmp.Op, rl.Val)
+			r, err := makeRestriction(b, lc, cmp.Op, rl.Val, ci)
 			if err != nil {
 				return nil, err
 			}
 			an.Restrictions = append(an.Restrictions, r)
 		case rIsCol && lIsLit:
-			r, err := makeRestriction(b, rc, flipOp(cmp.Op), ll.Val)
+			r, err := makeRestriction(b, rc, relation.FlipOp(cmp.Op), ll.Val, ci)
 			if err != nil {
 				return nil, err
 			}
@@ -352,27 +360,30 @@ func analyse(b *binder, sel *sqlparse.Select) (*Analysis, error) {
 	return an, nil
 }
 
-func flipOp(op string) string {
-	switch op {
-	case "<":
-		return ">"
-	case "<=":
-		return ">="
-	case ">":
-		return "<"
-	case ">=":
-		return "<="
-	default:
-		return op // = and != are symmetric
+// splitSQLConjuncts flattens the WHERE clause's top-level conjunction.
+// Both the analyser and the Prepare rewriter index conjuncts by position
+// in this flattening, so redundant-restriction dropping lines up with
+// the analysis that proposed it.
+func splitSQLConjuncts(e sqlparse.Expr) []sqlparse.Expr {
+	if e == nil {
+		return nil
 	}
+	if a, ok := e.(*sqlparse.And); ok {
+		var out []sqlparse.Expr
+		for _, t := range a.Terms {
+			out = append(out, splitSQLConjuncts(t)...)
+		}
+		return out
+	}
+	return []sqlparse.Expr{e}
 }
 
-func makeRestriction(b *binder, c sqlparse.Col, op string, v relation.Value) (Restriction, error) {
+func makeRestriction(b *binder, c sqlparse.Col, op string, v relation.Value, conjunct int) (Restriction, error) {
 	_, col, relName, err := b.resolve(c.Table, c.Column)
 	if err != nil {
 		return Restriction{}, err
 	}
-	r := Restriction{Attr: rules.Attr(relName, col), Op: op, Val: v}
+	r := Restriction{Attr: rules.Attr(relName, col), Op: op, Val: v, Conjunct: conjunct}
 	if iv, err := rules.FromOp(op, v); err == nil {
 		r.HasInterval = true
 		r.Interval = iv

@@ -1,0 +1,23 @@
+package relation
+
+// FlipOp mirrors a comparison operator when its operands swap sides:
+// "x op y" holds exactly when "y FlipOp(op) x" does. Equality and
+// inequality are symmetric and map to themselves, as does any operator
+// the table does not know. Both the QUEL planner and the SQL analyser
+// normalise "constant op column" conditions through this one table, so a
+// new operator (say, a BETWEEN lowering) cannot be mirrored in one layer
+// and missed in the other.
+func FlipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}

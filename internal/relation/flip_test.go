@@ -1,0 +1,61 @@
+package relation
+
+import "testing"
+
+func TestFlipOp(t *testing.T) {
+	cases := []struct {
+		op, want string
+	}{
+		{"<", ">"},
+		{"<=", ">="},
+		{">", "<"},
+		{">=", "<="},
+		{"=", "="},
+		{"!=", "!="},
+		{"<>", "<>"},
+	}
+	for _, c := range cases {
+		if got := FlipOp(c.op); got != c.want {
+			t.Errorf("FlipOp(%q) = %q, want %q", c.op, got, c.want)
+		}
+		// Flipping is an involution: mirroring twice restores the operator.
+		if got := FlipOp(FlipOp(c.op)); got != c.op {
+			t.Errorf("FlipOp(FlipOp(%q)) = %q, want %q", c.op, got, c.op)
+		}
+	}
+}
+
+// TestFlipOpSemantics checks the table against the comparison semantics
+// it mirrors: for every operator and value pair, "a op b" must equal
+// "b FlipOp(op) a".
+func TestFlipOpSemantics(t *testing.T) {
+	holds := func(a Value, op string, b Value) bool {
+		c := a.MustCompare(b)
+		switch op {
+		case "=":
+			return c == 0
+		case "!=":
+			return c != 0
+		case "<":
+			return c < 0
+		case "<=":
+			return c <= 0
+		case ">":
+			return c > 0
+		case ">=":
+			return c >= 0
+		}
+		t.Fatalf("unknown operator %q", op)
+		return false
+	}
+	vals := []Value{Int(1), Int(2), Int(3)}
+	for _, op := range []string{"=", "!=", "<", "<=", ">", ">="} {
+		for _, a := range vals {
+			for _, b := range vals {
+				if holds(a, op, b) != holds(b, FlipOp(op), a) {
+					t.Errorf("%v %s %v != %v %s %v", a, op, b, b, FlipOp(op), a)
+				}
+			}
+		}
+	}
+}

@@ -18,16 +18,32 @@ type Index struct {
 
 // BuildIndex sorts the relation's rows by the named column. Null values
 // are excluded from the index (no comparison matches them).
+//
+// The column's non-null values must be kind-homogeneous (all mutually
+// comparable: one of {string} or {int, float}). A mixed-kind column has
+// no total order — Value.Less falls back to an arbitrary cross-kind
+// order, so a binary search over it could return a wrong range — and is
+// rejected here, at build time, rather than producing incorrect rows at
+// lookup time.
 func (r *Relation) BuildIndex(column string) (*Index, error) {
 	ci, ok := r.schema.Index(column)
 	if !ok {
 		return nil, fmt.Errorf("relation %s: no column %q", r.name, column)
 	}
 	ix := &Index{rel: r, col: ci, version: r.version}
+	first := Null()
 	for i, row := range r.rows {
-		if !row[ci].IsNull() {
-			ix.order = append(ix.order, i)
+		v := row[ci]
+		if v.IsNull() {
+			continue
 		}
+		if first.IsNull() {
+			first = v
+		} else if !v.Comparable(first) {
+			return nil, fmt.Errorf("relation %s: cannot index column %q: mixed %s and %s values",
+				r.name, column, first.Kind(), v.Kind())
+		}
+		ix.order = append(ix.order, i)
 	}
 	sort.SliceStable(ix.order, func(a, b int) bool {
 		return r.rows[ix.order[a]][ci].Less(r.rows[ix.order[b]][ci])
@@ -44,23 +60,62 @@ func (ix *Index) Len() int { return len(ix.order) }
 // value returns the indexed column value at sorted position p.
 func (ix *Index) value(p int) Value { return ix.rel.rows[ix.order[p]][ix.col] }
 
+// bounds binary-searches the sorted order for the probe value: lower is
+// the first position with value >= v, upper the first with value > v.
+// Incomparable probes are rejected up front (the index is
+// kind-homogeneous, so checking one value covers all), and a stale index
+// is an error.
+func (ix *Index) bounds(v Value) (lower, upper int, err error) {
+	if !ix.Fresh() {
+		return 0, 0, fmt.Errorf("relation %s: index is stale", ix.rel.name)
+	}
+	n := len(ix.order)
+	if n > 0 && !ix.value(0).Comparable(v) {
+		return 0, 0, fmt.Errorf("relation %s: cannot compare %s column with %s",
+			ix.rel.name, ix.rel.schema.Col(ix.col).Type, v.Kind())
+	}
+	lower = sort.Search(n, func(p int) bool { return ix.value(p).MustCompare(v) >= 0 })
+	upper = sort.Search(n, func(p int) bool { return ix.value(p).MustCompare(v) > 0 })
+	return lower, upper, nil
+}
+
+// Count returns how many indexed rows satisfy "value op v" without
+// materialising them — the cardinality estimate cost-based index
+// selection ranks candidate access paths by. Same operator set and error
+// conditions as Lookup.
+func (ix *Index) Count(op string, v Value) (int, error) {
+	lower, upper, err := ix.bounds(v)
+	if err != nil {
+		return 0, err
+	}
+	n := len(ix.order)
+	switch op {
+	case "=":
+		return upper - lower, nil
+	case "<":
+		return lower, nil
+	case "<=":
+		return upper, nil
+	case ">":
+		return n - upper, nil
+	case ">=":
+		return n - lower, nil
+	case "!=", "<>":
+		return n - (upper - lower), nil
+	default:
+		return 0, fmt.Errorf("relation: index count: unsupported operator %q", op)
+	}
+}
+
 // Lookup returns the row positions whose column value satisfies "value
 // op v", in index (ascending value) order. Supported operators: =, !=,
 // <, <=, >, >=. A stale index returns an error.
 func (ix *Index) Lookup(op string, v Value) ([]int, error) {
-	if !ix.Fresh() {
-		return nil, fmt.Errorf("relation %s: index is stale", ix.rel.name)
+	lower, upper, err := ix.bounds(v)
+	if err != nil {
+		return nil, err
 	}
 	n := len(ix.order)
-	// lowerBound: first position with value >= v; upperBound: first
-	// position with value > v. Incomparable values sort arbitrarily, so
-	// reject them up front.
-	if n > 0 && !ix.value(0).Comparable(v) {
-		return nil, fmt.Errorf("relation %s: cannot compare %s column with %s",
-			ix.rel.name, ix.rel.schema.Col(ix.col).Type, v.Kind())
-	}
-	lower := sort.Search(n, func(p int) bool { return ix.value(p).MustCompare(v) >= 0 })
-	upper := sort.Search(n, func(p int) bool { return ix.value(p).MustCompare(v) > 0 })
 	slice := func(lo, hi int) []int {
 		out := make([]int, hi-lo)
 		copy(out, ix.order[lo:hi])

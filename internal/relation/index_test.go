@@ -158,3 +158,77 @@ func TestIndexAgreesWithScanProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestBuildIndexRejectsMixedKinds is the regression test for the
+// mixed-kind binary-search bug: a column holding both strings and
+// numbers has no total order, so sorting it with Value.Less and then
+// binary-searching could return a wrong range (Lookup only checked the
+// probe against the first indexed value). Build must refuse instead.
+func TestBuildIndexRejectsMixedKinds(t *testing.T) {
+	r := New("MIXED", MustSchema(Column{Name: "K", Type: TString}))
+	r.MustInsert(String("b"))
+	r.MustInsert(String("a"))
+	// Smuggle numeric values past Insert's conformance check, as a bug
+	// elsewhere (or a future dynamically typed column) could.
+	r.rows = append(r.rows, Tuple{Int(5)}, Tuple{Int(1)})
+	if _, err := r.BuildIndex("K"); err == nil {
+		t.Fatal("BuildIndex on a mixed string/int column must error")
+	}
+
+	// Int/float mixes are mutually comparable and stay indexable.
+	f := New("NUM", MustSchema(Column{Name: "K", Type: TFloat}))
+	f.MustInsert(Float(2.5))
+	f.MustInsert(Int(7))
+	f.MustInsert(Int(1))
+	ix, err := f.BuildIndex("K")
+	if err != nil {
+		t.Fatalf("BuildIndex on int/float column: %v", err)
+	}
+	rows, err := ix.Lookup(">", Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("Lookup(> 2) = %d rows, want 2", len(rows))
+	}
+
+	// Nulls do not participate: a column that is mixed only through
+	// nulls is still homogeneous.
+	n := New("NULLS", MustSchema(Column{Name: "K", Type: TInt}))
+	n.MustInsert(Null())
+	n.MustInsert(Int(3))
+	if _, err := n.BuildIndex("K"); err != nil {
+		t.Errorf("BuildIndex with nulls: %v", err)
+	}
+}
+
+// TestIndexCountMatchesLookup checks the planner's cardinality estimate
+// against the materialised result for every operator.
+func TestIndexCountMatchesLookup(t *testing.T) {
+	r := indexedRelation(t)
+	ix, err := r.BuildIndex("K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"=", "!=", "<", "<=", ">", ">="} {
+		for v := int64(0); v <= 10; v++ {
+			rows, err := ix.Lookup(op, Int(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n, err := ix.Count(op, Int(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(rows) {
+				t.Errorf("Count(%s %d) = %d, Lookup returned %d rows", op, v, n, len(rows))
+			}
+		}
+	}
+	if _, err := ix.Count("~", Int(1)); err == nil {
+		t.Error("unsupported operator should error")
+	}
+	if _, err := ix.Count("=", String("x")); err == nil {
+		t.Error("incomparable probe should error")
+	}
+}

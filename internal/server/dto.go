@@ -3,6 +3,7 @@ package server
 import (
 	"intensional/internal/core"
 	"intensional/internal/infer"
+	"intensional/internal/plan"
 	"intensional/internal/relation"
 )
 
@@ -13,6 +14,35 @@ type queryRequest struct {
 	// "extensional", "intensional", "combined" (default), "forward",
 	// or "backward".
 	Mode string `json:"mode"`
+}
+
+// explainRequest is the POST /explain body.
+type explainRequest struct {
+	SQL string `json:"sql"`
+}
+
+// explainResponse is the POST /explain response: the typed plan the
+// executor would run for this statement on the stamped snapshot —
+// access paths with cardinality estimates, join order, and the
+// semantic rewrites the rule base contributed.
+type explainResponse struct {
+	Version uint64     `json:"version"`
+	Plan    *plan.Plan `json:"plan"`
+}
+
+// plannerJSON is the GET /metrics planner section: cumulative scan
+// counters and prepared-statement cache outcomes.
+type plannerJSON struct {
+	FullScans  int64 `json:"fullScans"`
+	IndexScans int64 `json:"indexScans"`
+	// PlannerIndexFallbacks counts access paths that wanted an index but
+	// degraded to a full scan; the reason is logged when it happens.
+	PlannerIndexFallbacks int64 `json:"plannerIndexFallbacks"`
+	PlanCacheHits         int64 `json:"planCacheHits"`
+	PlanCacheMisses       int64 `json:"planCacheMisses"`
+	// PlanCacheHitRate is hits/(hits+misses); 0 before any preparation.
+	PlanCacheHitRate float64 `json:"planCacheHitRate"`
+	CachedPlans      int     `json:"cachedPlans"`
 }
 
 // induceRequest is the POST /induce body, mirroring induct.Options.

@@ -74,11 +74,13 @@ type endpointJSON struct {
 
 type metricsJSON struct {
 	Endpoints map[string]endpointJSON `json:"endpoints"`
-	// System and Server are filled in by the handler — from the core
-	// snapshot and the admission/panic counters respectively; the
-	// registry itself only owns the per-endpoint counters.
-	System systemJSON `json:"system"`
-	Server serverJSON `json:"server"`
+	// System, Server, and Planner are filled in by the handler — from
+	// the core snapshot, the admission/panic counters, and the planner
+	// counters respectively; the registry itself only owns the
+	// per-endpoint counters.
+	System  systemJSON  `json:"system"`
+	Server  serverJSON  `json:"server"`
+	Planner plannerJSON `json:"planner"`
 }
 
 // snapshot copies the registry into its wire form. encoding/json sorts

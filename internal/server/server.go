@@ -3,6 +3,10 @@
 // prototype to a concurrent network service. Endpoints:
 //
 //	POST /query    SQL in, extensional + intensional answer out
+//	POST /explain  SQL in, the typed execution plan out — access paths
+//	               with cardinality estimates, join order, and the
+//	               semantic rewrites the rule base contributed — without
+//	               executing the query
 //	POST /mutate   INSERT/DELETE/UPDATE batch, applied atomically
 //	POST /induce   re-run rule induction, install a new snapshot
 //	POST /maintain re-induce only the schemes holding stale rules
@@ -142,6 +146,7 @@ func (s *Server) Handler() http.Handler {
 	}
 	qt := s.opts.queryTimeout()
 	route("POST /query", qt, s.handleQuery)
+	route("POST /explain", qt, s.handleExplain)
 	route("POST /mutate", qt, s.handleMutate)
 	route("POST /induce", s.opts.induceTimeout(), s.handleInduce)
 	route("POST /maintain", s.opts.induceTimeout(), s.handleMaintain)
@@ -240,6 +245,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, toQueryJSON(resp, req.Mode, wantExt, wantInt))
+}
+
+// handleExplain prepares (and caches) the statement exactly as /query
+// would and returns its plan without running it: the plan shown is the
+// plan that executes.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if s.slow != nil {
+		s.slow()
+	}
+	var req explainRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	pl, err := s.sys.Explain(req.SQL)
+	if err != nil {
+		// Parse, binding, and planning errors are properties of the
+		// request against the current schema: client errors.
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{Version: s.sys.Version(), Plan: pl})
 }
 
 // refuseDegraded answers 503 when the system is in read-only degraded
@@ -457,6 +488,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.met.snapshot()
 	snap.System = s.systemMetrics()
 	snap.Server = s.serverMetrics()
+	snap.Planner = s.plannerMetrics()
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -489,6 +521,23 @@ func (s *Server) systemMetrics() systemJSON {
 			out.StaleByRelationship = make(map[string]int)
 		}
 		out.StaleByRelationship[relationshipKey(r)]++
+	}
+	return out
+}
+
+// plannerMetrics projects the core planner counters onto the wire shape.
+func (s *Server) plannerMetrics() plannerJSON {
+	st := s.sys.PlannerStats()
+	out := plannerJSON{
+		FullScans:             st.FullScans,
+		IndexScans:            st.IndexScans,
+		PlannerIndexFallbacks: st.IndexFallbacks,
+		PlanCacheHits:         st.PlanCacheHits,
+		PlanCacheMisses:       st.PlanCacheMisses,
+		CachedPlans:           st.CachedPlans,
+	}
+	if total := st.PlanCacheHits + st.PlanCacheMisses; total > 0 {
+		out.PlanCacheHitRate = float64(st.PlanCacheHits) / float64(total)
 	}
 	return out
 }

@@ -40,8 +40,9 @@ type Shell struct {
 	mode    answer.Mode
 	wantExt bool // print the extensional section of answers
 	wantInt bool // print the intensional section of answers
-	explain bool
-	out     io.Writer
+	explain     bool // print derivation traces after each query
+	explainPlan bool // print the execution plan after each query
+	out         io.Writer
 }
 
 // New creates a shell over a system. model may be nil (disables .check).
@@ -79,7 +80,7 @@ var commands = []Command{
 	{".comparisons", "", "induce inter-object comparison knowledge"},
 	{".check", "", "validate data against the KER schema constraints"},
 	{".tree", "REL Y X...", "grow a decision tree classifying Y from X columns"},
-	{".explain", "on|off", "print derivation traces after each query"},
+	{".explain", "on|off|plan", "print derivation traces (on) or the execution plan (plan) after each query"},
 	{".optimize", "SQL", "semantic-optimization advice for a query"},
 	{".mode", "MODE", "extensional | intensional | combined | forward | backward"},
 	{".checkpoint", "", "save the durable database and truncate its WAL"},
@@ -387,10 +388,13 @@ func (s *Shell) cmdExplain(arg string) {
 	switch arg {
 	case "on":
 		s.explain = true
+	case "plan":
+		s.explainPlan = true
 	case "off":
 		s.explain = false
+		s.explainPlan = false
 	default:
-		fmt.Fprintln(s.out, "usage: .explain on|off")
+		fmt.Fprintln(s.out, "usage: .explain on|off|plan")
 		return
 	}
 	fmt.Fprintf(s.out, "explain %s\n", arg)
@@ -484,5 +488,17 @@ func (s *Shell) cmdQuery(sql string) {
 	if s.explain {
 		fmt.Fprintf(s.out, "derivation:\n  %s\n",
 			strings.ReplaceAll(strings.TrimRight(resp.Inference.Explain(s.sys.Rules()), "\n"), "\n", "\n  "))
+	}
+	if s.explainPlan {
+		// The prepared-statement cache makes this free: Query above
+		// already planned (and cached) this statement, so Explain
+		// renders the very plan that just ran.
+		pl, err := s.sys.Explain(sql)
+		if err != nil {
+			fmt.Fprintln(s.out, "plan error:", err)
+			return
+		}
+		fmt.Fprintf(s.out, "plan:\n  %s\n",
+			strings.ReplaceAll(strings.TrimRight(pl.String(), "\n"), "\n", "\n  "))
 	}
 }
