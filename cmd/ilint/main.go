@@ -5,21 +5,29 @@
 //
 // Usage:
 //
-//	go run ./cmd/ilint ./...          # analyze the whole module
-//	go run ./cmd/ilint -list          # describe the passes
+//	go run ./cmd/ilint ./...             # analyze the whole module
+//	go run ./cmd/ilint -list             # describe the passes
 //	go run ./cmd/ilint -p errdrop ./...  # run a single pass
+//	go run ./cmd/ilint -json lint.json -baseline lint-baseline.json ./...
+//	go run ./cmd/ilint -write-baseline lint-baseline.json ./...
 //
 // Passes:
 //
-//	lockguard  fields annotated `// guarded by <mu>` are only accessed
-//	           in functions that acquire that mutex
-//	maporder   map iteration must not feed ordered output (escaping
-//	           appends, printed lines) without an intervening sort
-//	rowalias   relation row slices are not mutated outside
-//	           internal/relation's copy-on-write API
-//	errdrop    error results are not silently discarded
-//	faultseam  internal/storage and internal/wal mutate the filesystem
-//	           only through the injected fault.FS seam, never package os
+//	lockguard   fields annotated `// guarded by <mu>` are only accessed
+//	            in functions that acquire that mutex
+//	maporder    map iteration must not feed ordered output (escaping
+//	            appends, printed lines) without an intervening sort
+//	rowalias    relation row slices are not mutated outside
+//	            internal/relation's copy-on-write API
+//	errdrop     error results are not silently discarded
+//	faultseam   internal/storage and internal/wal mutate the filesystem
+//	            only through the injected fault.FS seam, never package os
+//	ctxflow     blocking work reachable from a request entrypoint must
+//	            receive and honor the request's context
+//	snapfreeze  published snapshot/plan/response values are immutable;
+//	            build fresh and swap, never mutate in place
+//	fsyncorder  commit acks in wal/storage must be dominated by the
+//	            fsync of the bytes they acknowledge
 package main
 
 import (
@@ -35,11 +43,14 @@ import (
 func main() {
 	list := flag.Bool("list", false, "describe the passes and exit")
 	passNames := flag.String("p", "", "comma-separated pass names to run (default: all)")
+	jsonPath := flag.String("json", "", "also write findings as JSON to this file")
+	baselinePath := flag.String("baseline", "", "suppress findings recorded in this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 	flag.Parse()
 
 	if *list {
 		for _, p := range lint.Passes() {
-			fmt.Printf("%-10s %s\n", p.Name, p.Doc)
+			fmt.Printf("%-11s %s\n", p.Name, p.Doc)
 		}
 		return
 	}
@@ -78,15 +89,65 @@ func main() {
 		os.Exit(2)
 	}
 	diags := prog.Run(passes...)
-	for _, d := range diags {
-		// Print module-relative paths so output is stable across checkouts.
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+
+	// Module-relative paths everywhere downstream — terminal output,
+	// the JSON artifact, and baseline keys — so results are stable
+	// across checkouts.
+	relativize := func(name string) string {
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
 		}
-		fmt.Println(d)
+		return name
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "ilint: %d finding(s)\n", len(diags))
+	for i := range diags {
+		diags[i].Pos.Filename = relativize(diags[i].Pos.Filename)
+		for j := range diags[i].Related {
+			diags[i].Related[j].Pos.Filename = relativize(diags[i].Related[j].Pos.Filename)
+		}
+	}
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "ilint:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("ilint: wrote %s (%d finding(s))\n", *writeBaseline, len(diags))
+		return
+	}
+
+	var stale []lint.BaselineEntry
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilint:", err)
+			os.Exit(2)
+		}
+		diags, stale = base.Apply(diags)
+	}
+
+	if *jsonPath != "" {
+		data, err := lint.MarshalDiagnostics(diags)
+		if err == nil {
+			err = os.WriteFile(*jsonPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ilint:", err)
+			os.Exit(2)
+		}
+	}
+
+	for _, d := range diags {
+		fmt.Println(d)
+		for _, r := range d.Related {
+			fmt.Printf("\t%s:%d:%d: %s\n", r.Pos.Filename, r.Pos.Line, r.Pos.Column, r.Message)
+		}
+	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "ilint: stale baseline entry: [%s] %s: %q (x%d) no longer matches any finding; regenerate with -write-baseline\n",
+			e.Pass, e.File, e.Message, e.Count)
+	}
+	if len(diags) > 0 || len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "ilint: %d finding(s), %d stale baseline entr(ies)\n", len(diags), len(stale))
 		os.Exit(1)
 	}
 }

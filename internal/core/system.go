@@ -204,16 +204,34 @@ func (s *System) Rules() *rules.Set { return s.current().d.Rules() }
 // with; queries issued after Induce returns see the new rules. Induce
 // calls are serialised; concurrent Query calls are never blocked.
 func (s *System) Induce(opts induct.Options) (*rules.Set, error) {
+	return s.InduceContext(context.Background(), opts)
+}
+
+// InduceContext is Induce with a deadline: the context is checked at
+// the stage boundaries of the induction pipeline (after acquiring the
+// writer lock, after the dictionary rebuild, after induction), so a
+// caller-imposed timeout or cancellation abandons the work at the next
+// boundary instead of installing a snapshot nobody is waiting for.
+func (s *System) InduceContext(ctx context.Context, opts induct.Options) (*rules.Set, error) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cur := s.current()
 	cat := cur.cat.Clone()
 	d := dict.New(cat)
 	if err := d.Apply(cur.d.Decls()); err != nil {
 		return nil, fmt.Errorf("core: induce: rebuild dictionary: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	set, err := induct.New(d, opts).InduceAll()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	d.SetRules(set)

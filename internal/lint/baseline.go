@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is a committed suppression file: known findings that are
+// tolerated (typically while a new pass is being rolled out) keyed by
+// pass, file, and message. A baseline never shrinks silently — entries
+// that no longer match any finding are reported as stale so the file
+// must be regenerated (and the improvement recorded) in the same
+// change that fixed the finding.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry suppresses up to Count findings of one pass carrying
+// one message in one file. Line numbers are deliberately not part of
+// the key: unrelated edits move findings around, and a baseline that
+// churns on every edit gets regenerated blindly.
+type BaselineEntry struct {
+	Pass    string `json:"pass"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+type baselineKey struct {
+	pass, file, message string
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, so a repo with no tolerated findings needs no file at all.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s: unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the baseline that would suppress exactly the
+// given diagnostics. Entries are sorted for stable diffs.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	// An explicit empty slice keeps the clean-repo baseline file an
+	// explicit "[]" rather than "null" — the committed file should read
+	// as "zero suppressed findings", not as an absent field.
+	b := &Baseline{Version: 1, Findings: []BaselineEntry{}}
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		counts[baselineKey{d.Pass, d.Pos.Filename, d.Message}]++
+	}
+	keys := make([]baselineKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.pass != b.pass {
+			return a.pass < b.pass
+		}
+		return a.message < b.message
+	})
+	for _, k := range keys {
+		b.Findings = append(b.Findings, BaselineEntry{
+			Pass: k.pass, File: k.file, Message: k.message, Count: counts[k],
+		})
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply filters diags through the baseline. It returns the findings
+// that survive and the stale entries — suppressions whose finding no
+// longer exists (or exists fewer times than Count). Callers must treat
+// stale entries as an error: the baseline has to shrink explicitly,
+// via regeneration, never by rotting in place.
+func (b *Baseline) Apply(diags []Diagnostic) (kept []Diagnostic, stale []BaselineEntry) {
+	budget := map[baselineKey]int{}
+	for _, e := range b.Findings {
+		budget[baselineKey{e.Pass, e.File, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Pass, d.Pos.Filename, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, e := range b.Findings {
+		k := baselineKey{e.Pass, e.File, e.Message}
+		if budget[k] > 0 {
+			left := e
+			left.Count = budget[k]
+			stale = append(stale, left)
+			budget[k] = 0
+		}
+	}
+	return kept, stale
+}
+
+// jsonDiagnostic is the machine-readable finding shape emitted by
+// ilint -json, consumed by CI (artifact upload and the GitHub Actions
+// problem matcher operate on the same data the terminal output shows).
+type jsonDiagnostic struct {
+	File    string        `json:"file"`
+	Line    int           `json:"line"`
+	Column  int           `json:"column"`
+	Pass    string        `json:"pass"`
+	Message string        `json:"message"`
+	Related []jsonRelated `json:"related,omitempty"`
+}
+
+type jsonRelated struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// MarshalDiagnostics renders findings as stable, indented JSON.
+func MarshalDiagnostics(diags []Diagnostic) ([]byte, error) {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		jd := jsonDiagnostic{
+			File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+			Pass: d.Pass, Message: d.Message,
+		}
+		for _, r := range d.Related {
+			jd.Related = append(jd.Related, jsonRelated{
+				File: r.Pos.Filename, Line: r.Pos.Line, Column: r.Pos.Column,
+				Message: r.Message,
+			})
+		}
+		out = append(out, jd)
+	}
+	data, err := json.MarshalIndent(struct {
+		Findings []jsonDiagnostic `json:"findings"`
+	}{out}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CallGraph is the static call graph of a loaded program: one node per
+// function or method declared with a body anywhere in the module, each
+// carrying every call expression of that body. Nested function
+// literals are attributed to the declaration that lexically contains
+// them — a closure's calls count as its enclosing function's, which is
+// also how the passes reason about them. Because every package of the
+// program is type-checked in one shared universe (one loader, one
+// FileSet), the *types.Func a call site resolves to in one package is
+// the identical object of the declaration in another, so edges cross
+// package boundaries for free. Calls through interfaces resolve to the
+// interface method — a leaf, since no body is statically known — and
+// calls through plain function values resolve to no callee at all.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+	// order holds the nodes in declaration-position order, the
+	// deterministic iteration order of every fixpoint and reachability
+	// computation built on the graph.
+	order []*FuncNode
+}
+
+// FuncNode is one declared function of the program.
+type FuncNode struct {
+	Fn    *types.Func
+	Pkg   *Package
+	Decl  *ast.FuncDecl
+	Calls []CallSite
+}
+
+// CallSite is one call expression inside a function body.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee *types.Func // nil for builtins, conversions, function values
+}
+
+// Nodes returns the graph's functions in declaration-position order —
+// the deterministic iteration order every analysis on the graph uses.
+func (g *CallGraph) Nodes() []*FuncNode {
+	return g.order
+}
+
+// CallGraph builds (once) and returns the program's call graph.
+func (prog *Program) CallGraph() *CallGraph {
+	if prog.cg != nil {
+		return prog.cg
+	}
+	g := &CallGraph{nodes: map[*types.Func]*FuncNode{}}
+	for _, pkg := range prog.Packages {
+		for _, fd := range pkg.funcDecls() {
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{Fn: fn, Pkg: pkg, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					node.Calls = append(node.Calls, CallSite{Call: call, Callee: pkg.calleeFunc(call)})
+				}
+				return true
+			})
+			g.nodes[fn] = node
+			g.order = append(g.order, node)
+		}
+	}
+	sort.Slice(g.order, func(i, j int) bool {
+		a := prog.Fset.Position(g.order[i].Decl.Pos())
+		b := prog.Fset.Position(g.order[j].Decl.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	prog.cg = g
+	return g
+}
+
+// Node returns the graph node of a declared function, or nil when fn
+// has no body in the program (stdlib functions, interface methods).
+func (g *CallGraph) Node(fn *types.Func) *FuncNode {
+	return g.nodes[fn]
+}
+
+// fixpoint re-runs step over every function node, in declaration
+// order, until a full sweep reports no change — the engine under the
+// bottom-up summary computations (blocks, returns-fresh, sync state).
+// Recursion and mutual recursion converge because every summary in the
+// suite only moves monotonically.
+func (g *CallGraph) fixpoint(step func(*FuncNode) bool) {
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.order {
+			if step(n) {
+				changed = true
+			}
+		}
+	}
+}
+
+// Reachable computes the functions reachable from the roots along
+// static call edges, remembering for each one the root that first
+// reached it — the passes attach that root as a related position so a
+// finding deep in a callee names the entrypoint it matters for.
+type Reachable struct {
+	root map[*types.Func]*types.Func
+}
+
+// Reachable runs a breadth-first walk from the roots. Roots are
+// processed in the order given, and call sites in source order, so the
+// root recorded for a shared callee is deterministic.
+func (g *CallGraph) Reachable(roots []*types.Func) *Reachable {
+	r := &Reachable{root: map[*types.Func]*types.Func{}}
+	var queue []*types.Func
+	for _, rt := range roots {
+		if g.nodes[rt] != nil && r.root[rt] == nil {
+			r.root[rt] = rt
+			queue = append(queue, rt)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, site := range g.nodes[fn].Calls {
+			callee := site.Callee
+			if callee == nil || g.nodes[callee] == nil {
+				continue
+			}
+			if _, seen := r.root[callee]; seen {
+				continue
+			}
+			r.root[callee] = r.root[fn]
+			queue = append(queue, callee)
+		}
+	}
+	return r
+}
+
+// Has reports whether fn is reachable from any root.
+func (r *Reachable) Has(fn *types.Func) bool {
+	_, ok := r.root[fn]
+	return ok
+}
+
+// Root returns the root that first reached fn, or nil.
+func (r *Reachable) Root(fn *types.Func) *types.Func {
+	return r.root[fn]
+}
+
+// pathHasSuffix reports whether an import path ends with the given
+// suffix at a path-segment boundary, the scope predicate every
+// repo-specific pass shares (it matches both the real module and the
+// fixture modules that mirror its layout).
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// derefNamed unwraps pointers and returns the named type beneath, if
+// any.
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// namedDeclaredIn reports whether t (after pointer deref) is a named
+// type declared in a package whose path ends with pkgSuffix.
+func namedDeclaredIn(t types.Type, pkgSuffix string) (name string, ok bool) {
+	named := derefNamed(t)
+	if named == nil {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pathHasSuffix(obj.Pkg().Path(), pkgSuffix) {
+		return "", false
+	}
+	return obj.Name(), true
+}

@@ -21,7 +21,7 @@ import (
 var errdropPass = &Pass{
 	Name: "errdrop",
 	Doc:  "error results must not be silently discarded",
-	Run:  runErrdrop,
+	Run:  perPackage(runErrdrop),
 }
 
 func runErrdrop(pkg *Package) []Diagnostic {

@@ -21,7 +21,7 @@ import (
 var faultseamPass = &Pass{
 	Name: "faultseam",
 	Doc:  "fault-injected packages must not mutate the filesystem through package os",
-	Run:  runFaultseam,
+	Run:  perPackage(runFaultseam),
 }
 
 // faultseamScope lists the import-path suffixes of the packages below

@@ -1,0 +1,449 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fsyncorderPass enforces the durability ordering of the commit path
+// in internal/wal and internal/storage: the success return of a
+// function that wrote bytes must be dominated by the fsync of those
+// bytes, and atomic renames must be bracketed — file bytes synced
+// before the rename, the parent directory fsynced after it.
+//
+// The analysis replays each in-scope function as a source-ordered
+// stream of filesystem events over the fault seam, tracking two bits
+// of state:
+//
+//	dirty    bytes written (File.Write/WriteAt/Truncate, FS.WriteFile,
+//	         FS.Create) that no File.Sync has covered yet
+//	pending  a directory entry created (FS.OpenFile with O_CREATE)
+//	         that no FS.SyncDir has covered yet
+//
+// Calls to other in-scope functions are classified by a bottom-up
+// summary: a callee that can return success with unsynced bytes counts
+// as a write; a callee that syncs and returns clean counts as a sync
+// barrier. Closure bodies are replayed inline at their textual
+// position, which models the fill-callback composition of the atomic
+// save (the closure runs inside the callee it is passed to).
+//
+// Findings:
+//
+//	F1  a success return while dirty — the caller is told the bytes
+//	    are durable before any fsync covered them
+//	F2  a rename while dirty — unsynced bytes are committed into place
+//	F3  a rename with no SyncDir anywhere after it — the rename itself
+//	    can vanish in a power cut
+//	F4  a success return while a created file's parent entry is
+//	    pending — the file itself can vanish in a power cut
+//
+// Error returns (nil-checked error idents, Err* sentinels, wrapped
+// errors) are exempt: failing un-durably is fine, succeeding un-durably
+// is the bug.
+var fsyncorderPass = &Pass{
+	Name: "fsyncorder",
+	Doc:  "commit acks in wal/storage must be dominated by the fsync of the bytes they acknowledge",
+	Run:  runFsyncorder,
+}
+
+// fsyncorderScope lists the package suffixes under the rule.
+var fsyncorderScope = []string{"internal/wal", "internal/storage"}
+
+func inFsyncScope(path string) bool {
+	for _, s := range fsyncorderScope {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+type fsEventKind int
+
+const (
+	evNone fsEventKind = iota
+	evWrite
+	evSyncFile
+	evSyncDir
+	evRename
+	evCreateEntry
+	evReturn
+)
+
+type fsEvent struct {
+	kind fsEventKind
+	pos  token.Pos // end position: events order by completion point
+	node ast.Node
+}
+
+// fsSummary is the bottom-up per-function summary: whether a
+// successful call can leave unsynced bytes, and whether it contains a
+// file-sync barrier.
+type fsSummary struct {
+	dirty bool
+	syncs bool
+}
+
+func runFsyncorder(prog *Program) []Diagnostic {
+	g := prog.CallGraph()
+
+	sums := map[*types.Func]fsSummary{}
+	g.fixpoint(func(n *FuncNode) bool {
+		if !inFsyncScope(n.Pkg.Path) {
+			return false
+		}
+		old := sums[n.Fn]
+		next := old
+		dirty := false
+		for _, ev := range fsEvents(n, sums) {
+			switch ev.kind {
+			case evWrite:
+				dirty = true
+			case evSyncFile:
+				dirty = false
+				next.syncs = true
+			case evReturn:
+				if dirty {
+					next.dirty = true
+				}
+			}
+		}
+		if next != old {
+			sums[n.Fn] = next
+			return true
+		}
+		return false
+	})
+
+	var diags []Diagnostic
+	for _, n := range g.order {
+		if !inFsyncScope(n.Pkg.Path) {
+			continue
+		}
+		diags = append(diags, checkFsyncFunc(n, sums)...)
+	}
+	return diags
+}
+
+// checkFsyncFunc replays one function's event stream and reports
+// ordering violations. Each rule fires at most once per function, at
+// its first occurrence.
+func checkFsyncFunc(n *FuncNode, sums map[*types.Func]fsSummary) []Diagnostic {
+	events := fsEvents(n, sums)
+	if len(events) == 0 {
+		return nil
+	}
+	pkg := n.Pkg
+
+	// F3 needs lookahead: a SyncDir event at any later position.
+	syncDirAfter := func(pos token.Pos) bool {
+		for _, ev := range events {
+			if ev.kind == evSyncDir && ev.pos > pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	var diags []Diagnostic
+	reported := map[fsEventKind]map[int]bool{}
+	report := func(kind fsEventKind, rule int, d Diagnostic) {
+		if reported[kind] == nil {
+			reported[kind] = map[int]bool{}
+		}
+		if reported[kind][rule] {
+			return
+		}
+		reported[kind][rule] = true
+		diags = append(diags, d)
+	}
+
+	dirty := false
+	pending := false
+	var dirtyAt, pendingAt ast.Node
+	for _, ev := range events {
+		switch ev.kind {
+		case evWrite:
+			dirty, dirtyAt = true, ev.node
+		case evSyncFile:
+			dirty = false
+		case evSyncDir:
+			pending = false
+		case evCreateEntry:
+			pending, pendingAt = true, ev.node
+		case evRename:
+			if dirty {
+				d := pkg.diag("fsyncorder", ev.node,
+					"rename commits bytes that were never fsynced; sync the written file(s) before the rename")
+				d.Related = []Related{pkg.rel(dirtyAt, "bytes written here are still unsynced at the rename")}
+				report(evRename, 1, d)
+				dirty = false
+			}
+			if !syncDirAfter(ev.pos) {
+				report(evRename, 2, pkg.diag("fsyncorder", ev.node,
+					"rename is not followed by a parent-directory fsync; the rename itself can be lost in a power cut"))
+			}
+		case evReturn:
+			if dirty {
+				d := pkg.diag("fsyncorder", ev.node,
+					"returns success while written bytes are unsynced; fsync before acknowledging")
+				d.Related = []Related{pkg.rel(dirtyAt, "bytes written here are not covered by any fsync on this path")}
+				report(evReturn, 1, d)
+			}
+			if pending {
+				d := pkg.diag("fsyncorder", ev.node,
+					"returns success before the created file's parent directory is fsynced; the file can vanish in a power cut")
+				d.Related = []Related{pkg.rel(pendingAt, "directory entry created here")}
+				report(evReturn, 2, d)
+			}
+		}
+	}
+	return diags
+}
+
+// fsEvents extracts the source-ordered event stream of one function.
+// Events are positioned at their node's End(), so a call nested in a
+// return statement (or an argument closure's body) lands before the
+// statement that contains it — matching evaluation order.
+func fsEvents(n *FuncNode, sums map[*types.Func]fsSummary) []fsEvent {
+	pkg := n.Pkg
+	par := parents(n.Decl)
+	var events []fsEvent
+
+	for _, site := range n.Calls {
+		kind := classifyFsCall(pkg, site, sums)
+		if kind != evNone {
+			events = append(events, fsEvent{kind: kind, pos: site.Call.End(), node: site.Call})
+		}
+	}
+
+	// Success returns. Returns inside nested closures are included —
+	// a fill callback returning success with unsynced bytes is exactly
+	// the contract violation — but closure fall-through ends are not
+	// (deferred cleanup closures fall off mid-function).
+	errIdxOf := func(sig *types.Signature) int {
+		if sig == nil {
+			return -1
+		}
+		for i := sig.Results().Len() - 1; i >= 0; i-- {
+			if types.Identical(sig.Results().At(i).Type(), errorType) {
+				return i
+			}
+		}
+		return -1
+	}
+	declSig, _ := pkg.Info.Defs[n.Decl.Name].Type().(*types.Signature)
+
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		ret, ok := nd.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		// The signature owning this return: the innermost enclosing
+		// function literal, or the declaration.
+		sig := declSig
+		for p := par[ast.Node(ret)]; p != nil; p = par[p] {
+			if lit, ok := p.(*ast.FuncLit); ok {
+				if t, ok := pkg.Info.TypeOf(lit).(*types.Signature); ok {
+					sig = t
+				}
+				break
+			}
+			if _, ok := p.(*ast.FuncDecl); ok {
+				break
+			}
+		}
+		if successReturn(pkg, par, ret, errIdxOf(sig)) {
+			events = append(events, fsEvent{kind: evReturn, pos: ret.End(), node: ret})
+		}
+		return true
+	})
+
+	// Fall-through end of the declaration body counts as a success
+	// return for void functions.
+	if list := n.Decl.Body.List; errIdxOf(declSig) < 0 {
+		terminated := false
+		if len(list) > 0 {
+			if _, ok := list[len(list)-1].(*ast.ReturnStmt); ok {
+				terminated = true
+			}
+		}
+		if !terminated {
+			events = append(events, fsEvent{kind: evReturn, pos: n.Decl.Body.End(), node: n.Decl.Body})
+		}
+	}
+
+	sortFsEvents(events)
+	return events
+}
+
+func sortFsEvents(events []fsEvent) {
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].pos < events[j-1].pos; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}
+
+// successReturn decides whether a return statement can acknowledge
+// success. Error paths are exempt from the durability rules: a plain
+// nil in the error position is success; a wrapped error (fmt.Errorf,
+// errors.New), an Err* sentinel, or an error ident guarded by its own
+// `!= nil` check is an error path; anything else — a bare `return err`
+// that may be nil, a `return f.Close()` — is conservatively success.
+func successReturn(pkg *Package, par map[ast.Node]ast.Node, ret *ast.ReturnStmt, errIdx int) bool {
+	if errIdx < 0 {
+		return true
+	}
+	if len(ret.Results) == 0 {
+		// Bare return with named results: treat as an error path only
+		// if we cannot see the value; conservatively success.
+		return true
+	}
+	if errIdx >= len(ret.Results) {
+		// A single call fanning out to all results: unknown, success.
+		return true
+	}
+	switch v := unparen(ret.Results[errIdx]).(type) {
+	case *ast.Ident:
+		if v.Name == "nil" {
+			return true
+		}
+		if len(v.Name) >= 3 && v.Name[:3] == "Err" {
+			// Exported sentinel (ErrClosed, ErrPoisoned).
+			return false
+		}
+		return !guardedNonNil(par, ret, v.Name)
+	case *ast.CallExpr:
+		f := pkg.calleeFunc(v)
+		if f != nil && f.Pkg() != nil {
+			p := f.Pkg().Path()
+			if (p == "fmt" && f.Name() == "Errorf") || (p == "errors" && (f.Name() == "New" || f.Name() == "Join")) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// guardedNonNil reports whether ret sits inside an if-block whose
+// condition proves the named ident non-nil (`if x != nil { ... return
+// ... x ... }` — the standard error-propagation shape).
+func guardedNonNil(par map[ast.Node]ast.Node, ret *ast.ReturnStmt, name string) bool {
+	var node ast.Node = ret
+	for {
+		p, ok := par[node]
+		if !ok {
+			return false
+		}
+		if ifst, ok := p.(*ast.IfStmt); ok {
+			if cond, ok := unparen(ifst.Cond).(*ast.BinaryExpr); ok && cond.Op == token.NEQ {
+				for _, side := range []ast.Expr{cond.X, cond.Y} {
+					if id, ok := unparen(side).(*ast.Ident); ok && id.Name == name {
+						return true
+					}
+				}
+			}
+		}
+		if _, ok := p.(*ast.FuncDecl); ok {
+			return false
+		}
+		if _, ok := p.(*ast.FuncLit); ok {
+			return false
+		}
+		node = p
+	}
+}
+
+// faultSeamMethod identifies a call on the fault seam's FS or File
+// interface and returns the receiver kind and method name. It
+// classifies by the receiver *expression's* static type first — the
+// seam's Write/WriteAt/ReadAt are embedded from io, so the resolved
+// method object lives in package io, not internal/fault — and falls
+// back to the callee's declared receiver for concrete implementations.
+func faultSeamMethod(pkg *Package, call *ast.CallExpr) (recv, name string, ok bool) {
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	if n, isSeam := namedDeclaredIn(pkg.Info.TypeOf(sel.X), "internal/fault"); isSeam && (n == "FS" || n == "File") {
+		return n, sel.Sel.Name, true
+	}
+	f := pkg.calleeFunc(call)
+	if f == nil {
+		return "", "", false
+	}
+	sig, isSig := f.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", false
+	}
+	if n, isSeam := namedDeclaredIn(sig.Recv().Type(), "internal/fault"); isSeam && (n == "FS" || n == "File") {
+		return n, f.Name(), true
+	}
+	return "", "", false
+}
+
+// classifyFsCall maps one call site onto the event alphabet.
+func classifyFsCall(pkg *Package, site CallSite, sums map[*types.Func]fsSummary) fsEventKind {
+	call, f := site.Call, site.Callee
+	if recv, name, ok := faultSeamMethod(pkg, call); ok {
+		switch recv {
+		case "File":
+			switch name {
+			case "Write", "WriteAt", "Truncate":
+				return evWrite
+			case "Sync":
+				return evSyncFile
+			}
+		case "FS":
+			switch name {
+			case "WriteFile", "Create":
+				return evWrite
+			case "Rename":
+				return evRename
+			case "SyncDir":
+				return evSyncDir
+			case "OpenFile":
+				if callCreatesEntry(call) {
+					return evCreateEntry
+				}
+			}
+		}
+		return evNone
+	}
+	if f == nil || f.Pkg() == nil {
+		// Builtins and conversions are inert; a call through a plain
+		// function value is opaque — but its body, when it is a closure
+		// declared in scope, is replayed inline by the caller that
+		// declares it, so the unknown call itself stays neutral.
+		return evNone
+	}
+	if inFsyncScope(f.Pkg().Path()) {
+		sum := sums[f]
+		if sum.dirty {
+			return evWrite
+		}
+		if sum.syncs {
+			return evSyncFile
+		}
+	}
+	return evNone
+}
+
+// callCreatesEntry reports whether an OpenFile call's flag argument
+// mentions O_CREATE.
+func callCreatesEntry(call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	found := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "O_CREATE" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

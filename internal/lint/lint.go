@@ -10,12 +10,22 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding: a position, the pass that produced it, and
-// a human-readable message. String renders the canonical
-// "file:line:col: [pass] message" form the CLI prints.
+// Diagnostic is one finding: a position, the pass that produced it, a
+// human-readable message, and optionally related positions carrying
+// the other half of the story (the blocking call a context never
+// reaches, the write whose bytes a return leaves unsynced). String
+// renders the canonical "file:line:col: [pass] message" form the CLI
+// prints; related positions are rendered indented below it.
 type Diagnostic struct {
 	Pos     token.Position
 	Pass    string
+	Message string
+	Related []Related
+}
+
+// Related is a secondary position attached to a Diagnostic.
+type Related struct {
+	Pos     token.Position
 	Message string
 }
 
@@ -23,17 +33,35 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
 }
 
-// Pass is one analyzer: it inspects a single type-checked package and
-// reports diagnostics.
+// Pass is one analyzer: it inspects a loaded program and reports
+// diagnostics. Package-scoped passes are lifted to this signature with
+// perPackage; the interprocedural passes (ctxflow, snapfreeze,
+// fsyncorder) consume the program's call graph directly.
 type Pass struct {
 	Name string
 	Doc  string
-	Run  func(*Package) []Diagnostic
+	Run  func(*Program) []Diagnostic
+}
+
+// perPackage lifts a package-scoped analyzer to the program level, so
+// the intra-package passes run on the same engine as the
+// interprocedural ones.
+func perPackage(run func(*Package) []Diagnostic) func(*Program) []Diagnostic {
+	return func(prog *Program) []Diagnostic {
+		var out []Diagnostic
+		for _, pkg := range prog.Packages {
+			out = append(out, run(pkg)...)
+		}
+		return out
+	}
 }
 
 // Passes returns the full pass catalogue in stable order.
 func Passes() []*Pass {
-	return []*Pass{lockguardPass, maporderPass, rowaliasPass, errdropPass, faultseamPass}
+	return []*Pass{
+		lockguardPass, maporderPass, rowaliasPass, errdropPass, faultseamPass,
+		ctxflowPass, snapfreezePass, fsyncorderPass,
+	}
 }
 
 // PassByName resolves one pass.
@@ -52,16 +80,14 @@ func PassByName(name string) (*Pass, bool) {
 // hatch for the rare deliberate violation (it is not used anywhere in
 // this repo's production code; violations are fixed instead).
 func (prog *Program) Run(passes ...*Pass) []Diagnostic {
+	allowed := prog.allowedLines()
 	var out []Diagnostic
-	for _, pkg := range prog.Packages {
-		allowed := allowedLines(pkg)
-		for _, pass := range passes {
-			for _, d := range pass.Run(pkg) {
-				if allowed[lineKey{d.Pos.Filename, d.Pos.Line}][pass.Name] {
-					continue
-				}
-				out = append(out, d)
+	for _, pass := range passes {
+		for _, d := range pass.Run(prog) {
+			if allowed[lineKey{d.Pos.Filename, d.Pos.Line}][pass.Name] {
+				continue
 			}
+			out = append(out, d)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -87,28 +113,40 @@ type lineKey struct {
 
 var allowRe = regexp.MustCompile(`ilint:allow\s+([\w,]+)`)
 
-// allowedLines maps file:line to the set of pass names suppressed there.
-func allowedLines(pkg *Package) map[lineKey]map[string]bool {
+// allowedLines maps file:line to the set of pass names suppressed
+// there, across every package of the program — interprocedural passes
+// can report a finding in any package, so suppression is program-wide.
+func (prog *Program) allowedLines() map[lineKey]map[string]bool {
 	out := map[lineKey]map[string]bool{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := allowRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				k := lineKey{pos.Filename, pos.Line}
-				if out[k] == nil {
-					out[k] = map[string]bool{}
-				}
-				for _, name := range strings.Split(m[1], ",") {
-					out[k][strings.TrimSpace(name)] = true
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := lineKey{pos.Filename, pos.Line}
+					if out[k] == nil {
+						out[k] = map[string]bool{}
+					}
+					for _, name := range strings.Split(m[1], ",") {
+						out[k][strings.TrimSpace(name)] = true
+					}
 				}
 			}
 		}
 	}
 	return out
+}
+
+// rel builds a Related position at a node.
+func (pkg *Package) rel(node ast.Node, format string, args ...any) Related {
+	return Related{
+		Pos:     pkg.Fset.Position(node.Pos()),
+		Message: fmt.Sprintf(format, args...),
+	}
 }
 
 // diag builds a Diagnostic at a node's position.

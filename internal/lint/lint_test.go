@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/token"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -98,11 +99,14 @@ func runPassFixture(t *testing.T, passName string) {
 	checkDiagnostics(t, prog, diags)
 }
 
-func TestLockguardFixture(t *testing.T) { runPassFixture(t, "lockguard") }
-func TestMaporderFixture(t *testing.T)  { runPassFixture(t, "maporder") }
-func TestRowaliasFixture(t *testing.T)  { runPassFixture(t, "rowalias") }
-func TestErrdropFixture(t *testing.T)   { runPassFixture(t, "errdrop") }
-func TestFaultseamFixture(t *testing.T) { runPassFixture(t, "faultseam") }
+func TestLockguardFixture(t *testing.T)  { runPassFixture(t, "lockguard") }
+func TestMaporderFixture(t *testing.T)   { runPassFixture(t, "maporder") }
+func TestRowaliasFixture(t *testing.T)   { runPassFixture(t, "rowalias") }
+func TestErrdropFixture(t *testing.T)    { runPassFixture(t, "errdrop") }
+func TestFaultseamFixture(t *testing.T)  { runPassFixture(t, "faultseam") }
+func TestCtxflowFixture(t *testing.T)    { runPassFixture(t, "ctxflow") }
+func TestSnapfreezeFixture(t *testing.T) { runPassFixture(t, "snapfreeze") }
+func TestFsyncorderFixture(t *testing.T) { runPassFixture(t, "fsyncorder") }
 
 // TestAllowSuppression proves the //ilint:allow escape hatch drops a
 // finding the pass would otherwise report.
@@ -113,7 +117,7 @@ func TestAllowSuppression(t *testing.T) {
 	}
 	// Sanity: the same code without the Run-level filter does flag.
 	pass, _ := PassByName("errdrop")
-	raw := pass.Run(prog.Packages[0])
+	raw := pass.Run(prog)
 	if len(raw) == 0 {
 		t.Error("allow fixture contains no raw finding — suppression test proves nothing")
 	}
@@ -150,7 +154,7 @@ func TestDiagnosticOrdering(t *testing.T) {
 		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i].String() != b[i].String() || len(a[i].Related) != len(b[i].Related) {
 			t.Errorf("diagnostic %d differs between runs: %v vs %v", i, a[i], b[i])
 		}
 	}
@@ -164,7 +168,10 @@ func TestDiagnosticOrdering(t *testing.T) {
 
 // TestPassRegistry pins the pass catalogue the Makefile and docs name.
 func TestPassRegistry(t *testing.T) {
-	want := []string{"lockguard", "maporder", "rowalias", "errdrop", "faultseam"}
+	want := []string{
+		"lockguard", "maporder", "rowalias", "errdrop", "faultseam",
+		"ctxflow", "snapfreeze", "fsyncorder",
+	}
 	got := Passes()
 	if len(got) != len(want) {
 		t.Fatalf("expected %d passes, got %d", len(want), len(got))
@@ -179,5 +186,71 @@ func TestPassRegistry(t *testing.T) {
 	}
 	if _, ok := PassByName("nope"); ok {
 		t.Error("PassByName accepted an unknown name")
+	}
+}
+
+// TestBaselineRoundTrip pins the suppression semantics: a written
+// baseline suppresses exactly the findings it was written from, and a
+// fixed finding surfaces as a stale entry instead of vanishing.
+func TestBaselineRoundTrip(t *testing.T) {
+	mk := func(file, pass, msg string, line int) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: file, Line: line, Column: 1}, Pass: pass, Message: msg}
+	}
+	diags := []Diagnostic{
+		mk("a.go", "ctxflow", "finding one", 3),
+		mk("a.go", "ctxflow", "finding one", 9), // same key, count 2
+		mk("b.go", "fsyncorder", "finding two", 5),
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, diags); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("loading baseline: %v", err)
+	}
+	if kept, stale := base.Apply(diags); len(kept) != 0 || len(stale) != 0 {
+		t.Errorf("full baseline: kept=%d stale=%d, want 0/0", len(kept), len(stale))
+	}
+	// One finding fixed: its entry must surface as stale, not rot.
+	kept, stale := base.Apply(diags[:2])
+	if len(kept) != 0 {
+		t.Errorf("kept %d findings, want 0", len(kept))
+	}
+	if len(stale) != 1 || stale[0].Pass != "fsyncorder" || stale[0].Count != 1 {
+		t.Errorf("stale = %+v, want the fixed fsyncorder entry", stale)
+	}
+	// A new finding is never absorbed by an unrelated entry.
+	extra := append(append([]Diagnostic{}, diags...), mk("c.go", "snapfreeze", "finding three", 1))
+	if kept, _ := base.Apply(extra); len(kept) != 1 || kept[0].Pass != "snapfreeze" {
+		t.Errorf("kept = %v, want only the new snapfreeze finding", kept)
+	}
+	// Missing file == empty baseline.
+	empty, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatalf("missing baseline: %v", err)
+	}
+	if kept, stale := empty.Apply(diags); len(kept) != 3 || len(stale) != 0 {
+		t.Errorf("empty baseline: kept=%d stale=%d, want 3/0", len(kept), len(stale))
+	}
+}
+
+// TestMarshalDiagnostics pins the JSON shape CI consumes.
+func TestMarshalDiagnostics(t *testing.T) {
+	d := Diagnostic{
+		Pos: token.Position{Filename: "x.go", Line: 2, Column: 7}, Pass: "ctxflow", Message: "m",
+		Related: []Related{{Pos: token.Position{Filename: "y.go", Line: 4, Column: 1}, Message: "r"}},
+	}
+	data, err := MarshalDiagnostics([]Diagnostic{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"file": "x.go"`, `"line": 2`, `"pass": "ctxflow"`, `"related"`, `"file": "y.go"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON output missing %s:\n%s", want, data)
+		}
+	}
+	if again, _ := MarshalDiagnostics([]Diagnostic{d}); string(again) != string(data) {
+		t.Error("JSON output not stable across calls")
 	}
 }

@@ -34,6 +34,8 @@ type Package struct {
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
+
+	cg *CallGraph // built on first use, shared by the passes
 }
 
 // Config directs Load.

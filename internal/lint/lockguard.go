@@ -18,7 +18,7 @@ import (
 var lockguardPass = &Pass{
 	Name: "lockguard",
 	Doc:  "fields annotated `// guarded by <mu>` must only be accessed under that mutex",
-	Run:  runLockguard,
+	Run:  perPackage(runLockguard),
 }
 
 var (

@@ -22,7 +22,7 @@ import (
 var maporderPass = &Pass{
 	Name: "maporder",
 	Doc:  "map iteration must not feed ordered output without an intervening sort",
-	Run:  runMaporder,
+	Run:  perPackage(runMaporder),
 }
 
 func runMaporder(pkg *Package) []Diagnostic {

@@ -29,7 +29,7 @@ import (
 var rowaliasPass = &Pass{
 	Name: "rowalias",
 	Doc:  "relation row slices must not be mutated outside internal/relation",
-	Run:  runRowalias,
+	Run:  perPackage(runRowalias),
 }
 
 const relationPkgSuffix = "internal/relation"

@@ -1,0 +1,27 @@
+// Package core is the ctxflow fixture's second root surface: exported
+// context-taking functions are request entrypoints too.
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Refresh takes a context and then ignores it.
+func Refresh(ctx context.Context) {
+	rebuild() // want "rebuild blocks but takes no context, and Refresh never consults"
+}
+
+// Rebuild consults its context between stages: a true negative.
+func Rebuild(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	rebuild()
+	return nil
+}
+
+// rebuild reaches a blocking operation and takes no context.
+func rebuild() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,67 @@
+// Package server is the golden fixture for the ctxflow pass: handler
+// shapes that detach, mislabel, or ignore the request context, next to
+// the correct threading idioms.
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// base is a package-level context; its initializer runs outside any
+// declared function, so the detachment itself is not on a request path.
+var base = context.TODO()
+
+// handleDetach creates a detached context on a request path.
+func handleDetach(w http.ResponseWriter, r *http.Request) {
+	work(context.Background()) // want "on a request path discards the request's deadline"
+}
+
+// handleForeign threads a context, but not the request's.
+func handleForeign(w http.ResponseWriter, r *http.Request) {
+	work(base) // want "a context not derived from the request's"
+}
+
+// handleUncancellable fires blocking work the request can never stop.
+func handleUncancellable(w http.ResponseWriter, r *http.Request) {
+	induce() // want "induce blocks but takes no context, and handleUncancellable never consults"
+}
+
+// handleGood derives a deadline from the request and threads it
+// through: the correct idiom, a true negative.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	work(ctx)
+}
+
+// handleAllowed deliberately detaches — background compaction kicked
+// off by a request but owned by the server; the suppression documents
+// the decision.
+func handleAllowed(w http.ResponseWriter, r *http.Request) {
+	work(context.Background()) //ilint:allow ctxflow
+}
+
+// wrap declares its handler as a nested literal — the middleware
+// pattern; the literal's request parameter seeds the analysis.
+func wrap(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		work(ctx)
+		next(w, r)
+	}
+}
+
+// work honors whatever context it receives.
+func work(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Millisecond):
+	}
+}
+
+// induce reaches a blocking operation and takes no context.
+func induce() {
+	time.Sleep(time.Millisecond)
+}

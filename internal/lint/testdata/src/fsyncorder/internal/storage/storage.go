@@ -1,0 +1,57 @@
+// Package storage is the fsyncorder fixture's atomic-swap surface:
+// rename must be bracketed by a file sync before and a parent
+// directory sync after.
+package storage
+
+import (
+	"fmt"
+
+	"intensional/internal/fault"
+)
+
+// swap runs the full bracket — write, sync, rename, sync parent — a
+// true negative.
+func swap(fsys fault.FS, f fault.File, tmp, dst, parent string, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := fsys.Rename(tmp, dst); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return fsys.SyncDir(parent)
+}
+
+// swapDirty renames bytes that were never fsynced into place.
+func swapDirty(fsys fault.FS, f fault.File, tmp, dst, parent string, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := fsys.Rename(tmp, dst); err != nil { // want "rename commits bytes that were never fsynced"
+		return fmt.Errorf("storage: %w", err)
+	}
+	return fsys.SyncDir(parent)
+}
+
+// swapNoDirSync leaves the rename itself volatile: a power cut can
+// roll the directory back to the old entry.
+func swapNoDirSync(fsys fault.FS, f fault.File, tmp, dst string, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return fsys.Rename(tmp, dst) // want "rename is not followed by a parent-directory fsync"
+}
+
+// writeScratch intentionally skips the sync: the file is a throwaway
+// scratch artifact, and the suppression documents that.
+func writeScratch(f fault.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return nil //ilint:allow fsyncorder
+}

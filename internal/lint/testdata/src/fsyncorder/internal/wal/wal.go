@@ -1,0 +1,66 @@
+// Package wal is the golden fixture for the fsyncorder pass: append
+// and open shapes over the real fault seam, correct and torn.
+package wal
+
+import (
+	"fmt"
+	"os"
+
+	"intensional/internal/fault"
+)
+
+// commit appends and syncs before acknowledging: the contract, a true
+// negative.
+func commit(f fault.File, b []byte) error {
+	if _, err := f.WriteAt(b, 0); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// commitBad acknowledges bytes the kernel may still be buffering.
+func commitBad(f fault.File, b []byte) error {
+	if _, err := f.WriteAt(b, 0); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil // want "returns success while written bytes are unsynced"
+}
+
+// appendSynced funnels the fsync through a helper: the callee summary
+// classifies flush as a sync barrier, a true negative.
+func appendSynced(f fault.File, b []byte) error {
+	if _, err := f.WriteAt(b, 0); err != nil {
+		return err
+	}
+	return flush(f)
+}
+
+// flush syncs and reports the result.
+func flush(f fault.File) error {
+	return f.Sync()
+}
+
+// open creates the log file and makes its directory entry durable
+// before handing it out: a true negative.
+func open(fsys fault.FS, path, dir string) (fault.File, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// openBad returns before the created entry is durable.
+func openBad(fsys fault.FS, path string) (fault.File, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil // want "returns success before the created file's parent directory is fsynced"
+}

@@ -1,0 +1,21 @@
+// Package plan mirrors the production plan-tree layout: every named
+// type here is frozen once published.
+package plan
+
+// Plan is a published execution plan.
+type Plan struct {
+	Root Node
+	Cost int
+}
+
+// Node is one plan-tree node.
+type Node interface{ Kind() string }
+
+// Scan is a leaf node.
+type Scan struct {
+	Table string
+	Cols  []string
+}
+
+// Kind implements Node.
+func (*Scan) Kind() string { return "scan" }

@@ -306,7 +306,7 @@ func (s *Server) handleInduce(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	set, err := s.sys.Induce(induct.Options{
+	set, err := s.sys.InduceContext(r.Context(), induct.Options{
 		Nc:         req.Nc,
 		NcFraction: req.NcFraction,
 		Workers:    req.Workers,

@@ -143,11 +143,16 @@ func TestSaveSyncsParentDirectory(t *testing.T) {
 	if err := oneRelCatalog(t, "v1").SaveFS(in, dir); err != nil {
 		t.Fatal(err)
 	}
-	if got := in.Count(fault.OpSyncDir); got != 1 {
-		t.Fatalf("successful save issued %d parent-dir syncs, want 1", got)
+	// Two directory syncs per save: the temp tree's own entries after
+	// its files are written, and the parent after the rename commits.
+	if got := in.Count(fault.OpSyncDir); got != 2 {
+		t.Fatalf("successful save issued %d directory syncs, want 2", got)
 	}
 
-	in.FailOp(fault.OpSyncDir, parent, 1, fault.ErrInjected)
+	// Occurrence 1 under parent is the temp tree's own entry sync (its
+	// path is a substring match too); occurrence 2 is the post-rename
+	// parent sync this test is about.
+	in.FailOp(fault.OpSyncDir, parent, 2, fault.ErrInjected)
 	err := oneRelCatalog(t, "v2").SaveFS(in, dir)
 	if !errors.Is(err, fault.ErrInjected) {
 		t.Fatalf("Save with failing parent-dir fsync = %v, want the injected error surfaced", err)

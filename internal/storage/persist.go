@@ -212,6 +212,11 @@ func RecoverAtomicFS(fsys fault.FS, dir string) error {
 	if mvErr := fsys.Rename(old, dir); mvErr != nil {
 		return fmt.Errorf("storage: recover: %w", mvErr)
 	}
+	// Make the restore itself durable: without the parent sync a second
+	// crash could undo the recovery it just reported as done.
+	if err := fsys.SyncDir(filepath.Dir(dir)); err != nil {
+		return fmt.Errorf("storage: recover: %w", err)
+	}
 	return nil
 }
 
@@ -254,10 +259,34 @@ func (c *Catalog) WriteIntoFS(fsys fault.FS, dir string) error {
 	if err != nil {
 		return fmt.Errorf("storage: save manifest: %w", err)
 	}
-	if err := fsys.WriteFile(filepath.Join(dir, manifestFile), data, 0o644); err != nil {
+	if err := writeFileSync(fsys, filepath.Join(dir, manifestFile), data); err != nil {
 		return fmt.Errorf("storage: save manifest: %w", err)
 	}
+	// Every file's bytes are fsynced; sync the directory so the entries
+	// pointing at them are durable too.
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("storage: save: %w", err)
+	}
 	return nil
+}
+
+// writeFileSync writes data to a new file and fsyncs it before close,
+// so a success return means the contents survive a crash. The entry
+// itself still needs a directory sync, which callers own.
+func writeFileSync(fsys fault.FS, path string, data []byte) (err error) {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 // Load reads a database directory written by Save into a new catalog.
@@ -331,6 +360,11 @@ func saveCSV(fsys fault.FS, path string, r *relation.Relation) (err error) {
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
+		return fmt.Errorf("storage: save %s: %w", r.Name(), err)
+	}
+	// Success means the rows are durable, not merely buffered in the
+	// page cache: a crash after "saved" must not lose them.
+	if err := f.Sync(); err != nil {
 		return fmt.Errorf("storage: save %s: %w", r.Name(), err)
 	}
 	return nil

@@ -32,6 +32,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"intensional/internal/fault"
@@ -105,6 +106,14 @@ func OpenFS(fsys fault.FS, path string) (*Log, [][]byte, error) {
 			err = fmt.Errorf("%w (close: %v)", err, cerr)
 		}
 		return nil, nil, err
+	}
+	// A freshly created log's directory entry must outlive a crash
+	// before any append is acknowledged; sync the parent once at open.
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			err = fmt.Errorf("%w (close: %v)", err, cerr)
+		}
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
 	}
 	return l, entries, nil
 }
