@@ -462,7 +462,7 @@ func (s *System) Maintain(ctx context.Context, opts induct.Options) (*MaintainRe
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		results, err := in.InducePairs(scoped)
+		results, err := in.InducePairsContext(ctx, scoped)
 		if err != nil {
 			return nil, err
 		}

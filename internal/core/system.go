@@ -227,7 +227,7 @@ func (s *System) InduceContext(ctx context.Context, opts induct.Options) (*rules
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	set, err := induct.New(d, opts).InduceAll()
+	set, err := induct.New(d, opts).InduceAllContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -261,11 +261,12 @@ func (s *System) Query(sql string, mode answer.Mode) (*Response, error) {
 	return s.QueryContext(context.Background(), sql, mode)
 }
 
-// QueryContext is Query with a deadline: the context is checked between
-// pipeline stages (parse/execute, inference), so a caller-imposed
-// timeout abandons the work at the next stage boundary. Successful
-// responses are cached per snapshot, keyed by (sql, mode) — a repeated
-// query against an unchanged rule base re-materialises nothing.
+// QueryContext is Query with a deadline: the context is threaded into
+// the streaming executor, which checks it at batch boundaries, so a
+// caller-imposed timeout abandons a long scan mid-stream rather than
+// only between pipeline stages. Successful responses are cached per
+// snapshot, keyed by (sql, mode) — a repeated query against an
+// unchanged rule base re-materialises nothing.
 func (s *System) QueryContext(ctx context.Context, sql string, mode answer.Mode) (*Response, error) {
 	sn := s.current()
 	key := fmt.Sprintf("%d\x00%s", mode, sql)
@@ -282,7 +283,7 @@ func (s *System) QueryContext(ctx context.Context, sql string, mode answer.Mode)
 	if err != nil {
 		return nil, err
 	}
-	ext, err := prep.Run()
+	ext, err := prep.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,236 @@
+package exec
+
+import (
+	"context"
+
+	"intensional/internal/plan"
+	"intensional/internal/relation"
+)
+
+// HashJoin joins a streamed probe (left) input against a materialized
+// build (right) input. Open drains the right side into a hash table —
+// the one materialization a hash join cannot avoid — and Next streams
+// probe batches through it, emitting the concatenation left++right for
+// every key match. Output order is probe order, then build arrival
+// order within a key, matching the materializing executor exactly.
+type HashJoin struct {
+	node     plan.Node
+	schema   *relation.Schema
+	left     Operator
+	right    Operator
+	leftKey  KeyFn
+	rightKey KeyFn
+
+	table map[string][]relation.Tuple
+	out   arena
+	probe *Batch // current probe-side batch (pooled)
+	pi    int    // cursor into probe
+	match []relation.Tuple
+	mi    int
+	done  bool
+}
+
+// NewHashJoin builds a hash join executing node. schema is the
+// concatenated output row type; leftKey/rightKey must extract equal
+// keys for joining rows.
+func NewHashJoin(node plan.Node, schema *relation.Schema, left, right Operator,
+	leftKey, rightKey KeyFn) *HashJoin {
+	return &HashJoin{node: node, schema: schema, left: left, right: right,
+		leftKey: leftKey, rightKey: rightKey}
+}
+
+// Plan returns the plan node this operator executes.
+func (j *HashJoin) Plan() plan.Node { return j.node }
+
+// Schema returns the concatenated output schema.
+func (j *HashJoin) Schema() *relation.Schema { return j.schema }
+
+// Open opens both inputs and materializes the build side.
+func (j *HashJoin) Open(ctx context.Context) error {
+	j.done = false
+	j.pi = 0
+	j.match = nil
+	j.mi = 0
+	j.out = newArena(j.schema.Len())
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.right.Open(ctx); err != nil {
+		return err
+	}
+	j.table = make(map[string][]relation.Tuple)
+	b := getBatch()
+	defer putBatch(b)
+	for {
+		if err := j.right.Next(b); err != nil {
+			return err
+		}
+		if b.Len() == 0 {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			t := b.Row(i)
+			k := j.rightKey(t)
+			j.table[k] = append(j.table[k], t)
+		}
+	}
+	j.probe = getBatch()
+	return nil
+}
+
+// Next emits the next batch of joined rows, carved out of one arena
+// allocation per batch.
+func (j *HashJoin) Next(b *Batch) error {
+	b.Reset()
+	if j.done {
+		return nil
+	}
+	for !b.Full() {
+		for j.mi >= len(j.match) {
+			// Advance to the next probe row that has matches.
+			j.pi++
+			if j.pi >= j.probe.Len() {
+				if err := j.left.Next(j.probe); err != nil {
+					return err
+				}
+				if j.probe.Len() == 0 {
+					j.done = true
+					return nil
+				}
+				j.pi = 0
+			}
+			j.match = j.table[j.leftKey(j.probe.Row(j.pi))]
+			j.mi = 0
+		}
+		l := j.probe.Row(j.pi)
+		r := j.match[j.mi]
+		j.mi++
+		row := j.out.next()
+		copy(row, l)
+		copy(row[len(l):], r)
+		b.Append(row)
+	}
+	return nil
+}
+
+// Close releases the hash table and both inputs.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	j.match = nil
+	putBatch(j.probe)
+	j.probe = nil
+	err := j.left.Close()
+	if cerr := j.right.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CrossJoin pairs every probe (left) row with every build (right) row.
+// Like HashJoin it materializes only the build side.
+type CrossJoin struct {
+	node   plan.Node
+	schema *relation.Schema
+	left   Operator
+	right  Operator
+
+	rows  []relation.Tuple // materialized build side
+	out   arena
+	probe *Batch
+	pi    int
+	ri    int
+	done  bool
+}
+
+// NewCrossJoin builds a cross join executing node.
+func NewCrossJoin(node plan.Node, schema *relation.Schema, left, right Operator) *CrossJoin {
+	return &CrossJoin{node: node, schema: schema, left: left, right: right}
+}
+
+// Plan returns the plan node this operator executes.
+func (j *CrossJoin) Plan() plan.Node { return j.node }
+
+// Schema returns the concatenated output schema.
+func (j *CrossJoin) Schema() *relation.Schema { return j.schema }
+
+// Open opens both inputs and materializes the build side.
+func (j *CrossJoin) Open(ctx context.Context) error {
+	j.done = false
+	j.pi = 0
+	j.ri = 0
+	j.out = newArena(j.schema.Len())
+	if err := j.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.right.Open(ctx); err != nil {
+		return err
+	}
+	j.rows = j.rows[:0]
+	b := getBatch()
+	defer putBatch(b)
+	for {
+		if err := j.right.Next(b); err != nil {
+			return err
+		}
+		if b.Len() == 0 {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			j.rows = append(j.rows, b.Row(i))
+		}
+	}
+	j.probe = getBatch()
+	j.ri = len(j.rows) // force the first probe pull
+	j.pi = j.probe.Len()
+	return nil
+}
+
+// Next emits the next batch of paired rows.
+func (j *CrossJoin) Next(b *Batch) error {
+	b.Reset()
+	if j.done {
+		return nil
+	}
+	for !b.Full() {
+		for j.ri >= len(j.rows) {
+			// Advance to the next probe row.
+			j.pi++
+			if j.pi >= j.probe.Len() {
+				if err := j.left.Next(j.probe); err != nil {
+					return err
+				}
+				if j.probe.Len() == 0 {
+					j.done = true
+					return nil
+				}
+				j.pi = 0
+			}
+			j.ri = 0
+			if len(j.rows) == 0 {
+				// Empty build side: no output at all.
+				j.done = true
+				return nil
+			}
+		}
+		l := j.probe.Row(j.pi)
+		r := j.rows[j.ri]
+		j.ri++
+		row := j.out.next()
+		copy(row, l)
+		copy(row[len(l):], r)
+		b.Append(row)
+	}
+	return nil
+}
+
+// Close releases the build rows and both inputs.
+func (j *CrossJoin) Close() error {
+	j.rows = nil
+	putBatch(j.probe)
+	j.probe = nil
+	err := j.left.Close()
+	if cerr := j.right.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -7,6 +7,7 @@
 package induct
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -120,6 +121,13 @@ func New(d *dict.Dictionary, opts Options) *Inducer {
 // InducePair runs the four-step Rule Induction Algorithm for one
 // attribute pair and returns the surviving rules (unnumbered).
 func (in *Inducer) InducePair(p Pair) ([]*rules.Rule, error) {
+	return in.InducePairContext(context.Background(), p)
+}
+
+// InducePairContext is InducePair with a deadline: the context is
+// threaded into the QUEL statements of the induction algorithm, whose
+// retrieves honour cancellation at batch boundaries.
+func (in *Inducer) InducePairContext(ctx context.Context, p Pair) ([]*rules.Rule, error) {
 	xi, ok := p.Source.Schema().Index(p.XCol)
 	if !ok {
 		return nil, fmt.Errorf("induct: source %s has no column %q", p.Source.Name(), p.XCol)
@@ -158,7 +166,7 @@ func (in *Inducer) InducePair(p Pair) ([]*rules.Rule, error) {
 		"delete s where (s.X = t.X and s.Y = t.Y)",
 	}
 	for _, stmt := range steps {
-		if _, err := sess.Exec(stmt); err != nil {
+		if _, err := sess.ExecContext(ctx, stmt); err != nil {
 			return nil, fmt.Errorf("induct: %s → %s: %w", p.X, p.Y, err)
 		}
 	}
@@ -527,11 +535,17 @@ func (in *Inducer) buildJoin(r *dict.Relationship) (*materialised, error) {
 // per-pair results to the set in candidate order after the fan-out, so
 // rule numbering and supports are identical at every worker count.
 func (in *Inducer) InduceAll() (*rules.Set, error) {
+	return in.InduceAllContext(context.Background())
+}
+
+// InduceAllContext is InduceAll with a deadline, threaded through every
+// pair's induction statements.
+func (in *Inducer) InduceAllContext(ctx context.Context) (*rules.Set, error) {
 	pairs, err := in.CandidatePairs()
 	if err != nil {
 		return nil, err
 	}
-	results, err := in.InducePairs(pairs)
+	results, err := in.InducePairsContext(ctx, pairs)
 	if err != nil {
 		return nil, err
 	}
@@ -550,11 +564,17 @@ func (in *Inducer) InduceAll() (*rules.Set, error) {
 // re-induce only the schemes a mutation touched, with the same
 // parallelism and determinism guarantees as InduceAll.
 func (in *Inducer) InducePairs(pairs []Pair) ([][]*rules.Rule, error) {
+	return in.InducePairsContext(context.Background(), pairs)
+}
+
+// InducePairsContext is InducePairs with a deadline shared by every
+// worker's induction statements.
+func (in *Inducer) InducePairsContext(ctx context.Context, pairs []Pair) ([][]*rules.Rule, error) {
 	results := make([][]*rules.Rule, len(pairs))
 	errs := make([]error, len(pairs))
 	if w := in.opts.workers(len(pairs)); w <= 1 {
 		for i, p := range pairs {
-			if results[i], errs[i] = in.InducePair(p); errs[i] != nil {
+			if results[i], errs[i] = in.InducePairContext(ctx, p); errs[i] != nil {
 				break
 			}
 		}
@@ -566,7 +586,7 @@ func (in *Inducer) InducePairs(pairs []Pair) ([][]*rules.Rule, error) {
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					results[i], errs[i] = in.InducePair(pairs[i])
+					results[i], errs[i] = in.InducePairContext(ctx, pairs[i])
 				}
 			}()
 		}

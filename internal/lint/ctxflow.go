@@ -181,7 +181,10 @@ func blockingBase(f *types.Func) bool {
 		name, ok := namedDeclaredIn(sig.Recv().Type(), "internal/fault")
 		return ok && (name == "FS" || name == "File")
 	case pathHasSuffix(path, "internal/induct"):
-		return f.Name() == "InduceAll" || f.Name() == "InducePairs"
+		switch f.Name() {
+		case "InduceAll", "InducePairs", "InduceAllContext", "InducePairsContext":
+			return true
+		}
 	}
 	return false
 }

@@ -26,16 +26,26 @@ import (
 // Building private buffers — id3's example sets, storage's decoded
 // tuples — therefore stays legal; only values that may alias live rows
 // are protected. Callers mutate relations through Insert/Set/Delete.
+//
+// internal/exec is exempt alongside internal/relation: it is the
+// executor's row-owning layer, whose operators carry rows in per-batch
+// arenas, pooled buffers, and hash tables held in operator state.
+// Those are fresh by construction (the aliasing contract is documented
+// in the exec package comment) but live in struct fields, which the
+// local fresh analysis here cannot see.
 var rowaliasPass = &Pass{
 	Name: "rowalias",
-	Doc:  "relation row slices must not be mutated outside internal/relation",
+	Doc:  "relation row slices must not be mutated outside the row-owning layers (internal/relation, internal/exec)",
 	Run:  perPackage(runRowalias),
 }
 
-const relationPkgSuffix = "internal/relation"
+const (
+	relationPkgSuffix = "internal/relation"
+	execPkgSuffix     = "internal/exec"
+)
 
 func runRowalias(pkg *Package) []Diagnostic {
-	if strings.HasSuffix(pkg.Path, relationPkgSuffix) {
+	if strings.HasSuffix(pkg.Path, relationPkgSuffix) || strings.HasSuffix(pkg.Path, execPkgSuffix) {
 		return nil
 	}
 	var diags []Diagnostic

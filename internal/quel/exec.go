@@ -1,12 +1,14 @@
 package quel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"intensional/internal/exec"
 	"intensional/internal/plan"
 	"intensional/internal/relation"
 	"intensional/internal/storage"
@@ -30,11 +32,14 @@ type Counters struct {
 
 // IndexCache shares lazily built secondary indexes between sessions.
 // Without one, each Session keeps a private cache that dies with it —
-// useless in the SQL path, which spins up a fresh session per query. A
-// cache is safe to share only between sessions over the same immutable
-// snapshot of the catalog: entries are validated with Index.Fresh but
-// keyed by relation name, so a *replaced* relation pointer would not be
-// detected.
+// useless in the SQL path, which spins up a fresh session per query.
+// Entries are keyed by relation name but validated on every lookup
+// against the relation object the caller is actually scanning: the
+// index must have been built over that identical object (Index.For —
+// pointer identity, which catches a relation replaced under the same
+// name on a cache shared across snapshots) and still match its version
+// (Index.Fresh). A mis-shared cache therefore degrades to rebuilds
+// instead of serving rows from a stale twin.
 type IndexCache struct {
 	mu sync.Mutex
 	m  map[string]*relation.Index // guarded by mu
@@ -45,10 +50,16 @@ func NewIndexCache() *IndexCache {
 	return &IndexCache{m: make(map[string]*relation.Index)}
 }
 
-func (c *IndexCache) get(key string) *relation.Index {
+// get returns the cached index under key only if it was built over rel
+// itself — a name match alone is not proof of identity.
+func (c *IndexCache) get(key string, rel *relation.Relation) *relation.Index {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.m[key]
+	ix := c.m[key]
+	if ix == nil || !ix.For(rel) {
+		return nil
+	}
+	return ix
 }
 
 func (c *IndexCache) put(key string, ix *relation.Index) {
@@ -112,10 +123,10 @@ func (s *Session) indexFor(rel *relation.Relation, col int) (*relation.Index, st
 	}
 	key := strings.ToLower(rel.Name()) + "\x00" + rel.Schema().Col(col).Name
 	if s.cache != nil {
-		if ix := s.cache.get(key); ix != nil && ix.Fresh() {
+		if ix := s.cache.get(key, rel); ix != nil && ix.Fresh() {
 			return ix, ""
 		}
-	} else if ix, ok := s.indexes[key]; ok && ix.Fresh() {
+	} else if ix, ok := s.indexes[key]; ok && ix.For(rel) && ix.Fresh() {
 		return ix, ""
 	}
 	ix, err := rel.BuildIndex(rel.Schema().Col(col).Name)
@@ -166,24 +177,38 @@ type Result struct {
 
 // Exec parses and executes one QUEL statement.
 func (s *Session) Exec(src string) (*Result, error) {
+	return s.ExecContext(context.Background(), src)
+}
+
+// ExecContext parses and executes one QUEL statement. The context is
+// threaded into the streaming executor for retrieves, which honours
+// cancellation at batch boundaries.
+func (s *Session) ExecContext(ctx context.Context, src string) (*Result, error) {
 	st, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecStmt(st)
+	return s.ExecStmtContext(ctx, st)
 }
 
 // ExecStmt executes a parsed statement.
 func (s *Session) ExecStmt(st Stmt) (*Result, error) {
+	return s.ExecStmtContext(context.Background(), st)
+}
+
+// ExecStmtContext executes a parsed statement, threading the context
+// into the streaming executor for retrieves. Updates (delete, append,
+// replace) run to completion: they mutate catalog relations in place,
+// so abandoning one midway would leave a half-applied statement.
+func (s *Session) ExecStmtContext(ctx context.Context, st Stmt) (*Result, error) {
 	switch st := st.(type) {
 	case *RangeStmt:
-		if !s.cat.Has(st.Rel) {
-			return nil, fmt.Errorf("quel: range of %s: no relation %q", st.Var, st.Rel)
+		if err := s.SetRange(st.Var, st.Rel); err != nil {
+			return nil, err
 		}
-		s.ranges[strings.ToLower(st.Var)] = st.Rel
 		return &Result{}, nil
 	case *RetrieveStmt:
-		return s.execRetrieve(st)
+		return s.execRetrieve(ctx, st)
 	case *DeleteStmt:
 		return s.execDelete(st)
 	case *AppendStmt:
@@ -193,6 +218,16 @@ func (s *Session) ExecStmt(st Stmt) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("quel: unknown statement %T", st)
 	}
+}
+
+// SetRange binds a range variable to a relation, the programmatic form
+// of `range of v is R`.
+func (s *Session) SetRange(varName, rel string) error {
+	if !s.cat.Has(rel) {
+		return fmt.Errorf("quel: range of %s: no relation %q", varName, rel)
+	}
+	s.ranges[strings.ToLower(varName)] = rel
+	return nil
 }
 
 // coerce adapts a constant to a column type, parsing bare-identifier
@@ -947,49 +982,6 @@ func (p *planner) assemble(where Expr) ([]binding, error) {
 	return sp.run()
 }
 
-// node renders one access path as a plan tree leaf, wrapped in a Filter
-// when predicates beyond the index condition apply.
-func (sp *scanPlan) node(ap *accessPath) plan.Node {
-	p := sp.p
-	rel := p.rels[ap.slot]
-	cols := planSchema(rel.Schema())
-	alias := p.vars[ap.slot]
-	var leaf plan.Node
-	var extra []string
-	if ap.ix != nil {
-		leaf = &plan.IndexScan{
-			Relation: rel.Name(),
-			Binding:  alias,
-			Column:   rel.Schema().Col(ap.sel.selAttr).Name,
-			Op:       ap.sel.selOp,
-			Value:    ap.sel.selVal.GoString(),
-			Est:      selectivity(mustCount(ap), 0),
-			Cols:     cols,
-			Implied:  ap.sel.implied,
-		}
-		for _, c := range ap.preds {
-			if c != ap.sel {
-				extra = append(extra, c.label())
-			}
-		}
-	} else {
-		leaf = &plan.FullScan{
-			Relation: rel.Name(),
-			Binding:  alias,
-			Est:      rel.Len(),
-			Cols:     cols,
-			Fallback: ap.fallback,
-		}
-		for _, c := range ap.preds {
-			extra = append(extra, c.label())
-		}
-	}
-	if len(extra) > 0 {
-		leaf = &plan.Filter{Conds: extra, Est: ap.est, Input: leaf}
-	}
-	return leaf
-}
-
 // mustCount re-derives the index range count for display; falls back to
 // the relation size if the index went stale since planning.
 func mustCount(ap *accessPath) int {
@@ -997,30 +989,6 @@ func mustCount(ap *accessPath) int {
 		return n
 	}
 	return ap.ix.Len()
-}
-
-// describe renders the planned qualification evaluation as a plan tree.
-func (sp *scanPlan) describe() plan.Node {
-	if len(sp.paths) == 0 {
-		return &plan.FullScan{Relation: "dual", Est: 1}
-	}
-	root := sp.node(&sp.paths[0])
-	for _, step := range sp.steps {
-		right := sp.node(&sp.paths[step.next])
-		if len(step.edges) == 0 {
-			root = &plan.CrossJoin{Est: step.est, Left: root, Right: right}
-		} else {
-			root = &plan.HashJoin{On: step.on, Est: step.est, Left: root, Right: right}
-		}
-	}
-	if len(sp.residual) > 0 {
-		conds := make([]string, len(sp.residual))
-		for i, c := range sp.residual {
-			conds[i] = c.label()
-		}
-		root = &plan.Filter{Conds: conds, Est: sp.est, Input: root}
-	}
-	return root
 }
 
 // planSchema converts a relation schema to plan columns.
@@ -1122,6 +1090,7 @@ type RetrievePlan struct {
 	infos  []targetInfo
 	schema *relation.Schema
 	keys   []relation.SortKey
+	ss     *streamSpec // lowered streaming pipeline (see stream.go)
 }
 
 // Schema returns the plan's output schema.
@@ -1163,36 +1132,60 @@ func (s *Session) PlanRetrieve(st *RetrieveStmt) (*RetrievePlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RetrievePlan{sess: s, st: st, p: p, sp: sp, infos: infos, schema: schema, keys: keys}, nil
+	rp := &RetrievePlan{sess: s, st: st, p: p, sp: sp, infos: infos, schema: schema, keys: keys}
+	if err := rp.buildStream(); err != nil {
+		return nil, err
+	}
+	return rp, nil
 }
 
-// Describe renders the prepared retrieve as a typed plan tree.
+// Describe renders the prepared retrieve as a typed plan tree — the
+// exact node objects the streaming operators execute, so the plan shown
+// cannot drift from the plan that runs.
 func (rp *RetrievePlan) Describe() plan.Node {
-	root := rp.sp.describe()
-	cols := make([]plan.Column, rp.schema.Len())
-	for i := 0; i < rp.schema.Len(); i++ {
-		c := rp.schema.Col(i)
-		cols[i] = plan.Column{Name: c.Name, Type: c.Type.String()}
-	}
-	var node plan.Node = &plan.Project{Cols: cols, Est: rp.sp.est, Input: root}
-	if rp.st.Unique {
-		node = &plan.Distinct{Input: node}
-	}
-	if len(rp.keys) > 0 {
-		keys := make([]string, len(rp.keys))
-		for i, k := range rp.keys {
-			keys[i] = k.Column
-			if k.Desc {
-				keys[i] += " desc"
-			}
-		}
-		node = &plan.Sort{Keys: keys, Input: node}
-	}
-	return node
+	return rp.ss.root()
 }
 
-// Run executes the prepared retrieve.
+// Stream returns a fresh single-use operator tree for one execution of
+// the plan. The aggregate path wraps it; everyone else should call Run
+// or RunContext.
+func (rp *RetrievePlan) Stream() exec.Operator {
+	return rp.ss.instantiate()
+}
+
+// Run executes the prepared retrieve through the streaming pipeline.
 func (rp *RetrievePlan) Run() (*Result, error) {
+	return rp.RunContext(context.Background())
+}
+
+// RunContext executes the prepared retrieve through the streaming
+// operator pipeline, honouring cancellation at batch boundaries. Each
+// call instantiates a fresh operator tree, so concurrent runs of one
+// prepared plan are safe.
+func (rp *RetrievePlan) RunContext(ctx context.Context) (*Result, error) {
+	rows, err := exec.Collect(ctx, rp.ss.instantiate(), rp.sp.est)
+	if err != nil {
+		return nil, err
+	}
+	name := rp.st.Into
+	if name == "" {
+		name = "result"
+	}
+	out := relation.FromRows(name, rp.schema, rows)
+	if rp.st.Into != "" {
+		if rp.sess.cat.Has(rp.st.Into) {
+			return nil, fmt.Errorf("quel: retrieve into %s: relation already exists", rp.st.Into)
+		}
+		rp.sess.cat.Put(out)
+	}
+	return &Result{Rel: out}, nil
+}
+
+// RunMaterialized executes the prepared retrieve through the legacy
+// binding-at-a-time materializing path. It is retained as the reference
+// implementation the streaming pipeline is differentially tested and
+// benchmarked against.
+func (rp *RetrievePlan) RunMaterialized() (*Result, error) {
 	bindings, err := rp.sp.run()
 	if err != nil {
 		return nil, err
@@ -1229,12 +1222,12 @@ func (rp *RetrievePlan) Run() (*Result, error) {
 	return &Result{Rel: out}, nil
 }
 
-func (s *Session) execRetrieve(st *RetrieveStmt) (*Result, error) {
+func (s *Session) execRetrieve(ctx context.Context, st *RetrieveStmt) (*Result, error) {
 	rp, err := s.PlanRetrieve(st)
 	if err != nil {
 		return nil, err
 	}
-	return rp.Run()
+	return rp.RunContext(ctx)
 }
 
 func (s *Session) execDelete(st *DeleteStmt) (*Result, error) {

@@ -1,9 +1,11 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"intensional/internal/exec"
 	"intensional/internal/plan"
 	"intensional/internal/quel"
 	"intensional/internal/relation"
@@ -27,6 +29,13 @@ type aggPlan struct {
 	groupPos    []int // base positions of the GROUP BY columns
 	argPos      []int // per item: base position of the aggregate argument; -1 for COUNT(*) or plain
 	itemGroup   []int // per plain item: base position of its group column
+
+	// Lowered streaming form, built once at prepare time: the aggregate
+	// item specs and the plan node the Aggregate operator executes
+	// (node.Input is the base input's node, reused for the proven-empty
+	// source).
+	items []exec.AggItem
+	node  *plan.Aggregate
 }
 
 // prepareAggregate validates the aggregate query, plans the base
@@ -155,47 +164,108 @@ func (p *Processor) prepareAggregate(b *binder, sel *sqlparse.Select, where quel
 	if err != nil {
 		return nil, err
 	}
-	return ap, nil
-}
 
-// describe renders the aggregate plan tree.
-func (ap *aggPlan) describe() plan.Node {
+	// Lower the items to streaming aggregate specs and fix the plan node
+	// the Aggregate operator will execute.
+	ap.items = make([]exec.AggItem, len(sel.Items))
+	for i, it := range sel.Items {
+		switch it.Agg {
+		case "":
+			ap.items[i] = exec.AggItem{Kind: exec.AggGroup, Arg: ap.itemGroup[i]}
+		case "COUNT":
+			ap.items[i] = exec.AggItem{Kind: exec.AggCount, Arg: ap.argPos[i]}
+		case "SUM":
+			ap.items[i] = exec.AggItem{Kind: exec.AggSum, Arg: ap.argPos[i]}
+		case "AVG":
+			ap.items[i] = exec.AggItem{Kind: exec.AggAvg, Arg: ap.argPos[i]}
+		case "MIN":
+			ap.items[i] = exec.AggItem{Kind: exec.AggMin, Arg: ap.argPos[i]}
+		case "MAX":
+			ap.items[i] = exec.AggItem{Kind: exec.AggMax, Arg: ap.argPos[i]}
+		default:
+			return nil, fmt.Errorf("query: unsupported aggregate %q", it.Agg)
+		}
+	}
 	var input plan.Node
 	if ap.rp == nil {
-		input = &plan.Empty{Reason: ap.emptyReason, Cols: planColumns(ap.baseSchema)}
+		input = &plan.Empty{Reason: emptyReason, Cols: planColumns(ap.baseSchema)}
 	} else {
 		input = ap.rp.Describe()
 	}
-	items := make([]string, len(ap.sel.Items))
-	for i, it := range ap.sel.Items {
+	items := make([]string, len(sel.Items))
+	for i, it := range sel.Items {
 		items[i] = it.Label()
 	}
 	var groupBy []string
-	for _, g := range ap.sel.GroupBy {
+	for _, g := range sel.GroupBy {
 		groupBy = append(groupBy, g.String())
 	}
 	est := 1
 	if len(groupBy) > 0 {
 		est = input.EstRows()
 	}
-	return &plan.Aggregate{
+	ap.node = &plan.Aggregate{
 		Items:   items,
 		GroupBy: groupBy,
 		Est:     est,
 		Cols:    planColumns(ap.outSchema),
 		Input:   input,
 	}
+	return ap, nil
 }
 
-// run executes the prepared aggregate: fetch base rows, group,
-// accumulate, and order.
-func (ap *aggPlan) run() (*relation.Relation, error) {
+// describe renders the aggregate plan tree — the node object the
+// streaming Aggregate operator executes.
+func (ap *aggPlan) describe() plan.Node { return ap.node }
+
+// runContext executes the prepared aggregate through the streaming
+// pipeline: the base retrieve streams into an Aggregate operator, which
+// materializes only the per-group accumulators.
+func (ap *aggPlan) runContext(ctx context.Context) (*relation.Relation, error) {
+	var src exec.Operator
+	if ap.rp == nil {
+		src = exec.NewEmpty(ap.node.Input, ap.baseSchema)
+	} else {
+		src = ap.rp.Stream()
+	}
+	agg := exec.NewAggregate(ap.node, ap.outSchema, ap.groupPos, ap.items, src)
+	rows, err := exec.Collect(ctx, agg, ap.node.Est)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.FromRows("result", ap.outSchema, rows)
+	return ap.orderBy(out)
+}
+
+// orderBy applies the statement's ORDER BY over the (small, grouped)
+// output columns by label.
+func (ap *aggPlan) orderBy(out *relation.Relation) (*relation.Relation, error) {
+	sel := ap.sel
+	if len(sel.OrderBy) == 0 {
+		return out, nil
+	}
+	keys := make([]relation.SortKey, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		name := o.Col.Column
+		if _, ok := out.Schema().Index(name); !ok {
+			return nil, fmt.Errorf("query: ORDER BY %s: not an output column of the grouped query", name)
+		}
+		keys[i] = relation.SortKey{Column: name, Desc: o.Desc}
+	}
+	return out.Sort(keys...)
+}
+
+// runMaterialized executes the prepared aggregate over the legacy
+// materializing retrieve: fetch all base rows, group, accumulate, and
+// order. Retained as the reference implementation the streaming path is
+// differentially tested against.
+func (ap *aggPlan) runMaterialized() (*relation.Relation, error) {
 	sel := ap.sel
 	var base *relation.Relation
 	if ap.rp == nil {
 		base = relation.New("base", ap.baseSchema)
 	} else {
-		res, err := ap.rp.Run()
+		res, err := ap.rp.RunMaterialized()
 		if err != nil {
 			return nil, err
 		}
@@ -315,21 +385,5 @@ func (ap *aggPlan) run() (*relation.Relation, error) {
 		}
 	}
 
-	// ORDER BY over the output columns (by label).
-	if len(sel.OrderBy) > 0 {
-		keys := make([]relation.SortKey, len(sel.OrderBy))
-		for i, o := range sel.OrderBy {
-			name := o.Col.Column
-			if _, ok := out.Schema().Index(name); !ok {
-				return nil, fmt.Errorf("query: ORDER BY %s: not an output column of the grouped query", name)
-			}
-			keys[i] = relation.SortKey{Column: name, Desc: o.Desc}
-		}
-		sorted, err := out.Sort(keys...)
-		if err != nil {
-			return nil, err
-		}
-		out = sorted
-	}
-	return out, nil
+	return ap.orderBy(out)
 }

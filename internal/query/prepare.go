@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -139,15 +140,42 @@ func (p *Processor) PrepareSelect(sql string, sel *sqlparse.Select, rewriter Rew
 	return prep, err
 }
 
-// Run executes the prepared statement.
+// Run executes the prepared statement through the streaming pipeline.
 func (pr *Prepared) Run() (*relation.Relation, error) {
+	return pr.RunContext(context.Background())
+}
+
+// RunContext executes the prepared statement through the streaming
+// operator pipeline. Cancellation is honoured at batch boundaries, so a
+// cancelled context stops a long scan mid-stream; a proven-empty
+// statement scans zero batches of anything.
+func (pr *Prepared) RunContext(ctx context.Context) (*relation.Relation, error) {
 	switch {
 	case pr.empty != nil:
 		return relation.New("result", pr.empty), nil
 	case pr.agg != nil:
-		return pr.agg.run()
+		return pr.agg.runContext(ctx)
 	default:
-		res, err := pr.rp.Run()
+		res, err := pr.rp.RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rel, nil
+	}
+}
+
+// RunMaterialized executes the prepared statement through the legacy
+// materializing path — every operator builds its full output before the
+// next runs. Retained as the reference implementation the streaming
+// pipeline is differentially tested and benchmarked against.
+func (pr *Prepared) RunMaterialized() (*relation.Relation, error) {
+	switch {
+	case pr.empty != nil:
+		return relation.New("result", pr.empty), nil
+	case pr.agg != nil:
+		return pr.agg.runMaterialized()
+	default:
+		res, err := pr.rp.RunMaterialized()
 		if err != nil {
 			return nil, err
 		}

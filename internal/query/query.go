@@ -100,7 +100,7 @@ func (p *Processor) session(b *binder) (*quel.Session, error) {
 		sess.SetLogf(p.logf)
 	}
 	for _, name := range b.bindings {
-		if _, err := sess.ExecStmt(&quel.RangeStmt{Var: name, Rel: b.tables[strings.ToLower(name)]}); err != nil {
+		if err := sess.SetRange(name, b.tables[strings.ToLower(name)]); err != nil {
 			return nil, err
 		}
 	}

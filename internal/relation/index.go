@@ -54,6 +54,12 @@ func (r *Relation) BuildIndex(column string) (*Index, error) {
 // Fresh reports whether the index still matches the relation's contents.
 func (ix *Index) Fresh() bool { return ix.version == ix.rel.version }
 
+// For reports whether the index was built over exactly this relation
+// object. Fresh alone cannot tell a replaced relation apart from the
+// one the index was built on — the old object's version never moved —
+// so cache validation must check identity as well as freshness.
+func (ix *Index) For(r *Relation) bool { return ix.rel == r }
+
 // Len returns the number of indexed rows.
 func (ix *Index) Len() int { return len(ix.order) }
 

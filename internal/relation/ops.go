@@ -76,7 +76,7 @@ func (r *Relation) Sort(keys ...SortKey) (*Relation, error) {
 	out := r.Clone()
 	sort.SliceStable(out.rows, func(a, b int) bool {
 		for i, j := range idx {
-			c := sortCompare(out.rows[a][j], out.rows[b][j])
+			c := SortCompare(out.rows[a][j], out.rows[b][j])
 			if c == 0 {
 				continue
 			}
@@ -90,11 +90,12 @@ func (r *Relation) Sort(keys ...SortKey) (*Relation, error) {
 	return out, nil
 }
 
-// sortCompare orders two values for Sort: null < any non-null value;
+// SortCompare orders two values for sorting: null < any non-null value;
 // otherwise Compare. Values of genuinely incomparable kinds cannot share
 // a typed column, so the remaining error case is unreachable and treated
-// as equal.
-func sortCompare(a, b Value) int {
+// as equal. Exported so the streaming executor's Sort operator orders
+// rows exactly like Relation.Sort.
+func SortCompare(a, b Value) int {
 	switch {
 	case a.IsNull() && b.IsNull():
 		return 0

@@ -53,6 +53,15 @@ func New(name string, schema *Schema) *Relation {
 	return &Relation{name: name, schema: schema}
 }
 
+// FromRows builds a relation directly over an existing row slice,
+// skipping per-row conformance checks — the adoption path the streaming
+// executor uses to publish pipeline output without re-validating rows a
+// typed operator tree produced by construction. The caller transfers
+// ownership of rows and guarantees every tuple matches the schema.
+func FromRows(name string, schema *Schema, rows []Tuple) *Relation {
+	return &Relation{name: name, schema: schema, rows: rows}
+}
+
 // Name returns the relation's name.
 func (r *Relation) Name() string { return r.name }
 
