@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet lint lint-baseline test race bench bench-check serve chaos
+.PHONY: ci build vet lint lint-baseline test race bench bench-check serve chaos smoke-replication
 
 ci: vet build lint test race
 
@@ -72,8 +72,19 @@ bench-check:
 # prints the exact reproduction command.
 CHAOS_ITERS ?= 200
 CHAOS_SEED  ?= 1
+# The replica scenario (chaos -replica) runs fewer cycles: each one
+# includes condition-based reconvergence waits over loopback HTTP.
+CHAOS_REPLICA_ITERS ?= 50
 chaos:
 	$(GO) run ./cmd/chaos -iters $(CHAOS_ITERS) -seed $(CHAOS_SEED)
+	$(GO) run ./cmd/chaos -replica -iters $(CHAOS_REPLICA_ITERS) -seed $(CHAOS_SEED)
+
+# Two-process replication smoke: a real leader and follower iqpd on
+# loopback — mutate on the leader, read your write on the follower via
+# the token, kill and restart the follower mid-stream, and assert
+# convergence (same walSeq, identical answers).
+smoke-replication:
+	sh scripts/smoke_replication.sh
 
 # Run the intensional-answer server on the paper's ship test bed.
 # Try: curl -s localhost:8473/healthz

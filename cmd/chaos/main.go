@@ -3,10 +3,18 @@
 // reopen, asserting after every cycle that acknowledged batches are
 // recoverable and no serving rule is contradicted by the data.
 //
+// With -replica it instead runs the replication chaos scenario: a
+// leader streams its WAL to a follower over loopback HTTP while the
+// harness kills and restarts the follower mid-stream, partitions the
+// network, and forces leader checkpoints; after every cycle the
+// follower must reconverge with no acknowledged write lost, no
+// contradicted rule served, and byte-identical answers.
+//
 // Usage:
 //
 //	chaos                      # 200 cycles, seed 1
 //	chaos -iters 1000 -seed 7  # longer run, different fault schedule
+//	chaos -replica -iters 50   # replication kill/partition scenario
 //	chaos -v                   # per-run progress
 //
 // The run is fully deterministic for a given seed; on failure the seed
@@ -30,6 +38,7 @@ func run() int {
 	iters := flag.Int("iters", 200, "crash-recovery cycles to run")
 	seed := flag.Int64("seed", 1, "random seed; the same seed replays the same run")
 	checkpointBytes := flag.Int64("checkpoint-bytes", 32<<10, "auto-checkpoint threshold for the system under test")
+	replicaRun := flag.Bool("replica", false, "run the replication kill/partition scenario instead of the crash-recovery loop")
 	verbose := flag.Bool("v", false, "print progress")
 	flag.Parse()
 
@@ -46,23 +55,41 @@ func run() int {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
-	rep, err := chaos.Run(dir+"/db", chaos.Config{
-		Iters:           *iters,
-		Seed:            *seed,
-		CheckpointBytes: *checkpointBytes,
-		Logf:            logf,
-	})
+	var rep *chaos.Report
+	if *replicaRun {
+		rep, err = chaos.RunReplica(dir+"/db", chaos.ReplicaConfig{
+			Iters: *iters,
+			Seed:  *seed,
+			Logf:  logf,
+		})
+	} else {
+		rep, err = chaos.Run(dir+"/db", chaos.Config{
+			Iters:           *iters,
+			Seed:            *seed,
+			CheckpointBytes: *checkpointBytes,
+			Logf:            logf,
+		})
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: harness error (seed %d): %v\n", *seed, err)
 		return 1
 	}
+	repro := fmt.Sprintf("chaos -iters %d -seed %d", *iters, *seed)
+	if *replicaRun {
+		repro = "chaos -replica " + repro[len("chaos "):]
+	}
 	if len(rep.Violations) > 0 {
-		fmt.Fprintf(os.Stderr, "chaos: FAILED after %d cycles with seed %d — reproduce with: chaos -iters %d -seed %d\n",
-			rep.Iters, *seed, *iters, *seed)
+		fmt.Fprintf(os.Stderr, "chaos: FAILED after %d cycles with seed %d — reproduce with: %s\n",
+			rep.Iters, *seed, repro)
 		for _, v := range rep.Violations {
 			fmt.Fprintf(os.Stderr, "  %s\n", v)
 		}
 		return 1
+	}
+	if *replicaRun {
+		fmt.Printf("chaos: OK — %d replica cycles (seed %d), %d writes acknowledged, %d follower kills, %d partitions, %d leader checkpoints, 0 violations\n",
+			rep.Iters, *seed, rep.Acked, rep.Kills, rep.Partitions, rep.Checkpoint)
+		return 0
 	}
 	fmt.Printf("chaos: OK — %d cycles (seed %d), %d mutations acknowledged, %d refused by injected faults, %d checkpoints, 0 violations\n",
 		rep.Iters, *seed, rep.Acked, rep.Refused, rep.Checkpoint)

@@ -11,6 +11,21 @@
 //	iqpd -fleet              # serve a synthetic Table 1 fleet
 //	iqpd -addr :9000 -nc 2   # custom listen address and pruning threshold
 //
+// Replication — one leader accepts writes and streams its WAL; any
+// number of followers replay it and serve reads:
+//
+//	iqpd -db d1 -wal -addr :8473                                  # leader
+//	iqpd -role follower -leader http://127.0.0.1:8473 -db d2      # follower
+//	iqpd -cluster-config cluster.json -node-id iqp-2 -db d2       # role from config
+//
+// A follower is durable by construction (its replica directory holds a
+// WAL and checkpoints), serves the read API, answers writes with 421
+// pointing at the leader, and reports its replication state in
+// /healthz ("follower:ready", "follower:catching-up", ...) and
+// /metrics. Mutate responses on the leader carry a read-your-writes
+// token; pass it as the /query "token" field on any replica to wait
+// for that write to be visible there.
+//
 // Endpoints: POST /query, POST /explain, POST /mutate, POST /induce,
 // POST /maintain, GET /rules, GET /healthz, GET /metrics. /explain
 // returns the typed execution plan — access paths with cardinality
@@ -43,8 +58,10 @@ import (
 	"syscall"
 	"time"
 
+	"intensional/internal/cluster"
 	"intensional/internal/core"
 	"intensional/internal/induct"
+	"intensional/internal/replica"
 	"intensional/internal/server"
 	"intensional/internal/shipdb"
 	"intensional/internal/synth"
@@ -65,6 +82,10 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "concurrent requests served before queueing (0 = default 64)")
 	maxQueue := flag.Int("max-queue", 0, "queued requests before 429s (0 = default 2×max-inflight)")
 	queueWait := flag.Duration("queue-wait", 0, "longest a request waits in the queue before a 503 (0 = default 1s)")
+	role := flag.String("role", "", "cluster role: leader or follower (default leader)")
+	leader := flag.String("leader", "", "leader base URL this follower streams from")
+	clusterConfig := flag.String("cluster-config", "", "cluster membership JSON file; with -node-id, supplies this node's role and the leader address")
+	nodeID := flag.String("node-id", "", "this node's id within -cluster-config")
 	flag.Parse()
 
 	cfg := config{
@@ -73,6 +94,7 @@ func main() {
 		wal: *wal, checkpointBytes: *checkpointBytes, autoMaintain: *autoMaintain,
 		queryTimeout: *queryTimeout, induceTimeout: *induceTimeout,
 		maxInFlight: *maxInFlight, maxQueue: *maxQueue, queueWait: *queueWait,
+		role: *role, leaderAddr: *leader, clusterConfig: *clusterConfig, nodeID: *nodeID,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "iqpd:", err)
@@ -89,32 +111,59 @@ type config struct {
 	queryTimeout, induceTimeout time.Duration
 	maxInFlight, maxQueue       int
 	queueWait                   time.Duration
+
+	role, leaderAddr      string
+	clusterConfig, nodeID string
+}
+
+// resolveRole determines this node's role and the leader's address from
+// the flags: -cluster-config/-node-id when given (the file is the
+// authority), otherwise -role/-leader, defaulting to a standalone
+// leader.
+func resolveRole(cfg config) (cluster.Role, string, error) {
+	if cfg.clusterConfig != "" {
+		if cfg.nodeID == "" {
+			return "", "", fmt.Errorf("-cluster-config requires -node-id to identify this node")
+		}
+		c, err := cluster.NewFileStore(cfg.clusterConfig).Load()
+		if err != nil {
+			return "", "", err
+		}
+		self, ok := c.Node(cfg.nodeID)
+		if !ok {
+			return "", "", fmt.Errorf("node %q is not in %s", cfg.nodeID, cfg.clusterConfig)
+		}
+		lead, _ := c.Leader()
+		if cfg.role != "" {
+			r, err := cluster.ParseRole(cfg.role)
+			if err != nil {
+				return "", "", err
+			}
+			if r != self.Role {
+				return "", "", fmt.Errorf("-role %s contradicts %s, which names %q a %s", r, cfg.clusterConfig, self.ID, self.Role)
+			}
+		}
+		return self.Role, lead.Addr, nil
+	}
+	if cfg.role == "" {
+		return cluster.RoleLeader, cfg.leaderAddr, nil
+	}
+	r, err := cluster.ParseRole(cfg.role)
+	if err != nil {
+		return "", "", err
+	}
+	if r == cluster.RoleFollower && cfg.leaderAddr == "" {
+		return "", "", fmt.Errorf("-role follower requires -leader URL (or -cluster-config)")
+	}
+	return r, cfg.leaderAddr, nil
 }
 
 func run(cfg config) error {
-	sys, err := openSystem(cfg)
+	role, leaderAddr, err := resolveRole(cfg)
 	if err != nil {
 		return err
 	}
-	defer func() {
-		if cerr := sys.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "iqpd: close:", cerr)
-		}
-	}()
-	if cfg.autoMaintain {
-		sys.StartAutoMaintain(induct.Options{Nc: cfg.nc, Workers: cfg.workers})
-	}
-	if !cfg.noInduce {
-		start := time.Now()
-		set, err := sys.Induce(induct.Options{Nc: cfg.nc, Workers: cfg.workers})
-		if err != nil {
-			return fmt.Errorf("startup induction: %w", err)
-		}
-		fmt.Fprintf(os.Stderr, "iqpd: induced %d rules in %v (version %d)\n",
-			set.Len(), time.Since(start).Round(time.Millisecond), sys.Version())
-	}
-
-	srv := server.New(sys, server.Options{
+	opts := server.Options{
 		QueryTimeout:  cfg.queryTimeout,
 		InduceTimeout: cfg.induceTimeout,
 		AccessLog:     os.Stderr,
@@ -122,7 +171,62 @@ func run(cfg config) error {
 		MaxInFlight:   cfg.maxInFlight,
 		MaxQueue:      cfg.maxQueue,
 		QueueWait:     cfg.queueWait,
-	})
+	}
+
+	var sys *core.System
+	if role == cluster.RoleFollower {
+		if cfg.dbDir == "" {
+			return fmt.Errorf("-role follower requires -db DIR (the replica's WAL and checkpoints live there)")
+		}
+		if cfg.autoMaintain {
+			return fmt.Errorf("-auto-maintain is a write-path worker; followers replay the leader's rule maintenance instead")
+		}
+		f, err := replica.Open(replica.Options{
+			Dir:             cfg.dbDir,
+			Leader:          leaderAddr,
+			CheckpointBytes: cfg.checkpointBytes,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "iqpd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		f.Start()
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "iqpd: close:", cerr)
+			}
+		}()
+		sys = f.System()
+		opts.LeaderAddr = leaderAddr
+		opts.FollowerStatus = f.Status
+		fmt.Fprintf(os.Stderr, "iqpd: follower of %s (local seq %d)\n", leaderAddr, sys.WalSeq())
+	} else {
+		sys, err = openSystem(cfg)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := sys.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "iqpd: close:", cerr)
+			}
+		}()
+		if cfg.autoMaintain {
+			sys.StartAutoMaintain(induct.Options{Nc: cfg.nc, Workers: cfg.workers})
+		}
+		if !cfg.noInduce {
+			start := time.Now()
+			set, err := sys.Induce(induct.Options{Nc: cfg.nc, Workers: cfg.workers})
+			if err != nil {
+				return fmt.Errorf("startup induction: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "iqpd: induced %d rules in %v (version %d)\n",
+				set.Len(), time.Since(start).Round(time.Millisecond), sys.Version())
+		}
+	}
+
+	srv := server.New(sys, opts)
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           srv.Handler(),

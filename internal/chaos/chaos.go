@@ -55,6 +55,8 @@ type Report struct {
 	Acked      int      // acknowledged mutations across the run
 	Refused    int      // mutations refused by an injected fault
 	Checkpoint int      // explicit checkpoints attempted
+	Kills      int      // follower kill/restarts (replica scenario)
+	Partitions int      // network partitions (replica scenario)
 	Violations []string // invariant breaches; empty means the run passed
 }
 

@@ -31,6 +31,30 @@ func TestShortChaosRun(t *testing.T) {
 	}
 }
 
+// TestShortReplicaChaosRun keeps a bounded slice of the replication
+// chaos scenario in the ordinary test suite: enough cycles to cross
+// follower kills, partitions, and leader checkpoints. The full run is
+// `make chaos`.
+func TestShortReplicaChaosRun(t *testing.T) {
+	rep, err := chaos.RunReplica(t.TempDir(), chaos.ReplicaConfig{
+		Iters: 12,
+		Seed:  1,
+		Logf:  t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Iters != 12 {
+		t.Errorf("completed %d iterations, want 12", rep.Iters)
+	}
+	if rep.Kills == 0 && rep.Partitions == 0 {
+		t.Errorf("run exercised no faults: %+v", rep)
+	}
+}
+
 // TestChaosIsDeterministic replays the same seed twice and expects
 // byte-identical reports — the property that makes a failing seed a
 // reproducible bug report.

@@ -1,0 +1,288 @@
+// Replication chaos: the seeded kill/partition harness for the
+// replicated serving tier. One leader serves its WAL over loopback
+// HTTP; one follower streams it while the harness kills and restarts
+// the follower mid-stream, partitions the network, and forces
+// checkpoint-triggered WAL resets on the leader. After every cycle the
+// follower must reconverge and satisfy the tier's three promises:
+//
+//  1. Durability across the wire: every batch the leader acknowledged
+//     is visible on the follower exactly as committed — kills and
+//     partitions lose nothing.
+//  2. Soundness everywhere: the follower never serves a rule its own
+//     replayed rows contradict, because it replays the same
+//     maintenance records the leader logged.
+//  3. Convergence: leader and follower answer the probe query
+//     identically, at the same snapshot version.
+//
+// Random choices are driven by one seeded source, so a failing run is
+// reproducible from its seed; the waits are condition-based, so timing
+// noise cannot fail a healthy run.
+
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"intensional/internal/answer"
+	"intensional/internal/core"
+	"intensional/internal/induct"
+	"intensional/internal/replica"
+)
+
+// ReplicaConfig parameterises a replication chaos run.
+type ReplicaConfig struct {
+	// Iters is how many write → fault → reconverge cycles to run.
+	Iters int
+	// Seed drives every random choice; the same seed replays the same
+	// schedule of writes, kills, and partitions.
+	Seed int64
+	// Logf, when non-nil, receives per-iteration progress lines.
+	Logf func(format string, args ...any)
+}
+
+// replicaRetain is the leader's in-memory WAL retention for the run:
+// small enough that a follower killed across a burst of writes falls
+// behind it and must exercise the snapshot re-bootstrap path.
+const replicaRetain = 6
+
+// flakyTransport drops every request while down — the network
+// partition between follower and leader.
+type flakyTransport struct {
+	down atomic.Bool
+}
+
+func (t *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if t.down.Load() {
+		return nil, fmt.Errorf("chaos: network partitioned")
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+// RunReplica executes cfg.Iters replication chaos cycles under dir. It
+// returns an error only for harness-level failures (the leader's disk
+// is healthy; a refused leader write is a harness bug here); invariant
+// breaches go in Report.Violations.
+func RunReplica(dir string, cfg ReplicaConfig) (*Report, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 50
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	leaderDir := dir + "/leader"
+	if err := buildFixture(leaderDir); err != nil {
+		return nil, fmt.Errorf("chaos: build fixture: %w", err)
+	}
+	leader, err := core.OpenDurable(leaderDir, core.DurableOptions{
+		CheckpointBytes:   64 << 10,
+		ReplicationRetain: replicaRetain,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: open leader: %w", err)
+	}
+	defer leader.Close() //ilint:allow errdrop — harness teardown; nothing to do about a close failure
+
+	mux := http.NewServeMux()
+	mux.Handle("/replica/wal", replica.WALHandler(leader))
+	mux.Handle("/replica/snapshot", replica.SnapshotHandler(leader))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	net := &flakyTransport{}
+	openFollower := func() (*replica.Follower, error) {
+		f, err := replica.Open(replica.Options{
+			Dir:        dir + "/follower",
+			Leader:     srv.URL,
+			PollWait:   200 * time.Millisecond,
+			RetryDelay: 5 * time.Millisecond,
+			HTTP:       &http.Client{Transport: net},
+			Logf:       logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.Start()
+		return f, nil
+	}
+	f, err := openFollower()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: open follower: %w", err)
+	}
+	defer func() {
+		f.Close() //ilint:allow errdrop — harness teardown
+	}()
+
+	rep := &Report{}
+	markers := &markerSet{present: map[string]bool{}, indet: map[string]bool{}}
+	ctx := context.Background()
+
+	for i := 0; i < cfg.Iters; i++ {
+		// Fault phase: kill the follower process, partition the network,
+		// or leave it streaming — then write on the leader either way, so
+		// every fault overlaps in-flight replication.
+		const (
+			faultNone = iota
+			faultKill
+			faultPartition
+		)
+		fault := faultNone
+		switch rng.Intn(4) {
+		case 0:
+			fault = faultKill
+			rep.Kills++
+			logf("chaos: iter %d: killing the follower mid-stream", i)
+			if err := f.Close(); err != nil {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("iteration %d: follower close: %v", i, err))
+				break
+			}
+		case 1:
+			fault = faultPartition
+			rep.Partitions++
+			logf("chaos: iter %d: partitioning the follower", i)
+			net.down.Store(true)
+		}
+
+		// Write phase: acknowledged leader batches become the ground
+		// truth the reconverged follower is checked against. Bursts can
+		// exceed the leader's retention window, forcing a killed follower
+		// through the snapshot re-bootstrap path when it comes back.
+		steps := 2 + rng.Intn(6)
+		for j := 0; j < steps; j++ {
+			var stmt, marker string
+			var insert bool
+			switch rng.Intn(8) {
+			case 0:
+				// Contradict an induced rule so replicated maintenance has
+				// something to withhold.
+				stmt = fmt.Sprintf(`INSERT INTO CLASS VALUES ('97%02d', 'RChaos-%d-%d', 'SSN', 16600)`, i%100, i, j)
+			case 1:
+				if m := markers.pick(rng); m != "" {
+					marker, insert = m, false
+					stmt = fmt.Sprintf(`DELETE FROM SONAR WHERE Sonar = '%s'`, m)
+					break
+				}
+				fallthrough
+			default:
+				marker, insert = fmt.Sprintf("RC-%d-%d", i, j), true
+				stmt = fmt.Sprintf(`INSERT INTO SONAR VALUES ('%s', 'RChaos')`, marker)
+			}
+			if _, err := leader.ApplyBatch(ctx, []string{stmt}); err != nil {
+				return nil, fmt.Errorf("chaos: iteration %d: leader write refused (healthy disk): %w", i, err)
+			}
+			rep.Acked++
+			if marker != "" {
+				markers.present[marker] = insert
+			}
+		}
+		if rng.Intn(6) == 0 {
+			// Rule maintenance on the leader ships to the follower as a
+			// WAL record like any other write.
+			if _, err := leader.Maintain(ctx, induct.Options{Nc: 3}); err != nil {
+				return nil, fmt.Errorf("chaos: iteration %d: leader maintain: %w", i, err)
+			}
+		}
+		if rng.Intn(5) == 0 {
+			// A leader checkpoint resets its WAL file; follower catch-up
+			// must survive the reset (the retention buffer is independent
+			// of the file).
+			rep.Checkpoint++
+			if err := leader.Checkpoint(); err != nil {
+				return nil, fmt.Errorf("chaos: iteration %d: leader checkpoint: %w", i, err)
+			}
+		}
+
+		// Heal phase: restart the killed follower from its own directory,
+		// or lift the partition.
+		switch fault {
+		case faultKill:
+			if f, err = openFollower(); err != nil {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("iteration %d: follower restart failed: %v", i, err))
+			}
+		case faultPartition:
+			net.down.Store(false)
+		}
+		if len(rep.Violations) > 0 {
+			break
+		}
+
+		// Reconvergence, then the three invariants.
+		target := leader.WalSeq()
+		if !waitApplied(f, target, 20*time.Second) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("iteration %d: follower stuck at seq %d, leader at %d (status %+v)",
+					i, f.System().WalSeq(), target, f.Status()))
+			break
+		}
+		checkMarkers(f.System(), i, markers, rep)
+		checkRules(f.System(), i, rep)
+		checkConverged(leader, f.System(), i, rep)
+		rep.Iters++
+		if len(rep.Violations) > 0 {
+			break
+		}
+	}
+	st := f.Status()
+	logf("chaos: replica run: %d cycles, %d acked, %d kills, %d partitions, %d leader checkpoints, %d bootstraps, %d violations",
+		rep.Iters, rep.Acked, rep.Kills, rep.Partitions, rep.Checkpoint, st.Bootstraps, len(rep.Violations))
+	return rep, nil
+}
+
+// waitApplied blocks until the follower has applied seq or the timeout
+// lapses.
+func waitApplied(f *replica.Follower, seq uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if f.Status().AppliedSeq >= seq {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// replicaProbe is the convergence probe: a join touching both the
+// replicated base relations and the rule-derived intensional answer.
+const replicaProbe = `SELECT SUBMARINE.Id, SUBMARINE.Name, CLASS.Type
+	FROM SUBMARINE, CLASS
+	WHERE SUBMARINE.Class = CLASS.Class`
+
+// checkConverged asserts invariant 3: leader and follower answer the
+// probe identically, at the same snapshot version.
+func checkConverged(leader, follower *core.System, i int, rep *Report) {
+	lr, err := leader.Query(replicaProbe, answer.ForwardOnly)
+	if err != nil {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("iteration %d: leader probe query: %v", i, err))
+		return
+	}
+	fr, err := follower.Query(replicaProbe, answer.ForwardOnly)
+	if err != nil {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("iteration %d: follower probe query: %v", i, err))
+		return
+	}
+	if lr.Version != fr.Version {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("iteration %d: snapshot versions diverge: leader %d, follower %d", i, lr.Version, fr.Version))
+	}
+	if lr.Extensional.String() != fr.Extensional.String() {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("iteration %d: extensional answers diverge", i))
+	}
+	if lr.Intensional.Text() != fr.Intensional.Text() {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("iteration %d: intensional answers diverge:\nleader: %s\nfollower: %s",
+				i, lr.Intensional.Text(), fr.Intensional.Text()))
+	}
+}

@@ -1,0 +1,228 @@
+// Package cluster is the membership seam of the replicated serving
+// tier: who the nodes are, which one leads, and how a process finds
+// that out. The ConfigurationStore interface deliberately stays tiny —
+// load a validated Config — so the backend can grow from a static file
+// (production config management lays the file down, the process reads
+// it at boot) to a coordination service without touching the replica or
+// serving layers. Tests use the in-memory backend.
+//
+// The model is single-leader physical replication: exactly one node
+// accepts writes and streams its WAL; every other node is a follower
+// serving reads from replayed snapshots. There is no election here —
+// the configuration *is* the authority, which matches the static-file
+// deployment this tier targets; a coordinated backend would implement
+// the same interface.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Role is a node's place in the cluster.
+type Role string
+
+const (
+	// RoleLeader accepts writes, runs induction, and streams its WAL.
+	RoleLeader Role = "leader"
+	// RoleFollower replays the leader's WAL and serves reads only.
+	RoleFollower Role = "follower"
+)
+
+// ParseRole validates a role string (as found in flags or config files).
+func ParseRole(s string) (Role, error) {
+	switch Role(strings.ToLower(strings.TrimSpace(s))) {
+	case RoleLeader:
+		return RoleLeader, nil
+	case RoleFollower:
+		return RoleFollower, nil
+	default:
+		return "", fmt.Errorf("cluster: unknown role %q (want %q or %q)", s, RoleLeader, RoleFollower)
+	}
+}
+
+// Node is one cluster member.
+type Node struct {
+	// ID names the node uniquely within the cluster ("iqp-1").
+	ID string `json:"id"`
+	// Addr is the node's base URL as peers reach it
+	// ("http://10.0.0.5:8473").
+	Addr string `json:"addr"`
+	Role Role   `json:"role"`
+}
+
+// Config is one consistent view of cluster membership.
+type Config struct {
+	Nodes []Node `json:"nodes"`
+}
+
+// Validate checks the structural invariants every backend must deliver:
+// at least one node, exactly one leader, unique non-empty IDs, and a
+// non-empty address per node.
+func (c *Config) Validate() error {
+	if c == nil || len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster: configuration has no nodes")
+	}
+	leaders := 0
+	seen := make(map[string]bool, len(c.Nodes))
+	for i, n := range c.Nodes {
+		if n.ID == "" {
+			return fmt.Errorf("cluster: node %d has no id", i)
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("cluster: duplicate node id %q", n.ID)
+		}
+		seen[n.ID] = true
+		if n.Addr == "" {
+			return fmt.Errorf("cluster: node %q has no addr", n.ID)
+		}
+		switch n.Role {
+		case RoleLeader:
+			leaders++
+		case RoleFollower:
+		default:
+			return fmt.Errorf("cluster: node %q has unknown role %q", n.ID, n.Role)
+		}
+	}
+	if leaders != 1 {
+		return fmt.Errorf("cluster: configuration names %d leaders, want exactly 1", leaders)
+	}
+	return nil
+}
+
+// Leader returns the cluster's single leader. The second return is
+// false only for an unvalidated configuration.
+func (c *Config) Leader() (Node, bool) {
+	for _, n := range c.Nodes {
+		if n.Role == RoleLeader {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// Node returns the member with the given ID.
+func (c *Config) Node(id string) (Node, bool) {
+	for _, n := range c.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// ConfigurationStore supplies cluster membership. Implementations
+// return a validated Config; callers treat the result as immutable.
+type ConfigurationStore interface {
+	Load() (*Config, error)
+}
+
+// FileStore reads membership from a JSON file — the production backend
+// for statically configured deployments:
+//
+//	{"nodes": [
+//	  {"id": "iqp-1", "addr": "http://10.0.0.5:8473", "role": "leader"},
+//	  {"id": "iqp-2", "addr": "http://10.0.0.6:8473", "role": "follower"}
+//	]}
+type FileStore struct {
+	Path string
+}
+
+// NewFileStore returns a store reading the JSON config at path.
+func NewFileStore(path string) *FileStore { return &FileStore{Path: path} }
+
+// Load reads and validates the configuration file.
+func (s *FileStore) Load() (*Config, error) {
+	data, err := os.ReadFile(s.Path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: read configuration: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("cluster: parse %s: %w", s.Path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, s.Path)
+	}
+	return &cfg, nil
+}
+
+// MemStore holds membership in memory — the test backend, and the seam
+// a future coordinated backend would slot behind.
+type MemStore struct {
+	mu  sync.Mutex
+	cfg *Config // guarded by mu
+}
+
+// NewMemStore returns a store serving the given configuration.
+func NewMemStore(cfg *Config) *MemStore { return &MemStore{cfg: cfg} }
+
+// Set replaces the served configuration.
+func (s *MemStore) Set(cfg *Config) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg = cfg
+}
+
+// Load validates and returns the current configuration.
+func (s *MemStore) Load() (*Config, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return s.cfg, nil
+}
+
+// Follower consistency states reported in FollowerStatus.State and the
+// follower's /healthz mode.
+const (
+	// StateBootstrapping: fetching or installing a full snapshot.
+	StateBootstrapping = "bootstrapping"
+	// StateCatchingUp: streaming, but behind the leader's WAL position.
+	StateCatchingUp = "catching-up"
+	// StateReady: applied position caught the leader's at the last poll.
+	StateReady = "ready"
+	// StateDisconnected: the last poll failed; serving the last applied
+	// snapshot while retrying.
+	StateDisconnected = "disconnected"
+)
+
+// FollowerStatus is one observation of a follower's replication
+// progress — produced by the replica loop, consumed by the serving
+// layer's /healthz and /metrics.
+type FollowerStatus struct {
+	// State is one of the State* constants.
+	State string
+	// AppliedSeq is the last WAL sequence replayed into the follower's
+	// snapshots; LeaderSeq is the leader's position at the last
+	// successful poll.
+	AppliedSeq, LeaderSeq uint64
+	// Version is the follower's current snapshot version.
+	Version uint64
+	// Bootstraps counts full snapshot installs (initial plus any
+	// catch-up re-bootstraps after falling behind WAL retention).
+	Bootstraps uint64
+	// RecordsApplied counts WAL records replayed since the process
+	// started.
+	RecordsApplied uint64
+	// LastContact is when the leader last answered; zero before the
+	// first successful exchange.
+	LastContact time.Time
+	// LastError describes the most recent replication failure, empty
+	// while healthy.
+	LastError string
+}
+
+// Lag is how many WAL records the follower trails the leader by, as of
+// the last successful poll.
+func (st FollowerStatus) Lag() uint64 {
+	if st.LeaderSeq <= st.AppliedSeq {
+		return 0
+	}
+	return st.LeaderSeq - st.AppliedSeq
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func twoNodes() *Config {
+	return &Config{Nodes: []Node{
+		{ID: "a", Addr: "http://127.0.0.1:1", Role: RoleLeader},
+		{ID: "b", Addr: "http://127.0.0.1:2", Role: RoleFollower},
+	}}
+}
+
+func TestValidateAcceptsOneLeader(t *testing.T) {
+	if err := twoNodes().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  *Config
+		want string
+	}{
+		{"empty", &Config{}, "no nodes"},
+		{"nil", nil, "no nodes"},
+		{"two leaders", &Config{Nodes: []Node{
+			{ID: "a", Addr: "x", Role: RoleLeader},
+			{ID: "b", Addr: "y", Role: RoleLeader},
+		}}, "2 leaders"},
+		{"no leader", &Config{Nodes: []Node{
+			{ID: "a", Addr: "x", Role: RoleFollower},
+		}}, "0 leaders"},
+		{"duplicate id", &Config{Nodes: []Node{
+			{ID: "a", Addr: "x", Role: RoleLeader},
+			{ID: "a", Addr: "y", Role: RoleFollower},
+		}}, "duplicate"},
+		{"missing addr", &Config{Nodes: []Node{
+			{ID: "a", Addr: "", Role: RoleLeader},
+		}}, "no addr"},
+		{"bad role", &Config{Nodes: []Node{
+			{ID: "a", Addr: "x", Role: "observer"},
+		}}, "unknown role"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLeaderAndNodeLookup(t *testing.T) {
+	cfg := twoNodes()
+	ld, ok := cfg.Leader()
+	if !ok || ld.ID != "a" {
+		t.Fatalf("Leader() = %+v, %v; want node a", ld, ok)
+	}
+	n, ok := cfg.Node("b")
+	if !ok || n.Role != RoleFollower {
+		t.Fatalf("Node(b) = %+v, %v", n, ok)
+	}
+	if _, ok := cfg.Node("zzz"); ok {
+		t.Fatal("Node(zzz) found a ghost member")
+	}
+}
+
+func TestFileStoreRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	data := `{"nodes":[
+		{"id":"iqp-1","addr":"http://10.0.0.5:8473","role":"leader"},
+		{"id":"iqp-2","addr":"http://10.0.0.6:8473","role":"follower"}
+	]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := NewFileStore(path).Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(cfg.Nodes) != 2 {
+		t.Fatalf("loaded %d nodes, want 2", len(cfg.Nodes))
+	}
+	ld, _ := cfg.Leader()
+	if ld.Addr != "http://10.0.0.5:8473" {
+		t.Fatalf("leader addr = %q", ld.Addr)
+	}
+}
+
+func TestFileStoreRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	if err := os.WriteFile(path, []byte(`{"nodes":[{"id":"a","addr":"x","role":"follower"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileStore(path).Load(); err == nil {
+		t.Fatal("Load accepted a leaderless configuration")
+	}
+	if _, err := NewFileStore(filepath.Join(t.TempDir(), "missing.json")).Load(); err == nil {
+		t.Fatal("Load accepted a missing file")
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	st := NewMemStore(twoNodes())
+	cfg, err := st.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, ok := cfg.Leader(); !ok {
+		t.Fatal("no leader in loaded config")
+	}
+	st.Set(&Config{Nodes: []Node{{ID: "solo", Addr: "x", Role: RoleLeader}}})
+	cfg, err = st.Load()
+	if err != nil || len(cfg.Nodes) != 1 {
+		t.Fatalf("after Set: %+v, %v", cfg, err)
+	}
+}
+
+func TestParseRole(t *testing.T) {
+	if r, err := ParseRole(" Leader "); err != nil || r != RoleLeader {
+		t.Fatalf("ParseRole(Leader) = %v, %v", r, err)
+	}
+	if _, err := ParseRole("observer"); err == nil {
+		t.Fatal("ParseRole accepted observer")
+	}
+}
+
+func TestFollowerStatusLag(t *testing.T) {
+	if got := (FollowerStatus{LeaderSeq: 10, AppliedSeq: 7}).Lag(); got != 3 {
+		t.Fatalf("Lag = %d, want 3", got)
+	}
+	if got := (FollowerStatus{LeaderSeq: 5, AppliedSeq: 9}).Lag(); got != 0 {
+		t.Fatalf("Lag clamps at 0, got %d", got)
+	}
+}

@@ -56,20 +56,40 @@ const (
 	pointCheckpointSaved = "checkpoint.saved"
 )
 
-// walRecord is the JSON payload of one WAL entry: a statement batch
-// applied atomically. Seq is the record's position in the log's commit
-// order, compared against the saved directory's walseq.json on replay;
-// records at or below the saved sequence are already in the catalog and
-// are skipped.
+// walRecord is the JSON payload of one WAL entry. Seq is the record's
+// position in the log's commit order, compared against the saved
+// directory's walseq.json on replay; records at or below the saved
+// sequence are already in the catalog and are skipped. Kind selects the
+// payload: the zero kind is a statement batch applied atomically
+// (Stmts), and walKindRules is a rule-set install (Rules) — logging
+// both means every snapshot version a durable system installs is one
+// WAL record, which is what lets followers replay their way to the
+// leader's exact version numbers.
 type walRecord struct {
-	Seq   uint64   `json:"seq"`
-	Stmts []string `json:"stmts"`
+	Seq   uint64    `json:"seq"`
+	Kind  string    `json:"kind,omitempty"`
+	Stmts []string  `json:"stmts,omitempty"`
+	Rules []relWire `json:"rules,omitempty"`
+}
+
+// decodeWalRecord parses one WAL payload.
+func decodeWalRecord(payload []byte) (walRecord, error) {
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return walRecord{}, fmt.Errorf("core: decode wal record: %w", err)
+	}
+	return rec, nil
 }
 
 // walPath returns the log location for a database directory: a sibling
 // file, never inside the directory, because checkpointing replaces the
 // whole directory atomically and must not unlink the open log.
 func walPath(dir string) string { return filepath.Clean(dir) + ".wal" }
+
+// WALPath returns the write-ahead log location OpenDurable uses for a
+// database directory — exported so the replica layer can place or
+// remove a follower's log alongside its directory.
+func WALPath(dir string) string { return walPath(dir) }
 
 // ErrNotDurable is returned by Checkpoint on a system opened without a
 // write-ahead log.
@@ -108,6 +128,15 @@ type DurableOptions struct {
 	// system to read-only degraded mode (a poisoned log flips it
 	// immediately). Zero means the default of 3.
 	DegradeAfter int
+	// Follower opens the system as a follower replica: local writes are
+	// refused with ErrNotLeader, and state advances only through
+	// ReplayRecord and InstallBootstrap.
+	Follower bool
+	// ReplicationRetain bounds how many committed WAL records the system
+	// keeps in memory for followers to stream (the buffer survives
+	// checkpoints' log resets). Zero means a default of 1024; followers
+	// further behind than the buffer re-bootstrap from a snapshot.
+	ReplicationRetain int
 }
 
 // OpenDurable opens a database directory like Open and attaches the
@@ -149,15 +178,27 @@ func OpenDurable(dir string, o DurableOptions) (*System, error) {
 	if o.DegradeAfter > 0 {
 		s.degradeAfter = o.DegradeAfter
 	}
-	savedSeq, err := readWalSeq(dir)
+	s.follower = o.Follower
+	s.replRetain = o.ReplicationRetain
+	if s.replRetain == 0 {
+		s.replRetain = defaultReplicationRetain
+	}
+	savedSeq, savedVersion, err := readWalSeq(dir)
 	if err != nil {
 		return nil, err
+	}
+	if cur := s.current(); savedVersion > cur.version {
+		// Restamp the base snapshot with the version the checkpoint
+		// recorded, so version numbers stay monotone across restarts and
+		// a follower replaying this log lands on the leader's numbers.
+		s.install(newSnapshot(savedVersion, cur.cat, cur.d))
 	}
 	log, entries, err := wal.OpenFS(s.fs, walPath(dir))
 	if err != nil {
 		return nil, err
 	}
 	s.walSeq = savedSeq
+	var replayed []ReplRecord
 	for i, payload := range entries {
 		var rec walRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
@@ -167,7 +208,7 @@ func OpenDurable(dir string, o DurableOptions) (*System, error) {
 		if rec.Seq != 0 && rec.Seq <= savedSeq {
 			continue // already contained in the checkpointed catalog
 		}
-		sn, _, err := applyStmts(s.current(), rec.Stmts)
+		sn, err := replaySnapshot(s.current(), rec)
 		if err != nil {
 			cerr := log.Close()
 			return nil, fmt.Errorf("core: replay wal entry %d: %w (close: %v)", i, err, cerr)
@@ -176,7 +217,19 @@ func OpenDurable(dir string, o DurableOptions) (*System, error) {
 		if rec.Seq > s.walSeq {
 			s.walSeq = rec.Seq
 		}
+		if rec.Seq != 0 {
+			replayed = append(replayed, ReplRecord{Seq: rec.Seq, Payload: payload})
+		}
 	}
+	if n := s.replRetain; len(replayed) > n {
+		replayed = replayed[len(replayed)-n:]
+	}
+	// Re-seed the retention buffer so followers resume streaming across
+	// a leader restart without re-bootstrapping.
+	s.replMu.Lock()
+	s.replBuf = replayed
+	s.replMu.Unlock()
+	s.appliedSeq.Store(s.walSeq)
 	s.log = log
 	s.dir = dir
 	s.checkpointBytes = o.CheckpointBytes
@@ -187,6 +240,10 @@ func OpenDurable(dir string, o DurableOptions) (*System, error) {
 type ApplyResult struct {
 	// Version is the snapshot the batch installed.
 	Version uint64
+	// Seq is the WAL sequence the batch committed at, zero on a
+	// non-durable system. It is the basis of the read-your-writes token:
+	// a replica that has applied Seq serves this write.
+	Seq uint64
 	// Mutations holds the per-statement effects, in batch order.
 	Mutations []*query.Mutation
 	// Stale and Refinable count the rules in each state after the batch
@@ -237,6 +294,9 @@ func (s *System) ApplyBatch(ctx context.Context, stmts []string) (*ApplyResult, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if s.follower {
+		return nil, ErrNotLeader
+	}
 	if st := s.degraded.Load(); st != nil {
 		return nil, fmt.Errorf("%w (%s)", ErrReadOnly, st.Reason)
 	}
@@ -248,6 +308,7 @@ func (s *System) ApplyBatch(ctx context.Context, stmts []string) (*ApplyResult, 
 	if err := fault.Hit(s.fs, pointExecuted); err != nil {
 		return nil, err
 	}
+	var committed []byte
 	if s.log != nil {
 		payload, err := json.Marshal(walRecord{Seq: s.walSeq + 1, Stmts: stmts})
 		if err != nil {
@@ -265,13 +326,17 @@ func (s *System) ApplyBatch(ctx context.Context, stmts []string) (*ApplyResult, 
 		}
 		s.walFails = 0
 		s.walSeq++
+		committed = payload
 	}
 	if err := fault.Hit(s.fs, pointLogged); err != nil {
 		return nil, err
 	}
 	s.install(sn)
+	if committed != nil {
+		s.replicate(s.walSeq, committed)
+	}
 
-	res := &ApplyResult{Version: sn.version, Mutations: muts}
+	res := &ApplyResult{Version: sn.version, Seq: s.walSeq, Mutations: muts}
 	res.Stale, res.Refinable = sn.maint.Counts()
 	if res.Stale > 0 {
 		s.kickAutoMaintain()
@@ -369,6 +434,36 @@ func (s *System) checkpointLocked() error {
 	return nil
 }
 
+// logRulesLocked commits a rule-set install to the WAL as a
+// walKindRules record — the rule-base counterpart of ApplyBatch's
+// commit point, so induced and maintained rules survive a crash and
+// ship to followers. Caller holds wmu, installs the snapshot only after
+// this returns nil, and then offers the returned payload to followers
+// with replicate (after the install, so sequence waiters never observe
+// a sequence ahead of the serving snapshot).
+//
+//ilint:locked wmu
+func (s *System) logRulesLocked(set *rules.Set) ([]byte, error) {
+	wires, err := encodeRules(set)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(walRecord{Seq: s.walSeq + 1, Kind: walKindRules, Rules: wires})
+	if err != nil {
+		return nil, fmt.Errorf("core: encode rules record: %w", err)
+	}
+	if err := s.log.Append(payload); err != nil {
+		s.noteAppendFailure(err)
+		if s.log.Poisoned() != nil {
+			return nil, fmt.Errorf("%w: %v", ErrLogIndeterminate, err)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrLogFailed, err)
+	}
+	s.walFails = 0
+	s.walSeq++
+	return payload, nil
+}
+
 // WalSize returns the write-ahead log's size in bytes, or 0 when the
 // system is not durable — the quantity the auto-checkpoint threshold
 // and the metrics endpoint report.
@@ -429,6 +524,9 @@ type MaintainResult struct {
 // re-induced intervals were fit to) and Maintain retries against the
 // new snapshot. ctx cancels the pass between stages.
 func (s *System) Maintain(ctx context.Context, opts induct.Options) (*MaintainResult, error) {
+	if s.follower {
+		return nil, ErrNotLeader
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -497,10 +595,21 @@ func (s *System) Maintain(ctx context.Context, opts induct.Options) (*MaintainRe
 			s.wmu.Unlock()
 			continue
 		}
+		var committed []byte
+		if s.log != nil {
+			committed, err = s.logRulesLocked(merged)
+			if err != nil {
+				s.wmu.Unlock()
+				return nil, err
+			}
+		}
 		sn := newSnapshot(cur.version+1, cat, d)
 		sn.full = merged
 		sn.maint = maintain.NewState()
 		s.install(sn)
+		if committed != nil {
+			s.replicate(s.walSeq, committed)
+		}
 		s.wmu.Unlock()
 		res.Version = sn.version
 		return res, nil

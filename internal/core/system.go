@@ -83,6 +83,21 @@ type System struct {
 	// between a checkpoint's save and its log reset.
 	walSeq uint64 // guarded by wmu
 
+	// Replication state (see replica.go). follower and replRetain are
+	// set by OpenDurable before sharing, immutable afterwards. replBuf
+	// is the in-memory retention window followers stream from; it is
+	// appended under wmu in commit order but read by ReplicationBatch
+	// without it, hence its own lock. appliedSeq mirrors walSeq for
+	// lock-free readers, and seqCh is the watch channel WaitForSeq
+	// parks on — closed and replaced on every advance.
+	follower   bool
+	replRetain int
+	replMu     sync.Mutex
+	replBuf    []ReplRecord // guarded by replMu
+	appliedSeq atomic.Uint64
+	seqMu      sync.Mutex
+	seqCh      chan struct{} // guarded by seqMu
+
 	// Eager-maintenance worker lifecycle (StartAutoMaintain).
 	amu      sync.Mutex
 	autoKick chan struct{} // guarded by amu
@@ -161,6 +176,7 @@ func New(cat *storage.Catalog, d *dict.Dictionary) *System {
 		fs:           fault.OS,
 		clock:        fault.Wall,
 		degradeAfter: defaultDegradeAfter,
+		seqCh:        make(chan struct{}),
 	}
 	s.wire(sn)
 	return s
@@ -218,6 +234,9 @@ func (s *System) InduceContext(ctx context.Context, opts induct.Options) (*rules
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if s.follower {
+		return nil, ErrNotLeader
+	}
 	cur := s.current()
 	cat := cur.cat.Clone()
 	d := dict.New(cat)
@@ -238,7 +257,16 @@ func (s *System) InduceContext(ctx context.Context, opts induct.Options) (*rules
 	if err := d.StoreRules(); err != nil {
 		return nil, err
 	}
+	var committed []byte
+	if s.log != nil {
+		if committed, err = s.logRulesLocked(set); err != nil {
+			return nil, err
+		}
+	}
 	s.install(newSnapshot(cur.version+1, cat, d))
+	if committed != nil {
+		s.replicate(s.walSeq, committed)
+	}
 	return set, nil
 }
 
@@ -351,27 +379,34 @@ const declsFile = "dictionary.json"
 // recognised and skipped instead of double-applied.
 const walSeqFile = "walseq.json"
 
-// walSeqRecord is the JSON shape of walSeqFile.
+// walSeqRecord is the JSON shape of walSeqFile. Version records the
+// snapshot version the directory holds, so a reopened system resumes
+// numbering where it left off instead of restarting at 1 — the property
+// that keeps a leader's version numbers aligned with its followers'
+// across restarts. Zero (files written before the field existed) means
+// "whatever Open assigns".
 type walSeqRecord struct {
-	Seq uint64 `json:"seq"`
+	Seq     uint64 `json:"seq"`
+	Version uint64 `json:"version,omitempty"`
 }
 
-// readWalSeq loads the directory's checkpointed WAL sequence; a missing
-// file (a directory saved by a non-durable system, or predating the
-// format) means nothing is recorded as applied.
-func readWalSeq(dir string) (uint64, error) {
+// readWalSeq loads the directory's checkpointed WAL sequence and
+// snapshot version; a missing file (a directory saved by a non-durable
+// system, or predating the format) means nothing is recorded as
+// applied.
+func readWalSeq(dir string) (seq, version uint64, err error) {
 	data, err := os.ReadFile(filepath.Join(dir, walSeqFile))
 	if os.IsNotExist(err) {
-		return 0, nil
+		return 0, 0, nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("core: read wal sequence: %w", err)
+		return 0, 0, fmt.Errorf("core: read wal sequence: %w", err)
 	}
 	var rec walSeqRecord
 	if err := json.Unmarshal(data, &rec); err != nil {
-		return 0, fmt.Errorf("core: parse %s: %w", walSeqFile, err)
+		return 0, 0, fmt.Errorf("core: parse %s: %w", walSeqFile, err)
 	}
-	return rec.Seq, nil
+	return rec.Seq, rec.Version, nil
 }
 
 // Save writes the database, its rule relations, and the dictionary
@@ -442,7 +477,7 @@ func (s *System) saveLocked(dir string) error {
 		if err := s.fs.WriteFile(filepath.Join(tmp, declsFile), data, 0o644); err != nil {
 			return fmt.Errorf("core: save declarations: %w", err)
 		}
-		seq, err := json.Marshal(walSeqRecord{Seq: s.walSeq})
+		seq, err := json.Marshal(walSeqRecord{Seq: s.walSeq, Version: sn.version})
 		if err != nil {
 			return fmt.Errorf("core: encode wal sequence: %w", err)
 		}

@@ -1,0 +1,415 @@
+// Package replica implements the follower side of the replicated
+// serving tier, plus both ends of the replication wire protocol.
+//
+// The protocol is two HTTP endpoints on the leader, both stdlib-only:
+//
+//	GET /replica/wal?after=N&wait=S&max=M
+//	    Long-poll for WAL records with sequence > N. Returns a JSON
+//	    WalBatch; 410 Gone when N is below the leader's retention
+//	    window (bootstrap from a snapshot instead).
+//	GET /replica/snapshot
+//	    A full BootstrapArchive of the leader's current state.
+//
+// A Follower owns a follower-mode core.System backed by its own
+// directory and WAL: records replay through the same machinery crash
+// recovery uses, so a follower restart resumes from local state and
+// fetches only the delta. The replication loop is: poll, replay each
+// record, re-bootstrap from a snapshot whenever the stream reports a
+// gap (410 from the leader, ErrSnapshotNeeded from replay) — which is
+// also how a brand-new follower starts, since its empty local state is
+// maximally behind.
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"intensional/internal/cluster"
+	"intensional/internal/core"
+	"intensional/internal/dict"
+	"intensional/internal/storage"
+)
+
+// WalBatch is the /replica/wal response: the records shipped (possibly
+// none, when the poll window closed quietly) and the leader's committed
+// WAL sequence at reply time, which is what followers report lag
+// against.
+type WalBatch struct {
+	Records []core.ReplRecord `json:"records"`
+	Seq     uint64            `json:"seq"`
+}
+
+// Protocol limits enforced by the leader-side handlers.
+const (
+	// maxPollWait caps how long one /replica/wal request may park.
+	maxPollWait = 55 * time.Second
+	// maxBatchRecords caps records per reply.
+	maxBatchRecords = 1024
+)
+
+// WALHandler serves GET /replica/wal from a leader system.
+func WALHandler(sys *core.System) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !sys.Durable() || sys.Follower() {
+			http.Error(w, "replication requires a durable leader", http.StatusServiceUnavailable)
+			return
+		}
+		q := r.URL.Query()
+		after, err := strconv.ParseUint(q.Get("after"), 10, 64)
+		if q.Get("after") != "" && err != nil {
+			http.Error(w, "bad after parameter", http.StatusBadRequest)
+			return
+		}
+		var wait time.Duration
+		if s := q.Get("wait"); s != "" {
+			secs, err := strconv.ParseFloat(s, 64)
+			if err != nil || secs < 0 {
+				http.Error(w, "bad wait parameter", http.StatusBadRequest)
+				return
+			}
+			wait = time.Duration(secs * float64(time.Second))
+			if wait > maxPollWait {
+				wait = maxPollWait
+			}
+		}
+		max := 256
+		if s := q.Get("max"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad max parameter", http.StatusBadRequest)
+				return
+			}
+			if n > maxBatchRecords {
+				n = maxBatchRecords
+			}
+			max = n
+		}
+		recs, seq, err := sys.ReplicationBatch(r.Context(), after, wait, max)
+		switch {
+		case errors.Is(err, core.ErrSnapshotNeeded):
+			http.Error(w, err.Error(), http.StatusGone)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(WalBatch{Records: recs, Seq: seq}); err != nil {
+			// The response is already streaming; nothing to salvage.
+			return
+		}
+	})
+}
+
+// SnapshotHandler serves GET /replica/snapshot from a leader system.
+func SnapshotHandler(sys *core.System) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sys.Follower() {
+			http.Error(w, "snapshots come from the leader", http.StatusServiceUnavailable)
+			return
+		}
+		a, err := sys.BootstrapArchive()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(a); err != nil {
+			return
+		}
+	})
+}
+
+// Client is the follower side of the wire protocol.
+type Client struct {
+	// Base is the leader's base URL ("http://10.0.0.5:8473").
+	Base string
+	// HTTP is the transport; nil means a client with no overall timeout
+	// (long polls park by design — per-call contexts bound them).
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(ctx context.Context, path string, query url.Values, out any) error {
+	u := c.Base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //ilint:allow errdrop — response body; decode/read errors are reported below
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return json.NewDecoder(resp.Body).Decode(out)
+	case http.StatusGone:
+		return core.ErrSnapshotNeeded
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512)) //ilint:allow errdrop — best-effort error-body excerpt; the status is the error
+		return fmt.Errorf("replica: leader returned %s: %s", resp.Status, body)
+	}
+}
+
+// Poll long-polls the leader for records with sequence > after.
+func (c *Client) Poll(ctx context.Context, after uint64, wait time.Duration, max int) (*WalBatch, error) {
+	q := url.Values{}
+	q.Set("after", strconv.FormatUint(after, 10))
+	if wait > 0 {
+		q.Set("wait", strconv.FormatFloat(wait.Seconds(), 'f', -1, 64))
+	}
+	if max > 0 {
+		q.Set("max", strconv.Itoa(max))
+	}
+	var b WalBatch
+	if err := c.get(ctx, "/replica/wal", q, &b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Snapshot fetches a full bootstrap archive from the leader.
+func (c *Client) Snapshot(ctx context.Context) (*core.BootstrapArchive, error) {
+	var a core.BootstrapArchive
+	if err := c.get(ctx, "/replica/snapshot", nil, &a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// Options configure a Follower.
+type Options struct {
+	// Dir is the follower's own database directory (created empty if
+	// missing); its WAL lives alongside at core.WALPath(Dir).
+	Dir string
+	// Leader is the leader's base URL.
+	Leader string
+	// CheckpointBytes forwards to core.DurableOptions.
+	CheckpointBytes int64
+	// PollWait is the long-poll window per request. Zero means 20s.
+	PollWait time.Duration
+	// RetryDelay is how long the loop sleeps after a failed exchange
+	// before retrying. Zero means 1s.
+	RetryDelay time.Duration
+	// HTTP overrides the transport (tests inject partitions here).
+	HTTP *http.Client
+	// Logf, when non-nil, receives replication loop events.
+	Logf func(format string, args ...any)
+}
+
+// Follower runs the replication loop over a follower-mode System.
+type Follower struct {
+	sys    *core.System
+	client *Client
+	opts   Options
+
+	mu     sync.Mutex
+	status cluster.FollowerStatus // guarded by mu
+
+	// needBoot forces the first exchange to bootstrap. A follower at WAL
+	// position 0 cannot prove its base state matches the leader's seq-0
+	// state (a blank directory and a checkpoint both sit at 0), and the
+	// stream is only sound when positions refer to the same history — so
+	// position 0 always starts from a snapshot.
+	needBoot atomic.Bool
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Open opens (creating if absent) the follower's local database and
+// returns a Follower ready to Start. The returned follower's System
+// serves reads immediately — from whatever state the directory already
+// holds — while the loop catches up.
+func Open(o Options) (*Follower, error) {
+	if o.Dir == "" || o.Leader == "" {
+		return nil, fmt.Errorf("replica: Dir and Leader are required")
+	}
+	if o.PollWait <= 0 {
+		o.PollWait = 20 * time.Second
+	}
+	if o.RetryDelay <= 0 {
+		o.RetryDelay = time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	if _, err := os.Stat(o.Dir); os.IsNotExist(err) {
+		if err := os.MkdirAll(filepath.Dir(o.Dir), 0o755); err != nil {
+			return nil, fmt.Errorf("replica: create data directory: %w", err)
+		}
+		cat := storage.NewCatalog()
+		if err := core.New(cat, dict.New(cat)).Save(o.Dir); err != nil {
+			return nil, fmt.Errorf("replica: initialise %s: %w", o.Dir, err)
+		}
+	}
+	sys, err := core.OpenDurable(o.Dir, core.DurableOptions{
+		Follower:        true,
+		CheckpointBytes: o.CheckpointBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &Follower{
+		sys:    sys,
+		client: &Client{Base: o.Leader, HTTP: o.HTTP},
+		opts:   o,
+	}
+	f.needBoot.Store(sys.WalSeq() == 0)
+	f.setStatus(func(st *cluster.FollowerStatus) {
+		st.State = cluster.StateCatchingUp
+		st.AppliedSeq = sys.WalSeq()
+		st.Version = sys.Version()
+	})
+	return f, nil
+}
+
+// System returns the follower's serving system.
+func (f *Follower) System() *core.System { return f.sys }
+
+// Status returns the latest replication observation.
+func (f *Follower) Status() cluster.FollowerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.status
+}
+
+func (f *Follower) setStatus(update func(*cluster.FollowerStatus)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	update(&f.status)
+}
+
+// Start launches the replication loop. Call Stop to halt it.
+func (f *Follower) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	f.done = make(chan struct{})
+	go f.run(ctx)
+}
+
+// Stop halts the replication loop (aborting an in-flight poll) and
+// waits for it to exit. The System keeps serving its last state.
+func (f *Follower) Stop() {
+	if f.cancel == nil {
+		return
+	}
+	f.cancel()
+	<-f.done
+	f.cancel = nil
+}
+
+// Close stops the loop and closes the local system.
+func (f *Follower) Close() error {
+	f.Stop()
+	return f.sys.Close()
+}
+
+func (f *Follower) run(ctx context.Context) {
+	defer close(f.done)
+	for ctx.Err() == nil {
+		if err := f.exchange(ctx); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			f.setStatus(func(st *cluster.FollowerStatus) {
+				st.State = cluster.StateDisconnected
+				st.LastError = err.Error()
+			})
+			f.opts.Logf("replica: %v (retrying in %s)", err, f.opts.RetryDelay)
+			select {
+			case <-time.After(f.opts.RetryDelay):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// exchange runs one protocol step: poll for records and replay them,
+// falling back to a snapshot bootstrap when the stream has a gap.
+func (f *Follower) exchange(ctx context.Context) error {
+	if f.needBoot.Load() {
+		return f.bootstrap(ctx)
+	}
+	batch, err := f.client.Poll(ctx, f.sys.WalSeq(), f.opts.PollWait, 0)
+	if errors.Is(err, core.ErrSnapshotNeeded) {
+		return f.bootstrap(ctx)
+	}
+	if err != nil {
+		return err
+	}
+	for _, rec := range batch.Records {
+		err := f.sys.ReplayRecord(rec.Seq, rec.Payload)
+		if errors.Is(err, core.ErrSnapshotNeeded) {
+			return f.bootstrap(ctx)
+		}
+		if err != nil {
+			return fmt.Errorf("replay record %d: %w", rec.Seq, err)
+		}
+		f.setStatus(func(st *cluster.FollowerStatus) { st.RecordsApplied++ })
+	}
+	f.observe(batch.Seq)
+	return nil
+}
+
+// bootstrap installs a full snapshot from the leader — the initial sync
+// for an empty follower and the catch-up path after falling behind the
+// leader's retention window.
+func (f *Follower) bootstrap(ctx context.Context) error {
+	f.setStatus(func(st *cluster.FollowerStatus) { st.State = cluster.StateBootstrapping })
+	f.opts.Logf("replica: bootstrapping from snapshot (local seq %d)", f.sys.WalSeq())
+	a, err := f.client.Snapshot(ctx)
+	if err != nil {
+		return fmt.Errorf("fetch snapshot: %w", err)
+	}
+	if err := f.sys.InstallBootstrap(a); err != nil {
+		return fmt.Errorf("install snapshot: %w", err)
+	}
+	f.setStatus(func(st *cluster.FollowerStatus) { st.Bootstraps++ })
+	f.needBoot.Store(false)
+	f.observe(a.Seq)
+	f.opts.Logf("replica: bootstrapped at seq %d version %d", a.Seq, a.Version)
+	return nil
+}
+
+// observe records a successful exchange against the leader's reported
+// position.
+func (f *Follower) observe(leaderSeq uint64) {
+	applied := f.sys.WalSeq()
+	f.setStatus(func(st *cluster.FollowerStatus) {
+		st.AppliedSeq = applied
+		if leaderSeq > st.LeaderSeq || leaderSeq >= applied {
+			st.LeaderSeq = leaderSeq
+		}
+		st.Version = f.sys.Version()
+		st.LastContact = time.Now()
+		st.LastError = ""
+		if st.AppliedSeq >= st.LeaderSeq {
+			st.State = cluster.StateReady
+		} else {
+			st.State = cluster.StateCatchingUp
+		}
+	})
+}

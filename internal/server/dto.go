@@ -14,6 +14,11 @@ type queryRequest struct {
 	// "extensional", "intensional", "combined" (default), "forward",
 	// or "backward".
 	Mode string `json:"mode"`
+	// Token is a read-your-writes token from an earlier mutate response
+	// ("w<seq>"). The query waits until this node has applied that WAL
+	// sequence before reading; 504 if it does not arrive in time. On the
+	// leader the wait is trivially satisfied.
+	Token string `json:"token,omitempty"`
 }
 
 // explainRequest is the POST /explain body.
@@ -82,12 +87,36 @@ type systemJSON struct {
 	StaleByRelationship map[string]int `json:"staleByRelationship,omitempty"`
 	Durable             bool           `json:"durable"`
 	WalBytes            int64          `json:"walBytes"`
-	AutoMaintainRuns    uint64         `json:"autoMaintainRuns"`
-	AutoMaintainErrs    uint64         `json:"autoMaintainErrs"`
+	// WalSeq is the durable WAL sequence this node has applied — on the
+	// leader the last committed batch, on a follower the last replayed
+	// record. Equal sequences imply identical snapshots.
+	WalSeq           uint64 `json:"walSeq,omitempty"`
+	AutoMaintainRuns uint64 `json:"autoMaintainRuns"`
+	AutoMaintainErrs uint64 `json:"autoMaintainErrs"`
 	// Degraded reports read-only degraded mode: mutations refused with
 	// 503 while queries keep serving from the last good snapshot.
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degradedReason,omitempty"`
+}
+
+// replicationJSON is the replication section of /healthz and /metrics:
+// the node's role and durable WAL position on every durable node, plus
+// the follower loop's state, lag, and error surface on followers.
+type replicationJSON struct {
+	Role   string `json:"role"`
+	WalSeq uint64 `json:"walSeq"`
+	// LeaderAddr is where writes go; set on followers.
+	LeaderAddr string `json:"leaderAddr,omitempty"`
+	// State is one of the cluster.State* constants (follower only).
+	State string `json:"state,omitempty"`
+	// LeaderSeq and Lag position this follower against the leader's WAL
+	// as of the last successful poll.
+	LeaderSeq      uint64 `json:"leaderSeq,omitempty"`
+	Lag            uint64 `json:"lag,omitempty"`
+	Bootstraps     uint64 `json:"bootstraps,omitempty"`
+	RecordsApplied uint64 `json:"recordsApplied,omitempty"`
+	LastContact    string `json:"lastContact,omitempty"`
+	LastError      string `json:"lastError,omitempty"`
 }
 
 // mutateRequest is the POST /mutate body: either one statement in sql
@@ -115,7 +144,12 @@ type mutateResponse struct {
 	Refinable    int            `json:"refinable"`
 	Checkpointed bool           `json:"checkpointed,omitempty"`
 	WalBytes     int64          `json:"walBytes"`
-	Warning      string         `json:"warning,omitempty"`
+	// WalSeq is the durable WAL sequence this batch committed at; Token
+	// is its read-your-writes form ("w<seq>") — pass it as a /query token
+	// on any replica to wait for this write to be visible there.
+	WalSeq  uint64 `json:"walSeq,omitempty"`
+	Token   string `json:"token,omitempty"`
+	Warning string `json:"warning,omitempty"`
 }
 
 type rulesResponse struct {
@@ -142,8 +176,11 @@ type ruleJSON struct {
 
 type healthzResponse struct {
 	OK bool `json:"ok"`
-	// Mode is "ok" or "degraded:read-only". The process stays live (OK
-	// true) while degraded: queries serve, mutations are refused.
+	// Mode is "ok", "degraded:read-only", or — on a follower — the
+	// replication state prefixed "follower:" ("follower:ready",
+	// "follower:catching-up", ...). The process stays live (OK true)
+	// while degraded or catching up: queries serve from the last
+	// applied snapshot.
 	Mode           string `json:"mode"`
 	Version        uint64 `json:"version"`
 	Relations      int    `json:"relations"`
@@ -153,6 +190,10 @@ type healthzResponse struct {
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degradedReason,omitempty"`
 	DegradedSince  string `json:"degradedSince,omitempty"`
+	// WalSeq is the durable WAL sequence this node has applied.
+	WalSeq uint64 `json:"walSeq,omitempty"`
+	// Replication reports the node's role and follower progress.
+	Replication *replicationJSON `json:"replication,omitempty"`
 }
 
 // relationJSON is the wire form of an extensional answer. Cells are

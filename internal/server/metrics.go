@@ -81,6 +81,9 @@ type metricsJSON struct {
 	System  systemJSON  `json:"system"`
 	Server  serverJSON  `json:"server"`
 	Planner plannerJSON `json:"planner"`
+	// Replication is present on durable nodes: role, WAL position, and
+	// follower streaming progress.
+	Replication *replicationJSON `json:"replication,omitempty"`
 }
 
 // snapshot copies the registry into its wire form. encoding/json sorts

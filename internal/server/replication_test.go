@@ -1,0 +1,245 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"intensional/internal/core"
+	"intensional/internal/induct"
+	"intensional/internal/replica"
+	"intensional/internal/server"
+	"intensional/internal/shipdb"
+)
+
+// openLeader stands up a durable leader (ship test bed, rules induced)
+// serving the full API including the replication endpoints.
+func openLeader(t *testing.T) (*core.System, *httptest.Server) {
+	t.Helper()
+	cat := shipdb.Catalog()
+	d, err := shipdb.Dictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir() + "/leader"
+	if err := core.New(cat, d).Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	if _, err := sys.Induce(induct.Options{Nc: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(sys, server.Options{}).Handler())
+	t.Cleanup(ts.Close)
+	return sys, ts
+}
+
+// openFollowerServer starts a replica.Follower streaming from leaderURL
+// and serves it through a full server.Handler with the follower options
+// wired. opts.LeaderAddr and opts.FollowerStatus are filled in.
+func openFollowerServer(t *testing.T, leaderURL string, opts server.Options) (*replica.Follower, *httptest.Server) {
+	t.Helper()
+	f, err := replica.Open(replica.Options{
+		Dir:        t.TempDir() + "/follower",
+		Leader:     leaderURL,
+		PollWait:   time.Second,
+		RetryDelay: 10 * time.Millisecond,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	f.Start()
+	opts.LeaderAddr = leaderURL
+	opts.FollowerStatus = f.Status
+	ts := httptest.NewServer(server.New(f.System(), opts).Handler())
+	t.Cleanup(ts.Close)
+	return f, ts
+}
+
+// healthzProbe mirrors the healthz fields these tests assert on.
+type healthzProbe struct {
+	OK          bool   `json:"ok"`
+	Mode        string `json:"mode"`
+	Version     uint64 `json:"version"`
+	WalSeq      uint64 `json:"walSeq"`
+	Replication *struct {
+		Role       string `json:"role"`
+		WalSeq     uint64 `json:"walSeq"`
+		LeaderAddr string `json:"leaderAddr"`
+		State      string `json:"state"`
+		Lag        uint64 `json:"lag"`
+		Bootstraps uint64 `json:"bootstraps"`
+	} `json:"replication"`
+}
+
+// waitMode polls base's /healthz until its mode matches want.
+func waitMode(t *testing.T, base, want string) healthzProbe {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var hz healthzProbe
+	for time.Now().Before(deadline) {
+		getJSON(t, base+"/healthz", &hz)
+		if hz.Mode == want {
+			return hz
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("healthz mode never reached %q (last %+v)", want, hz)
+	return hz
+}
+
+// TestReplicationSmoke is the two-process convergence check over real
+// HTTP: mutate on the leader, read your write on the follower via the
+// token, and require byte-identical query answers from both.
+func TestReplicationSmoke(t *testing.T) {
+	_, leaderTS := openLeader(t)
+	_, followerTS := openFollowerServer(t, leaderTS.URL, server.Options{})
+	waitMode(t, followerTS.URL, "follower:ready")
+
+	// Write on the leader; the response carries the durable WAL seq as a
+	// read-your-writes token.
+	resp, body := postJSON(t, leaderTS.URL+"/mutate", map[string]any{
+		"sql": `INSERT INTO SUBMARINE VALUES ('SSN950', 'Smokefish', '0204')`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leader mutate: %d %s", resp.StatusCode, body)
+	}
+	var mut struct {
+		Version uint64 `json:"version"`
+		WalSeq  uint64 `json:"walSeq"`
+		Token   string `json:"token"`
+	}
+	if err := json.Unmarshal(body, &mut); err != nil {
+		t.Fatal(err)
+	}
+	if mut.WalSeq == 0 || mut.Token == "" {
+		t.Fatalf("mutate response carries no token: %s", body)
+	}
+
+	// The tokened query on the follower waits for the write, then sees it.
+	q := map[string]any{
+		"sql":   `SELECT SUBMARINE.Id, SUBMARINE.Name FROM SUBMARINE WHERE SUBMARINE.Id = 'SSN950'`,
+		"mode":  "forward",
+		"token": mut.Token,
+	}
+	resp, fBody := postJSON(t, followerTS.URL+"/query", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower tokened query: %d %s", resp.StatusCode, fBody)
+	}
+	if !bytes.Contains(fBody, []byte("Smokefish")) {
+		t.Fatalf("follower does not see the tokened write: %s", fBody)
+	}
+
+	// Same request against both nodes answers byte-identically.
+	_, lBody := postJSON(t, leaderTS.URL+"/query", q)
+	if !bytes.Equal(lBody, fBody) {
+		t.Errorf("answers diverge:\nleader:   %s\nfollower: %s", lBody, fBody)
+	}
+}
+
+func TestFollowerRefusesWritesWithLeaderAddress(t *testing.T) {
+	_, leaderTS := openLeader(t)
+	_, followerTS := openFollowerServer(t, leaderTS.URL, server.Options{})
+	waitMode(t, followerTS.URL, "follower:ready")
+
+	for _, ep := range []string{"/mutate", "/induce", "/maintain"} {
+		body := map[string]any{}
+		if ep == "/mutate" {
+			body["sql"] = `INSERT INTO SUBMARINE VALUES ('SSN951', 'Refusefish', '0204')`
+		}
+		resp, out := postJSON(t, followerTS.URL+ep, body)
+		if resp.StatusCode != http.StatusMisdirectedRequest {
+			t.Errorf("follower %s: %d %s, want 421", ep, resp.StatusCode, out)
+		}
+		if got := resp.Header.Get("Location"); got != leaderTS.URL {
+			t.Errorf("follower %s Location = %q, want the leader %q", ep, got, leaderTS.URL)
+		}
+		if !strings.Contains(string(out), leaderTS.URL) {
+			t.Errorf("follower %s error omits the leader address: %s", ep, out)
+		}
+	}
+}
+
+// TestReplicationObservability pins the observability satellite: walSeq
+// and the replication role on the leader's /healthz and /metrics too,
+// and the follower's state section.
+func TestReplicationObservability(t *testing.T) {
+	leader, leaderTS := openLeader(t)
+	_, followerTS := openFollowerServer(t, leaderTS.URL, server.Options{})
+	fhz := waitMode(t, followerTS.URL, "follower:ready")
+
+	var hz healthzProbe
+	getJSON(t, leaderTS.URL+"/healthz", &hz)
+	if hz.WalSeq != leader.WalSeq() || hz.WalSeq == 0 {
+		t.Errorf("leader healthz walSeq = %d, want %d", hz.WalSeq, leader.WalSeq())
+	}
+	if hz.Replication == nil || hz.Replication.Role != "leader" {
+		t.Errorf("leader healthz replication section: %+v", hz.Replication)
+	}
+
+	rep := fhz.Replication
+	if rep == nil || rep.Role != "follower" || rep.LeaderAddr != leaderTS.URL {
+		t.Fatalf("follower healthz replication section: %+v", rep)
+	}
+	if rep.State != "ready" || rep.Bootstraps == 0 {
+		t.Errorf("follower replication state = %+v", rep)
+	}
+	if fhz.WalSeq != hz.WalSeq {
+		t.Errorf("converged follower at walSeq %d, leader at %d", fhz.WalSeq, hz.WalSeq)
+	}
+
+	for url, role := range map[string]string{leaderTS.URL: "leader", followerTS.URL: "follower"} {
+		var met struct {
+			Replication *struct {
+				Role string `json:"role"`
+			} `json:"replication"`
+			System struct {
+				WalSeq uint64 `json:"walSeq"`
+			} `json:"system"`
+		}
+		getJSON(t, url+"/metrics", &met)
+		if met.Replication == nil || met.Replication.Role != role {
+			t.Errorf("%s metrics replication role: %+v, want %q", url, met.Replication, role)
+		}
+		if met.System.WalSeq == 0 {
+			t.Errorf("%s metrics system.walSeq missing", url)
+		}
+	}
+}
+
+func TestQueryTokenValidation(t *testing.T) {
+	_, ts := newTestServer(t, server.Options{})
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"sql": forwardQuery, "token": "bogus",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed token: %d %s, want 400", resp.StatusCode, out)
+	}
+}
+
+// TestQueryTokenWaitTimesOut pins the wait-or-504 contract: a token the
+// replica has not applied yields 504, never a silently stale read.
+func TestQueryTokenWaitTimesOut(t *testing.T) {
+	_, leaderTS := openLeader(t)
+	_, followerTS := openFollowerServer(t, leaderTS.URL, server.Options{
+		QueryTimeout: 300 * time.Millisecond,
+	})
+	waitMode(t, followerTS.URL, "follower:ready")
+
+	resp, out := postJSON(t, followerTS.URL+"/query", map[string]any{
+		"sql": forwardQuery, "token": "w999999",
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("unapplied token: %d %s, want 504", resp.StatusCode, out)
+	}
+}

@@ -31,15 +31,18 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"intensional/internal/answer"
+	"intensional/internal/cluster"
 	"intensional/internal/core"
 	"intensional/internal/induct"
 	"intensional/internal/maintain"
+	"intensional/internal/replica"
 	"intensional/internal/rules"
 )
 
@@ -67,6 +70,18 @@ type Options struct {
 	// QueueWait bounds how long a queued request waits for a slot
 	// before a 503 (default 1s).
 	QueueWait time.Duration
+	// LeaderAddr is the leader's base URL. Set on followers so write
+	// requests are refused with 421 pointing at the node that accepts
+	// them.
+	LeaderAddr string
+	// FollowerStatus, when non-nil, supplies the replica loop's
+	// progress for /healthz and /metrics on a follower.
+	FollowerStatus func() cluster.FollowerStatus
+	// ReplicationTimeout bounds /replica/wal long polls and
+	// /replica/snapshot transfers on the leader (default 75s — above
+	// the follower's poll wait, so quiet polls park instead of
+	// churning 504s).
+	ReplicationTimeout time.Duration
 }
 
 func (o Options) queryTimeout() time.Duration {
@@ -102,6 +117,13 @@ func (o Options) queueWait() time.Duration {
 		return o.QueueWait
 	}
 	return time.Second
+}
+
+func (o Options) replicationTimeout() time.Duration {
+	if o.ReplicationTimeout > 0 {
+		return o.ReplicationTimeout
+	}
+	return 75 * time.Second
 }
 
 // Server serves intensional answers over HTTP. It is safe for concurrent
@@ -153,6 +175,12 @@ func (s *Server) Handler() http.Handler {
 	route("GET /rules", qt, s.handleRules)
 	observe("GET /healthz", qt, s.handleHealthz)
 	observe("GET /metrics", qt, s.handleMetrics)
+	// Replication endpoints skip admission (a parked long poll must not
+	// hold an execution slot) and run under their own, longer deadline.
+	// The handlers themselves refuse non-durable and follower systems.
+	rt := s.opts.replicationTimeout()
+	observe("GET /replica/wal", rt, replica.WALHandler(s.sys).ServeHTTP)
+	observe("GET /replica/snapshot", rt, replica.SnapshotHandler(s.sys).ServeHTTP)
 	return mux
 }
 
@@ -213,6 +241,17 @@ func parseMode(mode string) (m answer.Mode, wantExt, wantInt bool, err error) {
 	}
 }
 
+// parseToken extracts the WAL sequence from a read-your-writes token,
+// as issued in mutate responses.
+func parseToken(tok string) (uint64, error) {
+	if len(tok) > 1 && tok[0] == 'w' {
+		if seq, err := strconv.ParseUint(tok[1:], 10, 64); err == nil {
+			return seq, nil
+		}
+	}
+	return 0, fmt.Errorf("malformed token %q (want \"w<seq>\" from a mutate response)", tok)
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.slow != nil {
 		s.slow()
@@ -230,6 +269,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if tok := strings.TrimSpace(req.Token); tok != "" {
+		// Read-your-writes: hold the query until this node has applied
+		// the tokened write, or 504 so the client can retry — never
+		// silently serve an older snapshot.
+		seq, err := parseToken(tok)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if err := s.sys.WaitForSeq(r.Context(), seq); err != nil {
+			writeError(w, http.StatusGatewayTimeout, fmt.Sprintf(
+				"write w%d not yet applied on this replica (at w%d); retry or query the leader",
+				seq, s.sys.WalSeq()))
+			return
+		}
 	}
 	resp, err := s.sys.QueryContext(r.Context(), req.SQL, mode)
 	if err != nil {
@@ -289,11 +344,35 @@ func (s *Server) refuseDegraded(w http.ResponseWriter) bool {
 	return true
 }
 
+// writeNotLeader answers 421 Misdirected Request — the request is valid
+// but this node does not accept writes — with the leader's address when
+// configured, so clients can redirect.
+func (s *Server) writeNotLeader(w http.ResponseWriter, err error) {
+	msg := err.Error()
+	if s.opts.LeaderAddr != "" {
+		w.Header().Set("Location", s.opts.LeaderAddr)
+		msg += " at " + s.opts.LeaderAddr
+	}
+	writeError(w, http.StatusMisdirectedRequest, msg)
+}
+
+// refuseFollower answers 421 when this node is a follower replica and
+// reports whether it did. Write endpoints call it up front; the core
+// layer enforces the same fence (ErrNotLeader), this just answers
+// before parsing a doomed request.
+func (s *Server) refuseFollower(w http.ResponseWriter) bool {
+	if !s.sys.Follower() {
+		return false
+	}
+	s.writeNotLeader(w, core.ErrNotLeader)
+	return true
+}
+
 func (s *Server) handleInduce(w http.ResponseWriter, r *http.Request) {
 	if s.slow != nil {
 		s.slow()
 	}
-	if s.refuseDegraded(w) {
+	if s.refuseFollower(w) || s.refuseDegraded(w) {
 		return
 	}
 	var req induceRequest
@@ -312,6 +391,10 @@ func (s *Server) handleInduce(w http.ResponseWriter, r *http.Request) {
 		Workers:    req.Workers,
 	})
 	if err != nil {
+		if errors.Is(err, core.ErrNotLeader) {
+			s.writeNotLeader(w, err)
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -330,7 +413,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if s.slow != nil {
 		s.slow()
 	}
-	if s.refuseDegraded(w) {
+	if s.refuseFollower(w) || s.refuseDegraded(w) {
 		return
 	}
 	var req mutateRequest
@@ -360,6 +443,10 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case r.Context().Err() != nil && errors.Is(err, r.Context().Err()):
 			writeError(w, http.StatusGatewayTimeout, "mutation abandoned at deadline")
+		case errors.Is(err, core.ErrNotLeader):
+			// Checked before ErrReadOnly, which it wraps: a follower is
+			// permanently read-only for clients — redirect, don't retry.
+			s.writeNotLeader(w, err)
 		case errors.Is(err, core.ErrReadOnly):
 			// The system degraded between the up-front check and the
 			// apply (or during this very batch).
@@ -383,6 +470,10 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		WalBytes:     s.sys.WalSize(),
 		Warning:      res.CheckpointErr,
 	}
+	if res.Seq > 0 {
+		out.WalSeq = res.Seq
+		out.Token = fmt.Sprintf("w%d", res.Seq)
+	}
 	for _, m := range res.Mutations {
 		out.Mutations = append(out.Mutations, mutationJSON{
 			Kind:     m.Kind,
@@ -400,7 +491,7 @@ func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 	if s.slow != nil {
 		s.slow()
 	}
-	if s.refuseDegraded(w) {
+	if s.refuseFollower(w) || s.refuseDegraded(w) {
 		return
 	}
 	var req induceRequest
@@ -421,6 +512,10 @@ func (s *Server) handleMaintain(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if r.Context().Err() != nil && errors.Is(err, r.Context().Err()) {
 			writeError(w, http.StatusGatewayTimeout, "maintenance abandoned at deadline")
+			return
+		}
+		if errors.Is(err, core.ErrNotLeader) {
+			s.writeNotLeader(w, err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, err.Error())
@@ -465,13 +560,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	_, maint, version := s.sys.RuleStatus()
 	stale, _ := maint.Counts()
 	out := healthzResponse{
-		OK:        true,
-		Mode:      "ok",
-		Version:   version,
-		Relations: s.sys.Catalog().Len(),
-		Rules:     s.sys.Rules().Len(),
-		Stale:     stale,
-		Durable:   s.sys.Durable(),
+		OK:          true,
+		Mode:        "ok",
+		Version:     version,
+		Relations:   s.sys.Catalog().Len(),
+		Rules:       s.sys.Rules().Len(),
+		Stale:       stale,
+		Durable:     s.sys.Durable(),
+		WalSeq:      s.sys.WalSeq(),
+		Replication: s.replicationStatus(),
+	}
+	if rep := out.Replication; rep != nil && rep.State != "" {
+		// A follower's consistency state is its health mode: "ready" once
+		// it has caught the leader's WAL position, "catching-up",
+		// "bootstrapping", or "disconnected" before that. It serves reads
+		// throughout.
+		out.Mode = "follower:" + rep.State
 	}
 	if st := s.sys.Degraded(); st != nil {
 		// Still OK for liveness — the process serves queries — but the
@@ -489,7 +593,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap.System = s.systemMetrics()
 	snap.Server = s.serverMetrics()
 	snap.Planner = s.plannerMetrics()
+	snap.Replication = s.replicationStatus()
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// replicationStatus builds the replication section of /healthz and
+// /metrics: role and durable WAL position on every durable node, plus
+// the follower loop's progress when a status provider is wired.
+// Non-durable systems have nothing to replicate and report nothing.
+func (s *Server) replicationStatus() *replicationJSON {
+	if !s.sys.Durable() {
+		return nil
+	}
+	out := &replicationJSON{Role: string(cluster.RoleLeader), WalSeq: s.sys.WalSeq()}
+	if s.sys.Follower() {
+		out.Role = string(cluster.RoleFollower)
+		out.LeaderAddr = s.opts.LeaderAddr
+	}
+	if s.opts.FollowerStatus != nil {
+		st := s.opts.FollowerStatus()
+		out.State = st.State
+		out.LeaderSeq = st.LeaderSeq
+		out.Lag = st.Lag()
+		out.Bootstraps = st.Bootstraps
+		out.RecordsApplied = st.RecordsApplied
+		out.LastError = st.LastError
+		if !st.LastContact.IsZero() {
+			out.LastContact = st.LastContact.UTC().Format(time.RFC3339)
+		}
+	}
+	return out
 }
 
 // systemMetrics reads one consistent snapshot of the write-path state:
@@ -506,6 +639,7 @@ func (s *Server) systemMetrics() systemJSON {
 		Refinable:        refinable,
 		Durable:          s.sys.Durable(),
 		WalBytes:         s.sys.WalSize(),
+		WalSeq:           s.sys.WalSeq(),
 		AutoMaintainRuns: runs,
 		AutoMaintainErrs: errs,
 	}

@@ -1,0 +1,129 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tailT drains Tail from the given cursor, failing the test on error.
+func tailT(t *testing.T, l *Log, off int64, epoch uint64) ([][]byte, int64, uint64) {
+	t.Helper()
+	payloads, next, cur, err := l.Tail(off, epoch)
+	if err != nil {
+		t.Fatalf("Tail(%d, %d): %v", off, epoch, err)
+	}
+	return payloads, next, cur
+}
+
+// A reader parked at exact EOF sees nothing, keeps its cursor, and picks
+// up records the writer appends afterwards — the live-tailing contract
+// the replication stream depends on.
+func TestTailAtEOFThenWriterAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.wal")
+	l, _ := openT(t, path)
+	defer closeT(t, l)
+	appendT(t, l, "one", "two")
+
+	got, next, epoch := tailT(t, l, HeaderSize, l.Epoch())
+	wantEntries(t, got, "one", "two")
+
+	// Exact EOF: empty read, cursor unchanged, no error.
+	got, again, epoch2 := tailT(t, l, next, epoch)
+	wantEntries(t, got)
+	if again != next || epoch2 != epoch {
+		t.Fatalf("EOF read moved the cursor: off %d→%d, epoch %d→%d", next, again, epoch, epoch2)
+	}
+
+	// The writer appends; the parked reader sees exactly the new record.
+	appendT(t, l, "three")
+	got, next2, _ := tailT(t, l, next, epoch)
+	wantEntries(t, got, "three")
+	if next2 <= next {
+		t.Fatalf("cursor did not advance past the appended record: %d → %d", next, next2)
+	}
+}
+
+// A torn tail is truncated at open; a tailing reader over the reopened
+// log sees only the complete records, and appending continues cleanly
+// from the truncation point.
+func TestTailAfterTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.wal")
+	l, _ := openT(t, path)
+	appendT(t, l, "alpha", "beta")
+	closeT(t, l)
+
+	// Tear the tail: a header promising more bytes than exist.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 99, 1, 2, 3, 4, 'x'}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, entries := openT(t, path)
+	defer closeT(t, l2)
+	wantEntries(t, entries, "alpha", "beta")
+	got, next, epoch := tailT(t, l2, HeaderSize, l2.Epoch())
+	wantEntries(t, got, "alpha", "beta")
+
+	// The truncation left the cursor at a clean boundary: appends land
+	// exactly where the reader is parked.
+	appendT(t, l2, "gamma")
+	got, _, _ = tailT(t, l2, next, epoch)
+	wantEntries(t, got, "gamma")
+}
+
+// A Reset (checkpoint) invalidates every outstanding cursor: the reader
+// gets ErrTruncated once, restarts at HeaderSize with the new epoch, and
+// follows the fresh generation.
+func TestTailAcrossReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.wal")
+	l, _ := openT(t, path)
+	defer closeT(t, l)
+	appendT(t, l, "pre-1", "pre-2")
+
+	got, next, epoch := tailT(t, l, HeaderSize, l.Epoch())
+	wantEntries(t, got, "pre-1", "pre-2")
+
+	if err := l.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	appendT(t, l, "post-1")
+
+	_, restart, cur, err := l.Tail(next, epoch)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Tail after Reset: err = %v, want ErrTruncated", err)
+	}
+	if restart != HeaderSize {
+		t.Fatalf("restart offset = %d, want %d", restart, HeaderSize)
+	}
+	if cur == epoch {
+		t.Fatalf("epoch did not advance across Reset (still %d)", cur)
+	}
+	got, _, _ = tailT(t, l, restart, cur)
+	wantEntries(t, got, "post-1")
+
+	// A stale offset beyond the shrunken file is ErrTruncated too, even
+	// with a guessed-right epoch — the cursor is simply out of range.
+	if _, _, _, err := l.Tail(1<<20, cur); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Tail past EOF: err = %v, want ErrTruncated", err)
+	}
+}
+
+// Tail on a closed log refuses rather than reading a dead handle.
+func TestTailClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.wal")
+	l, _ := openT(t, path)
+	appendT(t, l, "x")
+	epoch := l.Epoch()
+	closeT(t, l)
+	if _, _, _, err := l.Tail(HeaderSize, epoch); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Tail on closed log: err = %v, want ErrClosed", err)
+	}
+}

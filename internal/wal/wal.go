@@ -42,6 +42,10 @@ var magic = []byte("IQPWAL1\n")
 
 const headerLen = 8 // uint32 length + uint32 CRC
 
+// HeaderSize is the byte offset of the first record — where a tailing
+// reader (Tail) starts.
+const HeaderSize = int64(8) // len(magic)
+
 // maxRecord bounds a single record so a corrupt length prefix cannot
 // drive a multi-gigabyte allocation during replay; anything larger is
 // treated as a torn tail.
@@ -65,6 +69,14 @@ var ErrCorrupt = errors.New("wal: corrupt record before the log tail")
 // making its contents known again) or reopening the log.
 var ErrPoisoned = errors.New("wal: log poisoned by an earlier append failure; checkpoint or reopen to recover")
 
+// ErrTruncated is returned by Tail when the log has been reset since the
+// reader's epoch: the bytes at the reader's offset no longer describe
+// the records it had been following. The reader restarts from HeaderSize
+// with the returned epoch; records that lived in the pre-reset log are
+// gone from disk (the caller's retention layer, if any, must already
+// hold them).
+var ErrTruncated = errors.New("wal: log reset since the reader's offset")
+
 // Log is an open write-ahead log. Append, Size, Reset, and Close are
 // safe for concurrent use; in the system there is one writer (the core
 // mutation path, serialized by its own lock) plus metric readers.
@@ -77,6 +89,11 @@ type Log struct {
 	// file's durable state unknown; while set, Append refuses with
 	// ErrPoisoned. guarded by mu.
 	poisoned error
+	// epoch counts log generations: it increments every time the file is
+	// rewritten from scratch (Reset, or a fresh create), so a tailing
+	// reader can tell "new records appended past my offset" from "the
+	// log I was reading no longer exists". guarded by mu.
+	epoch uint64
 }
 
 // Open opens (creating if absent) the log at path and replays it,
@@ -259,6 +276,7 @@ func (l *Log) restart() error {
 	}
 	l.size = int64(len(magic))
 	l.poisoned = nil
+	l.epoch++
 	return nil
 }
 
@@ -317,6 +335,63 @@ func (l *Log) Size() int64 {
 		return 0
 	}
 	return l.size - int64(len(magic))
+}
+
+// Epoch returns the log's current generation. It increments on every
+// Reset (and on creating a fresh file), pairing with Tail: a reader
+// presents the epoch it last read under, and a mismatch means its byte
+// offset is meaningless in the rewritten file.
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// Tail reads the complete records starting at byte offset off — the
+// incremental reader that follows the log while the writer appends. It
+// returns the payloads in append order, the offset just past the last
+// returned record (pass it back as the next off), and the current
+// epoch. A reader starts at HeaderSize with the epoch from Epoch (or 0
+// with the epoch from a previous Tail); at exact EOF it returns an
+// empty slice and the same offset, never an error.
+//
+// Every byte below the log's acknowledged size is a complete record
+// (appends land atomically under the log's lock and torn tails are
+// truncated at open), so Tail never observes a partial record; a decode
+// failure below the acknowledged size is real corruption and surfaces
+// as an error. If the log was reset since the reader's epoch, Tail
+// returns ErrTruncated along with the current epoch; the reader
+// restarts from HeaderSize.
+func (l *Log) Tail(off int64, epoch uint64) (payloads [][]byte, next int64, curEpoch uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil, off, epoch, ErrClosed
+	}
+	if epoch != l.epoch || off < HeaderSize || off > l.size {
+		return nil, HeaderSize, l.epoch, ErrTruncated
+	}
+	hdr := make([]byte, headerLen)
+	for off+headerLen <= l.size {
+		if _, err := l.f.ReadAt(hdr, off); err != nil {
+			return nil, off, l.epoch, fmt.Errorf("wal: tail header: %w", err)
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if length > maxRecord || off+headerLen+int64(length) > l.size {
+			return nil, off, l.epoch, fmt.Errorf("wal: tail: record at offset %d overruns the acknowledged size %d", off, l.size)
+		}
+		payload := make([]byte, length)
+		if _, err := l.f.ReadAt(payload, off+headerLen); err != nil {
+			return nil, off, l.epoch, fmt.Errorf("wal: tail payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, off, l.epoch, fmt.Errorf("wal: tail: checksum mismatch at offset %d below the acknowledged size", off)
+		}
+		payloads = append(payloads, payload)
+		off += headerLen + int64(length)
+	}
+	return payloads, off, l.epoch, nil
 }
 
 // Reset truncates the log back to its header. Callers invoke it only

@@ -1,0 +1,116 @@
+#!/bin/sh
+# Replication smoke test: stand up a real leader and follower iqpd
+# process on loopback, then walk the serving tier's promises end to
+# end — mutate on the leader, read your write on the follower via the
+# token, kill and restart the follower mid-stream, and require
+# convergence (same walSeq, same snapshot version, identical answers).
+# Exits non-zero on the first broken promise. Stdlib + curl only.
+set -eu
+
+LEADER_PORT="${LEADER_PORT:-18473}"
+FOLLOWER_PORT="${FOLLOWER_PORT:-18474}"
+LEADER="http://127.0.0.1:${LEADER_PORT}"
+FOLLOWER="http://127.0.0.1:${FOLLOWER_PORT}"
+
+WORK="$(mktemp -d)"
+BIN="$WORK/iqpd"
+LEADER_PID=""
+FOLLOWER_PID=""
+
+cleanup() {
+    [ -n "$FOLLOWER_PID" ] && kill "$FOLLOWER_PID" 2>/dev/null || true
+    [ -n "$LEADER_PID" ] && kill "$LEADER_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "smoke-replication: FAIL: $*" >&2
+    exit 1
+}
+
+# jget FILE KEY extracts a scalar JSON field ("key":value or "key":"value").
+jget() {
+    sed -n 's/.*"'"$2"'":"\{0,1\}\([^,"}]*\)"\{0,1\}[,}].*/\1/p' "$1" | head -n 1
+}
+
+wait_healthz() {
+    url="$1"; want="$2"; tries=100
+    while [ "$tries" -gt 0 ]; do
+        if curl -sf "$url/healthz" -o "$WORK/hz.json" 2>/dev/null; then
+            mode="$(jget "$WORK/hz.json" mode)"
+            case "$mode" in
+                $want) return 0 ;;
+            esac
+        fi
+        tries=$((tries - 1))
+        sleep 0.1
+    done
+    fail "$url never reached healthz mode '$want' (last: $(cat "$WORK/hz.json" 2>/dev/null || echo none))"
+}
+
+echo "smoke-replication: building iqpd and seeding the leader database"
+go build -o "$BIN" ./cmd/iqpd
+go run ./cmd/induce -nc 3 -save "$WORK/leader-db" >/dev/null
+
+echo "smoke-replication: starting leader on :$LEADER_PORT"
+"$BIN" -addr ":$LEADER_PORT" -db "$WORK/leader-db" -wal -no-induce \
+    >"$WORK/leader.log" 2>&1 &
+LEADER_PID=$!
+wait_healthz "$LEADER" "ok"
+
+echo "smoke-replication: starting follower on :$FOLLOWER_PORT"
+"$BIN" -addr ":$FOLLOWER_PORT" -role follower -leader "$LEADER" \
+    -db "$WORK/follower-db" >"$WORK/follower.log" 2>&1 &
+FOLLOWER_PID=$!
+wait_healthz "$FOLLOWER" "follower:ready"
+
+echo "smoke-replication: mutate on the leader, read your write on the follower"
+curl -sf -X POST "$LEADER/mutate" -d \
+    '{"sql":"INSERT INTO SUBMARINE VALUES ('\''SSN990'\'', '\''Smokefish'\'', '\''0204'\'')"}' \
+    -o "$WORK/mutate.json" || fail "leader mutate refused: $(cat "$WORK/mutate.json" 2>/dev/null)"
+TOKEN="$(jget "$WORK/mutate.json" token)"
+[ -n "$TOKEN" ] || fail "mutate response carries no read-your-writes token: $(cat "$WORK/mutate.json")"
+
+QUERY='{"sql":"SELECT SUBMARINE.Id, SUBMARINE.Name FROM SUBMARINE WHERE SUBMARINE.Id = '\''SSN990'\''","mode":"forward","token":"'"$TOKEN"'"}'
+curl -sf -X POST "$FOLLOWER/query" -d "$QUERY" -o "$WORK/follower-q.json" \
+    || fail "follower tokened query failed: $(cat "$WORK/follower-q.json" 2>/dev/null)"
+grep -q Smokefish "$WORK/follower-q.json" || fail "follower does not see the tokened write"
+
+echo "smoke-replication: follower refuses writes with the leader's address"
+code="$(curl -s -o "$WORK/refused.json" -w '%{http_code}' -X POST "$FOLLOWER/mutate" \
+    -d '{"sql":"DELETE FROM SONAR WHERE Sonar = '\''nope'\''"}')"
+[ "$code" = "421" ] || fail "follower mutate answered $code, want 421"
+grep -q "$LEADER" "$WORK/refused.json" || fail "421 body omits the leader address"
+
+echo "smoke-replication: kill the follower mid-stream, write, restart, converge"
+kill "$FOLLOWER_PID"
+wait "$FOLLOWER_PID" 2>/dev/null || true
+FOLLOWER_PID=""
+for i in 1 2 3; do
+    curl -sf -X POST "$LEADER/mutate" -d \
+        '{"sql":"INSERT INTO SONAR VALUES ('\''SMOKE-'"$i"''\'', '\''Downtime'\'')"}' \
+        -o "$WORK/mutate-$i.json" || fail "leader mutate $i refused while follower down"
+done
+TOKEN="$(jget "$WORK/mutate-3.json" token)"
+"$BIN" -addr ":$FOLLOWER_PORT" -role follower -leader "$LEADER" \
+    -db "$WORK/follower-db" >>"$WORK/follower.log" 2>&1 &
+FOLLOWER_PID=$!
+wait_healthz "$FOLLOWER" "follower:ready"
+
+QUERY='{"sql":"SELECT SONAR.Sonar, SONAR.SonarType FROM SONAR","mode":"forward","token":"'"$TOKEN"'"}'
+curl -sf -X POST "$FOLLOWER/query" -d "$QUERY" -o "$WORK/follower-q2.json" \
+    || fail "restarted follower tokened query failed"
+grep -q "SMOKE-3" "$WORK/follower-q2.json" || fail "restarted follower lost an acknowledged write"
+curl -sf -X POST "$LEADER/query" -d "$QUERY" -o "$WORK/leader-q2.json"
+cmp -s "$WORK/leader-q2.json" "$WORK/follower-q2.json" \
+    || fail "leader and follower answers diverge: $(cat "$WORK/leader-q2.json") vs $(cat "$WORK/follower-q2.json")"
+
+curl -sf "$LEADER/healthz" -o "$WORK/lhz.json"
+curl -sf "$FOLLOWER/healthz" -o "$WORK/fhz.json"
+LSEQ="$(jget "$WORK/lhz.json" walSeq)"
+FSEQ="$(jget "$WORK/fhz.json" walSeq)"
+[ -n "$LSEQ" ] && [ "$LSEQ" = "$FSEQ" ] || fail "walSeq diverges: leader '$LSEQ', follower '$FSEQ'"
+
+echo "smoke-replication: OK (converged at walSeq $LSEQ)"
