@@ -72,12 +72,21 @@ bench-check:
 # prints the exact reproduction command.
 CHAOS_ITERS ?= 200
 CHAOS_SEED  ?= 1
-# The replica scenario (chaos -replica) runs fewer cycles: each one
-# includes condition-based reconvergence waits over loopback HTTP.
-CHAOS_REPLICA_ITERS ?= 50
+# The replica scenario (chaos -scenario replica) runs fewer cycles:
+# each one includes condition-based reconvergence waits over loopback
+# HTTP. The network-fault scenarios — bootstrap (mid-transfer link
+# drops with spool resume) and reconfig (live leader swaps under load)
+# — run the full 200 cycles; slowlink is short because every cycle
+# deliberately waits out a throttled transfer.
+CHAOS_REPLICA_ITERS  ?= 50
+CHAOS_NETFAULT_ITERS ?= 200
+CHAOS_SLOWLINK_ITERS ?= 5
 chaos:
 	$(GO) run ./cmd/chaos -iters $(CHAOS_ITERS) -seed $(CHAOS_SEED)
-	$(GO) run ./cmd/chaos -replica -iters $(CHAOS_REPLICA_ITERS) -seed $(CHAOS_SEED)
+	$(GO) run ./cmd/chaos -scenario replica -iters $(CHAOS_REPLICA_ITERS) -seed $(CHAOS_SEED)
+	$(GO) run ./cmd/chaos -scenario bootstrap -iters $(CHAOS_NETFAULT_ITERS) -seed $(CHAOS_SEED)
+	$(GO) run ./cmd/chaos -scenario reconfig -iters $(CHAOS_NETFAULT_ITERS) -seed $(CHAOS_SEED)
+	$(GO) run ./cmd/chaos -scenario slowlink -iters $(CHAOS_SLOWLINK_ITERS) -seed $(CHAOS_SEED)
 
 # Two-process replication smoke: a real leader and follower iqpd on
 # loopback — mutate on the leader, read your write on the follower via

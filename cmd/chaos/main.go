@@ -3,19 +3,35 @@
 // reopen, asserting after every cycle that acknowledged batches are
 // recoverable and no serving rule is contradicted by the data.
 //
-// With -replica it instead runs the replication chaos scenario: a
-// leader streams its WAL to a follower over loopback HTTP while the
-// harness kills and restarts the follower mid-stream, partitions the
-// network, and forces leader checkpoints; after every cycle the
-// follower must reconverge with no acknowledged write lost, no
-// contradicted rule served, and byte-identical answers.
+// With -scenario it instead runs one of the replication scenarios:
+//
+//	replica    a leader streams its WAL to a follower while the harness
+//	           kills and restarts the follower mid-stream, partitions
+//	           the network, and forces leader checkpoints
+//	bootstrap  every cycle a fresh follower's chunked snapshot download
+//	           loses its link at a seeded chunk index; the transfer must
+//	           resume from the spool (verified chunks never re-fetched)
+//	           and recover byte-identically
+//	reconfig   a two-node cluster serves a failover-aware client while
+//	           the configuration store swaps the leader under load —
+//	           fenced demotion, drained promotion, no restarts, no lost
+//	           writes
+//	slowlink   the leader throttles snapshot chunks; the bootstrap must
+//	           complete, converge, and take at least the time the rate
+//	           limit implies
+//
+// After every cycle the follower must reconverge with no acknowledged
+// write lost, no contradicted rule served, and byte-identical answers.
 //
 // Usage:
 //
-//	chaos                      # 200 cycles, seed 1
-//	chaos -iters 1000 -seed 7  # longer run, different fault schedule
-//	chaos -replica -iters 50   # replication kill/partition scenario
-//	chaos -v                   # per-run progress
+//	chaos                          # 200 crash-recovery cycles, seed 1
+//	chaos -iters 1000 -seed 7      # longer run, different fault schedule
+//	chaos -scenario replica        # replication kill/partition scenario
+//	chaos -scenario bootstrap      # mid-bootstrap partition + resume
+//	chaos -scenario reconfig       # live leader swaps under load
+//	chaos -scenario slowlink       # throttled snapshot transfer
+//	chaos -v                       # per-run progress
 //
 // The run is fully deterministic for a given seed; on failure the seed
 // is printed so the exact cycle can be replayed under a debugger. Exit
@@ -38,9 +54,13 @@ func run() int {
 	iters := flag.Int("iters", 200, "crash-recovery cycles to run")
 	seed := flag.Int64("seed", 1, "random seed; the same seed replays the same run")
 	checkpointBytes := flag.Int64("checkpoint-bytes", 32<<10, "auto-checkpoint threshold for the system under test")
-	replicaRun := flag.Bool("replica", false, "run the replication kill/partition scenario instead of the crash-recovery loop")
+	replicaRun := flag.Bool("replica", false, "shorthand for -scenario replica")
+	scenario := flag.String("scenario", "", "crash (default), replica, bootstrap, reconfig, or slowlink")
 	verbose := flag.Bool("v", false, "print progress")
 	flag.Parse()
+	if *replicaRun && *scenario == "" {
+		*scenario = "replica"
+	}
 
 	dir, err := os.MkdirTemp("", "chaos-*")
 	if err != nil {
@@ -55,28 +75,35 @@ func run() int {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
+	rcfg := chaos.ReplicaConfig{Iters: *iters, Seed: *seed, Logf: logf}
 	var rep *chaos.Report
-	if *replicaRun {
-		rep, err = chaos.RunReplica(dir+"/db", chaos.ReplicaConfig{
-			Iters: *iters,
-			Seed:  *seed,
-			Logf:  logf,
-		})
-	} else {
+	switch *scenario {
+	case "", "crash":
 		rep, err = chaos.Run(dir+"/db", chaos.Config{
 			Iters:           *iters,
 			Seed:            *seed,
 			CheckpointBytes: *checkpointBytes,
 			Logf:            logf,
 		})
+	case "replica":
+		rep, err = chaos.RunReplica(dir+"/db", rcfg)
+	case "bootstrap":
+		rep, err = chaos.RunReplicaBootstrap(dir+"/db", rcfg)
+	case "reconfig":
+		rep, err = chaos.RunReplicaReconfig(dir+"/db", rcfg)
+	case "slowlink":
+		rep, err = chaos.RunReplicaSlowLink(dir+"/db", rcfg)
+	default:
+		fmt.Fprintf(os.Stderr, "chaos: unknown -scenario %q (want crash, replica, bootstrap, reconfig, or slowlink)\n", *scenario)
+		return 1
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: harness error (seed %d): %v\n", *seed, err)
 		return 1
 	}
 	repro := fmt.Sprintf("chaos -iters %d -seed %d", *iters, *seed)
-	if *replicaRun {
-		repro = "chaos -replica " + repro[len("chaos "):]
+	if *scenario != "" && *scenario != "crash" {
+		repro = fmt.Sprintf("chaos -scenario %s %s", *scenario, repro[len("chaos "):])
 	}
 	if len(rep.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "chaos: FAILED after %d cycles with seed %d — reproduce with: %s\n",
@@ -86,12 +113,22 @@ func run() int {
 		}
 		return 1
 	}
-	if *replicaRun {
+	switch *scenario {
+	case "", "crash":
+		fmt.Printf("chaos: OK — %d cycles (seed %d), %d mutations acknowledged, %d refused by injected faults, %d checkpoints, 0 violations\n",
+			rep.Iters, *seed, rep.Acked, rep.Refused, rep.Checkpoint)
+	case "replica":
 		fmt.Printf("chaos: OK — %d replica cycles (seed %d), %d writes acknowledged, %d follower kills, %d partitions, %d leader checkpoints, 0 violations\n",
 			rep.Iters, *seed, rep.Acked, rep.Kills, rep.Partitions, rep.Checkpoint)
-		return 0
+	case "bootstrap":
+		fmt.Printf("chaos: OK — %d bootstrap cycles (seed %d), %d writes acknowledged, %d mid-transfer drops resumed, 0 violations\n",
+			rep.Iters, *seed, rep.Acked, rep.Partitions)
+	case "reconfig":
+		fmt.Printf("chaos: OK — %d reconfig cycles (seed %d), %d writes acknowledged, %d live handovers, 0 violations\n",
+			rep.Iters, *seed, rep.Acked, rep.Handovers)
+	case "slowlink":
+		fmt.Printf("chaos: OK — %d throttled bootstraps (seed %d), %d writes acknowledged, 0 violations\n",
+			rep.Iters, *seed, rep.Acked)
 	}
-	fmt.Printf("chaos: OK — %d cycles (seed %d), %d mutations acknowledged, %d refused by injected faults, %d checkpoints, 0 violations\n",
-		rep.Iters, *seed, rep.Acked, rep.Refused, rep.Checkpoint)
 	return 0
 }

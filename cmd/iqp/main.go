@@ -8,11 +8,20 @@
 //	iqp -db DIR         # open a saved database directory
 //	iqp -db DIR -wal    # durable: WAL-logged mutations, replayed on restart
 //	iqp -fleet          # start with a synthetic Table 1 fleet
+//	iqp -connect URL    # remote shell against a running iqpd cluster
+//	iqp -connect URL -e "SELECT ..."   # one statement, then exit
 //
 // With -wal, INSERT/UPDATE/DELETE statements typed at the prompt are
 // committed to a write-ahead log before they are applied, so a crash
 // never loses an acknowledged mutation; .checkpoint folds the log into
 // the saved database. Type .help inside the shell for the command list.
+//
+// With -connect, iqp is a failover-aware client: point it at any
+// cluster node. Writes typed at a follower's prompt follow the 421
+// redirect to the leader; degraded or rate-limited nodes are retried
+// with backoff; and each mutation's read-your-writes token is carried
+// on subsequent queries, so the shell always sees its own writes even
+// across a live leader handover.
 package main
 
 import (
@@ -31,9 +40,20 @@ func main() {
 	dbDir := flag.String("db", "", "open a saved database directory")
 	wal := flag.Bool("wal", false, "open -db durably: log mutations to a write-ahead log and replay it on startup")
 	fleet := flag.Bool("fleet", false, "start with a synthetic Table 1 fleet")
+	connect := flag.String("connect", "", "remote mode: base URL of any node in a running iqpd cluster")
+	oneShot := flag.String("e", "", "with -connect: run one SQL statement and exit")
 	flag.Parse()
 
-	if err := run(*dbDir, *wal, *fleet); err != nil {
+	var err error
+	switch {
+	case *connect != "":
+		err = runRemote(*connect, *oneShot)
+	case *oneShot != "":
+		err = fmt.Errorf("-e requires -connect URL (one-shot statements run against a serving cluster)")
+	default:
+		err = run(*dbDir, *wal, *fleet)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "iqp:", err)
 		os.Exit(1)
 	}

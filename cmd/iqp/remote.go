@@ -1,0 +1,152 @@
+// Remote mode: iqp as a failover-aware client of a replicated serving
+// tier. -connect points the shell at any node; writes sent to a
+// follower follow the 421 redirect to the leader, degraded nodes are
+// retried with backoff, and read-your-writes tokens from mutations ride
+// along on subsequent queries automatically — a leader handover is
+// invisible at the prompt.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"intensional/internal/replica"
+)
+
+// remoteTimeout bounds one statement's round trips, including any
+// redirects and retries the client absorbs along the way.
+const remoteTimeout = 30 * time.Second
+
+// runRemote drives the remote REPL (or a single -e statement) against
+// the cluster node at base.
+func runRemote(base, oneShot string) error {
+	c := replica.NewFailoverClient(base)
+	c.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "iqp: "+format+"\n", args...)
+	}
+	if oneShot != "" {
+		return runStatement(c, os.Stdout, oneShot)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), remoteTimeout)
+	h, err := c.Health(ctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("connect %s: %w", base, err)
+	}
+	fmt.Printf("connected to %s (%s, version %d) — type .help for commands\n", c.Target(), h.Mode, h.Version)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for {
+		fmt.Print("iqp> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ".quit", line == ".exit":
+			return nil
+		case line == ".help":
+			fmt.Print(remoteHelp)
+			continue
+		case line == ".target":
+			fmt.Println(c.Target())
+			continue
+		case line == ".health":
+			ctx, cancel := context.WithTimeout(context.Background(), remoteTimeout)
+			h, err := c.Health(ctx)
+			cancel()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "iqp:", err)
+				continue
+			}
+			fmt.Printf("%s: mode %s, version %d, seq %d\n", c.Target(), h.Mode, h.Version, h.WalSeq)
+			continue
+		case strings.HasPrefix(line, "."):
+			fmt.Fprintf(os.Stderr, "iqp: unknown command %s (try .help)\n", line)
+			continue
+		}
+		if err := runStatement(c, os.Stdout, line); err != nil {
+			fmt.Fprintln(os.Stderr, "iqp:", err)
+		}
+	}
+}
+
+const remoteHelp = `remote commands:
+  .health        current target's health
+  .target        which node the client talks to
+  .quit          leave
+any other line is SQL: SELECT runs a query (intensional answer
+included); INSERT/UPDATE/DELETE mutate the leader, wherever it is.
+`
+
+// runStatement sends one SQL statement to the right endpoint and
+// renders the response.
+func runStatement(c *replica.FailoverClient, w io.Writer, sql string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), remoteTimeout)
+	defer cancel()
+	if isMutation(sql) {
+		res, err := c.Mutate(ctx, []string{sql})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ok (version %d, seq %d", res.Version, res.WalSeq)
+		if res.Stale > 0 {
+			fmt.Fprintf(w, ", %d rule(s) now stale", res.Stale)
+		}
+		fmt.Fprintln(w, ")")
+		if res.Warning != "" {
+			fmt.Fprintln(w, "warning:", res.Warning)
+		}
+		return nil
+	}
+	res, err := c.Query(ctx, sql, "")
+	if err != nil {
+		return err
+	}
+	printQueryResult(w, res)
+	return nil
+}
+
+func isMutation(sql string) bool {
+	head := strings.ToUpper(strings.Fields(sql + " x")[0])
+	return head == "INSERT" || head == "UPDATE" || head == "DELETE"
+}
+
+func printQueryResult(w io.Writer, res *replica.QueryResult) {
+	for _, line := range res.Intensional {
+		fmt.Fprintln(w, line)
+	}
+	if ext := res.Extensional; ext != nil && len(ext.Columns) > 0 {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		var hdr []string
+		for _, col := range ext.Columns {
+			hdr = append(hdr, col.Name)
+		}
+		fmt.Fprintln(tw, strings.Join(hdr, "\t"))
+		for _, row := range ext.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				switch x := v.(type) {
+				case nil:
+					cells[i] = "NULL"
+				case string:
+					cells[i] = x
+				default:
+					cells[i] = fmt.Sprint(x)
+				}
+			}
+			fmt.Fprintln(tw, strings.Join(cells, "\t"))
+		}
+		tw.Flush() //ilint:allow errdrop — terminal output; nothing to do about a failed flush
+	}
+	fmt.Fprintf(w, "%d row(s), version %d\n", res.RowCount, res.Version)
+}

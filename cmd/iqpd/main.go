@@ -16,7 +16,7 @@
 //
 //	iqpd -db d1 -wal -addr :8473                                  # leader
 //	iqpd -role follower -leader http://127.0.0.1:8473 -db d2      # follower
-//	iqpd -cluster-config cluster.json -node-id iqp-2 -db d2       # role from config
+//	iqpd -cluster-config cluster.json -node-id iqp-2 -db d2       # role from config, live
 //
 // A follower is durable by construction (its replica directory holds a
 // WAL and checkpoints), serves the read API, answers writes with 421
@@ -25,6 +25,14 @@
 // /metrics. Mutate responses on the leader carry a read-your-writes
 // token; pass it as the /query "token" field on any replica to wait
 // for that write to be visible there.
+//
+// With -cluster-config the file is watched (every -cluster-watch) and
+// role changes apply without a restart: rewrite the file naming a new
+// leader and the old leader demotes — refusing until the successor has
+// acknowledged every committed record — while the successor drains the
+// last records and promotes. Followers re-point mid-flight. The
+// leader's /metrics carries the fan-out table: each follower's
+// acknowledged sequence, lag, and bootstrap volume.
 //
 // Endpoints: POST /query, POST /explain, POST /mutate, POST /induce,
 // POST /maintain, GET /rules, GET /healthz, GET /metrics. /explain
@@ -84,8 +92,9 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 0, "longest a request waits in the queue before a 503 (0 = default 1s)")
 	role := flag.String("role", "", "cluster role: leader or follower (default leader)")
 	leader := flag.String("leader", "", "leader base URL this follower streams from")
-	clusterConfig := flag.String("cluster-config", "", "cluster membership JSON file; with -node-id, supplies this node's role and the leader address")
+	clusterConfig := flag.String("cluster-config", "", "cluster membership JSON file; with -node-id, supplies this node's role and the leader address, and is watched for live role changes")
 	nodeID := flag.String("node-id", "", "this node's id within -cluster-config")
+	clusterWatch := flag.Duration("cluster-watch", cluster.DefaultWatchInterval, "how often -cluster-config is polled for membership changes")
 	flag.Parse()
 
 	cfg := config{
@@ -95,6 +104,7 @@ func main() {
 		queryTimeout: *queryTimeout, induceTimeout: *induceTimeout,
 		maxInFlight: *maxInFlight, maxQueue: *maxQueue, queueWait: *queueWait,
 		role: *role, leaderAddr: *leader, clusterConfig: *clusterConfig, nodeID: *nodeID,
+		clusterWatch: *clusterWatch,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "iqpd:", err)
@@ -114,6 +124,7 @@ type config struct {
 
 	role, leaderAddr      string
 	clusterConfig, nodeID string
+	clusterWatch          time.Duration
 }
 
 // resolveRole determines this node's role and the leader's address from
@@ -173,8 +184,84 @@ func run(cfg config) error {
 		QueueWait:     cfg.queueWait,
 	}
 
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "iqpd: "+format+"\n", args...)
+	}
+
 	var sys *core.System
-	if role == cluster.RoleFollower {
+	if cfg.clusterConfig != "" {
+		// Cluster mode: the configuration file is the authority for this
+		// node's role, now and whenever it changes. A Node controller
+		// performs live transitions — promote, fenced demote, leader
+		// re-point — while the file watcher feeds it; no restart needed.
+		if cfg.dbDir == "" {
+			return fmt.Errorf("-cluster-config requires -db DIR (roles can change live, so every node keeps a durable WAL)")
+		}
+		var f *replica.Follower
+		if role == cluster.RoleFollower {
+			if cfg.autoMaintain {
+				return fmt.Errorf("-auto-maintain is a write-path worker; followers replay the leader's rule maintenance instead")
+			}
+			f, err = replica.Open(replica.Options{
+				Dir:             cfg.dbDir,
+				Leader:          leaderAddr,
+				NodeID:          cfg.nodeID,
+				CheckpointBytes: cfg.checkpointBytes,
+				Logf:            logf,
+			})
+			if err != nil {
+				return err
+			}
+			sys = f.System()
+			f.Start()
+			fmt.Fprintf(os.Stderr, "iqpd: follower of %s (local seq %d)\n", leaderAddr, sys.WalSeq())
+		} else {
+			sys, err = core.OpenDurable(cfg.dbDir, core.DurableOptions{CheckpointBytes: cfg.checkpointBytes})
+			if err != nil {
+				return err
+			}
+			if cfg.autoMaintain {
+				sys.StartAutoMaintain(induct.Options{Nc: cfg.nc, Workers: cfg.workers})
+			}
+			if !cfg.noInduce {
+				if err := induceAtStartup(sys, cfg); err != nil {
+					sys.Close() //ilint:allow errdrop — startup induction already failed; its error is the one to report
+					return err
+				}
+			}
+			fmt.Fprintf(os.Stderr, "iqpd: leader %q (seq %d)\n", cfg.nodeID, sys.WalSeq())
+		}
+		defer func() {
+			if cerr := sys.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "iqpd: close:", cerr)
+			}
+		}()
+
+		tracker := replica.NewLeader(sys, replica.LeaderOptions{})
+		node, err := replica.NewNode(sys, tracker, f, replica.NodeOptions{
+			ID: cfg.nodeID,
+			Follower: replica.Options{
+				Dir:             cfg.dbDir,
+				Leader:          leaderAddr, // overwritten from the configuration on demotion
+				CheckpointBytes: cfg.checkpointBytes,
+				Logf:            logf,
+			},
+			Logf: logf,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		opts.Replica = tracker
+		opts.LeaderAddrFunc = node.LeaderAddr
+		opts.FollowerStatus = node.FollowerStatus
+
+		store := cluster.NewFileStore(cfg.clusterConfig)
+		store.WatchInterval = cfg.clusterWatch
+		watchStop := make(chan struct{})
+		defer close(watchStop)
+		go node.Watch(watchStop, store)
+	} else if role == cluster.RoleFollower {
 		if cfg.dbDir == "" {
 			return fmt.Errorf("-role follower requires -db DIR (the replica's WAL and checkpoints live there)")
 		}
@@ -184,10 +271,9 @@ func run(cfg config) error {
 		f, err := replica.Open(replica.Options{
 			Dir:             cfg.dbDir,
 			Leader:          leaderAddr,
+			NodeID:          cfg.nodeID,
 			CheckpointBytes: cfg.checkpointBytes,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "iqpd: "+format+"\n", args...)
-			},
+			Logf:            logf,
 		})
 		if err != nil {
 			return err
@@ -216,13 +302,9 @@ func run(cfg config) error {
 			sys.StartAutoMaintain(induct.Options{Nc: cfg.nc, Workers: cfg.workers})
 		}
 		if !cfg.noInduce {
-			start := time.Now()
-			set, err := sys.Induce(induct.Options{Nc: cfg.nc, Workers: cfg.workers})
-			if err != nil {
-				return fmt.Errorf("startup induction: %w", err)
+			if err := induceAtStartup(sys, cfg); err != nil {
+				return err
 			}
-			fmt.Fprintf(os.Stderr, "iqpd: induced %d rules in %v (version %d)\n",
-				set.Len(), time.Since(start).Round(time.Millisecond), sys.Version())
 		}
 	}
 
@@ -258,6 +340,17 @@ func run(cfg config) error {
 		}
 		return nil
 	}
+}
+
+func induceAtStartup(sys *core.System, cfg config) error {
+	start := time.Now()
+	set, err := sys.Induce(induct.Options{Nc: cfg.nc, Workers: cfg.workers})
+	if err != nil {
+		return fmt.Errorf("startup induction: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "iqpd: induced %d rules in %v (version %d)\n",
+		set.Len(), time.Since(start).Round(time.Millisecond), sys.Version())
+	return nil
 }
 
 func openSystem(cfg config) (*core.System, error) {

@@ -56,7 +56,8 @@ type Report struct {
 	Refused    int      // mutations refused by an injected fault
 	Checkpoint int      // explicit checkpoints attempted
 	Kills      int      // follower kill/restarts (replica scenario)
-	Partitions int      // network partitions (replica scenario)
+	Partitions int      // network partitions / mid-transfer link drops
+	Handovers  int      // live leader swaps (reconfig scenario)
 	Violations []string // invariant breaches; empty means the run passed
 }
 

@@ -72,3 +72,68 @@ func TestChaosIsDeterministic(t *testing.T) {
 		t.Errorf("same seed diverged: %+v vs %+v", a, b)
 	}
 }
+
+// TestShortBootstrapChaosRun keeps a bounded slice of the
+// mid-bootstrap-partition scenario in the ordinary suite: every cycle
+// drops the snapshot link at a seeded chunk and requires a resumed,
+// byte-identical recovery. The full 200-cycle run is `make chaos`.
+func TestShortBootstrapChaosRun(t *testing.T) {
+	rep, err := chaos.RunReplicaBootstrap(t.TempDir(), chaos.ReplicaConfig{
+		Iters: 8,
+		Seed:  1,
+		Logf:  t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Iters != 8 || rep.Partitions != 8 {
+		t.Errorf("completed %d iterations with %d drops, want 8 of each", rep.Iters, rep.Partitions)
+	}
+}
+
+// TestShortReconfigChaosRun keeps a bounded slice of the
+// reconfiguration-under-load scenario in the ordinary suite: seeded
+// leader swaps behind a failover-aware client, no restarts, no lost
+// writes. The full 200-cycle run is `make chaos`.
+func TestShortReconfigChaosRun(t *testing.T) {
+	rep, err := chaos.RunReplicaReconfig(t.TempDir(), chaos.ReplicaConfig{
+		Iters: 10,
+		Seed:  1,
+		Logf:  t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Iters != 10 {
+		t.Errorf("completed %d iterations, want 10", rep.Iters)
+	}
+	if rep.Handovers == 0 {
+		t.Errorf("run swapped no leaders: %+v", rep)
+	}
+}
+
+// TestShortSlowLinkChaosRun keeps one throttled bootstrap in the
+// ordinary suite: the transfer must complete AND take at least the
+// time the rate limit implies.
+func TestShortSlowLinkChaosRun(t *testing.T) {
+	rep, err := chaos.RunReplicaSlowLink(t.TempDir(), chaos.ReplicaConfig{
+		Iters: 2,
+		Seed:  1,
+		Logf:  t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Iters != 2 {
+		t.Errorf("completed %d iterations, want 2", rep.Iters)
+	}
+}

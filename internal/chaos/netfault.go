@@ -1,0 +1,520 @@
+// Network-fault chaos: the seeded scenarios for replication over real
+// networks. Where replica.go kills processes and cuts the link between
+// exchanges, these three scenarios attack the transfer and control
+// paths themselves:
+//
+//   - Bootstrap: a fresh follower's chunked snapshot download loses its
+//     link mid-transfer, at a seeded chunk index, every cycle. The
+//     follower must resume from its spool — verified chunks are never
+//     re-fetched (pinned by per-chunk request counters), the transfer
+//     counts as ONE bootstrap, and the recovered replica answers
+//     byte-identically.
+//   - Reconfig: a two-node cluster serves a failover-aware client while
+//     the configuration store repeatedly swaps the leader. Handover is
+//     driven entirely by the watchers (fenced demotion, drained
+//     promotion); no process restarts, no acknowledged write is lost,
+//     and the client's read-your-writes token holds across the swap.
+//   - SlowLink: the leader throttles snapshot chunks to a fixed byte
+//     rate. The transfer must still complete, converge, and take at
+//     least the time the throttle implies — proving the pace is real,
+//     not a no-op.
+//
+// All three are deterministic per seed, like every scenario in this
+// package.
+
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"time"
+
+	"intensional/internal/cluster"
+	"intensional/internal/core"
+	"intensional/internal/replica"
+	"intensional/internal/server"
+)
+
+// bootstrapChunkSize keeps archives spanning many chunks, so a seeded
+// drop index usually lands mid-transfer.
+const bootstrapChunkSize = 512
+
+// chunkDropTransport counts snapshot chunk requests by index and fails
+// the link exactly once, on the first request for chunk failAt.
+type chunkDropTransport struct {
+	failAt int
+
+	mu     sync.Mutex
+	counts map[int]int // guarded by mu
+	failed bool        // guarded by mu
+}
+
+func (t *chunkDropTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	q := r.URL.Query()
+	if r.URL.Path == "/replica/snapshot" && q.Get("chunk") != "" {
+		n, _ := strconv.Atoi(q.Get("chunk")) //ilint:allow errdrop — the follower under test only sends numeric chunk indices
+		t.mu.Lock()
+		if t.counts == nil {
+			t.counts = map[int]int{}
+		}
+		t.counts[n]++
+		fail := n == t.failAt && !t.failed
+		if fail {
+			t.failed = true
+		}
+		t.mu.Unlock()
+		if fail {
+			return nil, fmt.Errorf("chaos: link dropped at chunk %d", n)
+		}
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+func (t *chunkDropTransport) count(n int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[n]
+}
+
+// RunReplicaBootstrap executes cfg.Iters bootstrap-partition cycles:
+// write on the leader, start a fresh follower whose snapshot download
+// dies at a seeded chunk, and require a resumed — not restarted —
+// transfer and a byte-identical replica.
+func RunReplicaBootstrap(dir string, cfg ReplicaConfig) (*Report, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 200
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	leaderDir := dir + "/leader"
+	if err := buildFixture(leaderDir); err != nil {
+		return nil, fmt.Errorf("chaos: build fixture: %w", err)
+	}
+	leader, err := core.OpenDurable(leaderDir, core.DurableOptions{CheckpointBytes: 64 << 10})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: open leader: %w", err)
+	}
+	defer leader.Close() //ilint:allow errdrop — harness teardown; nothing to do about a close failure
+
+	tracker := replica.NewLeader(leader, replica.LeaderOptions{ChunkSize: bootstrapChunkSize})
+	mux := http.NewServeMux()
+	mux.Handle("/replica/wal", tracker.WALHandler())
+	mux.Handle("/replica/snapshot", tracker.SnapshotHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rep := &Report{}
+	markers := &markerSet{present: map[string]bool{}, indet: map[string]bool{}}
+	ctx := context.Background()
+
+	for i := 0; i < cfg.Iters; i++ {
+		// Grow the archive so every cycle transfers fresh state.
+		steps := 1 + rng.Intn(4)
+		for j := 0; j < steps; j++ {
+			marker := fmt.Sprintf("BC-%d-%d", i, j)
+			stmt := fmt.Sprintf(`INSERT INTO SONAR VALUES ('%s', 'BChaos')`, marker)
+			if _, err := leader.ApplyBatch(ctx, []string{stmt}); err != nil {
+				return nil, fmt.Errorf("chaos: iteration %d: leader write refused (healthy disk): %w", i, err)
+			}
+			rep.Acked++
+			markers.present[marker] = true
+		}
+
+		// Learn the archive's chunk span, then pick where the link dies.
+		m, err := (&replica.Client{Base: srv.URL}).Manifest(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: iteration %d: manifest: %w", i, err)
+		}
+		failAt := rng.Intn(len(m.Chunks))
+		rep.Partitions++
+		logf("chaos: iter %d: bootstrapping %d chunks, dropping the link at chunk %d", i, len(m.Chunks), failAt)
+
+		tr := &chunkDropTransport{failAt: failAt}
+		f, err := replica.Open(replica.Options{
+			Dir:             fmt.Sprintf("%s/f%d", dir, i),
+			Leader:          srv.URL,
+			NodeID:          "boot",
+			PollWait:        200 * time.Millisecond,
+			RetryBase:       2 * time.Millisecond,
+			RetryMax:        10 * time.Millisecond,
+			DisconnectAfter: 1,
+			HTTP:            &http.Client{Transport: tr},
+			Logf:            logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: iteration %d: open follower: %w", i, err)
+		}
+		f.Start()
+		if !waitApplied(f, leader.WalSeq(), 20*time.Second) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("iteration %d: follower stuck at seq %d, leader at %d (status %+v)",
+					i, f.System().WalSeq(), leader.WalSeq(), f.Status()))
+			f.Close() //ilint:allow errdrop — harness teardown after a violation
+			break
+		}
+
+		// The resume invariants, pinned by the chunk-request counters: one
+		// logical bootstrap, verified chunks fetched exactly once, the
+		// dropped chunk exactly twice.
+		if st := f.Status(); st.Bootstraps != 1 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("iteration %d: %d bootstraps, want 1 (resume restarted the transfer?)", i, st.Bootstraps))
+		}
+		for n := 0; n < failAt; n++ {
+			if got := tr.count(n); got != 1 {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("iteration %d: chunk %d fetched %d times; a resume must not re-fetch verified chunks", i, n, got))
+			}
+		}
+		if got := tr.count(failAt); got != 2 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("iteration %d: dropped chunk %d fetched %d times, want 2", i, failAt, got))
+		}
+		checkMarkers(f.System(), i, markers, rep)
+		checkRules(f.System(), i, rep)
+		checkConverged(leader, f.System(), i, rep)
+		if err := f.Close(); err != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("iteration %d: follower close: %v", i, err))
+		}
+		rep.Iters++
+		if len(rep.Violations) > 0 {
+			break
+		}
+	}
+	logf("chaos: bootstrap run: %d cycles, %d acked, %d mid-transfer drops, %d violations",
+		rep.Iters, rep.Acked, rep.Partitions, len(rep.Violations))
+	return rep, nil
+}
+
+// reconfigNode is one process of the reconfig scenario: a system, its
+// role controller, and a full serving-tier handler.
+type reconfigNode struct {
+	id   string
+	sys  *core.System
+	node *replica.Node
+	srv  *httptest.Server
+}
+
+// RunReplicaReconfig executes cfg.Iters write → (maybe) swap-the-leader
+// cycles against a two-node cluster behind a failover-aware client.
+// Every handover is live: watcher-driven, fenced, drained, and without
+// restarting either process.
+func RunReplicaReconfig(dir string, cfg ReplicaConfig) (*Report, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 200
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	aDir := dir + "/a"
+	if err := buildFixture(aDir); err != nil {
+		return nil, fmt.Errorf("chaos: build fixture: %w", err)
+	}
+	sysA, err := core.OpenDurable(aDir, core.DurableOptions{CheckpointBytes: 64 << 10})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: open a: %w", err)
+	}
+	defer sysA.Close() //ilint:allow errdrop — harness teardown
+
+	newNode := func(id string, sys *core.System, f *replica.Follower) (*reconfigNode, error) {
+		tracker := replica.NewLeader(sys, replica.LeaderOptions{ChunkSize: bootstrapChunkSize})
+		node, err := replica.NewNode(sys, tracker, f, replica.NodeOptions{
+			ID: id,
+			Follower: replica.Options{
+				Dir:       fmt.Sprintf("%s/%s", dir, id),
+				Leader:    "rewritten-on-demotion",
+				PollWait:  200 * time.Millisecond,
+				RetryBase: 2 * time.Millisecond,
+				RetryMax:  10 * time.Millisecond,
+			},
+			Logf: logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n := &reconfigNode{id: id, sys: sys, node: node}
+		n.srv = httptest.NewServer(server.New(sys, server.Options{
+			Replica:        tracker,
+			LeaderAddrFunc: node.LeaderAddr,
+			FollowerStatus: node.FollowerStatus,
+		}).Handler())
+		return n, nil
+	}
+
+	a, err := newNode("a", sysA, nil)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: node a: %w", err)
+	}
+	defer a.srv.Close()
+	defer a.node.Close()
+
+	fb, err := replica.Open(replica.Options{
+		Dir:       dir + "/b",
+		Leader:    a.srv.URL,
+		NodeID:    "b",
+		PollWait:  200 * time.Millisecond,
+		RetryBase: 2 * time.Millisecond,
+		RetryMax:  10 * time.Millisecond,
+		Logf:      logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: open b: %w", err)
+	}
+	fb.Start()
+	defer fb.System().Close() //ilint:allow errdrop — harness teardown
+	b, err := newNode("b", fb.System(), fb)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: node b: %w", err)
+	}
+	defer b.srv.Close()
+	defer b.node.Close()
+
+	configFor := func(leaderID string) *cluster.Config {
+		roleA, roleB := cluster.RoleFollower, cluster.RoleLeader
+		if leaderID == "a" {
+			roleA, roleB = cluster.RoleLeader, cluster.RoleFollower
+		}
+		return &cluster.Config{Nodes: []cluster.Node{
+			{ID: "a", Addr: a.srv.URL, Role: roleA},
+			{ID: "b", Addr: b.srv.URL, Role: roleB},
+		}}
+	}
+	store := cluster.NewMemStore(configFor("a"))
+	stop := make(chan struct{})
+	defer close(stop)
+	go a.node.Watch(stop, store)
+	go b.node.Watch(stop, store)
+
+	client := replica.NewFailoverClient(a.srv.URL)
+	client.Retry = replica.Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond}
+	client.MaxAttempts = 64
+	client.Logf = logf
+
+	rep := &Report{}
+	markers := &markerSet{present: map[string]bool{}, indet: map[string]bool{}}
+	ctx := context.Background()
+	leaderID := "a"
+
+	rolesSettled := func(want string) bool {
+		lead, follow := a, b
+		if want == "b" {
+			lead, follow = b, a
+		}
+		return lead.node.Role() == cluster.RoleLeader && follow.node.Role() == cluster.RoleFollower
+	}
+	waitSettled := func(want string, timeout time.Duration) bool {
+		deadline := time.Now().Add(timeout)
+		for time.Now().Before(deadline) {
+			if rolesSettled(want) {
+				return true
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return false
+	}
+	bySeq := func(sys *core.System, seq uint64, timeout time.Duration) bool {
+		deadline := time.Now().Add(timeout)
+		for time.Now().Before(deadline) {
+			if sys.WalSeq() >= seq {
+				return true
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return false
+	}
+
+	for i := 0; i < cfg.Iters; i++ {
+		// Maybe swap the leader, then immediately write through the
+		// client — the handover happens underneath the load, and the
+		// client's redirects and retries absorb it.
+		if rng.Intn(2) == 0 {
+			if leaderID == "a" {
+				leaderID = "b"
+			} else {
+				leaderID = "a"
+			}
+			rep.Handovers++
+			logf("chaos: iter %d: swapping the leader to %s under load", i, leaderID)
+			store.Set(configFor(leaderID))
+		}
+		steps := 1 + rng.Intn(3)
+		var lastSeq uint64
+		for j := 0; j < steps; j++ {
+			marker := fmt.Sprintf("HC-%d-%d", i, j)
+			res, err := client.Mutate(ctx, []string{fmt.Sprintf(`INSERT INTO SONAR VALUES ('%s', 'HChaos')`, marker)})
+			if err != nil {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("iteration %d: client write failed across handover: %v", i, err))
+				break
+			}
+			rep.Acked++
+			markers.present[marker] = true
+			lastSeq = res.WalSeq
+		}
+		if len(rep.Violations) > 0 {
+			break
+		}
+
+		// Read-your-writes through the client: the tokened query must see
+		// this cycle's last marker wherever the client is pointed now.
+		lastMarker := fmt.Sprintf("HC-%d-%d", i, steps-1)
+		qr, err := client.Query(ctx, fmt.Sprintf(
+			`SELECT SONAR.Sonar FROM SONAR WHERE SONAR.Sonar = '%s'`, lastMarker), "extensional")
+		if err != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("iteration %d: client read-your-writes query: %v", i, err))
+			break
+		}
+		if qr.RowCount != 1 {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("iteration %d: read-your-writes lost marker %s (rowCount %d)", i, lastMarker, qr.RowCount))
+			break
+		}
+
+		// Let the cluster settle — roles as configured, both nodes at the
+		// last acknowledged write — then check the three invariants on
+		// both systems.
+		if !waitSettled(leaderID, 20*time.Second) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("iteration %d: handover to %s never settled (a=%s b=%s)",
+					i, leaderID, a.node.Role(), b.node.Role()))
+			break
+		}
+		if !bySeq(a.sys, lastSeq, 20*time.Second) || !bySeq(b.sys, lastSeq, 20*time.Second) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("iteration %d: nodes never reached seq %d (a=%d b=%d)",
+					i, lastSeq, a.sys.WalSeq(), b.sys.WalSeq()))
+			break
+		}
+		lead, follow := a, b
+		if leaderID == "b" {
+			lead, follow = b, a
+		}
+		checkMarkers(follow.sys, i, markers, rep)
+		checkRules(follow.sys, i, rep)
+		checkConverged(lead.sys, follow.sys, i, rep)
+		rep.Iters++
+		if len(rep.Violations) > 0 {
+			break
+		}
+	}
+	logf("chaos: reconfig run: %d cycles, %d acked, %d handovers, %d violations",
+		rep.Iters, rep.Acked, rep.Handovers, len(rep.Violations))
+	return rep, nil
+}
+
+// slowLinkRate throttles bootstrap chunk shipping hard enough that a
+// no-op pace would finish measurably too fast.
+const slowLinkRate = 64 << 10 // bytes/second
+
+// RunReplicaSlowLink executes cfg.Iters throttled-bootstrap cycles: the
+// leader rate-limits snapshot chunks and the follower must still
+// bootstrap, converge, and take at least the time the throttle implies.
+func RunReplicaSlowLink(dir string, cfg ReplicaConfig) (*Report, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 10
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	leaderDir := dir + "/leader"
+	if err := buildFixture(leaderDir); err != nil {
+		return nil, fmt.Errorf("chaos: build fixture: %w", err)
+	}
+	leader, err := core.OpenDurable(leaderDir, core.DurableOptions{CheckpointBytes: 64 << 10})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: open leader: %w", err)
+	}
+	defer leader.Close() //ilint:allow errdrop — harness teardown
+
+	tracker := replica.NewLeader(leader, replica.LeaderOptions{
+		ChunkSize: 2048,
+		RateLimit: slowLinkRate,
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/replica/wal", tracker.WALHandler())
+	mux.Handle("/replica/snapshot", tracker.SnapshotHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rep := &Report{}
+	markers := &markerSet{present: map[string]bool{}, indet: map[string]bool{}}
+	ctx := context.Background()
+
+	for i := 0; i < cfg.Iters; i++ {
+		steps := 1 + rng.Intn(3)
+		for j := 0; j < steps; j++ {
+			marker := fmt.Sprintf("SL-%d-%d", i, j)
+			if _, err := leader.ApplyBatch(ctx, []string{fmt.Sprintf(`INSERT INTO SONAR VALUES ('%s', 'SChaos')`, marker)}); err != nil {
+				return nil, fmt.Errorf("chaos: iteration %d: leader write refused (healthy disk): %w", i, err)
+			}
+			rep.Acked++
+			markers.present[marker] = true
+		}
+		m, err := (&replica.Client{Base: srv.URL}).Manifest(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: iteration %d: manifest: %w", i, err)
+		}
+
+		start := time.Now()
+		f, err := replica.Open(replica.Options{
+			Dir:       fmt.Sprintf("%s/f%d", dir, i),
+			Leader:    srv.URL,
+			NodeID:    "slow",
+			PollWait:  200 * time.Millisecond,
+			RetryBase: 2 * time.Millisecond,
+			RetryMax:  10 * time.Millisecond,
+			Logf:      logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: iteration %d: open follower: %w", i, err)
+		}
+		f.Start()
+		if !waitApplied(f, leader.WalSeq(), 60*time.Second) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("iteration %d: throttled bootstrap never converged (status %+v)", i, f.Status()))
+			f.Close() //ilint:allow errdrop — harness teardown after a violation
+			break
+		}
+		elapsed := time.Since(start)
+		// The pace floor, with slack for the reservation timeline's free
+		// first chunk: shipping Size bytes at the configured rate cannot
+		// legitimately beat half the theoretical minimum.
+		floor := time.Duration(m.Size) * time.Second / (2 * slowLinkRate)
+		if elapsed < floor {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("iteration %d: %d bytes arrived in %s, under the %s throttle floor — the rate limit is not pacing",
+					i, m.Size, elapsed, floor))
+		}
+		logf("chaos: iter %d: %d bytes bootstrapped in %s under a %d B/s throttle", i, m.Size, elapsed.Round(time.Millisecond), slowLinkRate)
+		checkMarkers(f.System(), i, markers, rep)
+		checkRules(f.System(), i, rep)
+		checkConverged(leader, f.System(), i, rep)
+		if err := f.Close(); err != nil {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("iteration %d: follower close: %v", i, err))
+		}
+		rep.Iters++
+		if len(rep.Violations) > 0 {
+			break
+		}
+	}
+	logf("chaos: slow-link run: %d cycles, %d acked, %d violations", rep.Iters, rep.Acked, len(rep.Violations))
+	return rep, nil
+}

@@ -100,12 +100,14 @@ func RunReplica(dir string, cfg ReplicaConfig) (*Report, error) {
 	net := &flakyTransport{}
 	openFollower := func() (*replica.Follower, error) {
 		f, err := replica.Open(replica.Options{
-			Dir:        dir + "/follower",
-			Leader:     srv.URL,
-			PollWait:   200 * time.Millisecond,
-			RetryDelay: 5 * time.Millisecond,
-			HTTP:       &http.Client{Transport: net},
-			Logf:       logf,
+			Dir:             dir + "/follower",
+			Leader:          srv.URL,
+			PollWait:        200 * time.Millisecond,
+			RetryBase:       2 * time.Millisecond,
+			RetryMax:        10 * time.Millisecond,
+			DisconnectAfter: 1,
+			HTTP:            &http.Client{Transport: net},
+			Logf:            logf,
 		})
 		if err != nil {
 			return nil, err

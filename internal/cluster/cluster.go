@@ -62,13 +62,14 @@ type Config struct {
 
 // Validate checks the structural invariants every backend must deliver:
 // at least one node, exactly one leader, unique non-empty IDs, and a
-// non-empty address per node.
+// unique non-empty address per node.
 func (c *Config) Validate() error {
 	if c == nil || len(c.Nodes) == 0 {
 		return fmt.Errorf("cluster: configuration has no nodes")
 	}
 	leaders := 0
 	seen := make(map[string]bool, len(c.Nodes))
+	seenAddr := make(map[string]string, len(c.Nodes))
 	for i, n := range c.Nodes {
 		if n.ID == "" {
 			return fmt.Errorf("cluster: node %d has no id", i)
@@ -80,6 +81,10 @@ func (c *Config) Validate() error {
 		if n.Addr == "" {
 			return fmt.Errorf("cluster: node %q has no addr", n.ID)
 		}
+		if other, dup := seenAddr[n.Addr]; dup {
+			return fmt.Errorf("cluster: nodes %q and %q share address %q", other, n.ID, n.Addr)
+		}
+		seenAddr[n.Addr] = n.ID
 		switch n.Role {
 		case RoleLeader:
 			leaders++
@@ -130,6 +135,9 @@ type ConfigurationStore interface {
 //	]}
 type FileStore struct {
 	Path string
+	// WatchInterval is how often Watch polls the file's mtime and size;
+	// zero means DefaultWatchInterval.
+	WatchInterval time.Duration
 }
 
 // NewFileStore returns a store reading the JSON config at path.
@@ -154,18 +162,29 @@ func (s *FileStore) Load() (*Config, error) {
 // MemStore holds membership in memory — the test backend, and the seam
 // a future coordinated backend would slot behind.
 type MemStore struct {
-	mu  sync.Mutex
-	cfg *Config // guarded by mu
+	mu       sync.Mutex
+	cfg      *Config        // guarded by mu
+	watchers []chan *Config // guarded by mu
 }
 
 // NewMemStore returns a store serving the given configuration.
 func NewMemStore(cfg *Config) *MemStore { return &MemStore{cfg: cfg} }
 
-// Set replaces the served configuration.
+// Set replaces the served configuration and notifies watchers when it
+// validates (an invalid configuration is still stored — Load reports
+// the error — but never delivered as a change). Delivery is
+// latest-wins and non-blocking, so holding the lock here cannot park on
+// a slow watcher.
 func (s *MemStore) Set(cfg *Config) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cfg = cfg
+	if cfg.Validate() != nil {
+		return
+	}
+	for _, out := range s.watchers {
+		deliver(out, cfg)
+	}
 }
 
 // Load validates and returns the current configuration.
@@ -207,6 +226,10 @@ type FollowerStatus struct {
 	// Bootstraps counts full snapshot installs (initial plus any
 	// catch-up re-bootstraps after falling behind WAL retention).
 	Bootstraps uint64
+	// BootstrapChunks and BootstrapTotalChunks report progress through a
+	// chunked bootstrap transfer in flight: chunks verified so far out of
+	// the manifest's total. Both are zero between transfers.
+	BootstrapChunks, BootstrapTotalChunks uint64
 	// RecordsApplied counts WAL records replayed since the process
 	// started.
 	RecordsApplied uint64

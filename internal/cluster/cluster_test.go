@@ -45,6 +45,14 @@ func TestValidateRejections(t *testing.T) {
 		{"bad role", &Config{Nodes: []Node{
 			{ID: "a", Addr: "x", Role: "observer"},
 		}}, "unknown role"},
+		{"duplicate addr", &Config{Nodes: []Node{
+			{ID: "a", Addr: "http://h:1", Role: RoleLeader},
+			{ID: "b", Addr: "http://h:1", Role: RoleFollower},
+		}}, "share address"},
+		{"empty id beside valid ones", &Config{Nodes: []Node{
+			{ID: "a", Addr: "x", Role: RoleLeader},
+			{ID: "", Addr: "y", Role: RoleFollower},
+		}}, "has no id"},
 	}
 	for _, tc := range cases {
 		err := tc.cfg.Validate()

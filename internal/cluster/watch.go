@@ -1,0 +1,147 @@
+// Live cluster reconfiguration: the watch side of the configuration
+// seam. A WatchableStore delivers every membership change as a fresh,
+// validated Config on a channel, so a running iqpd re-resolves the
+// leader and followers re-point without a restart. The first backend is
+// a file mtime/size poll — production config management rewrites the
+// JSON file, the watcher notices within one poll interval — and the
+// in-memory backend notifies synchronously for tests and embedded use.
+//
+// The watcher never delivers a broken view: a file caught mid-write
+// (truncated, half-rendered JSON) or one that fails Validate is skipped
+// and the last good configuration stays in force; the next poll retries
+// until the file parses again. Mtime moving backwards (a restore from
+// backup, clock skew on the writer) still counts as a change — the
+// trigger is "the signature differs", not "the file is newer".
+
+package cluster
+
+import (
+	"os"
+	"reflect"
+	"time"
+)
+
+// WatchableStore is a ConfigurationStore whose backend can report
+// configuration changes after load time.
+type WatchableStore interface {
+	ConfigurationStore
+	// Watch returns a channel delivering each new validated Config until
+	// stop is closed (then the channel closes). Deliveries coalesce: a
+	// slow consumer sees the latest configuration, not every
+	// intermediate one.
+	Watch(stop <-chan struct{}) <-chan *Config
+}
+
+// DefaultWatchInterval is how often FileStore.Watch polls the file when
+// the store does not override it.
+const DefaultWatchInterval = 2 * time.Second
+
+// fileSig is the change signature of the configuration file: any
+// difference — size, mtime in either direction, existence — re-reads
+// the file.
+type fileSig struct {
+	exists  bool
+	size    int64
+	modTime time.Time
+}
+
+func statSig(path string) fileSig {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fileSig{}
+	}
+	return fileSig{exists: true, size: fi.Size(), modTime: fi.ModTime()}
+}
+
+// equal compares signatures with time.Time.Equal, so a wall-clock value
+// with and without a monotonic reading still compares by instant.
+func (s fileSig) equal(o fileSig) bool {
+	return s.exists == o.exists && s.size == o.size && s.modTime.Equal(o.modTime)
+}
+
+// Watch polls the file's mtime and size every WatchInterval (default
+// DefaultWatchInterval) and delivers each changed, valid configuration.
+// Files that fail to parse or validate — including files caught halfway
+// through a non-atomic rewrite — are skipped and retried on the next
+// tick, so a watcher never observes a torn configuration.
+func (s *FileStore) Watch(stop <-chan struct{}) <-chan *Config {
+	interval := s.WatchInterval
+	if interval <= 0 {
+		interval = DefaultWatchInterval
+	}
+	out := make(chan *Config, 1)
+	last := statSig(s.Path)
+	var lastCfg *Config
+	if cfg, err := s.Load(); err == nil {
+		lastCfg = cfg
+	}
+	go func() {
+		defer close(out)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+			sig := statSig(s.Path)
+			if sig.equal(last) {
+				continue
+			}
+			cfg, err := s.Load()
+			if err != nil {
+				// Mid-write or invalid: leave `last` untouched so the next
+				// tick re-reads, and keep the previous config in force.
+				continue
+			}
+			last = sig
+			if lastCfg != nil && reflect.DeepEqual(cfg, lastCfg) {
+				continue // touch without a content change
+			}
+			lastCfg = cfg
+			deliver(out, cfg)
+		}
+	}()
+	return out
+}
+
+// deliver sends latest-wins: an undrained previous value is replaced
+// rather than blocking the watcher.
+func deliver(out chan *Config, cfg *Config) {
+	for {
+		select {
+		case out <- cfg:
+			return
+		default:
+			select {
+			case <-out:
+			default:
+			}
+		}
+	}
+}
+
+// Watch delivers every configuration installed with Set after the call.
+// Invalid configurations are skipped, mirroring the file backend. The
+// channel closes once stop does; removal and close happen under the
+// store's lock, so a concurrent Set never sends on a closed channel.
+func (s *MemStore) Watch(stop <-chan struct{}) <-chan *Config {
+	out := make(chan *Config, 1)
+	s.mu.Lock()
+	s.watchers = append(s.watchers, out)
+	s.mu.Unlock()
+	go func() {
+		<-stop
+		s.mu.Lock()
+		for i, w := range s.watchers {
+			if w == out {
+				s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+				break
+			}
+		}
+		close(out)
+		s.mu.Unlock()
+	}()
+	return out
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// waitConfig receives the next delivered configuration or fails after
+// the deadline — the condition-based wait the watch tests rely on.
+func waitConfig(t *testing.T, ch <-chan *Config, timeout time.Duration) *Config {
+	t.Helper()
+	select {
+	case cfg, ok := <-ch:
+		if !ok {
+			t.Fatal("watch channel closed before a delivery")
+		}
+		return cfg
+	case <-time.After(timeout):
+		t.Fatal("no configuration delivered before the deadline")
+	}
+	return nil
+}
+
+func writeConfig(t *testing.T, path, leaderID string) {
+	t.Helper()
+	var data string
+	switch leaderID {
+	case "a":
+		data = `{"nodes":[{"id":"a","addr":"http://h:1","role":"leader"},{"id":"b","addr":"http://h:2","role":"follower"}]}`
+	default:
+		data = `{"nodes":[{"id":"a","addr":"http://h:1","role":"follower"},{"id":"b","addr":"http://h:2","role":"leader"}]}`
+	}
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStoreWatchDeliversChanges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	writeConfig(t, path, "a")
+	st := &FileStore{Path: path, WatchInterval: 5 * time.Millisecond}
+	stop := make(chan struct{})
+	defer close(stop)
+	ch := st.Watch(stop)
+
+	writeConfig(t, path, "b")
+	cfg := waitConfig(t, ch, 5*time.Second)
+	if ld, _ := cfg.Leader(); ld.ID != "b" {
+		t.Fatalf("delivered leader = %q, want b", ld.ID)
+	}
+}
+
+func TestFileStoreWatchSkipsTruncatedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	writeConfig(t, path, "a")
+	st := &FileStore{Path: path, WatchInterval: 5 * time.Millisecond}
+	stop := make(chan struct{})
+	defer close(stop)
+	ch := st.Watch(stop)
+
+	// A non-atomic writer caught mid-write: truncated JSON. The watcher
+	// must not deliver it, and must still deliver the eventual complete
+	// rewrite (same final signature change or a later one).
+	if err := os.WriteFile(path, []byte(`{"nodes":[{"id":"a",`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case cfg := <-ch:
+		t.Fatalf("watcher delivered a torn configuration: %+v", cfg)
+	case <-time.After(50 * time.Millisecond):
+	}
+	writeConfig(t, path, "b")
+	cfg := waitConfig(t, ch, 5*time.Second)
+	if ld, _ := cfg.Leader(); ld.ID != "b" {
+		t.Fatalf("delivered leader = %q, want b", ld.ID)
+	}
+}
+
+func TestFileStoreWatchMtimeRegress(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	writeConfig(t, path, "a")
+	st := &FileStore{Path: path, WatchInterval: 5 * time.Millisecond}
+	stop := make(chan struct{})
+	defer close(stop)
+	ch := st.Watch(stop)
+
+	// Rewrite the config, then push its mtime into the past (a restore
+	// from backup, or writer clock skew). The signature still differs
+	// from the last seen one, so the change must be delivered.
+	writeConfig(t, path, "b")
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(path, past, past); err != nil {
+		t.Fatal(err)
+	}
+	cfg := waitConfig(t, ch, 5*time.Second)
+	if ld, _ := cfg.Leader(); ld.ID != "b" {
+		t.Fatalf("delivered leader = %q, want b", ld.ID)
+	}
+}
+
+func TestFileStoreWatchCoalesces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	writeConfig(t, path, "a")
+	st := &FileStore{Path: path, WatchInterval: time.Millisecond}
+	stop := make(chan struct{})
+	defer close(stop)
+	ch := st.Watch(stop)
+
+	// Nobody drains the channel while two changes land: the consumer
+	// must see the latest one, not block the watcher or read a stale
+	// intermediate.
+	writeConfig(t, path, "b")
+	time.Sleep(20 * time.Millisecond)
+	writeConfig(t, path, "a")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cfg := waitConfig(t, ch, 5*time.Second)
+		if ld, _ := cfg.Leader(); ld.ID == "a" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("latest configuration never delivered")
+		}
+	}
+}
+
+func TestMemStoreWatch(t *testing.T) {
+	st := NewMemStore(twoNodes())
+	stop := make(chan struct{})
+	ch := st.Watch(stop)
+
+	st.Set(&Config{Nodes: []Node{{ID: "solo", Addr: "x", Role: RoleLeader}}})
+	cfg := waitConfig(t, ch, 5*time.Second)
+	if len(cfg.Nodes) != 1 || cfg.Nodes[0].ID != "solo" {
+		t.Fatalf("delivered %+v", cfg)
+	}
+
+	// Invalid configurations are never delivered.
+	st.Set(&Config{})
+	select {
+	case cfg := <-ch:
+		t.Fatalf("watcher delivered an invalid configuration: %+v", cfg)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(stop)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := <-ch; !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch channel never closed after stop")
+		}
+	}
+}

@@ -178,7 +178,7 @@ func OpenDurable(dir string, o DurableOptions) (*System, error) {
 	if o.DegradeAfter > 0 {
 		s.degradeAfter = o.DegradeAfter
 	}
-	s.follower = o.Follower
+	s.follower.Store(o.Follower)
 	s.replRetain = o.ReplicationRetain
 	if s.replRetain == 0 {
 		s.replRetain = defaultReplicationRetain
@@ -294,7 +294,7 @@ func (s *System) ApplyBatch(ctx context.Context, stmts []string) (*ApplyResult, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if s.follower {
+	if s.follower.Load() {
 		return nil, ErrNotLeader
 	}
 	if st := s.degraded.Load(); st != nil {
@@ -524,7 +524,7 @@ type MaintainResult struct {
 // re-induced intervals were fit to) and Maintain retries against the
 // new snapshot. ctx cancels the pass between stages.
 func (s *System) Maintain(ctx context.Context, opts induct.Options) (*MaintainResult, error) {
-	if s.follower {
+	if s.follower.Load() {
 		return nil, ErrNotLeader
 	}
 	for {

@@ -251,8 +251,49 @@ func (s *System) advanceSeq(seq uint64) {
 // records on a follower. Zero on a system that has never logged.
 func (s *System) WalSeq() uint64 { return s.appliedSeq.Load() }
 
-// Follower reports whether the system was opened as a follower replica.
-func (s *System) Follower() bool { return s.follower }
+// Follower reports whether the system currently acts as a follower
+// replica. The role can change at runtime via Promote and Demote (live
+// cluster reconfiguration), so callers must not cache the answer across
+// requests.
+func (s *System) Follower() bool { return s.follower.Load() }
+
+// Promote turns a follower into a write-accepting leader — the
+// follower half of a live leader handover. The caller must have stopped
+// the replication loop first; from the moment Promote returns, local
+// writes are accepted and logged, and the node's retention buffer
+// (populated by replayed records) lets other replicas keep streaming
+// from it without a re-bootstrap.
+func (s *System) Promote() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.log == nil {
+		return ErrNotDurable
+	}
+	if !s.follower.Load() {
+		return fmt.Errorf("core: Promote on a node that already leads")
+	}
+	s.follower.Store(false)
+	return nil
+}
+
+// Demote turns the leader into a follower — the leader half of a live
+// handover. Demote itself only flips the fence (subsequent writes get
+// ErrNotLeader); deciding whether demotion is SAFE — every committed
+// record replicated to the successor — is the cluster layer's fencing
+// check, which must run before this. The caller then attaches a
+// replication loop pointed at the new leader.
+func (s *System) Demote() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.log == nil {
+		return ErrNotDurable
+	}
+	if s.follower.Load() {
+		return fmt.Errorf("core: Demote on a follower")
+	}
+	s.follower.Store(true)
+	return nil
+}
 
 // WaitForSeq blocks until the system has applied WAL sequence seq (the
 // read-your-writes wait: a follower query carrying a write token parks
@@ -396,7 +437,7 @@ func (s *System) BootstrapArchive() (*BootstrapArchive, error) {
 func (s *System) InstallBootstrap(a *BootstrapArchive) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	if !s.follower {
+	if !s.follower.Load() {
 		return fmt.Errorf("core: bootstrap install on a non-follower system")
 	}
 	cat := storage.NewCatalog()
@@ -449,7 +490,7 @@ func (s *System) ReplayRecord(seq uint64, payload []byte) error {
 	if s.log == nil {
 		return ErrNotDurable
 	}
-	if !s.follower {
+	if !s.follower.Load() {
 		return fmt.Errorf("core: ReplayRecord on a leader (replay is the follower apply path)")
 	}
 	if seq <= s.walSeq {
@@ -476,7 +517,11 @@ func (s *System) ReplayRecord(seq uint64, payload []byte) error {
 	s.walFails = 0
 	s.walSeq = seq
 	s.install(sn)
-	s.advanceSeq(seq)
+	// Replayed records enter the retention buffer too, not just the
+	// applied-sequence watch: a follower promoted to leader by a live
+	// reconfiguration can then serve /replica/wal to the demoted leader
+	// and other replicas without forcing them through a re-bootstrap.
+	s.replicate(seq, payload)
 	if s.checkpointBytes > 0 && s.log.Size() > s.checkpointBytes {
 		if cerr := s.checkpointLocked(); cerr != nil {
 			// Local housekeeping only; the record is applied and durable

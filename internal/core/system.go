@@ -83,14 +83,16 @@ type System struct {
 	// between a checkpoint's save and its log reset.
 	walSeq uint64 // guarded by wmu
 
-	// Replication state (see replica.go). follower and replRetain are
-	// set by OpenDurable before sharing, immutable afterwards. replBuf
-	// is the in-memory retention window followers stream from; it is
-	// appended under wmu in commit order but read by ReplicationBatch
-	// without it, hence its own lock. appliedSeq mirrors walSeq for
-	// lock-free readers, and seqCh is the watch channel WaitForSeq
-	// parks on — closed and replaced on every advance.
-	follower   bool
+	// Replication state (see replica.go). replRetain is set by
+	// OpenDurable before sharing, immutable afterwards. follower is
+	// atomic because live reconfiguration flips it (Promote/Demote)
+	// while readers check it lock-free. replBuf is the in-memory
+	// retention window followers stream from; it is appended under wmu
+	// in commit order but read by ReplicationBatch without it, hence its
+	// own lock. appliedSeq mirrors walSeq for lock-free readers, and
+	// seqCh is the watch channel WaitForSeq parks on — closed and
+	// replaced on every advance.
+	follower   atomic.Bool
 	replRetain int
 	replMu     sync.Mutex
 	replBuf    []ReplRecord // guarded by replMu
@@ -234,7 +236,7 @@ func (s *System) InduceContext(ctx context.Context, opts induct.Options) (*rules
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if s.follower {
+	if s.follower.Load() {
 		return nil, ErrNotLeader
 	}
 	cur := s.current()

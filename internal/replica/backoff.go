@@ -1,0 +1,70 @@
+// Retry discipline for the replication tier: exponential backoff with
+// full jitter and a cap.
+//
+// Full jitter (delay = uniform(0, min(cap, base·2^attempt))) is the
+// variant that spreads a thundering herd best: after a leader restart
+// every follower retries at an independent uniformly random offset, so
+// the reconnect load arrives smeared instead of in synchronized waves.
+// The cap keeps the worst-case wait bounded — a follower never sits out
+// more than RetryMax — because replication lag is user-visible
+// (read-your-writes waits park until the follower catches up).
+
+package replica
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff defaults, used when the corresponding field is zero.
+const (
+	// DefaultRetryBase is the first retry's delay ceiling.
+	DefaultRetryBase = 200 * time.Millisecond
+	// DefaultRetryMax caps the delay ceiling however many attempts fail.
+	DefaultRetryMax = 10 * time.Second
+)
+
+// Backoff computes retry delays: exponential growth from Base, capped
+// at Max, fully jittered. The zero value is usable and picks the
+// defaults.
+type Backoff struct {
+	// Base is the ceiling of the first delay; each further attempt
+	// doubles the ceiling. Zero means DefaultRetryBase.
+	Base time.Duration
+	// Max caps the ceiling. Zero means DefaultRetryMax.
+	Max time.Duration
+	// Rand supplies the jitter in [0, 1); nil means math/rand's global
+	// source. Tests inject a deterministic source here.
+	Rand func() float64
+}
+
+// Delay returns the wait before retry number attempt (0-based: pass 0
+// after the first failure). The result is uniformly random in
+// [0, min(Max, Base·2^attempt)] — full jitter, so it can be arbitrarily
+// small; that is what de-synchronizes retrying followers.
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	max := b.Max
+	if max <= 0 {
+		max = DefaultRetryMax
+	}
+	if base > max {
+		base = max
+	}
+	ceil := base
+	for i := 0; i < attempt; i++ {
+		ceil *= 2
+		if ceil >= max || ceil < 0 { // < 0: overflow past the duration range
+			ceil = max
+			break
+		}
+	}
+	r := b.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	return time.Duration(r() * float64(ceil))
+}

@@ -1,0 +1,55 @@
+package replica
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffCeilingsDoubleAndCap(t *testing.T) {
+	// Rand pinned to 1.0 exposes the ceiling itself.
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Rand: func() float64 { return 1.0 }}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 0
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second, // stays capped
+	}
+	for attempt, w := range want {
+		if got := b.Delay(attempt); got != w {
+			t.Errorf("Delay(%d) = %s, want %s", attempt, got, w)
+		}
+	}
+}
+
+func TestBackoffFullJitterSpansToZero(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Second, Rand: func() float64 { return 0 }}
+	if got := b.Delay(5); got != 0 {
+		t.Errorf("jitter floor: Delay = %s, want 0", got)
+	}
+}
+
+func TestBackoffZeroValueUsesDefaults(t *testing.T) {
+	b := Backoff{Rand: func() float64 { return 1.0 }}
+	if got := b.Delay(0); got != DefaultRetryBase {
+		t.Errorf("zero-value Delay(0) = %s, want %s", got, DefaultRetryBase)
+	}
+	if got := b.Delay(100); got != DefaultRetryMax {
+		t.Errorf("zero-value Delay(100) = %s, want the %s cap", got, DefaultRetryMax)
+	}
+}
+
+func TestBackoffNoOverflowAtLargeAttempts(t *testing.T) {
+	b := Backoff{Base: time.Hour, Max: 24 * time.Hour, Rand: func() float64 { return 1.0 }}
+	if got := b.Delay(64); got != 24*time.Hour {
+		t.Errorf("Delay(64) = %s, want the cap (doubling must not overflow)", got)
+	}
+}
+
+func TestBackoffBaseAboveMaxClampsToMax(t *testing.T) {
+	b := Backoff{Base: time.Minute, Max: time.Second, Rand: func() float64 { return 1.0 }}
+	if got := b.Delay(0); got != time.Second {
+		t.Errorf("Delay(0) = %s, want Max when Base exceeds it", got)
+	}
+}

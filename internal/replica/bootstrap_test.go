@@ -1,0 +1,219 @@
+package replica_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"intensional/internal/cluster"
+	"intensional/internal/core"
+	"intensional/internal/induct"
+	"intensional/internal/replica"
+	"intensional/internal/shipdb"
+)
+
+// chunkFaultTransport counts chunk requests by index and drops the
+// link exactly once, on the first request for chunk failAt — the
+// mid-bootstrap disconnect.
+type chunkFaultTransport struct {
+	failAt int
+
+	mu     sync.Mutex
+	counts map[int]int // guarded by mu
+	failed bool        // guarded by mu
+}
+
+func (tr *chunkFaultTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	q := r.URL.Query()
+	if r.URL.Path == "/replica/snapshot" && q.Get("chunk") != "" {
+		n, _ := strconv.Atoi(q.Get("chunk"))
+		tr.mu.Lock()
+		if tr.counts == nil {
+			tr.counts = map[int]int{}
+		}
+		tr.counts[n]++
+		fail := n == tr.failAt && !tr.failed
+		if fail {
+			tr.failed = true
+		}
+		tr.mu.Unlock()
+		if fail {
+			return nil, fmt.Errorf("link dropped mid-bootstrap")
+		}
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+func (tr *chunkFaultTransport) count(n int) int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.counts[n]
+}
+
+// newChunkedLeader serves the ship database through a shared Leader
+// with a tiny chunk size, so bootstrap archives span many chunks.
+func newChunkedLeader(t *testing.T, chunkSize int) (*core.System, *replica.Leader, *httptest.Server) {
+	t.Helper()
+	cat := shipdb.Catalog()
+	d, err := shipdb.Dictionary(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.New(cat, d)
+	dir := t.TempDir() + "/leader"
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	leader, err := core.OpenDurable(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { leader.Close() })
+	if _, err := leader.Induce(induct.Options{Nc: 3}); err != nil {
+		t.Fatal(err)
+	}
+	l := replica.NewLeader(leader, replica.LeaderOptions{ChunkSize: chunkSize})
+	mux := http.NewServeMux()
+	mux.Handle("/replica/wal", l.WALHandler())
+	mux.Handle("/replica/snapshot", l.SnapshotHandler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return leader, l, srv
+}
+
+func TestBootstrapResumesFromLastVerifiedChunk(t *testing.T) {
+	leader, l, srv := newChunkedLeader(t, 512)
+
+	// Sanity: the archive must actually span enough chunks for a
+	// mid-transfer failure to be mid-transfer.
+	c := &replica.Client{Base: srv.URL}
+	m, err := c.Manifest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Chunks) < 4 {
+		t.Fatalf("archive spans only %d chunks at 512 bytes; the fixture shrank?", len(m.Chunks))
+	}
+
+	tr := &chunkFaultTransport{failAt: 2}
+	dir := t.TempDir() + "/f"
+	f, err := replica.Open(replica.Options{
+		Dir:       dir,
+		Leader:    srv.URL,
+		NodeID:    "f-resume",
+		PollWait:  time.Second,
+		RetryBase: 2 * time.Millisecond,
+		RetryMax:  10 * time.Millisecond,
+		HTTP:      &http.Client{Transport: tr},
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Start()
+	st := waitForSeq(t, f, leader.WalSeq())
+
+	if st.Bootstraps != 1 {
+		t.Errorf("bootstraps = %d, want exactly 1 despite the dropped link", st.Bootstraps)
+	}
+	// Resume correctness, pinned by the chunk-request counters: the
+	// chunks verified before the disconnect are never requested again,
+	// and the failed chunk is requested exactly twice (the drop and the
+	// resume).
+	for n := 0; n < tr.failAt; n++ {
+		if got := tr.count(n); got != 1 {
+			t.Errorf("chunk %d requested %d times; a resume must not re-fetch verified chunks", n, got)
+		}
+	}
+	if got := tr.count(tr.failAt); got != 2 {
+		t.Errorf("chunk %d requested %d times, want 2 (dropped, then resumed)", tr.failAt, got)
+	}
+	// The leader saw every chunk exactly once (the dropped request died
+	// client-side), and built exactly one archive.
+	if got := l.ChunkRequests(); got != uint64(len(m.Chunks)) {
+		t.Errorf("leader served %d chunk requests, want %d", got, len(m.Chunks))
+	}
+	if got := l.SnapshotBuilds(); got != 1 {
+		t.Errorf("leader built %d archives, want 1", got)
+	}
+	// The spool is gone once the archive installs.
+	if _, err := os.Stat(dir + ".bootstrap"); !os.IsNotExist(err) {
+		t.Errorf("bootstrap spool survived the install: %v", err)
+	}
+	assertSameAnswers(t, leader, f.System(), subQuery)
+}
+
+func TestLeaderTracksFollowerFanOut(t *testing.T) {
+	leader, l, srv := newChunkedLeader(t, 4096)
+	f, err := replica.Open(replica.Options{
+		Dir:       t.TempDir() + "/f",
+		Leader:    srv.URL,
+		NodeID:    "iqp-2",
+		PollWait:  time.Second,
+		RetryBase: 2 * time.Millisecond,
+		RetryMax:  10 * time.Millisecond,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Start()
+	cur := leader.WalSeq()
+	waitForSeq(t, f, cur)
+
+	// The follower's steady-state long poll carries after=cur — its
+	// acknowledgement that everything committed is applied.
+	waitFor(t, 10*time.Second,
+		func() bool {
+			acked, ok := l.AckedSeq("iqp-2")
+			return ok && acked >= cur
+		},
+		func() string {
+			return fmt.Sprintf("leader never saw iqp-2 acknowledge seq %d (followers %+v)", cur, l.Followers())
+		})
+	fans := l.Followers()
+	if len(fans) != 1 || fans[0].ID != "iqp-2" {
+		t.Fatalf("fan-out table = %+v, want exactly iqp-2", fans)
+	}
+	if fans[0].BootstrapChunks == 0 || fans[0].BootstrapBytes == 0 {
+		t.Errorf("bootstrap volume untracked: %+v", fans[0])
+	}
+	if fans[0].LastContact.IsZero() {
+		t.Error("LastContact never stamped")
+	}
+	if _, ok := l.AckedSeq("ghost"); ok {
+		t.Error("AckedSeq invented a follower that never connected")
+	}
+}
+
+func TestBootstrapStatusReportsProgress(t *testing.T) {
+	// Not a timing assertion — just that a finished bootstrap clears the
+	// in-flight progress counters.
+	leader, _, srv := newChunkedLeader(t, 1024)
+	f, err := replica.Open(replica.Options{
+		Dir:      t.TempDir() + "/f",
+		Leader:   srv.URL,
+		PollWait: time.Second,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Start()
+	st := waitForSeq(t, f, leader.WalSeq())
+	if st.BootstrapChunks != 0 || st.BootstrapTotalChunks != 0 {
+		t.Errorf("finished bootstrap left progress counters: %+v", st)
+	}
+	if st.State != cluster.StateReady {
+		t.Errorf("state = %q, want ready", st.State)
+	}
+}

@@ -1,0 +1,325 @@
+// The failover-aware client: what a serving-tier consumer points at a
+// replicated cluster. It speaks the server's public JSON API (/query,
+// /mutate, /healthz), and absorbs the conditions a real network and a
+// live cluster throw at it:
+//
+//   - 421 Misdirected Request (a write sent to a follower) is followed
+//     to the Location header — the client re-targets itself at the
+//     leader and retries, so a leader handover is invisible to callers.
+//   - 503/429 (degraded node, rate limit) and 504 (a read-your-writes
+//     wait that timed out mid-catch-up) retry under the same
+//     full-jitter backoff the replication loop uses, honoring
+//     Retry-After when the server sends one.
+//   - Read-your-writes tokens from mutations are remembered and
+//     attached to subsequent queries automatically, so "write on the
+//     leader, read your write on any replica" holds across node
+//     switches.
+//
+// Transport-level errors are retried only for reads. A mutation whose
+// connection died mid-flight may or may not have committed; retrying
+// it blindly could double-apply, so the ambiguity is returned to the
+// caller, who knows whether the statement is idempotent.
+
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxAttempts bounds one logical request's tries across
+// redirects and retries.
+const DefaultMaxAttempts = 8
+
+// FailoverClient is a leader-following HTTP client for the serving
+// tier's public API. Safe for concurrent use.
+type FailoverClient struct {
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Retry shapes the backoff between attempts; its zero value uses the
+	// package defaults.
+	Retry Backoff
+	// MaxAttempts bounds tries per request. Zero means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+	// Logf, when non-nil, receives redirect and retry events.
+	Logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	base  string // guarded by mu — current target node, updated by 421 redirects
+	token string // guarded by mu — latest read-your-writes token
+}
+
+// NewFailoverClient returns a client initially pointed at base (any
+// cluster node; writes sent to a follower redirect themselves).
+func NewFailoverClient(base string) *FailoverClient {
+	return &FailoverClient{base: strings.TrimRight(base, "/")}
+}
+
+// Target returns the node the client currently talks to.
+func (c *FailoverClient) Target() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base
+}
+
+// Token returns the read-your-writes token of the latest mutation, ""
+// before any.
+func (c *FailoverClient) Token() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.token
+}
+
+func (c *FailoverClient) setTarget(base string) {
+	base = strings.TrimRight(base, "/")
+	c.mu.Lock()
+	changed := c.base != base
+	c.base = base
+	c.mu.Unlock()
+	if changed {
+		c.logf("client: following leader to %s", base)
+	}
+}
+
+func (c *FailoverClient) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *FailoverClient) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// QueryResult is the client's view of a /query response.
+type QueryResult struct {
+	Version     uint64    `json:"version"`
+	Mode        string    `json:"mode"`
+	RowCount    int       `json:"rowCount"`
+	Extensional *Relation `json:"extensional"`
+	Intensional []string  `json:"intensional"`
+}
+
+// Relation is the wire form of an extensional answer.
+type Relation struct {
+	Name    string   `json:"name"`
+	Columns []Column `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+}
+
+// Column is one column of a wire relation.
+type Column struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// MutateResult is the client's view of a /mutate response.
+type MutateResult struct {
+	Version uint64 `json:"version"`
+	Stale   int    `json:"stale"`
+	WalSeq  uint64 `json:"walSeq"`
+	Token   string `json:"token"`
+	Warning string `json:"warning"`
+}
+
+// Health is the client's view of a /healthz response.
+type Health struct {
+	OK      bool   `json:"ok"`
+	Mode    string `json:"mode"`
+	Version uint64 `json:"version"`
+	WalSeq  uint64 `json:"walSeq"`
+}
+
+// Query runs one statement, in the given mode ("" means combined),
+// against the current target. The latest mutation token rides along, so
+// the answer reflects this client's own writes even right after a node
+// switch.
+func (c *FailoverClient) Query(ctx context.Context, sql, mode string) (*QueryResult, error) {
+	body := map[string]string{"sql": sql}
+	if mode != "" {
+		body["mode"] = mode
+	}
+	if tok := c.Token(); tok != "" {
+		body["token"] = tok
+	}
+	var out QueryResult
+	if err := c.do(ctx, http.MethodPost, "/query", body, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Mutate applies a statement batch atomically on the leader (following
+// a redirect if the current target is a follower) and remembers the
+// returned read-your-writes token.
+func (c *FailoverClient) Mutate(ctx context.Context, stmts []string) (*MutateResult, error) {
+	var out MutateResult
+	if err := c.do(ctx, http.MethodPost, "/mutate", map[string]any{"stmts": stmts}, &out, false); err != nil {
+		return nil, err
+	}
+	if out.Token != "" {
+		c.mu.Lock()
+		c.token = out.Token
+		c.mu.Unlock()
+	}
+	return &out, nil
+}
+
+// Health fetches the current target's health.
+func (c *FailoverClient) Health(ctx context.Context) (*Health, error) {
+	var out Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// do runs one logical request: marshal, send, and absorb redirects and
+// retryable statuses up to MaxAttempts. idempotent gates whether a
+// transport-level failure (connection died, timeout) may be retried —
+// true for reads, false for mutations, whose commit status is unknown
+// after such a failure.
+func (c *FailoverClient) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultMaxAttempts
+	}
+	var payload []byte
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			delay := c.Retry.Delay(attempt - 1)
+			if ra := retryAfter(lastErr); ra > delay {
+				delay = ra
+			}
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
+			t.Stop()
+		}
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.Target()+path, body)
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if !idempotent {
+				return fmt.Errorf("client: %s %s: %w (commit status unknown; not retrying a mutation)", method, path, err)
+			}
+			lastErr = err
+			c.logf("client: %s %s: %v (attempt %d)", method, path, err, attempt+1)
+			continue
+		}
+		done, err := c.consume(resp, method, path, out)
+		if done {
+			return err
+		}
+		lastErr = err
+		c.logf("client: %v (attempt %d)", err, attempt+1)
+	}
+	return fmt.Errorf("client: gave up after %d attempts: %w", attempts, lastErr)
+}
+
+// consume reads one response. done=false means the request should be
+// retried (the error then says why).
+func (c *FailoverClient) consume(resp *http.Response, method, path string, out any) (done bool, err error) {
+	defer resp.Body.Close() //ilint:allow errdrop — response body; decode/read errors are reported below
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		if out == nil {
+			return true, nil
+		}
+		return true, json.NewDecoder(resp.Body).Decode(out)
+	case resp.StatusCode == http.StatusMisdirectedRequest:
+		loc := resp.Header.Get("Location")
+		if loc == "" {
+			// A node that refuses as a follower but names no successor is
+			// mid-handover — it observed itself a follower, then finished
+			// promoting before it could name a leader. Retrying the same
+			// target resolves once the transition settles; MaxAttempts
+			// bounds a node that is genuinely leaderless.
+			return false, retryableStatus{
+				msg: fmt.Sprintf("%s %s: node is not the leader and named no successor (handover in flight)", method, path),
+			}
+		}
+		c.setTarget(loc)
+		// Retryable by construction: a 421 node did not touch state.
+		return false, fmt.Errorf("%s %s redirected to %s", method, path, loc)
+	case resp.StatusCode == http.StatusServiceUnavailable,
+		resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusGatewayTimeout:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512)) //ilint:allow errdrop — best-effort error-body excerpt; the status is the error
+		return false, retryableStatus{
+			msg:   fmt.Sprintf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(body))),
+			after: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512)) //ilint:allow errdrop — best-effort error-body excerpt; the status is the error
+		return true, fmt.Errorf("client: %s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(body)))
+	}
+}
+
+// retryableStatus is a retryable server status, possibly carrying the
+// server's Retry-After hint.
+type retryableStatus struct {
+	msg   string
+	after time.Duration
+}
+
+func (e retryableStatus) Error() string { return e.msg }
+
+func retryAfter(err error) time.Duration {
+	if rs, ok := err.(retryableStatus); ok {
+		return rs.after
+	}
+	return 0
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After, capped
+// so a confused server cannot park the client for minutes.
+func parseRetryAfter(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}

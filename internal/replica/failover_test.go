@@ -1,0 +1,207 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps test backoffs instant.
+var fastRetry = Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond, Rand: func() float64 { return 0.5 }}
+
+func TestFailoverClientFollowsRedirects(t *testing.T) {
+	var leaderURL string
+	var gotToken atomic.Value
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/mutate":
+			json.NewEncoder(w).Encode(map[string]any{"version": 7, "walSeq": 42, "token": "w42"})
+		case "/query":
+			var req map[string]string
+			json.NewDecoder(r.Body).Decode(&req)
+			gotToken.Store(req["token"])
+			json.NewEncoder(w).Encode(map[string]any{"version": 7, "rowCount": 1})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer leader.Close()
+	leaderURL = leader.URL
+
+	var redirects atomic.Int64
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/mutate" {
+			redirects.Add(1)
+			w.Header().Set("Location", leaderURL)
+			http.Error(w, "not the leader", http.StatusMisdirectedRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"version": 7, "rowCount": 1})
+	}))
+	defer follower.Close()
+
+	// Pointed at the follower, a mutation follows the 421 to the leader.
+	c := NewFailoverClient(follower.URL)
+	c.Retry = fastRetry
+	c.Logf = t.Logf
+	res, err := c.Mutate(context.Background(), []string{"INSERT ..."})
+	if err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	if res.Token != "w42" || c.Token() != "w42" {
+		t.Fatalf("token = %q / %q, want w42", res.Token, c.Token())
+	}
+	if redirects.Load() != 1 {
+		t.Fatalf("follower saw %d mutate attempts, want 1", redirects.Load())
+	}
+	if c.Target() != leaderURL {
+		t.Fatalf("client target = %q, want the leader", c.Target())
+	}
+
+	// The remembered token rides along on the next query.
+	if _, err := c.Query(context.Background(), "SELECT 1", ""); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if gotToken.Load() != "w42" {
+		t.Fatalf("query carried token %q, want w42", gotToken.Load())
+	}
+}
+
+func TestFailoverClientRetriesRetryableStatuses(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "degraded", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"ok": true, "mode": "ok"})
+	}))
+	defer srv.Close()
+
+	c := NewFailoverClient(srv.URL)
+	c.Retry = fastRetry
+	h, err := c.Health(context.Background())
+	if err != nil || !h.OK {
+		t.Fatalf("Health = %+v, %v; want ok after retries", h, err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+}
+
+func TestFailoverClientGivesUpAndReportsLastError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "still degraded", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := NewFailoverClient(srv.URL)
+	c.Retry = fastRetry
+	c.MaxAttempts = 3
+	_, err := c.Health(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "gave up after 3 attempts") ||
+		!strings.Contains(err.Error(), "still degraded") {
+		t.Fatalf("err = %v, want a give-up error carrying the last cause", err)
+	}
+}
+
+func TestFailoverClientDoesNotRetryMutationTransportErrors(t *testing.T) {
+	// A server that dies mid-connection: the mutation's commit status is
+	// unknown, so the client must surface the ambiguity, not re-send.
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("recorder cannot hijack")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		conn.Close()
+	}))
+	defer srv.Close()
+	c := NewFailoverClient(srv.URL)
+	c.Retry = fastRetry
+	_, err := c.Mutate(context.Background(), []string{"INSERT ..."})
+	if err == nil || !strings.Contains(err.Error(), "commit status unknown") {
+		t.Fatalf("err = %v, want the commit-ambiguity refusal", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d mutate attempts, want exactly 1", calls.Load())
+	}
+}
+
+func TestFailoverClientTerminalErrorsDoNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "parse error at line 1", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	c := NewFailoverClient(srv.URL)
+	c.Retry = fastRetry
+	if _, err := c.Query(context.Background(), "SELEC", ""); err == nil || !strings.Contains(err.Error(), "parse error") {
+		t.Fatalf("err = %v, want the 400 surfaced", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("a 400 was retried: %d calls", calls.Load())
+	}
+}
+
+// A 421 with no Location is what a node answers in the instant between
+// observing itself a follower and finishing its own promotion — the
+// client must retry the same target, not give up.
+func TestFailoverClientRetriesLocationless421(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "not the leader", http.StatusMisdirectedRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"version": 3, "walSeq": 9, "token": "w9"})
+	}))
+	defer srv.Close()
+	c := NewFailoverClient(srv.URL)
+	c.Retry = fastRetry
+	res, err := c.Mutate(context.Background(), []string{"INSERT INTO t VALUES (1)"})
+	if err != nil {
+		t.Fatalf("Mutate across a bare 421: %v", err)
+	}
+	if res.WalSeq != 9 {
+		t.Fatalf("WalSeq = %d, want 9", res.WalSeq)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (one bare 421, one success)", calls.Load())
+	}
+	if got := c.Target(); got != srv.URL {
+		t.Fatalf("Target() = %q, want unchanged %q", got, srv.URL)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},
+		{"garbage", 0},
+		{"9999", 30 * time.Second}, // capped
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}

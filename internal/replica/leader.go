@@ -1,0 +1,415 @@
+// The leader side of the replication wire protocol: WAL streaming plus
+// chunked, resumable snapshot bootstrap, with per-follower fan-out
+// tracking.
+//
+// Bootstrap is a two-phase fetch. The follower first GETs the snapshot
+// manifest — a content-addressed description of one encoded archive:
+// its sha256 id, the WAL sequence and snapshot version it captures, its
+// size, and a hash per fixed-size chunk. It then fetches chunks by
+// (id, index); each chunk verifies independently, so a follower that
+// loses its connection resumes from the last verified chunk instead of
+// re-transferring the whole archive. The leader keeps exactly one
+// encoded archive cached and keeps serving its chunks even after new
+// writes commit — the follower replays the delta from the WAL stream
+// afterwards, which is the whole point of physical replication — and
+// answers 410 Gone only when the requested id is no longer the cached
+// one, telling the follower to refetch the manifest.
+//
+// The Leader also tracks each follower that identifies itself (the
+// ?node= parameter): last acknowledged WAL sequence, last contact, and
+// bootstrap transfer volume. The acked sequence is what demotion
+// fencing consults — a leader refuses to step down while its configured
+// successor has not acknowledged every committed record.
+
+package replica
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"intensional/internal/core"
+)
+
+// SnapshotManifest describes one chunked bootstrap archive. The ID is
+// the hex sha256 of the encoded archive — content-addressed, so a
+// follower resuming a transfer can prove it is still fetching the same
+// bytes — and Chunks holds the hex sha256 of each ChunkSize-byte slice
+// (the last one may be shorter).
+type SnapshotManifest struct {
+	ID        string   `json:"id"`
+	Seq       uint64   `json:"seq"`
+	Version   uint64   `json:"version"`
+	Size      int64    `json:"size"`
+	ChunkSize int      `json:"chunkSize"`
+	Chunks    []string `json:"chunks"`
+}
+
+// ErrSnapshotSuperseded is returned by Client.Chunk when the leader no
+// longer serves the requested archive id: a manifest refetch rebuilt
+// the cached archive. The follower starts a fresh transfer from a new
+// manifest.
+var ErrSnapshotSuperseded = errors.New("replica: snapshot superseded; refetch the manifest")
+
+// DefaultChunkSize is the bootstrap chunk size when LeaderOptions does
+// not override it. Chunks bound the memory both sides hold per exchange
+// and set the granularity of resume — after a disconnect at most one
+// chunk of transfer is repeated.
+const DefaultChunkSize = 256 << 10
+
+// LeaderOptions configure the leader side of the wire protocol.
+type LeaderOptions struct {
+	// ChunkSize is the bootstrap chunk size in bytes. Zero means
+	// DefaultChunkSize.
+	ChunkSize int
+	// RateLimit caps bootstrap transfer at this many bytes per second
+	// across all followers (a slow-link guard so a bootstrapping replica
+	// cannot starve the serving path). Zero means unlimited.
+	RateLimit int64
+}
+
+// Leader serves the replication endpoints from a leader system and
+// tracks follower fan-out. One Leader is shared by the WAL and snapshot
+// handlers so /metrics and demotion fencing see a single view.
+type Leader struct {
+	sys       *core.System
+	chunkSize int
+	pace      *pace
+
+	snapMu sync.Mutex
+	snap   *encodedSnapshot // guarded by snapMu
+
+	mu        sync.Mutex
+	followers map[string]*FollowerInfo // guarded by mu
+
+	chunkRequests  atomic.Uint64
+	chunkBytes     atomic.Uint64
+	snapshotBuilds atomic.Uint64
+}
+
+// encodedSnapshot is the cached encoding of one bootstrap archive.
+type encodedSnapshot struct {
+	manifest SnapshotManifest
+	data     []byte
+}
+
+// FollowerInfo is the leader's view of one self-identified follower.
+type FollowerInfo struct {
+	// ID is the follower's cluster node id (the ?node= parameter).
+	ID string
+	// AckedSeq is the highest WAL sequence the follower has acknowledged
+	// applying — the after= position of its most recent poll.
+	AckedSeq uint64
+	// LastContact is when the follower last reached this leader.
+	LastContact time.Time
+	// BootstrapChunks and BootstrapBytes count snapshot transfer volume
+	// served to this follower.
+	BootstrapChunks uint64
+	BootstrapBytes  uint64
+}
+
+// NewLeader returns a Leader serving from sys.
+func NewLeader(sys *core.System, o LeaderOptions) *Leader {
+	size := o.ChunkSize
+	if size <= 0 {
+		size = DefaultChunkSize
+	}
+	return &Leader{
+		sys:       sys,
+		chunkSize: size,
+		pace:      &pace{rate: o.RateLimit},
+		followers: make(map[string]*FollowerInfo),
+	}
+}
+
+// System returns the system this leader serves from.
+func (l *Leader) System() *core.System { return l.sys }
+
+// Followers returns a copy of the fan-out table, sorted by node id.
+func (l *Leader) Followers() []FollowerInfo {
+	l.mu.Lock()
+	out := make([]FollowerInfo, 0, len(l.followers))
+	for _, fi := range l.followers {
+		out = append(out, *fi)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AckedSeq returns the last WAL sequence the named follower
+// acknowledged, and whether that follower has ever contacted this
+// leader. Demotion fencing consults this.
+func (l *Leader) AckedSeq(node string) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fi, ok := l.followers[node]
+	if !ok {
+		return 0, false
+	}
+	return fi.AckedSeq, true
+}
+
+// ChunkRequests returns the number of bootstrap chunk requests served —
+// the chaos harness pins resume correctness on this counter, and
+// /metrics exports it.
+func (l *Leader) ChunkRequests() uint64 { return l.chunkRequests.Load() }
+
+// ChunkBytes returns the total bootstrap bytes served.
+func (l *Leader) ChunkBytes() uint64 { return l.chunkBytes.Load() }
+
+// SnapshotBuilds returns how many distinct archives were encoded.
+func (l *Leader) SnapshotBuilds() uint64 { return l.snapshotBuilds.Load() }
+
+func (l *Leader) track(node string, update func(*FollowerInfo)) {
+	if node == "" {
+		return
+	}
+	l.mu.Lock()
+	fi := l.followers[node]
+	if fi == nil {
+		fi = &FollowerInfo{ID: node}
+		l.followers[node] = fi
+	}
+	fi.LastContact = time.Now()
+	if update != nil {
+		update(fi)
+	}
+	l.mu.Unlock()
+}
+
+// refresh returns the cached archive, rebuilding it when the system has
+// committed past the cached sequence (or nothing is cached yet). Only
+// manifest requests rebuild; chunk requests keep serving the cached
+// bytes so an in-flight transfer stays stable under writes.
+func (l *Leader) refresh() (*encodedSnapshot, error) {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	if l.snap != nil && l.snap.manifest.Seq == l.sys.WalSeq() {
+		return l.snap, nil
+	}
+	a, err := l.sys.BootstrapArchive()
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(a)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	m := SnapshotManifest{
+		ID:        hex.EncodeToString(sum[:]),
+		Seq:       a.Seq,
+		Version:   a.Version,
+		Size:      int64(len(data)),
+		ChunkSize: l.chunkSize,
+	}
+	for off := 0; off < len(data); off += l.chunkSize {
+		end := min(off+l.chunkSize, len(data))
+		h := sha256.Sum256(data[off:end])
+		m.Chunks = append(m.Chunks, hex.EncodeToString(h[:]))
+	}
+	l.snapshotBuilds.Add(1)
+	l.snap = &encodedSnapshot{manifest: m, data: data}
+	return l.snap, nil
+}
+
+// cached returns the cached archive if it matches id, else nil (the
+// 410 path: a manifest refetch rebuilt the cache, or the process
+// restarted since the manifest was issued).
+func (l *Leader) cached(id string) *encodedSnapshot {
+	l.snapMu.Lock()
+	defer l.snapMu.Unlock()
+	if l.snap != nil && l.snap.manifest.ID == id {
+		return l.snap
+	}
+	return nil
+}
+
+// WALHandler serves GET /replica/wal: the long-poll record stream.
+// Requests carrying ?node= feed the fan-out table — after=N is the
+// follower's acknowledgement that it has applied every record up to N.
+func (l *Leader) WALHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sys := l.sys
+		if !sys.Durable() || sys.Follower() {
+			http.Error(w, "replication requires a durable leader", http.StatusServiceUnavailable)
+			return
+		}
+		q := r.URL.Query()
+		after, err := strconv.ParseUint(q.Get("after"), 10, 64)
+		if q.Get("after") != "" && err != nil {
+			http.Error(w, "bad after parameter", http.StatusBadRequest)
+			return
+		}
+		var wait time.Duration
+		if s := q.Get("wait"); s != "" {
+			secs, err := strconv.ParseFloat(s, 64)
+			if err != nil || secs < 0 {
+				http.Error(w, "bad wait parameter", http.StatusBadRequest)
+				return
+			}
+			wait = time.Duration(secs * float64(time.Second))
+			if wait > maxPollWait {
+				wait = maxPollWait
+			}
+		}
+		max := 256
+		if s := q.Get("max"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad max parameter", http.StatusBadRequest)
+				return
+			}
+			if n > maxBatchRecords {
+				n = maxBatchRecords
+			}
+			max = n
+		}
+		l.track(q.Get("node"), func(fi *FollowerInfo) {
+			if after > fi.AckedSeq {
+				fi.AckedSeq = after
+			}
+		})
+		recs, seq, err := sys.ReplicationBatch(r.Context(), after, wait, max)
+		switch {
+		case errors.Is(err, core.ErrSnapshotNeeded):
+			http.Error(w, err.Error(), http.StatusGone)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(WalBatch{Records: recs, Seq: seq}); err != nil {
+			// The response is already streaming; nothing to salvage.
+			return
+		}
+	})
+}
+
+// SnapshotHandler serves GET /replica/snapshot:
+//
+//	GET /replica/snapshot                      → SnapshotManifest (JSON)
+//	GET /replica/snapshot?id=H&chunk=N&size=S  → chunk N's raw bytes
+//
+// A chunk request whose id is not the cached archive gets 410 Gone; a
+// size that disagrees with the manifest's chunk size gets 400, since
+// the chunk hashes are only meaningful at the advertised granularity.
+func (l *Leader) SnapshotHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if l.sys.Follower() {
+			http.Error(w, "snapshots come from the leader", http.StatusServiceUnavailable)
+			return
+		}
+		q := r.URL.Query()
+		node := q.Get("node")
+		if q.Get("chunk") == "" {
+			es, err := l.refresh()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			l.track(node, nil)
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(es.manifest); err != nil {
+				return
+			}
+			return
+		}
+		n, err := strconv.Atoi(q.Get("chunk"))
+		if err != nil || n < 0 {
+			http.Error(w, "bad chunk parameter", http.StatusBadRequest)
+			return
+		}
+		es := l.cached(q.Get("id"))
+		if es == nil {
+			http.Error(w, "snapshot superseded; refetch the manifest", http.StatusGone)
+			return
+		}
+		if s := q.Get("size"); s != "" {
+			size, err := strconv.Atoi(s)
+			if err != nil || size != es.manifest.ChunkSize {
+				http.Error(w, "size disagrees with the manifest chunk size", http.StatusBadRequest)
+				return
+			}
+		}
+		if n >= len(es.manifest.Chunks) {
+			http.Error(w, "chunk index beyond the manifest", http.StatusBadRequest)
+			return
+		}
+		off := n * es.manifest.ChunkSize
+		end := min(off+es.manifest.ChunkSize, len(es.data))
+		if err := l.pace.wait(r.Context(), end-off); err != nil {
+			return // client went away while rate-limited
+		}
+		l.chunkRequests.Add(1)
+		l.chunkBytes.Add(uint64(end - off))
+		l.track(node, func(fi *FollowerInfo) {
+			fi.BootstrapChunks++
+			fi.BootstrapBytes += uint64(end - off)
+		})
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := w.Write(es.data[off:end]); err != nil {
+			return
+		}
+	})
+}
+
+// WALHandler serves GET /replica/wal from a leader system with a
+// private, untracked Leader. Servers that export fan-out metrics or
+// fence demotions share one NewLeader instead.
+func WALHandler(sys *core.System) http.Handler {
+	return NewLeader(sys, LeaderOptions{}).WALHandler()
+}
+
+// SnapshotHandler serves GET /replica/snapshot from a leader system
+// with a private, untracked Leader.
+func SnapshotHandler(sys *core.System) http.Handler {
+	return NewLeader(sys, LeaderOptions{}).SnapshotHandler()
+}
+
+// pace is a shared byte-rate limiter: each transfer reserves its slot
+// on a single timeline, so concurrent bootstraps share the budget
+// instead of each getting the full rate.
+type pace struct {
+	rate int64 // bytes per second; <= 0 disables pacing
+
+	mu   sync.Mutex
+	next time.Time // guarded by mu — when the next reservation may start
+}
+
+// wait blocks until n bytes fit under the rate, or ctx ends.
+func (p *pace) wait(ctx context.Context, n int) error {
+	if p == nil || p.rate <= 0 || n <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	now := time.Now()
+	if p.next.Before(now) {
+		p.next = now
+	}
+	start := p.next
+	p.next = start.Add(time.Duration(float64(n) / float64(p.rate) * float64(time.Second)))
+	p.mu.Unlock()
+	d := start.Sub(now)
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,74 @@
+package replica
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validOptions() Options {
+	return Options{Dir: "/tmp/f", Leader: "http://leader:8473"}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+		want   string // substring of the error; "" means valid
+	}{
+		{"valid minimal", func(o *Options) {}, ""},
+		{"valid tuned", func(o *Options) {
+			o.PollWait = 5 * time.Second
+			o.ExchangeTimeout = 2 * time.Second
+			o.RetryBase = 50 * time.Millisecond
+			o.RetryMax = 2 * time.Second
+			o.DisconnectAfter = 5
+		}, ""},
+		{"missing dir", func(o *Options) { o.Dir = "" }, "Dir is required"},
+		{"missing leader", func(o *Options) { o.Leader = "" }, "Leader is required"},
+		{"negative checkpoint", func(o *Options) { o.CheckpointBytes = -1 }, "CheckpointBytes must not be negative"},
+		{"negative poll wait", func(o *Options) { o.PollWait = -time.Second }, "PollWait must not be negative"},
+		{"negative exchange timeout", func(o *Options) { o.ExchangeTimeout = -1 }, "ExchangeTimeout must not be negative"},
+		{"negative retry base", func(o *Options) { o.RetryBase = -time.Millisecond }, "RetryBase must not be negative"},
+		{"negative retry max", func(o *Options) { o.RetryMax = -time.Millisecond }, "RetryMax must not be negative"},
+		{"negative disconnect threshold", func(o *Options) { o.DisconnectAfter = -2 }, "DisconnectAfter must not be negative"},
+		{"base above cap", func(o *Options) {
+			o.RetryBase = time.Minute
+			o.RetryMax = time.Second
+		}, "exceeds RetryMax"},
+	}
+	for _, tc := range cases {
+		o := validOptions()
+		tc.mutate(&o)
+		err := o.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// Open must refuse invalid options before touching the filesystem — the
+// construction-time half of the contract.
+func TestOpenRejectsInvalidOptions(t *testing.T) {
+	o := validOptions()
+	o.Dir = t.TempDir() + "/f"
+	o.RetryBase = -time.Second
+	if _, err := Open(o); err == nil || !strings.Contains(err.Error(), "RetryBase") {
+		t.Fatalf("Open with negative RetryBase: %v, want a loud validation error", err)
+	}
+}
+
+func TestWithDefaultsFillsZeros(t *testing.T) {
+	o := validOptions().withDefaults()
+	if o.PollWait != DefaultPollWait || o.ExchangeTimeout != DefaultExchangeTimeout ||
+		o.RetryBase != DefaultRetryBase || o.RetryMax != DefaultRetryMax ||
+		o.DisconnectAfter != DefaultDisconnectAfter || o.Logf == nil {
+		t.Fatalf("withDefaults left zeros: %+v", o)
+	}
+}

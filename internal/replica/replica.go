@@ -3,12 +3,14 @@
 //
 // The protocol is two HTTP endpoints on the leader, both stdlib-only:
 //
-//	GET /replica/wal?after=N&wait=S&max=M
+//	GET /replica/wal?after=N&wait=S&max=M&node=ID
 //	    Long-poll for WAL records with sequence > N. Returns a JSON
 //	    WalBatch; 410 Gone when N is below the leader's retention
-//	    window (bootstrap from a snapshot instead).
-//	GET /replica/snapshot
-//	    A full BootstrapArchive of the leader's current state.
+//	    window (bootstrap from a snapshot instead). after=N doubles as
+//	    the follower's acknowledgement that it has applied seq N.
+//	GET /replica/snapshot[?id=H&chunk=N&size=S]
+//	    Without chunk: the manifest of the leader's cached bootstrap
+//	    archive. With chunk: that chunk's raw bytes (see leader.go).
 //
 // A Follower owns a follower-mode core.System backed by its own
 // directory and WAL: records replay through the same machinery crash
@@ -18,10 +20,21 @@
 // gap (410 from the leader, ErrSnapshotNeeded from replay) — which is
 // also how a brand-new follower starts, since its empty local state is
 // maximally behind.
+//
+// The loop is built for real networks. Bootstrap downloads arrive in
+// content-hashed chunks spooled to disk beside the data directory, so
+// a disconnect mid-transfer resumes from the last verified chunk
+// rather than restarting; every non-poll exchange is bounded by
+// ExchangeTimeout; failures retry under exponential backoff with full
+// jitter; and only DisconnectAfter consecutive failures flip the
+// reported state to disconnected — reads keep serving the last applied
+// snapshot throughout.
 package replica
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -58,86 +71,18 @@ const (
 	maxBatchRecords = 1024
 )
 
-// WALHandler serves GET /replica/wal from a leader system.
-func WALHandler(sys *core.System) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !sys.Durable() || sys.Follower() {
-			http.Error(w, "replication requires a durable leader", http.StatusServiceUnavailable)
-			return
-		}
-		q := r.URL.Query()
-		after, err := strconv.ParseUint(q.Get("after"), 10, 64)
-		if q.Get("after") != "" && err != nil {
-			http.Error(w, "bad after parameter", http.StatusBadRequest)
-			return
-		}
-		var wait time.Duration
-		if s := q.Get("wait"); s != "" {
-			secs, err := strconv.ParseFloat(s, 64)
-			if err != nil || secs < 0 {
-				http.Error(w, "bad wait parameter", http.StatusBadRequest)
-				return
-			}
-			wait = time.Duration(secs * float64(time.Second))
-			if wait > maxPollWait {
-				wait = maxPollWait
-			}
-		}
-		max := 256
-		if s := q.Get("max"); s != "" {
-			n, err := strconv.Atoi(s)
-			if err != nil || n <= 0 {
-				http.Error(w, "bad max parameter", http.StatusBadRequest)
-				return
-			}
-			if n > maxBatchRecords {
-				n = maxBatchRecords
-			}
-			max = n
-		}
-		recs, seq, err := sys.ReplicationBatch(r.Context(), after, wait, max)
-		switch {
-		case errors.Is(err, core.ErrSnapshotNeeded):
-			http.Error(w, err.Error(), http.StatusGone)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(WalBatch{Records: recs, Seq: seq}); err != nil {
-			// The response is already streaming; nothing to salvage.
-			return
-		}
-	})
-}
-
-// SnapshotHandler serves GET /replica/snapshot from a leader system.
-func SnapshotHandler(sys *core.System) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if sys.Follower() {
-			http.Error(w, "snapshots come from the leader", http.StatusServiceUnavailable)
-			return
-		}
-		a, err := sys.BootstrapArchive()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(a); err != nil {
-			return
-		}
-	})
-}
-
-// Client is the follower side of the wire protocol.
+// Client is the follower side of the wire protocol. A Client is
+// immutable after construction; Follower.SetLeader swaps in a fresh one
+// rather than mutating the address under a concurrent poll.
 type Client struct {
 	// Base is the leader's base URL ("http://10.0.0.5:8473").
 	Base string
 	// HTTP is the transport; nil means a client with no overall timeout
 	// (long polls park by design — per-call contexts bound them).
 	HTTP *http.Client
+	// Node, when set, identifies this follower to the leader on every
+	// request, feeding the leader's fan-out table and demotion fencing.
+	Node string
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -147,12 +92,22 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) get(ctx context.Context, path string, query url.Values, out any) error {
+func (c *Client) url(path string, query url.Values) string {
+	if c.Node != "" {
+		if query == nil {
+			query = url.Values{}
+		}
+		query.Set("node", c.Node)
+	}
 	u := c.Base + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	return u
+}
+
+func (c *Client) get(ctx context.Context, path string, query url.Values, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path, query), nil)
 	if err != nil {
 		return err
 	}
@@ -189,40 +144,161 @@ func (c *Client) Poll(ctx context.Context, after uint64, wait time.Duration, max
 	return &b, nil
 }
 
-// Snapshot fetches a full bootstrap archive from the leader.
-func (c *Client) Snapshot(ctx context.Context) (*core.BootstrapArchive, error) {
-	var a core.BootstrapArchive
-	if err := c.get(ctx, "/replica/snapshot", nil, &a); err != nil {
+// Manifest fetches the leader's current bootstrap archive manifest.
+func (c *Client) Manifest(ctx context.Context) (*SnapshotManifest, error) {
+	var m SnapshotManifest
+	if err := c.get(ctx, "/replica/snapshot", nil, &m); err != nil {
 		return nil, err
 	}
-	return &a, nil
+	return &m, nil
 }
+
+// Chunk fetches one chunk of the archive identified by the manifest id.
+// ErrSnapshotSuperseded reports that the leader no longer serves that
+// archive; the caller refetches the manifest and starts over.
+func (c *Client) Chunk(ctx context.Context, id string, n, size int) ([]byte, error) {
+	q := url.Values{}
+	q.Set("id", id)
+	q.Set("chunk", strconv.Itoa(n))
+	q.Set("size", strconv.Itoa(size))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/replica/snapshot", q), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //ilint:allow errdrop — response body; read errors are reported below
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// A chunk is at most `size` bytes; cap the read so a confused
+		// server cannot balloon follower memory.
+		data, err := io.ReadAll(io.LimitReader(resp.Body, int64(size)+1))
+		if err != nil {
+			return nil, err
+		}
+		if len(data) > size {
+			return nil, fmt.Errorf("replica: chunk %d exceeds the %d-byte chunk size", n, size)
+		}
+		return data, nil
+	case http.StatusGone:
+		return nil, ErrSnapshotSuperseded
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512)) //ilint:allow errdrop — best-effort error-body excerpt; the status is the error
+		return nil, fmt.Errorf("replica: leader returned %s: %s", resp.Status, body)
+	}
+}
+
+// Follower loop defaults, used when the corresponding Options field is
+// zero.
+const (
+	// DefaultPollWait is the long-poll window per /replica/wal request.
+	DefaultPollWait = 20 * time.Second
+	// DefaultExchangeTimeout bounds each non-poll exchange (manifest and
+	// chunk fetches) and pads the poll deadline past its wait window.
+	DefaultExchangeTimeout = 15 * time.Second
+	// DefaultDisconnectAfter is how many consecutive failed exchanges
+	// flip the reported state to disconnected.
+	DefaultDisconnectAfter = 3
+)
 
 // Options configure a Follower.
 type Options struct {
 	// Dir is the follower's own database directory (created empty if
-	// missing); its WAL lives alongside at core.WALPath(Dir).
+	// missing); its WAL lives alongside at core.WALPath(Dir), and
+	// bootstrap downloads spool to Dir + ".bootstrap".
 	Dir string
 	// Leader is the leader's base URL.
 	Leader string
+	// NodeID, when set, is reported to the leader on every request; the
+	// leader's fan-out table and demotion fencing key on it.
+	NodeID string
 	// CheckpointBytes forwards to core.DurableOptions.
 	CheckpointBytes int64
-	// PollWait is the long-poll window per request. Zero means 20s.
+	// PollWait is the long-poll window per request. Zero means
+	// DefaultPollWait.
 	PollWait time.Duration
-	// RetryDelay is how long the loop sleeps after a failed exchange
-	// before retrying. Zero means 1s.
-	RetryDelay time.Duration
+	// ExchangeTimeout bounds each manifest/chunk fetch, and is added to
+	// PollWait to bound a poll. Zero means DefaultExchangeTimeout.
+	ExchangeTimeout time.Duration
+	// RetryBase and RetryMax shape the retry backoff: delays are
+	// uniformly random in [0, min(RetryMax, RetryBase·2^attempt)] — full
+	// jitter. Zeros mean DefaultRetryBase and DefaultRetryMax.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// DisconnectAfter is how many consecutive failed exchanges flip the
+	// reported state to StateDisconnected (reads keep serving
+	// regardless). Zero means DefaultDisconnectAfter.
+	DisconnectAfter int
 	// HTTP overrides the transport (tests inject partitions here).
 	HTTP *http.Client
 	// Logf, when non-nil, receives replication loop events.
 	Logf func(format string, args ...any)
+	// Rand overrides the backoff jitter source (tests pin it).
+	Rand func() float64
+}
+
+// Validate rejects nonsense options loudly instead of silently
+// defaulting them: negative durations, counts, or sizes, and a retry
+// base above the retry cap.
+func (o Options) Validate() error {
+	if o.Dir == "" {
+		return fmt.Errorf("replica: Dir is required")
+	}
+	if o.Leader == "" {
+		return fmt.Errorf("replica: Leader is required")
+	}
+	switch {
+	case o.CheckpointBytes < 0:
+		return fmt.Errorf("replica: CheckpointBytes must not be negative (got %d)", o.CheckpointBytes)
+	case o.PollWait < 0:
+		return fmt.Errorf("replica: PollWait must not be negative (got %s)", o.PollWait)
+	case o.ExchangeTimeout < 0:
+		return fmt.Errorf("replica: ExchangeTimeout must not be negative (got %s)", o.ExchangeTimeout)
+	case o.RetryBase < 0:
+		return fmt.Errorf("replica: RetryBase must not be negative (got %s)", o.RetryBase)
+	case o.RetryMax < 0:
+		return fmt.Errorf("replica: RetryMax must not be negative (got %s)", o.RetryMax)
+	case o.DisconnectAfter < 0:
+		return fmt.Errorf("replica: DisconnectAfter must not be negative (got %d)", o.DisconnectAfter)
+	}
+	if o.RetryBase > 0 && o.RetryMax > 0 && o.RetryBase > o.RetryMax {
+		return fmt.Errorf("replica: RetryBase (%s) exceeds RetryMax (%s)", o.RetryBase, o.RetryMax)
+	}
+	return nil
+}
+
+// withDefaults returns a copy with zero fields filled in. Validate
+// first.
+func (o Options) withDefaults() Options {
+	if o.PollWait == 0 {
+		o.PollWait = DefaultPollWait
+	}
+	if o.ExchangeTimeout == 0 {
+		o.ExchangeTimeout = DefaultExchangeTimeout
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = DefaultRetryBase
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = DefaultRetryMax
+	}
+	if o.DisconnectAfter == 0 {
+		o.DisconnectAfter = DefaultDisconnectAfter
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
 }
 
 // Follower runs the replication loop over a follower-mode System.
 type Follower struct {
 	sys    *core.System
-	client *Client
+	client atomic.Pointer[Client] // swapped whole by SetLeader
 	opts   Options
+	retry  Backoff
 
 	mu     sync.Mutex
 	status cluster.FollowerStatus // guarded by mu
@@ -234,8 +310,23 @@ type Follower struct {
 	// position 0 always starts from a snapshot.
 	needBoot atomic.Bool
 
+	// boot is the resumable bootstrap transfer in progress, nil between
+	// transfers. Only the replication goroutine touches it (and Close,
+	// after the goroutine has stopped).
+	boot *bootState
+
 	cancel context.CancelFunc
 	done   chan struct{}
+}
+
+// bootState tracks one chunked bootstrap download: the manifest the
+// transfer is pinned to, how many chunks are verified (always a
+// prefix — chunks are fetched in order), and the disk spool they land
+// in.
+type bootState struct {
+	manifest SnapshotManifest
+	verified int
+	spool    *os.File
 }
 
 // Open opens (creating if absent) the follower's local database and
@@ -243,18 +334,10 @@ type Follower struct {
 // serves reads immediately — from whatever state the directory already
 // holds — while the loop catches up.
 func Open(o Options) (*Follower, error) {
-	if o.Dir == "" || o.Leader == "" {
-		return nil, fmt.Errorf("replica: Dir and Leader are required")
+	if err := o.Validate(); err != nil {
+		return nil, err
 	}
-	if o.PollWait <= 0 {
-		o.PollWait = 20 * time.Second
-	}
-	if o.RetryDelay <= 0 {
-		o.RetryDelay = time.Second
-	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
-	}
+	o = o.withDefaults()
 	if _, err := os.Stat(o.Dir); os.IsNotExist(err) {
 		if err := os.MkdirAll(filepath.Dir(o.Dir), 0o755); err != nil {
 			return nil, fmt.Errorf("replica: create data directory: %w", err)
@@ -271,11 +354,35 @@ func Open(o Options) (*Follower, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &Follower{
-		sys:    sys,
-		client: &Client{Base: o.Leader, HTTP: o.HTTP},
-		opts:   o,
+	f, err := Attach(sys, o)
+	if err != nil {
+		sys.Close() //ilint:allow errdrop — already failing; the open error wins
+		return nil, err
 	}
+	return f, nil
+}
+
+// Attach wraps an already-open follower-mode System in a replication
+// loop — the live-demotion path: the cluster layer demotes a leader in
+// place and attaches a loop pointed at the new leader, without
+// reopening the database.
+func Attach(sys *core.System, o Options) (*Follower, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.withDefaults()
+	if !sys.Durable() {
+		return nil, fmt.Errorf("replica: Attach requires a durable system")
+	}
+	if !sys.Follower() {
+		return nil, fmt.Errorf("replica: Attach requires a follower-mode system (Demote first)")
+	}
+	f := &Follower{
+		sys:   sys,
+		opts:  o,
+		retry: Backoff{Base: o.RetryBase, Max: o.RetryMax, Rand: o.Rand},
+	}
+	f.client.Store(&Client{Base: o.Leader, HTTP: o.HTTP, Node: o.NodeID})
 	f.needBoot.Store(sys.WalSeq() == 0)
 	f.setStatus(func(st *cluster.FollowerStatus) {
 		st.State = cluster.StateCatchingUp
@@ -287,6 +394,27 @@ func Open(o Options) (*Follower, error) {
 
 // System returns the follower's serving system.
 func (f *Follower) System() *core.System { return f.sys }
+
+// cl returns the current wire client.
+func (f *Follower) cl() *Client { return f.client.Load() }
+
+// LeaderAddr returns the leader base URL the loop currently polls.
+func (f *Follower) LeaderAddr() string { return f.cl().Base }
+
+// SetLeader re-points the loop at a new leader — the follower half of a
+// live handover. An in-flight exchange against the old leader finishes
+// (or fails) on its own; every exchange after this call targets the new
+// address. No restart, no re-bootstrap: the WAL position carries over,
+// and the new leader's retention decides whether streaming resumes
+// directly or via a snapshot.
+func (f *Follower) SetLeader(addr string) {
+	old := f.cl()
+	if old.Base == addr {
+		return
+	}
+	f.client.Store(&Client{Base: addr, HTTP: f.opts.HTTP, Node: f.opts.NodeID})
+	f.opts.Logf("replica: leader re-pointed %s -> %s", old.Base, addr)
+}
 
 // Status returns the latest replication observation.
 func (f *Follower) Status() cluster.FollowerStatus {
@@ -310,7 +438,9 @@ func (f *Follower) Start() {
 }
 
 // Stop halts the replication loop (aborting an in-flight poll) and
-// waits for it to exit. The System keeps serving its last state.
+// waits for it to exit. The System keeps serving its last state, and a
+// bootstrap in progress keeps its spool — a later Start resumes the
+// transfer from the last verified chunk.
 func (f *Follower) Stop() {
 	if f.cancel == nil {
 		return
@@ -320,31 +450,50 @@ func (f *Follower) Stop() {
 	f.cancel = nil
 }
 
-// Close stops the loop and closes the local system.
+// Close stops the loop, discards any bootstrap spool, and closes the
+// local system.
 func (f *Follower) Close() error {
 	f.Stop()
+	f.clearBoot()
 	return f.sys.Close()
 }
 
 func (f *Follower) run(ctx context.Context) {
 	defer close(f.done)
+	fails := 0
 	for ctx.Err() == nil {
-		if err := f.exchange(ctx); err != nil {
-			if ctx.Err() != nil {
-				return
-			}
-			f.setStatus(func(st *cluster.FollowerStatus) {
+		err := f.exchange(ctx)
+		if err == nil {
+			fails = 0
+			continue
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		fails++
+		disconnected := fails >= f.opts.DisconnectAfter
+		f.setStatus(func(st *cluster.FollowerStatus) {
+			st.LastError = err.Error()
+			// Below the threshold the previous state stands: a single
+			// dropped poll on a healthy replica is retry noise, not an
+			// incident. Reads serve the last applied snapshot either way.
+			if disconnected {
 				st.State = cluster.StateDisconnected
-				st.LastError = err.Error()
-			})
-			f.opts.Logf("replica: %v (retrying in %s)", err, f.opts.RetryDelay)
-			select {
-			case <-time.After(f.opts.RetryDelay):
-			case <-ctx.Done():
-				return
 			}
+		})
+		delay := f.retry.Delay(fails - 1)
+		f.opts.Logf("replica: %v (attempt %d, retrying in %s)", err, fails, delay.Round(time.Millisecond))
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return
 		}
 	}
+}
+
+// exchangeCtx bounds one non-poll exchange.
+func (f *Follower) exchangeCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, f.opts.ExchangeTimeout)
 }
 
 // exchange runs one protocol step: poll for records and replay them,
@@ -353,7 +502,13 @@ func (f *Follower) exchange(ctx context.Context) error {
 	if f.needBoot.Load() {
 		return f.bootstrap(ctx)
 	}
-	batch, err := f.client.Poll(ctx, f.sys.WalSeq(), f.opts.PollWait, 0)
+	cl := f.cl()
+	// The poll deadline is the wait window plus one exchange budget: a
+	// leader that parks the full window still answers in time, one that
+	// has vanished cannot hold the loop hostage.
+	pctx, cancel := context.WithTimeout(ctx, f.opts.PollWait+f.opts.ExchangeTimeout)
+	batch, err := cl.Poll(pctx, f.sys.WalSeq(), f.opts.PollWait, 0)
+	cancel()
 	if errors.Is(err, core.ErrSnapshotNeeded) {
 		return f.bootstrap(ctx)
 	}
@@ -374,24 +529,148 @@ func (f *Follower) exchange(ctx context.Context) error {
 	return nil
 }
 
+// spoolPath is where bootstrap downloads accumulate: beside the data
+// directory, so the spool and the database land on the same filesystem.
+func (f *Follower) spoolPath() string {
+	return filepath.Clean(f.opts.Dir) + ".bootstrap"
+}
+
 // bootstrap installs a full snapshot from the leader — the initial sync
 // for an empty follower and the catch-up path after falling behind the
-// leader's retention window.
+// leader's retention window. The transfer is chunked and resumable:
+// each chunk verifies against the manifest hash as it lands in the disk
+// spool, and a transfer interrupted by a disconnect resumes from the
+// last verified chunk as long as the leader still serves the same
+// archive id.
 func (f *Follower) bootstrap(ctx context.Context) error {
 	f.setStatus(func(st *cluster.FollowerStatus) { st.State = cluster.StateBootstrapping })
-	f.opts.Logf("replica: bootstrapping from snapshot (local seq %d)", f.sys.WalSeq())
-	a, err := f.client.Snapshot(ctx)
+	cl := f.cl()
+	mctx, cancel := f.exchangeCtx(ctx)
+	m, err := cl.Manifest(mctx)
+	cancel()
 	if err != nil {
-		return fmt.Errorf("fetch snapshot: %w", err)
+		return fmt.Errorf("fetch snapshot manifest: %w", err)
+	}
+	if f.boot == nil || f.boot.manifest.ID != m.ID {
+		if err := f.resetBoot(m); err != nil {
+			return err
+		}
+		f.opts.Logf("replica: bootstrap %.8s: %d chunks, %d bytes (local seq %d)",
+			m.ID, len(m.Chunks), m.Size, f.sys.WalSeq())
+	} else {
+		f.opts.Logf("replica: bootstrap %.8s: resuming at chunk %d/%d",
+			m.ID, f.boot.verified, len(m.Chunks))
+	}
+	b := f.boot
+	for b.verified < len(b.manifest.Chunks) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cctx, cancel := f.exchangeCtx(ctx)
+		data, err := cl.Chunk(cctx, b.manifest.ID, b.verified, b.manifest.ChunkSize)
+		cancel()
+		if errors.Is(err, ErrSnapshotSuperseded) {
+			// The leader's cache moved on; this transfer cannot finish.
+			// Drop the spool so the retry starts clean from a new manifest.
+			f.clearBoot()
+			return fmt.Errorf("bootstrap chunk %d: %w", b.verified, err)
+		}
+		if err != nil {
+			return fmt.Errorf("fetch chunk %d/%d: %w", b.verified, len(b.manifest.Chunks), err)
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != b.manifest.Chunks[b.verified] {
+			// Corruption in transit; the chunk is not spooled and the next
+			// attempt refetches it.
+			return fmt.Errorf("chunk %d/%d failed hash verification", b.verified, len(b.manifest.Chunks))
+		}
+		if _, err := b.spool.WriteAt(data, int64(b.verified)*int64(b.manifest.ChunkSize)); err != nil {
+			f.clearBoot()
+			return fmt.Errorf("spool chunk %d: %w", b.verified, err)
+		}
+		b.verified++
+		f.setStatus(func(st *cluster.FollowerStatus) {
+			st.BootstrapChunks = uint64(b.verified)
+			st.BootstrapTotalChunks = uint64(len(b.manifest.Chunks))
+		})
+	}
+	a, err := f.decodeSpool(b)
+	if err != nil {
+		f.clearBoot()
+		return fmt.Errorf("bootstrap archive: %w", err)
 	}
 	if err := f.sys.InstallBootstrap(a); err != nil {
+		f.clearBoot()
 		return fmt.Errorf("install snapshot: %w", err)
 	}
-	f.setStatus(func(st *cluster.FollowerStatus) { st.Bootstraps++ })
+	f.clearBoot()
+	f.setStatus(func(st *cluster.FollowerStatus) {
+		st.Bootstraps++
+		st.BootstrapChunks, st.BootstrapTotalChunks = 0, 0
+	})
 	f.needBoot.Store(false)
 	f.observe(a.Seq)
-	f.opts.Logf("replica: bootstrapped at seq %d version %d", a.Seq, a.Version)
+	f.opts.Logf("replica: bootstrapped at seq %d version %d (%d chunks)", a.Seq, a.Version, len(m.Chunks))
 	return nil
+}
+
+// resetBoot starts a fresh transfer for the given manifest, truncating
+// whatever a previous transfer left in the spool.
+func (f *Follower) resetBoot(m *SnapshotManifest) error {
+	f.clearBootKeepFile()
+	spool, err := os.OpenFile(f.spoolPath(), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("open bootstrap spool: %w", err)
+	}
+	f.boot = &bootState{manifest: *m, spool: spool}
+	return nil
+}
+
+// clearBoot drops the transfer state and removes the spool file.
+func (f *Follower) clearBoot() {
+	f.clearBootKeepFile()
+	os.Remove(f.spoolPath()) //ilint:allow errdrop — best-effort cleanup; a leftover spool is truncated on the next transfer
+}
+
+func (f *Follower) clearBootKeepFile() {
+	if f.boot == nil {
+		return
+	}
+	f.boot.spool.Close() //ilint:allow errdrop — read-side close; verification already happened against in-memory hashes
+	f.boot = nil
+}
+
+// decodeSpool verifies the completed spool against the manifest —
+// size, then the whole-archive hash, which also proves the chunks were
+// assembled at the right offsets — and decodes it. The archive streams
+// from disk through the JSON decoder, so follower memory stays bounded
+// by the decoded state, not by transfer buffering.
+func (f *Follower) decodeSpool(b *bootState) (*core.BootstrapArchive, error) {
+	fi, err := b.spool.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() != b.manifest.Size {
+		return nil, fmt.Errorf("spool holds %d bytes, manifest promises %d", fi.Size(), b.manifest.Size)
+	}
+	if _, err := b.spool.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, b.spool); err != nil {
+		return nil, err
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != b.manifest.ID {
+		return nil, fmt.Errorf("assembled archive hash %.8s does not match manifest id %.8s", got, b.manifest.ID)
+	}
+	if _, err := b.spool.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	var a core.BootstrapArchive
+	if err := json.NewDecoder(b.spool).Decode(&a); err != nil {
+		return nil, fmt.Errorf("decode archive: %w", err)
+	}
+	return &a, nil
 }
 
 // observe records a successful exchange against the leader's reported

@@ -48,30 +48,40 @@ func testLeader(t *testing.T) (*core.System, *httptest.Server) {
 	return leader, srv
 }
 
-// waitForSeq polls the follower's status until it has applied seq.
+// waitFor polls cond until it holds, failing the test with detail()
+// after the deadline. The shared condition wait: every "eventually"
+// assertion in this file goes through here, so a healthy run can only
+// be slowed by timing noise, never failed by it.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, detail func() string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never held within %s: %s", timeout, detail())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitForSeq waits until the follower's status reports seq applied.
 func waitForSeq(t *testing.T, f *replica.Follower, seq uint64) cluster.FollowerStatus {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		st := f.Status()
-		if st.AppliedSeq >= seq {
-			return st
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatalf("follower never reached seq %d (status %+v)", seq, f.Status())
-	return cluster.FollowerStatus{}
+	waitFor(t, 10*time.Second,
+		func() bool { return f.Status().AppliedSeq >= seq },
+		func() string { return fmt.Sprintf("follower never reached seq %d (status %+v)", seq, f.Status()) })
+	return f.Status()
 }
 
 func openFollower(t *testing.T, dir, leaderURL string, hc *http.Client) *replica.Follower {
 	t.Helper()
 	f, err := replica.Open(replica.Options{
-		Dir:        dir,
-		Leader:     leaderURL,
-		PollWait:   time.Second,
-		RetryDelay: 10 * time.Millisecond,
-		HTTP:       hc,
-		Logf:       t.Logf,
+		Dir:       dir,
+		Leader:    leaderURL,
+		PollWait:  time.Second,
+		RetryBase: 2 * time.Millisecond,
+		RetryMax:  20 * time.Millisecond,
+		HTTP:      hc,
+		Logf:      t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -198,13 +208,9 @@ func TestFollowerRebootstrapsPastRetention(t *testing.T) {
 	fdir := t.TempDir() + "/f3"
 	f := openFollower(t, fdir, srv.URL, nil)
 	f.Start()
-	deadline := time.Now().Add(10 * time.Second)
-	for f.Status().Bootstraps == 0 || f.Status().State != cluster.StateReady {
-		if time.Now().After(deadline) {
-			t.Fatalf("follower never finished its initial bootstrap (status %+v)", f.Status())
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitFor(t, 10*time.Second,
+		func() bool { return f.Status().Bootstraps > 0 && f.Status().State == cluster.StateReady },
+		func() string { return fmt.Sprintf("follower never finished its initial bootstrap (status %+v)", f.Status()) })
 	f.Stop()
 
 	// Push the leader far past the 2-record retention window.
@@ -252,14 +258,12 @@ func TestFollowerRidesOutPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The follower notices the partition but keeps serving.
-	deadline := time.Now().Add(5 * time.Second)
-	for f.Status().State != cluster.StateDisconnected {
-		if time.Now().After(deadline) {
-			t.Fatalf("follower never reported disconnected (status %+v)", f.Status())
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	// The follower notices the partition — after DisconnectAfter
+	// consecutive failures, not on the first dropped poll — but keeps
+	// serving throughout.
+	waitFor(t, 5*time.Second,
+		func() bool { return f.Status().State == cluster.StateDisconnected },
+		func() string { return fmt.Sprintf("follower never reported disconnected (status %+v)", f.Status()) })
 	if _, err := f.System().Query(subQuery, answer.ForwardOnly); err != nil {
 		t.Fatalf("partitioned follower stopped serving: %v", err)
 	}
@@ -268,17 +272,12 @@ func TestFollowerRidesOutPartition(t *testing.T) {
 	// ready state, not just the sequence: a poll in flight before the
 	// partition engaged may already have delivered the record.
 	pt.down.Store(false)
-	deadline = time.Now().Add(10 * time.Second)
-	for {
-		st := f.Status()
-		if st.State == cluster.StateReady && st.AppliedSeq >= res.Seq {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("follower never recovered (status %+v)", st)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitFor(t, 10*time.Second,
+		func() bool {
+			st := f.Status()
+			return st.State == cluster.StateReady && st.AppliedSeq >= res.Seq
+		},
+		func() string { return fmt.Sprintf("follower never recovered (status %+v)", f.Status()) })
 	assertSameAnswers(t, leader, f.System(), subQuery)
 }
 
@@ -304,8 +303,14 @@ func TestClientErrorMapping(t *testing.T) {
 	}))
 	defer srv2.Close()
 	c2 := &replica.Client{Base: srv2.URL}
-	if _, err := c2.Snapshot(context.Background()); err == nil {
-		t.Error("500 snapshot must error")
+	if _, err := c2.Manifest(context.Background()); err == nil {
+		t.Error("500 manifest must error")
+	}
+
+	// A chunk request whose archive the leader no longer caches maps to
+	// ErrSnapshotSuperseded — the refetch-the-manifest signal.
+	if _, err := c.Chunk(context.Background(), "deadbeef", 0, 1024); !errors.Is(err, replica.ErrSnapshotSuperseded) {
+		t.Errorf("410 chunk: %v, want ErrSnapshotSuperseded", err)
 	}
 }
 

@@ -101,7 +101,8 @@ type systemJSON struct {
 
 // replicationJSON is the replication section of /healthz and /metrics:
 // the node's role and durable WAL position on every durable node, plus
-// the follower loop's state, lag, and error surface on followers.
+// the follower loop's state, lag, and error surface on followers, and
+// the fan-out table plus snapshot-transfer counters on the leader.
 type replicationJSON struct {
 	Role   string `json:"role"`
 	WalSeq uint64 `json:"walSeq"`
@@ -117,6 +118,32 @@ type replicationJSON struct {
 	RecordsApplied uint64 `json:"recordsApplied,omitempty"`
 	LastContact    string `json:"lastContact,omitempty"`
 	LastError      string `json:"lastError,omitempty"`
+	// BootstrapChunks of BootstrapTotalChunks report an in-flight
+	// snapshot transfer's progress; both are zero between transfers.
+	BootstrapChunks      uint64 `json:"bootstrapChunks,omitempty"`
+	BootstrapTotalChunks uint64 `json:"bootstrapTotalChunks,omitempty"`
+	// Followers is the fan-out table: one entry per node that has ever
+	// streamed from this one, sorted by id.
+	Followers []followerJSON `json:"followers,omitempty"`
+	// ChunkRequests/ChunkBytes/SnapshotBuilds count bootstrap traffic
+	// served: chunks shipped, their volume, and how many distinct
+	// archives were encoded (cache effectiveness).
+	ChunkRequests  uint64 `json:"chunkRequests,omitempty"`
+	ChunkBytes     uint64 `json:"chunkBytes,omitempty"`
+	SnapshotBuilds uint64 `json:"snapshotBuilds,omitempty"`
+}
+
+// followerJSON is one fan-out table entry: where a downstream replica
+// stands against this node's WAL and what its bootstrap cost.
+type followerJSON struct {
+	ID       string `json:"id"`
+	AckedSeq uint64 `json:"ackedSeq"`
+	// Lag is this node's WAL position minus the follower's
+	// acknowledgement — records committed here it has not confirmed.
+	Lag             uint64 `json:"lag"`
+	LastContact     string `json:"lastContact,omitempty"`
+	BootstrapChunks uint64 `json:"bootstrapChunks,omitempty"`
+	BootstrapBytes  uint64 `json:"bootstrapBytes,omitempty"`
 }
 
 // mutateRequest is the POST /mutate body: either one statement in sql

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -48,11 +49,12 @@ func openLeader(t *testing.T) (*core.System, *httptest.Server) {
 func openFollowerServer(t *testing.T, leaderURL string, opts server.Options) (*replica.Follower, *httptest.Server) {
 	t.Helper()
 	f, err := replica.Open(replica.Options{
-		Dir:        t.TempDir() + "/follower",
-		Leader:     leaderURL,
-		PollWait:   time.Second,
-		RetryDelay: 10 * time.Millisecond,
-		Logf:       t.Logf,
+		Dir:       t.TempDir() + "/follower",
+		Leader:    leaderURL,
+		PollWait:  time.Second,
+		RetryBase: 2 * time.Millisecond,
+		RetryMax:  10 * time.Millisecond,
+		Logf:      t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -241,5 +243,102 @@ func TestQueryTokenWaitTimesOut(t *testing.T) {
 	})
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Errorf("unapplied token: %d %s, want 504", resp.StatusCode, out)
+	}
+}
+
+// TestMetricsExposeFanOutAndChunkCounters pins the leader-side
+// observability added with chunked bootstrap: the fan-out table (who
+// streams from this node, how far behind, what the bootstrap cost) and
+// the snapshot-transfer counters.
+func TestMetricsExposeFanOutAndChunkCounters(t *testing.T) {
+	leader, leaderTS := openLeader(t)
+	f, err := replica.Open(replica.Options{
+		Dir:       t.TempDir() + "/follower",
+		Leader:    leaderTS.URL,
+		NodeID:    "iqp-2",
+		PollWait:  time.Second,
+		RetryBase: 2 * time.Millisecond,
+		RetryMax:  10 * time.Millisecond,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	f.Start()
+
+	type fanProbe struct {
+		Replication *struct {
+			Followers []struct {
+				ID              string `json:"id"`
+				AckedSeq        uint64 `json:"ackedSeq"`
+				Lag             uint64 `json:"lag"`
+				LastContact     string `json:"lastContact"`
+				BootstrapChunks uint64 `json:"bootstrapChunks"`
+				BootstrapBytes  uint64 `json:"bootstrapBytes"`
+			} `json:"followers"`
+			ChunkRequests  uint64 `json:"chunkRequests"`
+			ChunkBytes     uint64 `json:"chunkBytes"`
+			SnapshotBuilds uint64 `json:"snapshotBuilds"`
+		} `json:"replication"`
+	}
+	cur := leader.WalSeq()
+	deadline := time.Now().Add(10 * time.Second)
+	var met fanProbe
+	for {
+		getJSON(t, leaderTS.URL+"/metrics", &met)
+		rep := met.Replication
+		if rep != nil && len(rep.Followers) == 1 && rep.Followers[0].AckedSeq >= cur {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fan-out never showed iqp-2 acknowledging seq %d: %+v", cur, met.Replication)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fan := met.Replication.Followers[0]
+	if fan.ID != "iqp-2" || fan.Lag != 0 || fan.LastContact == "" {
+		t.Errorf("fan-out entry: %+v", fan)
+	}
+	if fan.BootstrapChunks == 0 || fan.BootstrapBytes == 0 {
+		t.Errorf("bootstrap volume untracked: %+v", fan)
+	}
+	if met.Replication.ChunkRequests == 0 || met.Replication.ChunkBytes == 0 || met.Replication.SnapshotBuilds != 1 {
+		t.Errorf("chunk counters: %+v", met.Replication)
+	}
+}
+
+// TestDynamicLeaderAddress pins the live-reconfiguration seam in the
+// server: the 421 Location and the reported leaderAddr both come from
+// LeaderAddrFunc on every request, so a re-pointed node redirects to
+// the leader it follows now, not the one it started with.
+func TestDynamicLeaderAddress(t *testing.T) {
+	_, leaderTS := openLeader(t)
+	var addr atomic.Value
+	addr.Store(leaderTS.URL)
+	f, followerTS := openFollowerServer(t, leaderTS.URL, server.Options{
+		LeaderAddrFunc: func() string { return addr.Load().(string) },
+	})
+	_ = f
+	waitMode(t, followerTS.URL, "follower:ready")
+
+	resp, _ := postJSON(t, followerTS.URL+"/mutate", map[string]any{
+		"sql": `INSERT INTO SUBMARINE VALUES ('SSN952', 'Dynfish', '0204')`,
+	})
+	if got := resp.Header.Get("Location"); got != leaderTS.URL {
+		t.Fatalf("Location = %q, want %q", got, leaderTS.URL)
+	}
+
+	addr.Store("http://moved.example:8473")
+	resp, _ = postJSON(t, followerTS.URL+"/mutate", map[string]any{
+		"sql": `INSERT INTO SUBMARINE VALUES ('SSN953', 'Movedfish', '0204')`,
+	})
+	if got := resp.Header.Get("Location"); got != "http://moved.example:8473" {
+		t.Fatalf("after re-point, Location = %q, want the new leader", got)
+	}
+	var hz healthzProbe
+	getJSON(t, followerTS.URL+"/healthz", &hz)
+	if hz.Replication == nil || hz.Replication.LeaderAddr != "http://moved.example:8473" {
+		t.Fatalf("healthz leaderAddr did not track the re-point: %+v", hz.Replication)
 	}
 }

@@ -74,9 +74,19 @@ type Options struct {
 	// requests are refused with 421 pointing at the node that accepts
 	// them.
 	LeaderAddr string
+	// LeaderAddrFunc, when non-nil, supplies the leader's address
+	// dynamically — a live-reconfigurable node re-points mid-flight, so
+	// the 421 Location must track it. Takes precedence over LeaderAddr.
+	LeaderAddrFunc func() string
 	// FollowerStatus, when non-nil, supplies the replica loop's
 	// progress for /healthz and /metrics on a follower.
 	FollowerStatus func() cluster.FollowerStatus
+	// Replica is the process's shared replication tracker: it serves
+	// /replica/wal and /replica/snapshot and holds the fan-out table
+	// reported in /metrics. Nil means the server builds its own with
+	// default chunking; pass one to share it with a replica.Node (the
+	// demotion fence consults the same acknowledgements /metrics shows).
+	Replica *replica.Leader
 	// ReplicationTimeout bounds /replica/wal long polls and
 	// /replica/snapshot transfers on the leader (default 75s — above
 	// the follower's poll wait, so quiet polls park instead of
@@ -132,6 +142,7 @@ func (o Options) replicationTimeout() time.Duration {
 type Server struct {
 	sys   *core.System
 	opts  Options
+	rep   *replica.Leader
 	met   *metrics
 	logMu sync.Mutex // serialises access- and error-log lines
 	slow  func()     // test hook: injected latency at handler entry
@@ -146,9 +157,14 @@ type Server struct {
 
 // New builds a Server over a system.
 func New(sys *core.System, opts Options) *Server {
+	rep := opts.Replica
+	if rep == nil {
+		rep = replica.NewLeader(sys, replica.LeaderOptions{})
+	}
 	return &Server{
 		sys:  sys,
 		opts: opts,
+		rep:  rep,
 		met:  newMetrics(),
 		sem:  make(chan struct{}, opts.maxInFlight()),
 	}
@@ -179,8 +195,8 @@ func (s *Server) Handler() http.Handler {
 	// hold an execution slot) and run under their own, longer deadline.
 	// The handlers themselves refuse non-durable and follower systems.
 	rt := s.opts.replicationTimeout()
-	observe("GET /replica/wal", rt, replica.WALHandler(s.sys).ServeHTTP)
-	observe("GET /replica/snapshot", rt, replica.SnapshotHandler(s.sys).ServeHTTP)
+	observe("GET /replica/wal", rt, s.rep.WALHandler().ServeHTTP)
+	observe("GET /replica/snapshot", rt, s.rep.SnapshotHandler().ServeHTTP)
 	return mux
 }
 
@@ -344,14 +360,23 @@ func (s *Server) refuseDegraded(w http.ResponseWriter) bool {
 	return true
 }
 
+// leaderAddr resolves where writes currently go: the dynamic source
+// when wired (it tracks live reconfiguration), else the static option.
+func (s *Server) leaderAddr() string {
+	if s.opts.LeaderAddrFunc != nil {
+		return s.opts.LeaderAddrFunc()
+	}
+	return s.opts.LeaderAddr
+}
+
 // writeNotLeader answers 421 Misdirected Request — the request is valid
 // but this node does not accept writes — with the leader's address when
-// configured, so clients can redirect.
+// known, so clients can redirect.
 func (s *Server) writeNotLeader(w http.ResponseWriter, err error) {
 	msg := err.Error()
-	if s.opts.LeaderAddr != "" {
-		w.Header().Set("Location", s.opts.LeaderAddr)
-		msg += " at " + s.opts.LeaderAddr
+	if addr := s.leaderAddr(); addr != "" {
+		w.Header().Set("Location", addr)
+		msg += " at " + addr
 	}
 	writeError(w, http.StatusMisdirectedRequest, msg)
 }
@@ -362,6 +387,13 @@ func (s *Server) writeNotLeader(w http.ResponseWriter, err error) {
 // before parsing a doomed request.
 func (s *Server) refuseFollower(w http.ResponseWriter) bool {
 	if !s.sys.Follower() {
+		return false
+	}
+	// Resolving the leader address can block behind a role transition in
+	// flight (the node mutex is held across promotion). If it comes back
+	// empty, re-check the role: when the transition made this node the
+	// leader, serve the request instead of answering a Location-less 421.
+	if s.leaderAddr() == "" && !s.sys.Follower() {
 		return false
 	}
 	s.writeNotLeader(w, core.ErrNotLeader)
@@ -605,10 +637,11 @@ func (s *Server) replicationStatus() *replicationJSON {
 	if !s.sys.Durable() {
 		return nil
 	}
-	out := &replicationJSON{Role: string(cluster.RoleLeader), WalSeq: s.sys.WalSeq()}
+	cur := s.sys.WalSeq()
+	out := &replicationJSON{Role: string(cluster.RoleLeader), WalSeq: cur}
 	if s.sys.Follower() {
 		out.Role = string(cluster.RoleFollower)
-		out.LeaderAddr = s.opts.LeaderAddr
+		out.LeaderAddr = s.leaderAddr()
 	}
 	if s.opts.FollowerStatus != nil {
 		st := s.opts.FollowerStatus()
@@ -618,10 +651,33 @@ func (s *Server) replicationStatus() *replicationJSON {
 		out.Bootstraps = st.Bootstraps
 		out.RecordsApplied = st.RecordsApplied
 		out.LastError = st.LastError
+		out.BootstrapChunks = st.BootstrapChunks
+		out.BootstrapTotalChunks = st.BootstrapTotalChunks
 		if !st.LastContact.IsZero() {
 			out.LastContact = st.LastContact.UTC().Format(time.RFC3339)
 		}
 	}
+	// The fan-out side: whoever streams from this node, and what their
+	// bootstraps cost. Populated on leaders and on followers that other
+	// replicas chain from.
+	for _, fi := range s.rep.Followers() {
+		fj := followerJSON{
+			ID:              fi.ID,
+			AckedSeq:        fi.AckedSeq,
+			BootstrapChunks: fi.BootstrapChunks,
+			BootstrapBytes:  fi.BootstrapBytes,
+		}
+		if cur > fi.AckedSeq {
+			fj.Lag = cur - fi.AckedSeq
+		}
+		if !fi.LastContact.IsZero() {
+			fj.LastContact = fi.LastContact.UTC().Format(time.RFC3339)
+		}
+		out.Followers = append(out.Followers, fj)
+	}
+	out.ChunkRequests = s.rep.ChunkRequests()
+	out.ChunkBytes = s.rep.ChunkBytes()
+	out.SnapshotBuilds = s.rep.SnapshotBuilds()
 	return out
 }
 

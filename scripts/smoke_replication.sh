@@ -113,4 +113,65 @@ LSEQ="$(jget "$WORK/lhz.json" walSeq)"
 FSEQ="$(jget "$WORK/fhz.json" walSeq)"
 [ -n "$LSEQ" ] && [ "$LSEQ" = "$FSEQ" ] || fail "walSeq diverges: leader '$LSEQ', follower '$FSEQ'"
 
-echo "smoke-replication: OK (converged at walSeq $LSEQ)"
+echo "smoke-replication: restarting both nodes in cluster mode for a live handover"
+kill "$FOLLOWER_PID"; wait "$FOLLOWER_PID" 2>/dev/null || true
+kill "$LEADER_PID"; wait "$LEADER_PID" 2>/dev/null || true
+FOLLOWER_PID=""; LEADER_PID=""
+go build -o "$WORK/iqp" ./cmd/iqp
+cat >"$WORK/cluster.json" <<EOF
+{"nodes":[{"id":"a","addr":"$LEADER","role":"leader"},{"id":"b","addr":"$FOLLOWER","role":"follower"}]}
+EOF
+"$BIN" -addr ":$LEADER_PORT" -db "$WORK/leader-db" -no-induce \
+    -cluster-config "$WORK/cluster.json" -node-id a -cluster-watch 100ms \
+    >>"$WORK/leader.log" 2>&1 &
+LEADER_PID=$!
+wait_healthz "$LEADER" "ok"
+"$BIN" -addr ":$FOLLOWER_PORT" -db "$WORK/follower-db" \
+    -cluster-config "$WORK/cluster.json" -node-id b -cluster-watch 100ms \
+    >>"$WORK/follower.log" 2>&1 &
+FOLLOWER_PID=$!
+# With no writes pending, the follower's first long poll parks for the
+# full window before it reports "ready"; any follower state means it is
+# attached and streaming, which is all the handover needs.
+wait_healthz "$FOLLOWER" "follower:*"
+
+echo "smoke-replication: rewriting cluster.json — node b becomes the leader, no restarts"
+cat >"$WORK/cluster.json" <<EOF
+{"nodes":[{"id":"a","addr":"$LEADER","role":"follower"},{"id":"b","addr":"$FOLLOWER","role":"leader"}]}
+EOF
+wait_healthz "$LEADER" "follower:*"
+wait_healthz "$FOLLOWER" "ok"
+kill -0 "$LEADER_PID" 2>/dev/null || fail "node a restarted during the handover"
+kill -0 "$FOLLOWER_PID" 2>/dev/null || fail "node b restarted during the handover"
+
+echo "smoke-replication: writing through the demoted node with the failover client"
+"$WORK/iqp" -connect "$LEADER" \
+    -e "INSERT INTO SONAR VALUES ('HANDOVER-1', 'Live')" \
+    >"$WORK/handover-mutate.txt" 2>>"$WORK/follower.log" \
+    || fail "failover write via demoted node failed: $(cat "$WORK/handover-mutate.txt" 2>/dev/null)"
+grep -q "ok (version" "$WORK/handover-mutate.txt" \
+    || fail "failover client did not acknowledge the write: $(cat "$WORK/handover-mutate.txt")"
+
+QUERY='{"sql":"SELECT SONAR.Sonar, SONAR.SonarType FROM SONAR WHERE SONAR.Sonar = '\''HANDOVER-1'\''","mode":"forward"}'
+tries=100
+while [ "$tries" -gt 0 ]; do
+    if curl -sf -X POST "$LEADER/query" -d "$QUERY" -o "$WORK/a-q3.json" 2>/dev/null \
+        && grep -q "HANDOVER-1" "$WORK/a-q3.json"; then
+        break
+    fi
+    tries=$((tries - 1))
+    sleep 0.1
+done
+[ "$tries" -gt 0 ] || fail "demoted node a never replicated the handover write"
+curl -sf -X POST "$FOLLOWER/query" -d "$QUERY" -o "$WORK/b-q3.json" \
+    || fail "new leader query failed"
+cmp -s "$WORK/a-q3.json" "$WORK/b-q3.json" \
+    || fail "answers diverge after handover: $(cat "$WORK/b-q3.json") vs $(cat "$WORK/a-q3.json")"
+
+curl -sf "$LEADER/healthz" -o "$WORK/ahz.json"
+curl -sf "$FOLLOWER/healthz" -o "$WORK/bhz.json"
+ASEQ="$(jget "$WORK/ahz.json" walSeq)"
+BSEQ="$(jget "$WORK/bhz.json" walSeq)"
+[ -n "$BSEQ" ] && [ "$ASEQ" = "$BSEQ" ] || fail "walSeq diverges after handover: a '$ASEQ', b '$BSEQ'"
+
+echo "smoke-replication: OK (converged at walSeq $LSEQ; live handover converged at walSeq $BSEQ)"
